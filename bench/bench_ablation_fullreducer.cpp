@@ -1,0 +1,61 @@
+// Ablation (paper §4.2 + Appendix B): the Algorithm-2 full reducer vs the
+// Algorithm-3 light-weight index. Both prune dangling edges; the index is
+// supposed to deliver the same pruning power at a fraction of the build
+// cost — this harness measures both sides of that claim.
+#include <iostream>
+
+#include "common/bench_util.h"
+#include "core/index.h"
+#include "core/relations.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "workload/datasets.h"
+
+using namespace pathenum;
+using namespace pathenum::bench;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintBanner("Ablation — Alg. 2 full reducer vs Alg. 3 light-weight index",
+              "PathEnum (SIGMOD'21) §4.2 / Appendix B", env);
+
+  for (const std::string& name : {"ep", "gg"}) {
+    const Graph g = CachedDataset(name, env.scale);
+    std::cout << "\nDataset " << name << " (means over the query set)\n";
+    TablePrinter table({"k", "Reducer ms", "Index ms", "Speedup",
+                        "Reducer tuples", "Index edges"});
+    IndexBuilder builder;
+    for (uint32_t k = 3; k <= 6; ++k) {
+      const auto queries = MakeQueries(g, env, k);
+      if (queries.empty()) continue;
+      double reducer_ms = 0, index_ms = 0;
+      double reducer_tuples = 0, index_edges = 0;
+      for (const Query& q : queries) {
+        Timer t1;
+        const RelationSet rs = BuildReducedRelations(g, q);
+        reducer_ms += t1.ElapsedMs();
+        reducer_tuples += static_cast<double>(rs.TotalTuples());
+        Timer t2;
+        const LightweightIndex idx = builder.Build(g, q);
+        index_ms += t2.ElapsedMs();
+        index_edges += static_cast<double>(idx.num_edges());
+      }
+      const double n = static_cast<double>(queries.size());
+      table.AddRow(
+          {std::to_string(k), FormatSci(reducer_ms / n),
+           FormatSci(index_ms / n),
+           FormatFixed(index_ms > 0 ? reducer_ms / index_ms : 0.0, 1) + "x",
+           FormatSci(reducer_tuples / n), FormatSci(index_edges / n)});
+    }
+    table.Print(std::cout);
+  }
+  PrintShapeNote(
+      "Expected shape (paper §4.2): the full reducer materializes k "
+      "relation copies and scans them repeatedly, costing far more than "
+      "the index build; Appendix B proves the per-position neighbor sets "
+      "are identical (our relations_test asserts the exact equality), so "
+      "the index concedes nothing in pruning power. Index edge counts are "
+      "position-union counts and thus smaller than summed per-relation "
+      "tuples.");
+  return 0;
+}

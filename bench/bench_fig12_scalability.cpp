@@ -1,0 +1,91 @@
+// Figure 12: scalability on the billion-edge-class graph tm (substituted by
+// the catalog's largest R-MAT graph; PATHENUM_BENCH_TM_SCALE rescales it).
+// Reports the execution time of every individual technique and the
+// throughput of IDX-DFS / IDX-JOIN with k varied 3..6.
+#include <cstdlib>
+#include <iostream>
+
+#include "common/bench_util.h"
+#include "core/dfs_enumerator.h"
+#include "core/estimator.h"
+#include "core/join_enumerator.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "workload/datasets.h"
+
+using namespace pathenum;
+using namespace pathenum::bench;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintBanner("Figure 12 — Scalability on tm",
+              "PathEnum (SIGMOD'21) Figure 12", env);
+  const char* tm_scale_env = std::getenv("PATHENUM_BENCH_TM_SCALE");
+  const double tm_scale =
+      tm_scale_env != nullptr ? std::atof(tm_scale_env) : 0.5;
+  Timer load_timer;
+  const Graph g = CachedDataset("tm", tm_scale);
+  std::cout << "tm instantiated at scale " << tm_scale << ": "
+            << g.num_vertices() << " vertices, " << g.num_edges()
+            << " edges (" << FormatFixed(load_timer.ElapsedMs(), 0)
+            << " ms to generate)\n\n";
+
+  TablePrinter time_table({"k", "BFS", "IndexConstruction", "Optimization",
+                           "DFS", "JOIN"});
+  TablePrinter tput_table({"k", "IDX-DFS", "IDX-JOIN"});
+  IndexBuilder builder;
+  for (uint32_t k = 3; k <= 6; ++k) {
+    const auto queries = MakeQueries(g, env, k, /*seed=*/19);
+    if (queries.empty()) continue;
+    double bfs_ms = 0, index_ms = 0, optimize_ms = 0, dfs_ms = 0,
+           join_ms = 0;
+    double dfs_tput = 0, join_tput = 0;
+    EnumOptions opts = MakeOptions(env);
+    for (const Query& q : queries) {
+      const LightweightIndex index = builder.Build(g, q);
+      bfs_ms += index.build_stats().bfs_ms;
+      index_ms += index.build_stats().total_ms;
+      Timer opt_timer;
+      const JoinPlan plan = OptimizeJoinOrder(index);
+      optimize_ms += opt_timer.ElapsedMs();
+
+      {
+        DfsEnumerator dfs(index);
+        CountingSink sink;
+        Timer t;
+        const EnumCounters c = dfs.Run(sink, opts);
+        const double ms = t.ElapsedMs();
+        dfs_ms += ms;
+        dfs_tput += ms > 0 ? static_cast<double>(c.num_results) / (ms / 1e3)
+                           : 0.0;
+      }
+      if (plan.cut >= 1 && plan.cut < k) {
+        JoinEnumerator join(index);
+        CountingSink sink;
+        Timer t;
+        const EnumCounters c = join.Run(plan.cut, sink, opts);
+        const double ms = t.ElapsedMs();
+        join_ms += ms;
+        join_tput += ms > 0
+                         ? static_cast<double>(c.num_results) / (ms / 1e3)
+                         : 0.0;
+      }
+    }
+    const double n = static_cast<double>(queries.size());
+    time_table.AddRow({std::to_string(k), FormatSci(bfs_ms / n),
+                       FormatSci(index_ms / n), FormatSci(optimize_ms / n),
+                       FormatSci(dfs_ms / n), FormatSci(join_ms / n)});
+    tput_table.AddRow({std::to_string(k), FormatSci(dfs_tput / n),
+                       FormatSci(join_tput / n)});
+  }
+  std::cout << "Execution time of each technique (mean ms per query)\n";
+  time_table.Print(std::cout);
+  std::cout << "\nThroughput (#results per second)\n";
+  tput_table.Print(std::cout);
+  PrintShapeNote(
+      "Expected shape (paper Fig. 12): on the huge graph the BFS dominates "
+      "index construction, preprocessing outweighs enumeration at k=3-4, "
+      "and yet enumeration throughput reaches ~1e7 results/s by k=5 — the "
+      "index pays for itself once the output is large.");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figures 13, 14, 15 (appendix F): query time, throughput and response
+// time with k varied 3..8 on ep and gg, all five Table-3 algorithms.
+#include <iostream>
+
+#include "common/bench_util.h"
+#include "util/table.h"
+#include "workload/datasets.h"
+
+using namespace pathenum;
+using namespace pathenum::bench;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintBanner("Figures 13/14/15 — Query time, throughput, response vs k",
+              "PathEnum (SIGMOD'21) Figures 13-15", env);
+
+  for (const std::string& name : {"ep", "gg"}) {
+    const Graph g = CachedDataset(name, env.scale);
+    std::cout << "\nDataset " << name << "\n";
+    TablePrinter time_table({"k", "BC-DFS", "BC-JOIN", "IDX-DFS", "IDX-JOIN",
+                             "PathEnum"});
+    TablePrinter tput_table({"k", "BC-DFS", "BC-JOIN", "IDX-DFS", "IDX-JOIN",
+                             "PathEnum"});
+    TablePrinter resp_table({"k", "BC-DFS", "IDX-DFS"});
+    for (uint32_t k = 3; k <= 8; ++k) {
+      const auto queries = MakeQueries(g, env, k);
+      if (queries.empty()) continue;
+      std::vector<std::string> time_row{std::to_string(k)};
+      std::vector<std::string> tput_row{std::to_string(k)};
+      std::vector<std::string> resp_row{std::to_string(k)};
+      for (const std::string& algo_name : Table3AlgorithmNames()) {
+        const auto algo = MakeAlgorithm(algo_name, g);
+        const Aggregate agg =
+            Summarize(RunQuerySet(*algo, queries, MakeOptions(env)));
+        const std::string star = agg.timeout_fraction > 0.2 ? "*" : "";
+        time_row.push_back(FormatSci(agg.mean_query_ms) + star);
+        tput_row.push_back(FormatSci(agg.mean_throughput));
+        if (algo_name == "BC-DFS" || algo_name == "IDX-DFS") {
+          resp_row.push_back(FormatSci(agg.mean_response_ms));
+        }
+      }
+      time_table.AddRow(std::move(time_row));
+      tput_table.AddRow(std::move(tput_row));
+      resp_table.AddRow(std::move(resp_row));
+    }
+    std::cout << "Query time (ms) vs k  [Fig. 13]\n";
+    time_table.Print(std::cout);
+    std::cout << "\nThroughput (#results/s) vs k  [Fig. 14]\n";
+    tput_table.Print(std::cout);
+    std::cout << "\nResponse time (ms) vs k  [Fig. 15]\n";
+    resp_table.Print(std::cout);
+  }
+  PrintShapeNote(
+      "Expected shape (paper Figs. 13-15): PathEnum tracks the better of "
+      "IDX-DFS/IDX-JOIN at every k; index-based throughput keeps climbing "
+      "(or plateaus) with k while BC-DFS's decays from k=5 on; IDX-DFS "
+      "response time grows only mildly with k and stays 1-2 orders below "
+      "BC-DFS.");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 17 (appendix F): execution time of each individual technique —
+// BFS, index construction, join-order optimization, DFS enumeration, JOIN
+// enumeration — on ep and gg with k varied 3..8.
+#include <iostream>
+
+#include "common/bench_util.h"
+#include "core/dfs_enumerator.h"
+#include "core/estimator.h"
+#include "core/join_enumerator.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "workload/datasets.h"
+
+using namespace pathenum;
+using namespace pathenum::bench;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintBanner("Figure 17 — Execution time of individual techniques",
+              "PathEnum (SIGMOD'21) Figure 17", env);
+
+  for (const std::string& name : {"ep", "gg"}) {
+    const Graph g = CachedDataset(name, env.scale);
+    std::cout << "\nDataset " << name << " (mean ms per query)\n";
+    TablePrinter table({"k", "BFS", "IndexConstruction", "Optimization",
+                        "DFS", "JOIN"});
+    IndexBuilder builder;
+    for (uint32_t k = 3; k <= 8; ++k) {
+      const auto queries = MakeQueries(g, env, k);
+      if (queries.empty()) continue;
+      double bfs = 0, index = 0, optimize = 0, dfs = 0, join = 0;
+      EnumOptions opts = MakeOptions(env);
+      for (const Query& q : queries) {
+        const LightweightIndex idx = builder.Build(g, q);
+        bfs += idx.build_stats().bfs_ms;
+        index += idx.build_stats().total_ms;
+        Timer opt_timer;
+        const JoinPlan plan = OptimizeJoinOrder(idx);
+        optimize += opt_timer.ElapsedMs();
+        {
+          DfsEnumerator e(idx);
+          CountingSink sink;
+          Timer t;
+          e.Run(sink, opts);
+          dfs += t.ElapsedMs();
+        }
+        if (plan.cut >= 1 && plan.cut < k) {
+          JoinEnumerator e(idx);
+          CountingSink sink;
+          Timer t;
+          e.Run(plan.cut, sink, opts);
+          join += t.ElapsedMs();
+        }
+      }
+      const double n = static_cast<double>(queries.size());
+      table.AddRow({std::to_string(k), FormatSci(bfs / n),
+                    FormatSci(index / n), FormatSci(optimize / n),
+                    FormatSci(dfs / n), FormatSci(join / n)});
+    }
+    table.Print(std::cout);
+  }
+  PrintShapeNote(
+      "Expected shape (paper Fig. 17): BFS dominates index construction; "
+      "optimization can exceed enumeration for short queries (gg, small "
+      "k); DFS beats JOIN at small k, JOIN wins at large k on the heavy "
+      "graph; index construction and optimization stay small in absolute "
+      "terms throughout.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 18 (appendix F): cardinality-estimation accuracy — the actual
+// number of results vs the full-fledged estimate (exact walk counting,
+// = delta_W) and the preliminary estimate (Eq. 5), k varied.
+#include <iostream>
+
+#include "common/bench_util.h"
+#include "core/estimator.h"
+#include "core/path_enum.h"
+#include "util/table.h"
+#include "workload/datasets.h"
+
+using namespace pathenum;
+using namespace pathenum::bench;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintBanner("Figure 18 — Cardinality estimation accuracy",
+              "PathEnum (SIGMOD'21) Figure 18", env);
+
+  for (const std::string& name : {"ep", "gg"}) {
+    const Graph g = CachedDataset(name, env.scale);
+    std::cout << "\nDataset " << name << " (means per query set)\n";
+    TablePrinter table({"k", "#Results", "Full-Fledged", "Preliminary",
+                        "(complete)"});
+    IndexBuilder builder;
+    PathEnumerator pe(g);
+    for (uint32_t k = 3; k <= 8; ++k) {
+      const auto queries = MakeQueries(g, env, k);
+      if (queries.empty()) continue;
+      double actual = 0, full = 0, prelim = 0;
+      size_t complete = 0;
+      EnumOptions opts = MakeOptions(env);
+      opts.method = Method::kDfs;
+      for (const Query& q : queries) {
+        const LightweightIndex idx = builder.Build(g, q);
+        full += OptimizeJoinOrder(idx).TotalWalks();
+        prelim += EstimateSearchSpace(idx);
+        CountingSink sink;
+        const QueryStats s = pe.Run(q, sink, opts);
+        actual += static_cast<double>(s.counters.num_results);
+        if (!s.counters.timed_out) ++complete;
+      }
+      const double n = static_cast<double>(queries.size());
+      table.AddRow({std::to_string(k), FormatSci(actual / n),
+                    FormatSci(full / n), FormatSci(prelim / n),
+                    std::to_string(complete) + "/" +
+                        std::to_string(queries.size())});
+    }
+    table.Print(std::cout);
+  }
+  PrintShapeNote(
+      "Expected shape (paper Fig. 18): both estimators track the actual "
+      "count within roughly an order of magnitude, the full-fledged one "
+      "tighter than the preliminary one, and the gap widens as k grows "
+      "(walks diverge from paths; the paper omits ep k=8 where the truth "
+      "is unknown — rows with timeouts are lower bounds here).");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 6: detailed search metrics of BC-DFS vs IDX-DFS on ep and gg with
+// k varied 3..8 — edges accessed, invalid partial results, results found.
+#include <iostream>
+
+#include "common/bench_util.h"
+#include "util/table.h"
+#include "workload/datasets.h"
+
+using namespace pathenum;
+using namespace pathenum::bench;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintBanner("Figure 6 — #Edges / #Invalid / #Results with k varied",
+              "PathEnum (SIGMOD'21) Figure 6", env);
+
+  for (const std::string& name : {"ep", "gg"}) {
+    const Graph g = CachedDataset(name, env.scale);
+    std::cout << "\nDataset " << name << "\n";
+    TablePrinter table({"k", "Edges-BC", "Edges-IDX", "Invalid-BC",
+                        "Invalid-IDX", "Results-BC", "Results-IDX"});
+    for (uint32_t k = 3; k <= 8; ++k) {
+      const auto queries = MakeQueries(g, env, k);
+      if (queries.empty()) continue;
+      const auto bc = MakeAlgorithm("BC-DFS", g);
+      const auto idx = MakeAlgorithm("IDX-DFS", g);
+      const auto bc_stats = RunQuerySet(*bc, queries, MakeOptions(env));
+      const auto idx_stats = RunQuerySet(*idx, queries, MakeOptions(env));
+      auto mean = [&](const std::vector<QueryStats>& ss,
+                      auto field) -> double {
+        double sum = 0;
+        for (const auto& s : ss) sum += static_cast<double>(field(s));
+        return sum / static_cast<double>(ss.size());
+      };
+      table.AddRow(
+          {std::to_string(k),
+           FormatSci(mean(bc_stats,
+                          [](const QueryStats& s) {
+                            return s.counters.edges_accessed;
+                          })),
+           FormatSci(mean(idx_stats,
+                          [](const QueryStats& s) {
+                            return s.counters.edges_accessed;
+                          })),
+           FormatSci(mean(bc_stats,
+                          [](const QueryStats& s) {
+                            return s.counters.invalid_partials;
+                          })),
+           FormatSci(mean(idx_stats,
+                          [](const QueryStats& s) {
+                            return s.counters.invalid_partials;
+                          })),
+           FormatSci(mean(bc_stats,
+                          [](const QueryStats& s) {
+                            return s.counters.num_results;
+                          })),
+           FormatSci(mean(idx_stats, [](const QueryStats& s) {
+             return s.counters.num_results;
+           }))});
+    }
+    table.Print(std::cout);
+  }
+  PrintShapeNote(
+      "Expected shape (paper Fig. 6): IDX-DFS accesses ~100x fewer edges "
+      "than BC-DFS at equal k; the invalid-partial counts of the two stay "
+      "close to each other and small relative to #results, showing the "
+      "barrier pruning adds little power over the index's distance bound.");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 8: dynamic graphs — 99.9% response-time latency of BC-DFS vs
+// IDX-DFS with k varied. Following §7.2: 10% of edges are withheld as
+// updates; each update edge (v, v') triggers the cycle query q(v', v, k-1)
+// on the remaining graph (the per-query index needs no maintenance).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/datasets.h"
+
+using namespace pathenum;
+using namespace pathenum::bench;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintBanner("Figure 8 — 99.9% latency on dynamic graphs",
+              "PathEnum (SIGMOD'21) Figure 8", env);
+  const size_t updates_cap = 6 * env.num_queries;
+
+  for (const std::string& name : {"ep", "gg"}) {
+    const Graph full = CachedDataset(name, env.scale);
+    // Withhold ~10% of edges (up to the cap) as the update stream.
+    Rng rng(2024);
+    std::vector<std::pair<VertexId, VertexId>> updates;
+    GraphBuilder base(full.num_vertices());
+    for (VertexId u = 0; u < full.num_vertices(); ++u) {
+      for (const VertexId v : full.OutNeighbors(u)) {
+        if (updates.size() < updates_cap && rng.NextBool(0.1)) {
+          updates.push_back({u, v});
+        } else {
+          base.AddEdge(u, v);
+        }
+      }
+    }
+    const Graph g = base.Build();
+    std::cout << "\nDataset " << name << " (" << updates.size()
+              << " update edges)\n";
+    TablePrinter table({"k", "BC-DFS p99.9 (ms)", "IDX-DFS p99.9 (ms)"});
+    for (uint32_t k = 3; k <= 8; ++k) {
+      std::vector<std::string> row{std::to_string(k)};
+      for (const std::string& algo_name : {"BC-DFS", "IDX-DFS"}) {
+        const auto algo = MakeAlgorithm(algo_name, g);
+        std::vector<double> latencies;
+        EnumOptions opts = MakeOptions(env);
+        // Tail latency only needs the first 1000 results; cap the budget so
+        // the update stream replays quickly (timed-out queries report the
+        // cap, which is exactly the "pinned tail" the figure shows).
+        opts.time_limit_ms = std::min(opts.time_limit_ms, 500.0);
+        for (const auto& [u, v] : updates) {
+          if (u == v || k < 2) continue;
+          CountingSink sink;
+          const QueryStats s = algo->Run({v, u, k - 1}, sink, opts);
+          latencies.push_back(s.response_ms);
+        }
+        row.push_back(FormatSci(Percentile(latencies, 99.9)));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+  PrintShapeNote(
+      "Expected shape (paper Fig. 8): IDX-DFS's tail response latency "
+      "stays orders of magnitude below BC-DFS's and remains flat-ish in k "
+      "(the per-query index rebuild is cheap), while BC-DFS's tail climbs "
+      "steeply with k.");
+  return 0;
+}

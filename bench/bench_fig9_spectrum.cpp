@@ -1,0 +1,84 @@
+// Figure 9: spectrum analysis of the join-plan space on one k=6 query per
+// graph — enumeration time of the left-deep plan (IDX-DFS), of every bushy
+// cut position (IDX-JOIN at cut i = 1..k-1), the optimization time
+// (Alg. 5) and the end-to-end PathEnum choice.
+#include <iostream>
+
+#include "common/bench_util.h"
+#include "core/dfs_enumerator.h"
+#include "core/estimator.h"
+#include "core/join_enumerator.h"
+#include "core/path_enum.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "workload/datasets.h"
+
+using namespace pathenum;
+using namespace pathenum::bench;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintBanner("Figure 9 — Spectrum analysis of join plans (one k=6 query)",
+              "PathEnum (SIGMOD'21) Figure 9", env);
+
+  for (const std::string& name : {"ep", "gg"}) {
+    const Graph g = CachedDataset(name, env.scale);
+    const auto queries = MakeQueries(g, env, 6);
+    if (queries.empty()) {
+      std::cout << "(dataset " << name << ": no eligible queries)\n";
+      continue;
+    }
+    const Query q = queries.front();
+    std::cout << "\nDataset " << name << " — query (" << q.source << " -> "
+              << q.target << ", k=6)\n";
+
+    IndexBuilder builder;
+    const LightweightIndex index = builder.Build(g, q);
+    EnumOptions opts = MakeOptions(env);
+
+    TablePrinter table({"Plan", "Enumeration time (ms)", "#Results"});
+    {
+      DfsEnumerator dfs(index);
+      CountingSink sink;
+      Timer t;
+      const EnumCounters c = dfs.Run(sink, opts);
+      table.AddRow({"left-deep (IDX-DFS)", FormatSci(t.ElapsedMs()),
+                    FormatSci(static_cast<double>(c.num_results))});
+    }
+    Timer opt_timer;
+    const JoinPlan plan = OptimizeJoinOrder(index);
+    const double optimize_ms = opt_timer.ElapsedMs();
+    for (uint32_t cut = 1; cut < q.hops; ++cut) {
+      JoinEnumerator join(index);
+      CountingSink sink;
+      Timer t;
+      const EnumCounters c = join.Run(cut, sink, opts);
+      const std::string marker = cut == plan.cut ? "  <- chosen cut" : "";
+      table.AddRow({"bushy cut=" + std::to_string(cut) + marker,
+                    FormatSci(t.ElapsedMs()),
+                    FormatSci(static_cast<double>(c.num_results))});
+    }
+    table.AddRow({"optimization (Alg. 5)", FormatSci(optimize_ms), "-"});
+    {
+      PathEnumerator pe(g);
+      CountingSink sink;
+      const QueryStats s = pe.Run(q, sink, opts);
+      table.AddRow({std::string("PathEnum (") +
+                        std::string(MethodName(s.method)) + ")",
+                    FormatSci(s.optimize_ms + s.enumerate_ms),
+                    FormatSci(static_cast<double>(s.counters.num_results))});
+    }
+    table.Print(std::cout);
+    std::cout << "cost model: T_DFS=" << FormatSci(plan.t_dfs)
+              << " T_JOIN=" << FormatSci(plan.t_join) << " cut=" << plan.cut
+              << "\n";
+  }
+  PrintShapeNote(
+      "Expected shape (paper Fig. 9): on the long-running graph (ep) the "
+      "best bushy plan beats the left-deep plan and the optimization time "
+      "is negligible next to enumeration; on the short-running graph (gg) "
+      "optimization costs more than enumeration, so PathEnum's preliminary "
+      "estimator routes the query straight to IDX-DFS. The optimal plan "
+      "can fall outside the explored space (the paper notes the same).");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// google-benchmark micro-benchmarks of the PathEnum primitives: bounded
+// BFS, index construction, I_t lookups, the two estimators, and a
+// result-capped IDX-DFS enumeration.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "common/bench_util.h"
+#include "core/dfs_enumerator.h"
+#include "core/estimator.h"
+#include "core/index.h"
+#include "graph/bfs.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace {
+
+using namespace pathenum;
+
+/// Lazily-built shared fixtures (one graph + query per dataset).
+struct Fixture {
+  Graph graph;
+  Query query;
+};
+
+const Fixture& GetFixture(const std::string& name) {
+  static std::map<std::string, Fixture>* cache =
+      new std::map<std::string, Fixture>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    Fixture f;
+    f.graph = bench::CachedDataset(name, 1.0);
+    QueryGenOptions qopts;
+    qopts.count = 1;
+    qopts.hops = 6;
+    qopts.seed = 77;
+    const auto queries = GenerateQueries(f.graph, qopts);
+    f.query = queries.empty() ? Query{0, 1, 6} : queries.front();
+    it = cache->emplace(name, std::move(f)).first;
+  }
+  return it->second;
+}
+
+void BM_BoundedBfs(benchmark::State& state, const std::string& name) {
+  const Fixture& f = GetFixture(name);
+  DistanceField field;
+  BfsOptions opts;
+  opts.blocked = f.query.target;
+  opts.max_depth = f.query.hops;
+  for (auto _ : state) {
+    field.Compute(f.graph, Direction::kForward, f.query.source, opts);
+    benchmark::DoNotOptimize(field.Reached().size());
+  }
+  state.counters["reached"] =
+      static_cast<double>(field.Reached().size());
+}
+
+void BM_IndexBuild(benchmark::State& state, const std::string& name) {
+  const Fixture& f = GetFixture(name);
+  IndexBuilder builder;
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    const LightweightIndex idx = builder.Build(f.graph, f.query);
+    edges = idx.num_edges();
+    benchmark::DoNotOptimize(edges);
+  }
+  state.counters["index_edges"] = static_cast<double>(edges);
+}
+
+void BM_ItLookup(benchmark::State& state, const std::string& name) {
+  const Fixture& f = GetFixture(name);
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(f.graph, f.query);
+  if (idx.num_vertices() == 0) {
+    state.SkipWithError("empty index");
+    return;
+  }
+  uint32_t slot = idx.source_slot();
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    const auto span = idx.OutSlotsWithin(slot, 4);
+    sum += span.size();
+    slot = span.empty() ? idx.source_slot() : span[sum % span.size()];
+    benchmark::DoNotOptimize(sum);
+  }
+}
+
+void BM_PreliminaryEstimate(benchmark::State& state,
+                            const std::string& name) {
+  const Fixture& f = GetFixture(name);
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(f.graph, f.query);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateSearchSpace(idx));
+  }
+}
+
+void BM_OptimizeJoinOrder(benchmark::State& state, const std::string& name) {
+  const Fixture& f = GetFixture(name);
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(f.graph, f.query);
+  for (auto _ : state) {
+    const JoinPlan plan = OptimizeJoinOrder(idx);
+    benchmark::DoNotOptimize(plan.t_dfs);
+  }
+}
+
+void BM_DfsEnumerate100k(benchmark::State& state, const std::string& name) {
+  const Fixture& f = GetFixture(name);
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(f.graph, f.query);
+  EnumOptions opts;
+  opts.result_limit = 100000;
+  uint64_t results = 0;
+  for (auto _ : state) {
+    DfsEnumerator dfs(idx);
+    CountingSink sink;
+    const EnumCounters c = dfs.Run(sink, opts);
+    results = c.num_results;
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["results_per_s"] = benchmark::Counter(
+      static_cast<double>(results), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void RegisterAll(const std::string& name) {
+  benchmark::RegisterBenchmark(("BM_BoundedBfs/" + name).c_str(),
+                               [name](benchmark::State& s) {
+                                 BM_BoundedBfs(s, name);
+                               });
+  benchmark::RegisterBenchmark(("BM_IndexBuild/" + name).c_str(),
+                               [name](benchmark::State& s) {
+                                 BM_IndexBuild(s, name);
+                               });
+  benchmark::RegisterBenchmark(("BM_ItLookup/" + name).c_str(),
+                               [name](benchmark::State& s) {
+                                 BM_ItLookup(s, name);
+                               });
+  benchmark::RegisterBenchmark(("BM_PreliminaryEstimate/" + name).c_str(),
+                               [name](benchmark::State& s) {
+                                 BM_PreliminaryEstimate(s, name);
+                               });
+  benchmark::RegisterBenchmark(("BM_OptimizeJoinOrder/" + name).c_str(),
+                               [name](benchmark::State& s) {
+                                 BM_OptimizeJoinOrder(s, name);
+                               });
+  benchmark::RegisterBenchmark(("BM_DfsEnumerate100k/" + name).c_str(),
+                               [name](benchmark::State& s) {
+                                 BM_DfsEnumerate100k(s, name);
+                               });
+}
+
+const int kRegistered = [] {
+  RegisterAll("ep");
+  RegisterAll("gg");
+  return 0;
+}();
+
+}  // namespace

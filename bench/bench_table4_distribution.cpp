@@ -1,0 +1,58 @@
+// Table 4: query-time distribution of BC-DFS vs IDX-DFS on ep and gg with
+// k varied — the fraction of queries finishing within half the budget
+// ("<60s" in the paper's 120s setup) and the fraction running out of time
+// (">120s"). The thresholds scale with PATHENUM_BENCH_TIME_LIMIT_MS.
+#include <iostream>
+
+#include "common/bench_util.h"
+#include "util/table.h"
+#include "workload/datasets.h"
+
+using namespace pathenum;
+using namespace pathenum::bench;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintBanner("Table 4 — Query time distribution",
+              "PathEnum (SIGMOD'21) Table 4", env);
+  const double fast_threshold = env.time_limit_ms / 2.0;
+  std::cout << "thresholds: '<T/2' = " << fast_threshold
+            << "ms, '>T' = timed out at " << env.time_limit_ms << "ms\n";
+
+  for (const std::string& name : {"ep", "gg"}) {
+    const Graph g = CachedDataset(name, env.scale);
+    std::cout << "\nDataset " << name << "\n";
+    TablePrinter table(
+        {"k", "BC<T/2", "BC>T", "IDX<T/2", "IDX>T"});
+    for (uint32_t k = 3; k <= 8; ++k) {
+      const auto queries = MakeQueries(g, env, k);
+      if (queries.empty()) continue;
+      auto fractions = [&](const std::string& algo_name) {
+        const auto algo = MakeAlgorithm(algo_name, g);
+        const auto stats = RunQuerySet(*algo, queries, MakeOptions(env));
+        size_t fast = 0, slow = 0;
+        for (const auto& s : stats) {
+          if (s.counters.timed_out) {
+            ++slow;
+          } else if (s.total_ms < fast_threshold) {
+            ++fast;
+          }
+        }
+        const double n = static_cast<double>(stats.size());
+        return std::pair<double, double>{fast / n, slow / n};
+      };
+      const auto [bc_fast, bc_slow] = fractions("BC-DFS");
+      const auto [idx_fast, idx_slow] = fractions("IDX-DFS");
+      table.AddRow({std::to_string(k), FormatFixed(bc_fast, 3),
+                    FormatFixed(bc_slow, 3), FormatFixed(idx_fast, 3),
+                    FormatFixed(idx_slow, 3)});
+    }
+    table.Print(std::cout);
+  }
+  PrintShapeNote(
+      "Expected shape (paper Table 4): on ep, BC-DFS's timeout fraction "
+      "explodes as k grows (0.813 at k=6, ~1.0 by k=8) while IDX-DFS keeps "
+      "completing far more queries; on gg both complete everything until "
+      "BC-DFS starts timing out around k=7-8.");
+  return 0;
+}

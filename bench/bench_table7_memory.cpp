@@ -1,0 +1,45 @@
+// Table 7: maximum memory consumption of the light-weight index and of
+// IDX-JOIN's materialized partial results on ep and gg with k varied.
+#include <algorithm>
+#include <iostream>
+
+#include "common/bench_util.h"
+#include "util/memory.h"
+#include "util/table.h"
+#include "workload/datasets.h"
+
+using namespace pathenum;
+using namespace pathenum::bench;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintBanner("Table 7 — Maximum memory consumption (MB)",
+              "PathEnum (SIGMOD'21) Table 7", env);
+
+  for (const std::string& name : {"ep", "gg"}) {
+    const Graph g = CachedDataset(name, env.scale);
+    std::cout << "\nDataset " << name << "\n";
+    TablePrinter table({"k", "Index(MB)", "PartialResults(MB)"});
+    for (uint32_t k = 3; k <= 8; ++k) {
+      const auto queries = MakeQueries(g, env, k);
+      if (queries.empty()) continue;
+      const auto algo = MakeAlgorithm("IDX-JOIN", g);
+      const auto stats = RunQuerySet(*algo, queries, MakeOptions(env));
+      size_t max_index = 0, max_partials = 0;
+      for (const auto& s : stats) {
+        max_index = std::max(max_index, s.index_bytes);
+        max_partials =
+            std::max(max_partials, s.counters.peak_partial_bytes);
+      }
+      table.AddRow({std::to_string(k), FormatFixed(BytesToMiB(max_index), 2),
+                    FormatFixed(BytesToMiB(max_partials), 2)});
+    }
+    table.Print(std::cout);
+  }
+  PrintShapeNote(
+      "Expected shape (paper Table 7): the index stays small (a few MB on "
+      "ep, sub-MB on gg) and grows slowly with k, while IDX-JOIN's "
+      "materialized partial results explode with k on ep (hundreds of MB "
+      "by k=7-8 at paper scale) — the join trades memory for speed.");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E-commerce merchant fraud detection (paper motivation #2, after Qiu et
+// al.'s real-time constrained cycle detection): sellers inflating their
+// popularity create transaction cycles. We replay a stream of transactions
+// on a synthetic marketplace; each new edge e(v, v') triggers the cycle
+// query q(v', v, k-1) — every result plus the new edge is a cycle of at
+// most k hops. An edge predicate restricts the search to "payment"
+// transactions, the paper's per-edge-attribute extension.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/cycles.h"
+#include "core/path_enum.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+using namespace pathenum;
+
+namespace {
+// Transaction types (edge labels).
+constexpr uint32_t kPayment = 0;
+constexpr uint32_t kShipment = 1;
+}  // namespace
+
+int main() {
+  constexpr VertexId kUsers = 4000;
+  constexpr uint32_t kHops = 6;  // the paper's fraud setting uses k = 6
+  Rng rng(7);
+
+  // Bootstrap marketplace: mostly organic payments/shipments...
+  GraphBuilder builder(kUsers);
+  const Graph organic = RMat(12, 20000, 99);
+  for (VertexId u = 0; u < organic.num_vertices() && u < kUsers; ++u) {
+    for (const VertexId v : organic.OutNeighbors(u)) {
+      if (v < kUsers) {
+        builder.AddEdge(u, v, 1.0, rng.NextBool(0.7) ? kPayment : kShipment);
+      }
+    }
+  }
+  // ... plus a planted fraud ring: a small clique of colluding accounts
+  // paying each other in circles.
+  std::vector<VertexId> ring;
+  for (int i = 0; i < 6; ++i) ring.push_back(100 + 7 * i);
+  for (size_t i = 0; i < ring.size(); ++i) {
+    builder.AddEdge(ring[i], ring[(i + 1) % ring.size()], 1.0, kPayment);
+    builder.AddEdge(ring[i], ring[(i + 2) % ring.size()], 1.0, kPayment);
+  }
+  Graph graph = builder.Build();
+  std::cout << "Marketplace: " << graph.num_vertices() << " users, "
+            << graph.num_edges() << " transactions\n";
+
+  // Incoming transaction stream: some organic, some inside the ring.
+  std::vector<std::pair<VertexId, VertexId>> stream;
+  for (int i = 0; i < 30; ++i) {
+    if (i % 3 == 0) {
+      const VertexId a = ring[rng.NextBounded(ring.size())];
+      VertexId b = ring[rng.NextBounded(ring.size())];
+      while (b == a) b = ring[rng.NextBounded(ring.size())];
+      stream.push_back({a, b});
+    } else {
+      const VertexId a = static_cast<VertexId>(rng.NextBounded(kUsers));
+      VertexId b = static_cast<VertexId>(rng.NextBounded(kUsers));
+      while (b == a) b = static_cast<VertexId>(rng.NextBounded(kUsers));
+      stream.push_back({a, b});
+    }
+  }
+
+  // Only payment edges can form a fraud cycle.
+  const EdgeFilter payments_only = [&](VertexId, VertexId, EdgeId e) {
+    return graph.EdgeLabel(e) == kPayment;
+  };
+
+  std::map<VertexId, uint64_t> suspicion;  // user -> cycles participated in
+  uint64_t total_cycles = 0;
+  for (const auto& [from, to] : stream) {
+    // Cycles the new payment (from -> to) would close, over payment edges
+    // only. EnumerateTriggeredCycles wraps the paper's reduction
+    // q(to, from, k-1); the predicate goes through RunConstrained.
+    PathEnumerator enumerator(graph);
+    PathConstraints constraints;
+    constraints.edge_filter = &payments_only;
+    CollectingSink sink(10000);
+    EnumOptions opts;
+    opts.time_limit_ms = 100.0;  // the application is real-time
+    if (from != to) {
+      enumerator.RunConstrained({to, from, kHops - 1}, constraints, sink,
+                                opts);
+    }
+    if (!sink.paths().empty()) {
+      total_cycles += sink.paths().size();
+      std::cout << "ALERT new edge " << from << " -> " << to << " closes "
+                << sink.paths().size() << " payment cycles (<= " << kHops
+                << " hops)\n";
+      for (const auto& p : sink.paths()) {
+        for (const VertexId u : p) suspicion[u]++;
+      }
+    }
+    // Apply the update (batch rebuild is the supported dynamic pattern;
+    // the per-query index needs no maintenance).
+    GraphBuilder next(graph.num_vertices());
+    next.AddGraph(graph);
+    next.AddEdge(from, to, 1.0, kPayment);
+    graph = next.Build();
+  }
+
+  std::cout << "\nStream done: " << total_cycles
+            << " cycles flagged. Most suspicious accounts:\n";
+  std::vector<std::pair<uint64_t, VertexId>> ranked;
+  for (const auto& [user, cycles] : suspicion) ranked.push_back({cycles, user});
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (size_t i = 0; i < ranked.size() && i < 8; ++i) {
+    const bool planted =
+        std::find(ring.begin(), ring.end(), ranked[i].second) != ring.end();
+    std::cout << "  user " << ranked[i].second << ": " << ranked[i].first
+              << " cycles" << (planted ? "   <- planted fraud ring" : "")
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Knowledge-graph completion support (paper motivation #3): entities
+// connected by many short paths tend to be related, and applications
+// constrain the admissible paths to specific action sequences — here the
+// paper's own "write -> mention" example. We enumerate hop-constrained
+// paths whose edge-label sequence drives a finite automaton (Algorithm 8)
+// and use the path count as a relatedness score.
+#include <iostream>
+#include <vector>
+
+#include "core/path_enum.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+
+using namespace pathenum;
+
+namespace {
+// Relation labels of the toy KG.
+constexpr uint32_t kWrite = 0;    // author --write--> article
+constexpr uint32_t kMention = 1;  // article --mention--> entity
+constexpr uint32_t kCite = 2;     // article --cite--> article
+constexpr uint32_t kKnow = 3;     // author --know--> author
+const char* kLabelNames[] = {"write", "mention", "cite", "know"};
+}  // namespace
+
+int main() {
+  // Entity layout: authors [0,100), articles [100,600), entities [600,700).
+  constexpr VertexId kAuthors = 100, kArticles = 500, kEntities = 100;
+  constexpr VertexId kN = kAuthors + kArticles + kEntities;
+  auto article = [](VertexId i) { return kAuthors + i; };
+  auto entity = [](VertexId i) { return kAuthors + kArticles + i; };
+
+  Rng rng(5);
+  GraphBuilder builder(kN);
+  for (VertexId a = 0; a < kAuthors; ++a) {
+    for (int j = 0; j < 6; ++j) {
+      builder.AddEdge(a, article(static_cast<VertexId>(
+                             rng.NextBounded(kArticles))),
+                      1.0, kWrite);
+    }
+    builder.AddEdge(a, static_cast<VertexId>(rng.NextBounded(kAuthors)),
+                    1.0, kKnow);
+  }
+  for (VertexId p = 0; p < kArticles; ++p) {
+    for (int j = 0; j < 3; ++j) {
+      builder.AddEdge(article(p),
+                      entity(static_cast<VertexId>(
+                          rng.NextBounded(kEntities))),
+                      1.0, kMention);
+    }
+    builder.AddEdge(article(p),
+                    article(static_cast<VertexId>(rng.NextBounded(kArticles))),
+                    1.0, kCite);
+  }
+  const Graph graph = builder.Build();
+  std::cout << "Toy scholarly KG: " << graph.num_vertices() << " nodes, "
+            << graph.num_edges() << " typed edges\n";
+
+  // The paper's constraint: the label sequence must be exactly
+  // "write -> mention" (author writes an article that mentions the
+  // entity). A second automaton allows one citation hop in between:
+  // "write -> cite -> mention".
+  const std::vector<uint32_t> direct{kWrite, kMention};
+  const std::vector<uint32_t> via_citation{kWrite, kCite, kMention};
+  const LabelAutomaton direct_a =
+      LabelAutomaton::ExactSequence(direct, graph.num_labels());
+  const LabelAutomaton cite_a =
+      LabelAutomaton::ExactSequence(via_citation, graph.num_labels());
+
+  PathEnumerator enumerator(graph);
+  const VertexId author = 7;
+  std::cout << "\nRelatedness evidence for author " << author
+            << " vs entities (path counts under the action constraints):\n";
+  std::cout << "  pattern A: write->mention;  pattern B: write->cite->mention\n\n";
+
+  struct Row {
+    VertexId entity;
+    uint64_t direct_paths;
+    uint64_t cite_paths;
+  };
+  std::vector<Row> rows;
+  for (VertexId e = 0; e < kEntities; ++e) {
+    Row row{entity(e), 0, 0};
+    for (int which = 0; which < 2; ++which) {
+      PathConstraints constraints;
+      constraints.automaton = which == 0 ? &direct_a : &cite_a;
+      CountingSink sink;
+      enumerator.RunConstrained({author, row.entity, 3}, constraints, sink);
+      (which == 0 ? row.direct_paths : row.cite_paths) = sink.count();
+    }
+    if (row.direct_paths + row.cite_paths > 0) rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return 2 * a.direct_paths + a.cite_paths >
+           2 * b.direct_paths + b.cite_paths;
+  });
+  for (size_t i = 0; i < rows.size() && i < 10; ++i) {
+    std::cout << "  entity " << rows[i].entity << ": "
+              << rows[i].direct_paths << " direct, " << rows[i].cite_paths
+              << " via citation\n";
+  }
+  std::cout << "\n(labels: ";
+  for (int l = 0; l < 4; ++l) {
+    std::cout << l << "=" << kLabelNames[l] << (l < 3 ? ", " : ")\n");
+  }
+  std::cout << "Top entities are completion candidates for a "
+               "(author)-[related-to]->(entity) link.\n";
+  return 0;
+}

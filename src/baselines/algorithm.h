@@ -1,0 +1,55 @@
+// Uniform interface over every HcPE algorithm in the repository, so the
+// benchmark harnesses and equivalence tests can treat PathEnum and the
+// competitors identically. An algorithm instance is bound to one graph and
+// may keep reusable per-graph buffers across queries.
+#ifndef PATHENUM_BASELINES_ALGORITHM_H_
+#define PATHENUM_BASELINES_ALGORITHM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/options.h"
+#include "core/query.h"
+#include "core/sink.h"
+
+namespace pathenum {
+
+/// An HcPE algorithm bound to a graph.
+class BoundAlgorithm {
+ public:
+  virtual ~BoundAlgorithm() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Evaluates q, streaming results into `sink`, honoring `opts` limits.
+  virtual QueryStats Run(const Query& q, PathSink& sink,
+                         const EnumOptions& opts) = 0;
+
+  QueryStats Run(const Query& q, PathSink& sink) {
+    return Run(q, sink, EnumOptions{});
+  }
+};
+
+/// Names accepted by MakeAlgorithm:
+///   "GenericDFS" — paper Alg. 1 (static distance pruning);
+///   "BC-DFS"     — barrier-based DFS (Peng et al.);
+///   "BC-JOIN"    — middle-cut join on the raw graph (Peng et al.);
+///   "T-DFS"      — per-step shortest-path certification (Rizzi et al.);
+///   "Yen"        — top-K shortest loopless paths adapted to HcPE;
+///   "IDX-DFS"    — PathEnum's index + Alg. 4;
+///   "IDX-JOIN"   — PathEnum's index + Alg. 5/6;
+///   "PathEnum"   — the full cost-based pipeline.
+std::unique_ptr<BoundAlgorithm> MakeAlgorithm(std::string_view name,
+                                              const Graph& g);
+
+/// All algorithm names, in the paper's Table 3 order (plus the extras).
+const std::vector<std::string>& AllAlgorithmNames();
+
+/// The five algorithms of the paper's Table 3.
+const std::vector<std::string>& Table3AlgorithmNames();
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_BASELINES_ALGORITHM_H_

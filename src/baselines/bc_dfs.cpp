@@ -1,0 +1,125 @@
+#include "baselines/bc_dfs.h"
+
+#include <algorithm>
+
+namespace pathenum {
+
+namespace {
+constexpr uint64_t kCheckInterval = 8192;
+}  // namespace
+
+QueryStats BcDfs::Run(const Query& q, PathSink& sink,
+                      const EnumOptions& opts) {
+  ValidateQuery(graph_, q);
+  QueryStats stats;
+  Timer total;
+
+  Timer bfs_timer;
+  DistanceField::Options bfs_opts;
+  bfs_opts.max_depth = q.hops;
+  dist_t_.Compute(graph_, Direction::kBackward, q.target, bfs_opts);
+  stats.bfs_ms = bfs_timer.ElapsedMs();
+
+  // Initialize barriers to the static distances; unreachable vertices get an
+  // effectively infinite barrier. Reset lazily: only vertices the BFS
+  // reached can ever be visited.
+  barrier_.assign(graph_.num_vertices(), kMaxHops + 2);
+  for (const VertexId v : dist_t_.Reached()) {
+    barrier_[v] = dist_t_.Distance(v);
+  }
+  stats.index_ms = total.ElapsedMs();  // preprocessing = BFS + barrier init
+
+  sink_ = &sink;
+  counters_ = EnumCounters{};
+  timer_.Reset();
+  deadline_ = Deadline::AfterMs(opts.time_limit_ms);
+  query_ = q;
+  result_limit_ = opts.result_limit;
+  response_target_ = opts.response_target;
+  check_countdown_ = kCheckInterval;
+  stop_ = false;
+  in_stack_.assign(graph_.num_vertices(), 0);
+
+  Timer enum_timer;
+  if (barrier_[q.source] <= q.hops) {
+    stack_[0] = q.source;
+    in_stack_[q.source] = 1;
+    counters_.partials = 1;
+    if (Search(q.source, 0) == 0) counters_.invalid_partials++;
+    in_stack_[q.source] = 0;
+  }
+  stats.method = Method::kDfs;
+  stats.counters = counters_;
+  stats.enumerate_ms = enum_timer.ElapsedMs();
+  stats.total_ms = total.ElapsedMs();
+  stats.response_ms = counters_.response_ms >= 0.0
+                          ? (stats.total_ms - stats.enumerate_ms) +
+                                counters_.response_ms
+                          : stats.total_ms;
+  return stats;
+}
+
+bool BcDfs::ShouldStop() {
+  if (stop_) return true;
+  if (check_countdown_-- == 0) {
+    check_countdown_ = kCheckInterval;
+    if (deadline_.Expired()) {
+      counters_.timed_out = true;
+      stop_ = true;
+    }
+  }
+  return stop_;
+}
+
+uint64_t BcDfs::Search(VertexId v, uint32_t depth) {
+  if (v == query_.target) {
+    counters_.num_results++;
+    if (counters_.num_results == response_target_) {
+      counters_.response_ms = timer_.ElapsedMs();
+    }
+    if (!sink_->OnPath({stack_, depth + 1})) {
+      counters_.stopped_by_sink = true;
+      stop_ = true;
+    } else if (counters_.num_results >= result_limit_) {
+      counters_.hit_result_limit = true;
+      stop_ = true;
+    }
+    return 1;
+  }
+  uint64_t found = 0;
+  const uint32_t budget = query_.hops - depth;  // edges still available
+  // Barrier raises performed in this frame; valid while this frame's stack
+  // prefix blocks the failing subtrees, undone on return.
+  // (Frame-local vector: recursion depth is <= k, so allocation churn is
+  // negligible next to the search itself.)
+  std::vector<std::pair<VertexId, uint32_t>> undo;
+  for (const VertexId w : graph_.OutNeighbors(v)) {
+    if (ShouldStop()) break;
+    counters_.edges_accessed++;
+    if (in_stack_[w]) continue;
+    // A path w -> t needs length <= budget - 1; bar(w) lower-bounds it.
+    if (1 + barrier_[w] > budget) continue;
+    stack_[depth + 1] = w;
+    in_stack_[w] = 1;
+    counters_.partials++;
+    const uint64_t sub = Search(w, depth + 1);
+    in_stack_[w] = 0;
+    found += sub;
+    if (sub == 0) {
+      counters_.invalid_partials++;
+      // Certified: no path w -> t of length <= budget - 1 avoids the
+      // current stack. Raise the barrier (and remember to undo it). Skip
+      // the bookkeeping when the search was cut off mid-subtree.
+      if (!stop_ && budget > barrier_[w]) {
+        undo.push_back({w, barrier_[w]});
+        barrier_[w] = budget;
+      }
+    }
+  }
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    barrier_[it->first] = it->second;
+  }
+  return found;
+}
+
+}  // namespace pathenum

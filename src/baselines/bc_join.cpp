@@ -1,0 +1,198 @@
+#include "baselines/bc_join.h"
+
+#include <algorithm>
+
+#include "util/memory.h"
+
+namespace pathenum {
+
+namespace {
+constexpr uint64_t kCheckInterval = 8192;
+}  // namespace
+
+QueryStats BcJoin::Run(const Query& q, PathSink& sink,
+                       const EnumOptions& opts) {
+  ValidateQuery(graph_, q);
+  QueryStats stats;
+  Timer total;
+
+  Timer bfs_timer;
+  DistanceField::Options fwd;
+  fwd.max_depth = q.hops;
+  dist_s_.Compute(graph_, Direction::kForward, q.source, fwd);
+  DistanceField::Options bwd;
+  bwd.max_depth = q.hops;
+  dist_t_.Compute(graph_, Direction::kBackward, q.target, bwd);
+  stats.bfs_ms = bfs_timer.ElapsedMs();
+  stats.index_ms = stats.bfs_ms;
+
+  sink_ = &sink;
+  counters_ = EnumCounters{};
+  timer_.Reset();
+  deadline_ = Deadline::AfterMs(opts.time_limit_ms);
+  query_ = q;
+  result_limit_ = opts.result_limit;
+  response_target_ = opts.response_target;
+  tuple_limit_ = opts.partial_memory_limit_bytes / (2 * sizeof(VertexId));
+  check_countdown_ = kCheckInterval;
+  stop_ = false;
+
+  const uint32_t k = q.hops;
+  stats.method = Method::kJoin;
+  Timer enum_timer;
+  if (k < 2) {
+    // Degenerate: only the direct edge can qualify.
+    if (graph_.HasEdge(q.source, q.target)) {
+      const VertexId path[2] = {q.source, q.target};
+      Emit({path, 2});
+    }
+  } else if (dist_t_.Distance(q.source) <= k) {
+    const uint32_t cut = (k + 1) / 2;  // fixed middle position ceil(k/2)
+    stats.cut_position = cut;
+    const uint32_t left_width = cut + 1;
+    const uint32_t right_width = k - cut + 1;
+
+    std::vector<VertexId> left;
+    Materialize(q.source, 0, left_width, left);
+    counters_.partials += left.size() / left_width;
+
+    std::vector<VertexId> right;
+    std::unordered_map<VertexId, std::pair<uint64_t, uint64_t>> group;
+    if (!stop_) {
+      std::vector<VertexId> keys;
+      for (size_t off = cut; off < left.size(); off += left_width) {
+        const VertexId key = left[off];
+        if (group.emplace(key, std::pair<uint64_t, uint64_t>{0, 0}).second) {
+          keys.push_back(key);
+        }
+      }
+      for (const VertexId v : keys) {
+        if (stop_) break;
+        const uint64_t begin = right.size() / right_width;
+        Materialize(v, cut, right_width, right);
+        group[v] = {begin, right.size() / right_width};
+      }
+      counters_.partials += right.size() / right_width;
+    }
+    counters_.peak_partial_bytes = VectorBytes(left) + VectorBytes(right);
+
+    if (!stop_) {
+      VertexId joined[kMaxHops + 1];
+      for (size_t l = 0; l < left.size() && !stop_; l += left_width) {
+        const auto it = group.find(left[l + cut]);
+        if (it == group.end()) continue;
+        for (uint64_t r = it->second.first; r < it->second.second; ++r) {
+          if (ShouldStop()) break;
+          const VertexId* rt = right.data() + r * right_width;
+          for (uint32_t i = 0; i <= cut; ++i) joined[i] = left[l + i];
+          for (uint32_t i = 1; i < right_width; ++i) {
+            joined[cut + i] = rt[i];
+          }
+          uint32_t end = 0;
+          while (joined[end] != q.target) ++end;
+          bool valid = true;
+          for (uint32_t i = 1; i <= end && valid; ++i) {
+            for (uint32_t j = 0; j < i; ++j) {
+              if (joined[i] == joined[j]) {
+                valid = false;
+                break;
+              }
+            }
+          }
+          if (!valid) {
+            counters_.invalid_partials++;
+            continue;
+          }
+          Emit({joined, end + 1});
+        }
+      }
+    }
+  }
+  stats.counters = counters_;
+  stats.enumerate_ms = enum_timer.ElapsedMs();
+  stats.total_ms = total.ElapsedMs();
+  stats.response_ms = counters_.response_ms >= 0.0
+                          ? (stats.total_ms - stats.enumerate_ms) +
+                                counters_.response_ms
+                          : stats.total_ms;
+  return stats;
+}
+
+bool BcJoin::ShouldStop() {
+  if (stop_) return true;
+  if (check_countdown_-- == 0) {
+    check_countdown_ = kCheckInterval;
+    if (deadline_.Expired()) {
+      counters_.timed_out = true;
+      stop_ = true;
+    }
+  }
+  return stop_;
+}
+
+void BcJoin::Emit(std::span<const VertexId> path) {
+  counters_.num_results++;
+  if (counters_.num_results == response_target_) {
+    counters_.response_ms = timer_.ElapsedMs();
+  }
+  if (!sink_->OnPath(path)) {
+    counters_.stopped_by_sink = true;
+    stop_ = true;
+  } else if (counters_.num_results >= result_limit_) {
+    counters_.hit_result_limit = true;
+    stop_ = true;
+  }
+}
+
+void BcJoin::Materialize(VertexId start, uint32_t base, uint32_t len,
+                         std::vector<VertexId>& out) {
+  stack_[0] = start;
+  MaterializeStep(0, base, len, out);
+}
+
+void BcJoin::MaterializeStep(uint32_t depth, uint32_t base, uint32_t len,
+                             std::vector<VertexId>& out) {
+  if (depth + 1 == len) {
+    if (out.size() >= tuple_limit_) {
+      counters_.out_of_memory = true;
+      stop_ = true;
+      return;
+    }
+    out.insert(out.end(), stack_, stack_ + len);
+    return;
+  }
+  const VertexId v = stack_[depth];
+  const uint32_t k = query_.hops;
+  if (v == query_.target) {
+    // Synthesize the (t,t) padding walk — the raw graph has no self-loop.
+    stack_[depth + 1] = v;
+    MaterializeStep(depth + 1, base, len, out);
+    return;
+  }
+  const uint32_t pos_next = base + depth + 1;  // query position of v'
+  for (const VertexId w : graph_.OutNeighbors(v)) {
+    if (ShouldStop()) return;
+    counters_.edges_accessed++;
+    if (w == query_.source) continue;
+    // Peng-style pruned subgraph: keep w only if it can sit at pos_next on
+    // some result, per the static distance fields.
+    const uint32_t dsw = dist_s_.Distance(w);
+    const uint32_t dtw = dist_t_.Distance(w);
+    if (dsw == kInfDistance || dtw == kInfDistance) continue;
+    if (dsw > pos_next || dtw > k - pos_next) continue;
+    if (w != query_.target) {
+      bool in_walk = false;
+      for (uint32_t i = 0; i <= depth; ++i) {
+        if (stack_[i] == w) {
+          in_walk = true;
+          break;
+        }
+      }
+      if (in_walk) continue;
+    }
+    stack_[depth + 1] = w;
+    MaterializeStep(depth + 1, base, len, out);
+  }
+}
+
+}  // namespace pathenum

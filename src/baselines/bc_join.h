@@ -1,0 +1,56 @@
+// BC-JOIN: the join-oriented competitor of Peng et al. (VLDB 2019). Cuts
+// the query at the fixed middle position ceil(k/2), materializes padded
+// walks for both halves with distance-pruned DFS directly on the raw graph
+// (pruned to the S(s,v)+S(v,t) <= k subgraph, their "barrier subgraph"),
+// and hash-joins the halves. Differs from IDX-JOIN in exactly the two ways
+// the paper credits for PathEnum's win: no light-weight index (each step
+// re-checks distances) and no cost-based cut position.
+#ifndef PATHENUM_BASELINES_BC_JOIN_H_
+#define PATHENUM_BASELINES_BC_JOIN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/algorithm.h"
+#include "graph/bfs.h"
+#include "util/timer.h"
+
+namespace pathenum {
+
+class BcJoin : public BoundAlgorithm {
+ public:
+  explicit BcJoin(const Graph& g) : graph_(g) {}
+
+  std::string_view name() const override { return "BC-JOIN"; }
+
+  QueryStats Run(const Query& q, PathSink& sink,
+                 const EnumOptions& opts) override;
+
+ private:
+  void Materialize(VertexId start, uint32_t base, uint32_t len,
+                   std::vector<VertexId>& out);
+  void MaterializeStep(uint32_t depth, uint32_t base, uint32_t len,
+                       std::vector<VertexId>& out);
+  bool ShouldStop();
+  void Emit(std::span<const VertexId> path);
+
+  const Graph& graph_;
+  DistanceField dist_s_;
+  DistanceField dist_t_;
+
+  PathSink* sink_ = nullptr;
+  EnumCounters counters_;
+  Timer timer_;
+  Deadline deadline_;
+  Query query_;
+  uint64_t result_limit_ = 0;
+  uint64_t response_target_ = 0;
+  size_t tuple_limit_ = 0;  // per half, in VertexId units
+  uint64_t check_countdown_ = 0;
+  bool stop_ = false;
+  VertexId stack_[kMaxHops + 1];
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_BASELINES_BC_JOIN_H_

@@ -1,0 +1,100 @@
+#include "baselines/generic_dfs.h"
+
+namespace pathenum {
+
+namespace {
+constexpr uint64_t kCheckInterval = 8192;
+}  // namespace
+
+QueryStats GenericDfs::Run(const Query& q, PathSink& sink,
+                           const EnumOptions& opts) {
+  ValidateQuery(graph_, q);
+  QueryStats stats;
+  Timer total;
+
+  // Initialize B(v) = S(v, t | G) with one reverse BFS (Alg. 1 setup).
+  Timer bfs_timer;
+  DistanceField::Options bfs_opts;
+  bfs_opts.max_depth = q.hops;
+  dist_t_.Compute(graph_, Direction::kBackward, q.target, bfs_opts);
+  stats.bfs_ms = bfs_timer.ElapsedMs();
+  stats.index_ms = stats.bfs_ms;  // its whole "preprocessing" is the BFS
+
+  sink_ = &sink;
+  counters_ = EnumCounters{};
+  timer_.Reset();
+  deadline_ = Deadline::AfterMs(opts.time_limit_ms);
+  query_ = q;
+  result_limit_ = opts.result_limit;
+  response_target_ = opts.response_target;
+  check_countdown_ = kCheckInterval;
+  stop_ = false;
+  in_stack_.assign(graph_.num_vertices(), 0);
+
+  Timer enum_timer;
+  if (dist_t_.Distance(q.source) <= q.hops) {
+    stack_[0] = q.source;
+    in_stack_[q.source] = 1;
+    counters_.partials = 1;
+    if (Search(q.source, 0) == 0) counters_.invalid_partials++;
+    in_stack_[q.source] = 0;
+  }
+  stats.method = Method::kDfs;
+  stats.counters = counters_;
+  stats.enumerate_ms = enum_timer.ElapsedMs();
+  stats.total_ms = total.ElapsedMs();
+  stats.response_ms = counters_.response_ms >= 0.0
+                          ? (stats.total_ms - stats.enumerate_ms) +
+                                counters_.response_ms
+                          : stats.total_ms;
+  return stats;
+}
+
+bool GenericDfs::ShouldStop() {
+  if (stop_) return true;
+  if (check_countdown_-- == 0) {
+    check_countdown_ = kCheckInterval;
+    if (deadline_.Expired()) {
+      counters_.timed_out = true;
+      stop_ = true;
+    }
+  }
+  return stop_;
+}
+
+uint64_t GenericDfs::Search(VertexId v, uint32_t depth) {
+  if (v == query_.target) {
+    counters_.num_results++;
+    if (counters_.num_results == response_target_) {
+      counters_.response_ms = timer_.ElapsedMs();
+    }
+    if (!sink_->OnPath({stack_, depth + 1})) {
+      counters_.stopped_by_sink = true;
+      stop_ = true;
+    } else if (counters_.num_results >= result_limit_) {
+      counters_.hit_result_limit = true;
+      stop_ = true;
+    }
+    return 1;
+  }
+  uint64_t found = 0;
+  const uint32_t budget = query_.hops - depth;  // edges still available
+  for (const VertexId w : graph_.OutNeighbors(v)) {
+    if (ShouldStop()) break;
+    counters_.edges_accessed++;
+    // Alg. 1 line 7: v' not in M and L(M) + 1 + B(v') <= k.
+    if (in_stack_[w]) continue;
+    const uint32_t bw = dist_t_.Distance(w);
+    if (bw == kInfDistance || 1 + bw > budget) continue;
+    stack_[depth + 1] = w;
+    in_stack_[w] = 1;
+    counters_.partials++;
+    const uint64_t sub = Search(w, depth + 1);
+    in_stack_[w] = 0;
+    if (sub == 0) counters_.invalid_partials++;
+    found += sub;
+  }
+  return found;
+}
+
+}  // namespace pathenum

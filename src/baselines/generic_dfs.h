@@ -1,0 +1,45 @@
+// Paper Algorithm 1: the generic backtracking framework shared by all prior
+// work. B(v) — the distance from v to t — is computed once by a reverse BFS
+// and used statically: extend M with v' only if v' is not in M and
+// L(M) + 1 + B(v') <= k.
+#ifndef PATHENUM_BASELINES_GENERIC_DFS_H_
+#define PATHENUM_BASELINES_GENERIC_DFS_H_
+
+#include "baselines/algorithm.h"
+#include "graph/bfs.h"
+#include "util/timer.h"
+
+namespace pathenum {
+
+class GenericDfs : public BoundAlgorithm {
+ public:
+  explicit GenericDfs(const Graph& g) : graph_(g) {}
+
+  std::string_view name() const override { return "GenericDFS"; }
+
+  QueryStats Run(const Query& q, PathSink& sink,
+                 const EnumOptions& opts) override;
+
+ private:
+  uint64_t Search(VertexId v, uint32_t depth);
+  bool ShouldStop();
+
+  const Graph& graph_;
+  DistanceField dist_t_;
+  std::vector<uint8_t> in_stack_;
+
+  PathSink* sink_ = nullptr;
+  EnumCounters counters_;
+  Timer timer_;
+  Deadline deadline_;
+  Query query_;
+  uint64_t result_limit_ = 0;
+  uint64_t response_target_ = 0;
+  uint64_t check_countdown_ = 0;
+  bool stop_ = false;
+  VertexId stack_[kMaxHops + 1];
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_BASELINES_GENERIC_DFS_H_

@@ -1,0 +1,137 @@
+#include "baselines/tdfs.h"
+
+namespace pathenum {
+
+namespace {
+constexpr uint64_t kCheckInterval = 1024;
+}  // namespace
+
+QueryStats TDfs::Run(const Query& q, PathSink& sink,
+                     const EnumOptions& opts) {
+  ValidateQuery(graph_, q);
+  QueryStats stats;
+  Timer total;
+
+  sink_ = &sink;
+  counters_ = EnumCounters{};
+  timer_.Reset();
+  deadline_ = Deadline::AfterMs(opts.time_limit_ms);
+  query_ = q;
+  result_limit_ = opts.result_limit;
+  response_target_ = opts.response_target;
+  check_countdown_ = kCheckInterval;
+  stop_ = false;
+  in_stack_.assign(graph_.num_vertices(), 0);
+  if (dist_stamp_.size() < graph_.num_vertices()) {
+    dist_stamp_.assign(graph_.num_vertices(), 0);
+    dist_val_.assign(graph_.num_vertices(), 0);
+    epoch_ = 0;
+  }
+
+  Timer enum_timer;
+  stack_[0] = q.source;
+  in_stack_[q.source] = 1;
+  counters_.partials = 1;
+  // Root certification: is there any s -> t path within k at all?
+  ComputeExcludedDistances(q.hops);
+  if (dist_stamp_[q.source] == epoch_ && dist_val_[q.source] <= q.hops) {
+    if (Search(q.source, 0) == 0) counters_.invalid_partials++;
+  } else {
+    counters_.invalid_partials++;
+  }
+  in_stack_[q.source] = 0;
+
+  stats.method = Method::kDfs;
+  stats.counters = counters_;
+  stats.enumerate_ms = enum_timer.ElapsedMs();
+  stats.total_ms = total.ElapsedMs();
+  stats.response_ms = counters_.response_ms >= 0.0
+                          ? (stats.total_ms - stats.enumerate_ms) +
+                                counters_.response_ms
+                          : stats.total_ms;
+  return stats;
+}
+
+bool TDfs::ShouldStop() {
+  if (stop_) return true;
+  if (check_countdown_-- == 0) {
+    check_countdown_ = kCheckInterval;
+    if (deadline_.Expired()) {
+      counters_.timed_out = true;
+      stop_ = true;
+    }
+  }
+  return stop_;
+}
+
+void TDfs::ComputeExcludedDistances(uint32_t max_depth) {
+  // Reverse BFS from t skipping vertices on the stack (t itself is never on
+  // the stack mid-search; s is, which correctly blocks paths through s).
+  if (++epoch_ == 0) {
+    std::fill(dist_stamp_.begin(), dist_stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  queue_.clear();
+  const VertexId t = query_.target;
+  dist_stamp_[t] = epoch_;
+  dist_val_[t] = 0;
+  queue_.push_back(t);
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    const VertexId u = queue_[head];
+    const uint32_t du = dist_val_[u];
+    if (du >= max_depth) continue;
+    for (const VertexId w : graph_.InNeighbors(u)) {
+      counters_.edges_accessed++;
+      if (dist_stamp_[w] == epoch_) continue;
+      if (in_stack_[w] && w != query_.source) continue;  // vertex removed
+      dist_stamp_[w] = epoch_;
+      dist_val_[w] = du + 1;
+      if (w != query_.source) queue_.push_back(w);  // s never expanded
+    }
+  }
+}
+
+uint64_t TDfs::Search(VertexId v, uint32_t depth) {
+  if (v == query_.target) {
+    counters_.num_results++;
+    if (counters_.num_results == response_target_) {
+      counters_.response_ms = timer_.ElapsedMs();
+    }
+    if (!sink_->OnPath({stack_, depth + 1})) {
+      counters_.stopped_by_sink = true;
+      stop_ = true;
+    } else if (counters_.num_results >= result_limit_) {
+      counters_.hit_result_limit = true;
+      stop_ = true;
+    }
+    return 1;
+  }
+  const uint32_t budget = query_.hops - depth;
+  // The certification BFS for this node: distances from each vertex to t in
+  // G minus the current stack M. The stack is identical when each sibling
+  // is *extended* (intervening subtrees push and pop), so the certified
+  // candidate list is snapshotted once per frame — recursion below reuses
+  // the epoch-stamped buffers and would invalidate the raw distances.
+  ComputeExcludedDistances(budget >= 1 ? budget - 1 : 0);
+  std::vector<VertexId> candidates;
+  for (const VertexId w : graph_.OutNeighbors(v)) {
+    counters_.edges_accessed++;
+    if (in_stack_[w]) continue;
+    if (dist_stamp_[w] != epoch_ || 1 + dist_val_[w] > budget) continue;
+    candidates.push_back(w);
+  }
+  uint64_t found = 0;
+  for (const VertexId w : candidates) {
+    if (ShouldStop()) break;
+    stack_[depth + 1] = w;
+    in_stack_[w] = 1;
+    counters_.partials++;
+    const uint64_t sub = Search(w, depth + 1);
+    in_stack_[w] = 0;
+    if (sub == 0) counters_.invalid_partials++;
+    found += sub;
+  }
+  return found;
+}
+
+}  // namespace pathenum

@@ -1,0 +1,56 @@
+// T-DFS: the polynomial-delay algorithm of Rizzi, Sacomoto and Sagot
+// ("Efficiently listing bounded length st-paths", IWOCA 2014). Before
+// extending the partial path M with v', it certifies that a path from v'
+// to t avoiding every vertex of M exists within the remaining budget, by
+// running a bounded reverse BFS from t on G - M at every search-tree node.
+// Every surviving branch therefore leads to at least one result (delay
+// O(k |E|)), at the cost the paper highlights: a BFS per step.
+#ifndef PATHENUM_BASELINES_TDFS_H_
+#define PATHENUM_BASELINES_TDFS_H_
+
+#include <vector>
+
+#include "baselines/algorithm.h"
+#include "graph/bfs.h"
+#include "util/timer.h"
+
+namespace pathenum {
+
+class TDfs : public BoundAlgorithm {
+ public:
+  explicit TDfs(const Graph& g) : graph_(g) {}
+
+  std::string_view name() const override { return "T-DFS"; }
+
+  QueryStats Run(const Query& q, PathSink& sink,
+                 const EnumOptions& opts) override;
+
+ private:
+  uint64_t Search(VertexId v, uint32_t depth);
+  /// Bounded reverse BFS from t over G - (current stack), writing distances
+  /// into dist_buf_ (epoch-stamped).
+  void ComputeExcludedDistances(uint32_t max_depth);
+  bool ShouldStop();
+
+  const Graph& graph_;
+  std::vector<uint8_t> in_stack_;
+  std::vector<uint32_t> dist_stamp_;
+  std::vector<uint32_t> dist_val_;
+  std::vector<VertexId> queue_;
+  uint32_t epoch_ = 0;
+
+  PathSink* sink_ = nullptr;
+  EnumCounters counters_;
+  Timer timer_;
+  Deadline deadline_;
+  Query query_;
+  uint64_t result_limit_ = 0;
+  uint64_t response_target_ = 0;
+  uint64_t check_countdown_ = 0;
+  bool stop_ = false;
+  VertexId stack_[kMaxHops + 1];
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_BASELINES_TDFS_H_

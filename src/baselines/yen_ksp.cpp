@@ -1,0 +1,150 @@
+#include "baselines/yen_ksp.h"
+
+#include <algorithm>
+
+namespace pathenum {
+
+namespace {
+
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+/// Orders candidate paths by (length, lexicographic) — Yen's priority.
+struct PathLess {
+  bool operator()(const std::vector<VertexId>& a,
+                  const std::vector<VertexId>& b) const {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  }
+};
+
+}  // namespace
+
+QueryStats YenKsp::Run(const Query& q, PathSink& sink,
+                       const EnumOptions& opts) {
+  ValidateQuery(graph_, q);
+  QueryStats stats;
+  Timer total;
+
+  sink_ = &sink;
+  counters_ = EnumCounters{};
+  timer_.Reset();
+  deadline_ = Deadline::AfterMs(opts.time_limit_ms);
+  result_limit_ = opts.result_limit;
+  response_target_ = opts.response_target;
+  stop_ = false;
+
+  std::vector<uint8_t> banned_vertex(graph_.num_vertices(), 0);
+  std::unordered_set<uint64_t> banned_edges;
+
+  std::vector<std::vector<VertexId>> accepted;  // Yen's A list
+  std::set<std::vector<VertexId>, PathLess> candidates;  // Yen's B heap
+
+  std::vector<VertexId> first =
+      ShortestPath(q.source, q.target, q.hops, banned_vertex, banned_edges);
+  if (!first.empty()) {
+    accepted.push_back(first);
+    Emit(first);
+  }
+
+  while (!accepted.empty() && !stop_) {
+    const std::vector<VertexId> prev = accepted.back();
+    // Spur from every non-terminal position of the previous path.
+    for (uint32_t i = 0; i + 1 < prev.size() && !stop_; ++i) {
+      if (deadline_.Expired()) {
+        counters_.timed_out = true;
+        stop_ = true;
+        break;
+      }
+      const VertexId spur = prev[i];
+      // Ban the root's vertices (so the spur path cannot touch them) and,
+      // for every accepted path sharing this root, its next edge.
+      banned_edges.clear();
+      for (const auto& p : accepted) {
+        if (p.size() > i + 1 &&
+            std::equal(p.begin(), p.begin() + i + 1, prev.begin())) {
+          banned_edges.insert(EdgeKey(p[i], p[i + 1]));
+        }
+      }
+      for (uint32_t j = 0; j < i; ++j) banned_vertex[prev[j]] = 1;
+
+      std::vector<VertexId> spur_path = ShortestPath(
+          spur, q.target, q.hops - i, banned_vertex, banned_edges);
+      for (uint32_t j = 0; j < i; ++j) banned_vertex[prev[j]] = 0;
+
+      if (spur_path.empty()) continue;
+      std::vector<VertexId> candidate(prev.begin(), prev.begin() + i);
+      candidate.insert(candidate.end(), spur_path.begin(), spur_path.end());
+      if (candidate.size() > q.hops + 1) continue;
+      counters_.partials++;
+      candidates.insert(std::move(candidate));
+    }
+    if (stop_ || candidates.empty()) break;
+    auto it = candidates.begin();
+    std::vector<VertexId> next = *it;
+    candidates.erase(it);
+    // Already-accepted paths cannot reappear: every candidate differs from
+    // each accepted path by a banned edge at its spur position.
+    accepted.push_back(next);
+    Emit(next);
+  }
+
+  stats.method = Method::kDfs;
+  stats.counters = counters_;
+  stats.enumerate_ms = total.ElapsedMs();
+  stats.total_ms = stats.enumerate_ms;
+  stats.response_ms = counters_.response_ms >= 0.0 ? counters_.response_ms
+                                                   : stats.total_ms;
+  return stats;
+}
+
+bool YenKsp::Emit(const std::vector<VertexId>& path) {
+  counters_.num_results++;
+  if (counters_.num_results == response_target_) {
+    counters_.response_ms = timer_.ElapsedMs();
+  }
+  if (!sink_->OnPath(path)) {
+    counters_.stopped_by_sink = true;
+    stop_ = true;
+  } else if (counters_.num_results >= result_limit_) {
+    counters_.hit_result_limit = true;
+    stop_ = true;
+  }
+  return !stop_;
+}
+
+std::vector<VertexId> YenKsp::ShortestPath(
+    VertexId from, VertexId to, uint32_t max_len,
+    const std::vector<uint8_t>& banned_vertex,
+    const std::unordered_set<uint64_t>& banned_edges) {
+  if (banned_vertex[from]) return {};
+  std::vector<VertexId> parent(graph_.num_vertices(), kInvalidVertex);
+  std::vector<uint32_t> dist(graph_.num_vertices(), kInfDistance);
+  std::vector<VertexId> queue;
+  dist[from] = 0;
+  queue.push_back(from);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    if (u == to) break;
+    if (dist[u] >= max_len) continue;
+    for (const VertexId w : graph_.OutNeighbors(u)) {
+      counters_.edges_accessed++;
+      if (dist[w] != kInfDistance || banned_vertex[w]) continue;
+      if (banned_edges.count(EdgeKey(u, w))) continue;
+      dist[w] = dist[u] + 1;
+      parent[w] = u;
+      queue.push_back(w);
+      if (w == to) break;
+    }
+  }
+  if (dist[to] == kInfDistance || dist[to] > max_len) return {};
+  std::vector<VertexId> path;
+  for (VertexId v = to; v != kInvalidVertex; v = parent[v]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace pathenum

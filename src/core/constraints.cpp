@@ -1,0 +1,383 @@
+#include "core/constraints.h"
+
+namespace pathenum {
+
+namespace {
+constexpr uint64_t kCheckInterval = 8192;
+}  // namespace
+
+LabelAutomaton::LabelAutomaton(uint32_t num_states, uint32_t num_labels,
+                               uint32_t start_state)
+    : num_states_(num_states),
+      num_labels_(num_labels),
+      start_(start_state),
+      delta_(static_cast<size_t>(num_states) * num_labels, kDead),
+      accepting_(num_states, 0) {
+  PATHENUM_CHECK(start_state < num_states);
+}
+
+void LabelAutomaton::AddTransition(uint32_t from, uint32_t label,
+                                   uint32_t to) {
+  PATHENUM_CHECK(from < num_states_ && to < num_states_ &&
+                 label < num_labels_);
+  delta_[from * num_labels_ + label] = to;
+}
+
+void LabelAutomaton::SetAccepting(uint32_t state, bool accepting) {
+  PATHENUM_CHECK(state < num_states_);
+  accepting_[state] = accepting ? 1 : 0;
+}
+
+LabelAutomaton LabelAutomaton::ExactSequence(std::span<const uint32_t> labels,
+                                             uint32_t num_labels) {
+  PATHENUM_CHECK(!labels.empty());
+  LabelAutomaton a(static_cast<uint32_t>(labels.size()) + 1, num_labels, 0);
+  for (uint32_t i = 0; i < labels.size(); ++i) {
+    a.AddTransition(i, labels[i], i + 1);
+  }
+  a.SetAccepting(static_cast<uint32_t>(labels.size()));
+  return a;
+}
+
+LabelAutomaton LabelAutomaton::AtLeastCount(uint32_t label,
+                                            uint32_t min_count,
+                                            uint32_t num_labels) {
+  // States 0..min_count count occurrences of `label`, saturating at the
+  // accepting state min_count; every other label self-loops.
+  LabelAutomaton a(min_count + 1, num_labels, 0);
+  for (uint32_t s = 0; s <= min_count; ++s) {
+    for (uint32_t l = 0; l < num_labels; ++l) {
+      const uint32_t to =
+          (l == label && s < min_count) ? s + 1 : s;
+      a.AddTransition(s, l, to);
+    }
+  }
+  a.SetAccepting(min_count);
+  return a;
+}
+
+ConstrainedJoinEnumerator::ConstrainedJoinEnumerator(
+    const Graph& g, const LightweightIndex& index,
+    const PathConstraints& constraints)
+    : graph_(g), index_(index), constraints_(constraints) {
+  if (constraints_.accumulative != nullptr) {
+    PATHENUM_CHECK_MSG(g.has_weights(),
+                       "accumulative constraint needs edge weights");
+  }
+  if (constraints_.automaton != nullptr) {
+    PATHENUM_CHECK_MSG(g.has_labels(), "label automaton needs edge labels");
+  }
+}
+
+EnumCounters ConstrainedJoinEnumerator::Run(uint32_t cut, PathSink& sink,
+                                            const EnumOptions& opts) {
+  const uint32_t k = index_.hops();
+  PATHENUM_CHECK_MSG(cut >= 1 && cut < k, "cut position out of range");
+  sink_ = &sink;
+  counters_ = EnumCounters{};
+  timer_.Reset();
+  deadline_ = Deadline::AfterMs(opts.time_limit_ms);
+  result_limit_ = opts.result_limit;
+  response_target_ = opts.response_target;
+  tuple_limit_ = opts.partial_memory_limit_bytes / (2 * sizeof(uint32_t));
+  check_countdown_ = kCheckInterval;
+  stop_ = false;
+
+  const uint32_t s_slot = index_.source_slot();
+  const uint32_t t_slot = index_.target_slot();
+  if (s_slot == kInvalidSlot) return counters_;
+  const AccumulativeConstraint* acc = constraints_.accumulative;
+
+  const uint32_t left_width = cut + 1;
+  std::vector<uint32_t> left;
+  std::vector<double> left_values;
+  Materialize(s_slot, 0, left_width, left, left_values);
+  counters_.partials += left.size() / left_width;
+  if (stop_) return counters_;
+
+  const uint32_t n = index_.num_vertices();
+  std::vector<uint8_t> is_key(n, 0);
+  for (size_t off = cut; off < left.size(); off += left_width) {
+    is_key[left[off]] = 1;
+  }
+
+  const uint32_t right_width = k - cut + 1;
+  std::vector<uint32_t> right;
+  std::vector<double> right_values;
+  std::vector<std::pair<uint64_t, uint64_t>> group(n, {0, 0});
+  for (uint32_t v = 0; v < n && !stop_; ++v) {
+    if (!is_key[v]) continue;
+    const uint64_t begin = right.size() / right_width;
+    Materialize(v, cut, right_width, right, right_values);
+    group[v] = {begin, right.size() / right_width};
+  }
+  counters_.partials += right.size() / right_width;
+  if (stop_) return counters_;
+
+  uint32_t joined[kMaxHops + 1];
+  for (size_t l = 0; l < left.size() && !stop_; l += left_width) {
+    const uint32_t key = left[l + cut];
+    const auto [gb, ge] = group[key];
+    for (uint64_t r = gb; r < ge; ++r) {
+      if (ShouldStop()) break;
+      const uint32_t* rt = right.data() + r * right_width;
+      for (uint32_t i = 0; i <= cut; ++i) joined[i] = left[l + i];
+      for (uint32_t i = 1; i < right_width; ++i) joined[cut + i] = rt[i];
+      uint32_t end = 0;
+      while (joined[end] != t_slot) ++end;
+      bool valid = true;
+      for (uint32_t i = 1; i <= end && valid; ++i) {
+        for (uint32_t j = 0; j < i; ++j) {
+          if (joined[i] == joined[j]) {
+            valid = false;
+            break;
+          }
+        }
+      }
+      if (!valid) {
+        counters_.invalid_partials++;
+        continue;
+      }
+      // Combine the halves' accumulated values (init is an identity, so
+      // the combined fold equals the whole-path fold — commutativity and
+      // associativity per the paper's requirement).
+      if (acc != nullptr) {
+        const double value = acc->combine(left_values[l / left_width],
+                                          right_values[r]);
+        if (!acc->accept(value)) {
+          counters_.invalid_partials++;
+          continue;
+        }
+      }
+      for (uint32_t i = 0; i <= end; ++i) {
+        path_buf_[i] = index_.VertexAt(joined[i]);
+      }
+      if (constraints_.automaton != nullptr &&
+          !AutomatonAccepts(path_buf_, end + 1)) {
+        counters_.invalid_partials++;
+        continue;
+      }
+      counters_.num_results++;
+      if (counters_.num_results == response_target_) {
+        counters_.response_ms = timer_.ElapsedMs();
+      }
+      if (!sink_->OnPath({path_buf_, end + 1})) {
+        counters_.stopped_by_sink = true;
+        stop_ = true;
+      } else if (counters_.num_results >= result_limit_) {
+        counters_.hit_result_limit = true;
+        stop_ = true;
+      }
+    }
+  }
+  return counters_;
+}
+
+bool ConstrainedJoinEnumerator::ShouldStop() {
+  if (stop_) return true;
+  if (check_countdown_-- == 0) {
+    check_countdown_ = kCheckInterval;
+    if (deadline_.Expired()) {
+      counters_.timed_out = true;
+      stop_ = true;
+    }
+  }
+  return stop_;
+}
+
+bool ConstrainedJoinEnumerator::AutomatonAccepts(const VertexId* path,
+                                                 uint32_t length) const {
+  const LabelAutomaton& a = *constraints_.automaton;
+  uint32_t state = a.start_state();
+  for (uint32_t i = 1; i < length; ++i) {
+    const EdgeId e = graph_.FindEdge(path[i - 1], path[i]);
+    state = a.Next(state, graph_.EdgeLabel(e));
+    if (state == LabelAutomaton::kDead) return false;
+  }
+  return a.IsAccepting(state);
+}
+
+void ConstrainedJoinEnumerator::Materialize(uint32_t start, uint32_t base,
+                                            uint32_t len,
+                                            std::vector<uint32_t>& out,
+                                            std::vector<double>& values) {
+  stack_[0] = start;
+  const double init = constraints_.accumulative != nullptr
+                          ? constraints_.accumulative->init
+                          : 0.0;
+  MaterializeStep(0, base, len, init, out, values);
+}
+
+void ConstrainedJoinEnumerator::MaterializeStep(uint32_t depth, uint32_t base,
+                                                uint32_t len, double value,
+                                                std::vector<uint32_t>& out,
+                                                std::vector<double>& values) {
+  if (depth + 1 == len) {
+    if (out.size() >= tuple_limit_) {
+      counters_.out_of_memory = true;
+      stop_ = true;
+      return;
+    }
+    out.insert(out.end(), stack_, stack_ + len);
+    values.push_back(value);
+    return;
+  }
+  const uint32_t k = index_.hops();
+  const uint32_t t_slot = index_.target_slot();
+  const auto nbrs =
+      index_.OutSlotsWithin(stack_[depth], k - base - depth - 1);
+  const auto edges =
+      index_.OutEdgeIdsWithin(stack_[depth], k - base - depth - 1);
+  counters_.edges_accessed += nbrs.size();
+  for (size_t j = 0; j < nbrs.size(); ++j) {
+    if (ShouldStop()) return;
+    const uint32_t next = nbrs[j];
+    if (next != t_slot) {
+      bool in_path = false;
+      for (uint32_t i = 0; i <= depth; ++i) {
+        if (stack_[i] == next) {
+          in_path = true;
+          break;
+        }
+      }
+      if (in_path) continue;
+    }
+    double next_value = value;
+    if (constraints_.accumulative != nullptr &&
+        edges[j] != kInvalidEdge) {  // padding edges contribute nothing
+      next_value = constraints_.accumulative->combine(
+          value, graph_.EdgeWeight(edges[j]));
+      if (constraints_.accumulative->prune &&
+          constraints_.accumulative->prune(next_value)) {
+        continue;
+      }
+    }
+    stack_[depth + 1] = next;
+    MaterializeStep(depth + 1, base, len, next_value, out, values);
+  }
+}
+
+ConstrainedDfsEnumerator::ConstrainedDfsEnumerator(
+    const Graph& g, const LightweightIndex& index,
+    const PathConstraints& constraints)
+    : graph_(g), index_(index), constraints_(constraints) {
+  if (constraints_.accumulative != nullptr) {
+    PATHENUM_CHECK_MSG(g.has_weights(),
+                       "accumulative constraint needs edge weights");
+  }
+  if (constraints_.automaton != nullptr) {
+    PATHENUM_CHECK_MSG(g.has_labels(),
+                       "label automaton needs edge labels");
+  }
+}
+
+EnumCounters ConstrainedDfsEnumerator::Run(PathSink& sink,
+                                           const EnumOptions& opts) {
+  sink_ = &sink;
+  counters_ = EnumCounters{};
+  timer_.Reset();
+  deadline_ = Deadline::AfterMs(opts.time_limit_ms);
+  result_limit_ = opts.result_limit;
+  response_target_ = opts.response_target;
+  check_countdown_ = kCheckInterval;
+  stop_ = false;
+
+  const uint32_t s_slot = index_.source_slot();
+  if (s_slot == kInvalidSlot) return counters_;
+  stack_[0] = s_slot;
+  counters_.partials = 1;
+  const double init_value = constraints_.accumulative != nullptr
+                                ? constraints_.accumulative->init
+                                : 0.0;
+  const uint32_t init_state = constraints_.automaton != nullptr
+                                  ? constraints_.automaton->start_state()
+                                  : 0;
+  const uint64_t found = Search(s_slot, 0, init_value, init_state);
+  if (found == 0) counters_.invalid_partials += 1;
+  return counters_;
+}
+
+bool ConstrainedDfsEnumerator::ShouldStop() {
+  if (stop_) return true;
+  if (check_countdown_-- == 0) {
+    check_countdown_ = kCheckInterval;
+    if (deadline_.Expired()) {
+      counters_.timed_out = true;
+      stop_ = true;
+    }
+  }
+  return stop_;
+}
+
+uint64_t ConstrainedDfsEnumerator::Search(uint32_t slot, uint32_t depth,
+                                          double value, uint32_t state) {
+  if (slot == index_.target_slot()) {
+    // Alg. 7 line 6 / Alg. 8 line 6: accept only if the accumulated value
+    // and the automaton state pass.
+    if (constraints_.accumulative != nullptr &&
+        !constraints_.accumulative->accept(value)) {
+      return 0;
+    }
+    if (constraints_.automaton != nullptr &&
+        !constraints_.automaton->IsAccepting(state)) {
+      return 0;
+    }
+    for (uint32_t i = 0; i <= depth; ++i) {
+      path_buf_[i] = index_.VertexAt(stack_[i]);
+    }
+    counters_.num_results++;
+    if (counters_.num_results == response_target_) {
+      counters_.response_ms = timer_.ElapsedMs();
+    }
+    if (!sink_->OnPath({path_buf_, depth + 1})) {
+      counters_.stopped_by_sink = true;
+      stop_ = true;
+    } else if (counters_.num_results >= result_limit_) {
+      counters_.hit_result_limit = true;
+      stop_ = true;
+    }
+    return 1;
+  }
+  const uint32_t k = index_.hops();
+  const auto nbrs = index_.OutSlotsWithin(slot, k - depth - 1);
+  const auto edges = index_.OutEdgeIdsWithin(slot, k - depth - 1);
+  counters_.edges_accessed += nbrs.size();
+  uint64_t found = 0;
+  for (size_t j = 0; j < nbrs.size(); ++j) {
+    if (ShouldStop()) break;
+    const uint32_t next = nbrs[j];
+    bool in_path = false;
+    for (uint32_t i = 0; i <= depth; ++i) {
+      if (stack_[i] == next) {
+        in_path = true;
+        break;
+      }
+    }
+    if (in_path) continue;
+
+    const EdgeId e = edges[j];
+    double next_value = value;
+    if (constraints_.accumulative != nullptr) {
+      next_value = constraints_.accumulative->combine(
+          value, graph_.EdgeWeight(e));
+      // Alg. 7's optional monotone pruning.
+      if (constraints_.accumulative->prune &&
+          constraints_.accumulative->prune(next_value)) {
+        continue;
+      }
+    }
+    uint32_t next_state = state;
+    if (constraints_.automaton != nullptr) {
+      next_state = constraints_.automaton->Next(state, graph_.EdgeLabel(e));
+      if (next_state == LabelAutomaton::kDead) continue;  // Alg. 8 line 9
+    }
+    stack_[depth + 1] = next;
+    counters_.partials++;
+    const uint64_t sub = Search(next, depth + 1, next_value, next_state);
+    if (sub == 0) counters_.invalid_partials++;
+    found += sub;
+  }
+  return found;
+}
+
+}  // namespace pathenum

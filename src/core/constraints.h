@@ -1,0 +1,171 @@
+// HcPE constraint extensions (paper Appendix E):
+//  * edge predicates — pushed down into the BFS and index construction, so
+//    filtered edges never enter the search (Appendix E.1);
+//  * accumulative-value constraints — a commutative/associative binary
+//    operation folded over edge weights, accepted by a user predicate, with
+//    optional monotone pruning (Algorithm 7);
+//  * label-sequence constraints — a finite automaton over edge labels that
+//    each result path must drive from the start state to an accepting state
+//    (Algorithm 8).
+#ifndef PATHENUM_CORE_CONSTRAINTS_H_
+#define PATHENUM_CORE_CONSTRAINTS_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/index.h"
+#include "core/options.h"
+#include "core/sink.h"
+#include "graph/bfs.h"
+#include "util/timer.h"
+
+namespace pathenum {
+
+/// Accumulative-value constraint (Alg. 7). The fold starts at `init` and
+/// combines the weight of each traversed edge; a path is emitted only when
+/// `accept(value)` holds at t.
+struct AccumulativeConstraint {
+  double init = 0.0;
+
+  /// Must be commutative and associative (paper requirement): e.g. +, *,
+  /// min, max.
+  std::function<double(double, double)> combine;
+
+  /// Final acceptance test at t.
+  std::function<bool(double)> accept;
+
+  /// Optional monotone pruning: returns true if a partial value can already
+  /// never be accepted (valid only when `combine` is monotone in the fold,
+  /// e.g. nonnegative sums against an upper bound — Alg. 7's discussion).
+  std::function<bool(double)> prune;
+};
+
+/// Deterministic finite automaton over edge labels (Alg. 8).
+class LabelAutomaton {
+ public:
+  /// Sentinel returned by Next() for an invalid transition.
+  static constexpr uint32_t kDead = 0xffffffffu;
+
+  LabelAutomaton(uint32_t num_states, uint32_t num_labels,
+                 uint32_t start_state);
+
+  void AddTransition(uint32_t from, uint32_t label, uint32_t to);
+  void SetAccepting(uint32_t state, bool accepting = true);
+
+  uint32_t start_state() const { return start_; }
+  uint32_t num_states() const { return num_states_; }
+  uint32_t num_labels() const { return num_labels_; }
+
+  uint32_t Next(uint32_t state, uint32_t label) const {
+    return label < num_labels_ ? delta_[state * num_labels_ + label] : kDead;
+  }
+
+  bool IsAccepting(uint32_t state) const { return accepting_[state]; }
+
+  /// Automaton accepting exactly the label sequence `labels` (the paper's
+  /// "write -> mention" example shape).
+  static LabelAutomaton ExactSequence(std::span<const uint32_t> labels,
+                                      uint32_t num_labels);
+
+  /// Automaton accepting paths that traverse at least `min_count` edges
+  /// with label `label` (the "at least two high-risk countries" example).
+  static LabelAutomaton AtLeastCount(uint32_t label, uint32_t min_count,
+                                     uint32_t num_labels);
+
+ private:
+  uint32_t num_states_;
+  uint32_t num_labels_;
+  uint32_t start_;
+  std::vector<uint32_t> delta_;
+  std::vector<uint8_t> accepting_;
+};
+
+/// Bundle of optional constraints applied to one query.
+struct PathConstraints {
+  /// Pushed down into index construction; see IndexBuilder::Options.
+  const EdgeFilter* edge_filter = nullptr;
+  const AccumulativeConstraint* accumulative = nullptr;
+  const LabelAutomaton* automaton = nullptr;
+
+  bool HasSearchState() const {
+    return accumulative != nullptr || automaton != nullptr;
+  }
+};
+
+/// Index-based JOIN under constraints — the extension Appendix E sketches
+/// and omits "for brevity": each half-tuple carries its accumulated value
+/// (folded from `init`, which must therefore be an identity of `combine` —
+/// e.g. 0 for +, 1 for *); the join combines the halves' values, applies
+/// `accept`, and replays the automaton over the joined path's labels.
+/// Monotone pruning applies inside each half exactly as in the DFS.
+class ConstrainedJoinEnumerator {
+ public:
+  ConstrainedJoinEnumerator(const Graph& g, const LightweightIndex& index,
+                            const PathConstraints& constraints);
+
+  /// Enumerates all constraint-satisfying paths using cut position `cut`.
+  EnumCounters Run(uint32_t cut, PathSink& sink,
+                   const EnumOptions& opts = {});
+
+ private:
+  void Materialize(uint32_t start, uint32_t base, uint32_t len,
+                   std::vector<uint32_t>& out, std::vector<double>& values);
+  void MaterializeStep(uint32_t depth, uint32_t base, uint32_t len,
+                       double value, std::vector<uint32_t>& out,
+                       std::vector<double>& values);
+  bool ShouldStop();
+  /// Automaton replay over the de-padded joined path; true iff accepted.
+  bool AutomatonAccepts(const VertexId* path, uint32_t length) const;
+
+  const Graph& graph_;
+  const LightweightIndex& index_;
+  const PathConstraints& constraints_;
+
+  PathSink* sink_ = nullptr;
+  EnumCounters counters_;
+  Timer timer_;
+  Deadline deadline_;
+  uint64_t result_limit_ = 0;
+  uint64_t response_target_ = 0;
+  size_t tuple_limit_ = 0;
+  uint64_t check_countdown_ = 0;
+  bool stop_ = false;
+  uint32_t stack_[kMaxHops + 1];
+  VertexId path_buf_[kMaxHops + 1];
+};
+
+/// Index-based DFS carrying constraint state (Algorithms 7 and 8 fused).
+/// Requires the index to have been built with the same edge filter. The
+/// graph supplies edge weights/labels via the index's stored edge ids.
+class ConstrainedDfsEnumerator {
+ public:
+  ConstrainedDfsEnumerator(const Graph& g, const LightweightIndex& index,
+                           const PathConstraints& constraints);
+
+  EnumCounters Run(PathSink& sink, const EnumOptions& opts = {});
+
+ private:
+  uint64_t Search(uint32_t slot, uint32_t depth, double value,
+                  uint32_t state);
+  bool ShouldStop();
+
+  const Graph& graph_;
+  const LightweightIndex& index_;
+  const PathConstraints& constraints_;
+
+  PathSink* sink_ = nullptr;
+  EnumCounters counters_;
+  Timer timer_;
+  Deadline deadline_;
+  uint64_t result_limit_ = 0;
+  uint64_t response_target_ = 0;
+  uint64_t check_countdown_ = 0;
+  bool stop_ = false;
+  uint32_t stack_[kMaxHops + 1];
+  VertexId path_buf_[kMaxHops + 1];
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_CORE_CONSTRAINTS_H_

@@ -1,0 +1,42 @@
+#include "core/cycles.h"
+
+#include <vector>
+
+namespace pathenum {
+
+namespace {
+
+/// Rewrites each path (v, ..., u) into the cycle (u, v, ..., u).
+class CycleSink : public PathSink {
+ public:
+  CycleSink(PathSink& inner, VertexId closing_source)
+      : inner_(inner), closing_source_(closing_source) {}
+
+  bool OnPath(std::span<const VertexId> path) override {
+    buffer_.clear();
+    buffer_.reserve(path.size() + 2);
+    buffer_.push_back(closing_source_);
+    buffer_.insert(buffer_.end(), path.begin(), path.end());
+    buffer_.push_back(closing_source_);
+    return inner_.OnPath(buffer_);
+  }
+
+ private:
+  PathSink& inner_;
+  VertexId closing_source_;
+  std::vector<VertexId> buffer_;
+};
+
+}  // namespace
+
+QueryStats EnumerateTriggeredCycles(PathEnumerator& enumerator, VertexId u,
+                                    VertexId v, uint32_t max_hops,
+                                    PathSink& sink, const EnumOptions& opts) {
+  PATHENUM_CHECK_MSG(max_hops >= 2, "a cycle needs at least 2 edges");
+  QueryStats stats;
+  if (u == v) return stats;  // self-loops are not simple cycles
+  CycleSink cycle_sink(sink, u);
+  return enumerator.Run({v, u, max_hops - 1}, cycle_sink, opts);
+}
+
+}  // namespace pathenum

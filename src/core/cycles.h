@@ -1,0 +1,27 @@
+// Hop-constrained cycle enumeration triggered by an edge — the paper's
+// e-commerce fraud reduction (§1, after Qiu et al.): the cycles of length
+// at most k through a new edge e(u, v) are exactly the paths v -> u with
+// at most k-1 hops, each closed by e.
+#ifndef PATHENUM_CORE_CYCLES_H_
+#define PATHENUM_CORE_CYCLES_H_
+
+#include "core/options.h"
+#include "core/path_enum.h"
+#include "core/sink.h"
+
+namespace pathenum {
+
+/// Enumerates every simple cycle with at most `max_hops` edges that the
+/// edge (u, v) participates in (the edge itself need not be present in the
+/// enumerator's graph — the fraud use case queries *before* applying the
+/// update). Each cycle is emitted as the vertex sequence
+/// (u, v, ..., u) — first and last vertex repeated, every other distinct.
+/// Returns the underlying query's stats. `u == v` yields nothing.
+QueryStats EnumerateTriggeredCycles(PathEnumerator& enumerator, VertexId u,
+                                    VertexId v, uint32_t max_hops,
+                                    PathSink& sink,
+                                    const EnumOptions& opts = {});
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_CORE_CYCLES_H_

@@ -1,0 +1,112 @@
+#include "core/dfs_enumerator.h"
+
+namespace pathenum {
+
+namespace {
+/// How many search steps between deadline checks; keeps clock reads off the
+/// hot path.
+constexpr uint64_t kCheckInterval = 8192;
+}  // namespace
+
+EnumCounters DfsEnumerator::Run(PathSink& sink, const EnumOptions& opts) {
+  sink_ = &sink;
+  counters_ = EnumCounters{};
+  timer_.Reset();
+  deadline_ = Deadline::AfterMs(opts.time_limit_ms);
+  result_limit_ = opts.result_limit;
+  response_target_ = opts.response_target;
+  check_countdown_ = kCheckInterval;
+  stop_ = false;
+
+  const uint32_t s_slot = index_.source_slot();
+  if (s_slot == kInvalidSlot) return counters_;  // no result within k hops
+
+  stack_[0] = s_slot;
+  counters_.partials = 1;  // M = (s)
+  const uint64_t found = Search(s_slot, 0);
+  if (found == 0) counters_.invalid_partials += 1;  // the root itself
+  return counters_;
+}
+
+EnumCounters DfsEnumerator::RunBranch(uint32_t branch, PathSink& sink,
+                                      const EnumOptions& opts) {
+  sink_ = &sink;
+  counters_ = EnumCounters{};
+  timer_.Reset();
+  deadline_ = Deadline::AfterMs(opts.time_limit_ms);
+  result_limit_ = opts.result_limit;
+  response_target_ = opts.response_target;
+  check_countdown_ = kCheckInterval;
+  stop_ = false;
+
+  const uint32_t s_slot = index_.source_slot();
+  PATHENUM_CHECK_MSG(s_slot != kInvalidSlot, "empty index");
+  stack_[0] = s_slot;
+  stack_[1] = branch;
+  counters_.partials = 1;  // M = (s, branch)
+  const uint64_t found = Search(branch, 1);
+  if (found == 0) counters_.invalid_partials += 1;
+  return counters_;
+}
+
+bool DfsEnumerator::ShouldStop() {
+  if (stop_) return true;
+  if (check_countdown_-- == 0) {
+    check_countdown_ = kCheckInterval;
+    if (deadline_.Expired()) {
+      counters_.timed_out = true;
+      stop_ = true;
+    }
+  }
+  return stop_;
+}
+
+void DfsEnumerator::Emit(uint32_t depth) {
+  for (uint32_t i = 0; i <= depth; ++i) {
+    path_buf_[i] = index_.VertexAt(stack_[i]);
+  }
+  counters_.num_results++;
+  if (counters_.num_results == response_target_) {
+    counters_.response_ms = timer_.ElapsedMs();
+  }
+  if (!sink_->OnPath({path_buf_, depth + 1})) {
+    counters_.stopped_by_sink = true;
+    stop_ = true;
+  } else if (counters_.num_results >= result_limit_) {
+    counters_.hit_result_limit = true;
+    stop_ = true;
+  }
+}
+
+uint64_t DfsEnumerator::Search(uint32_t slot, uint32_t depth) {
+  // Lines 4-5 of Alg. 4: emit when the partial result reached t.
+  if (slot == index_.target_slot()) {
+    Emit(depth);
+    return 1;
+  }
+  const uint32_t k = index_.hops();
+  uint64_t found = 0;
+  // Lines 6-7: extend with I_t(v, k - L(M) - 1); the duplicate check is the
+  // only per-neighbor work left.
+  const auto nbrs = index_.OutSlotsWithin(slot, k - depth - 1);
+  counters_.edges_accessed += nbrs.size();
+  for (const uint32_t next : nbrs) {
+    if (ShouldStop()) break;
+    bool in_path = false;
+    for (uint32_t i = 0; i <= depth; ++i) {
+      if (stack_[i] == next) {
+        in_path = true;
+        break;
+      }
+    }
+    if (in_path) continue;
+    stack_[depth + 1] = next;
+    counters_.partials++;
+    const uint64_t sub = Search(next, depth + 1);
+    if (sub == 0) counters_.invalid_partials++;
+    found += sub;
+  }
+  return found;
+}
+
+}  // namespace pathenum

@@ -1,0 +1,54 @@
+// IDX-DFS (paper Algorithm 4): depth-first enumeration on the light-weight
+// index. At a partial result M ending at v with L(M) edges, the only
+// neighbors considered are I_t(v, k - L(M) - 1) — an O(1) span from the
+// index — so each step needs neither a distance check nor dynamic pruning.
+#ifndef PATHENUM_CORE_DFS_ENUMERATOR_H_
+#define PATHENUM_CORE_DFS_ENUMERATOR_H_
+
+#include "core/index.h"
+#include "core/options.h"
+#include "core/sink.h"
+#include "util/timer.h"
+
+namespace pathenum {
+
+/// Index-based DFS enumerator. Stateless between runs; reuse freely.
+class DfsEnumerator {
+ public:
+  explicit DfsEnumerator(const LightweightIndex& index) : index_(index) {}
+
+  /// Enumerates all paths into `sink` honoring limits in `opts`.
+  /// `counters.response_ms` is relative to this call's start.
+  EnumCounters Run(PathSink& sink, const EnumOptions& opts = {});
+
+  /// Enumerates only the paths whose first edge is s -> VertexAt(branch);
+  /// `branch` must be a slot from I_t(s, k-1). The parallel enumerator
+  /// fans these subtrees out across worker threads.
+  EnumCounters RunBranch(uint32_t branch, PathSink& sink,
+                         const EnumOptions& opts = {});
+
+ private:
+  /// Returns the number of results emitted below the frame.
+  uint64_t Search(uint32_t slot, uint32_t depth);
+
+  bool ShouldStop();
+  void Emit(uint32_t depth);
+
+  const LightweightIndex& index_;
+
+  // Per-run state.
+  PathSink* sink_ = nullptr;
+  EnumCounters counters_;
+  Timer timer_;
+  Deadline deadline_;
+  uint64_t result_limit_ = 0;
+  uint64_t response_target_ = 0;
+  uint64_t check_countdown_ = 0;
+  bool stop_ = false;
+  uint32_t stack_[kMaxHops + 1];     // slots of the partial result M
+  VertexId path_buf_[kMaxHops + 1];  // vertex ids for emission
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_CORE_DFS_ENUMERATOR_H_

@@ -1,0 +1,251 @@
+#include "core/index.h"
+
+#include <algorithm>
+
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace pathenum {
+
+std::vector<VertexId> LightweightIndex::OutVerticesWithin(VertexId v,
+                                                          uint32_t b) const {
+  std::vector<VertexId> out;
+  const uint32_t slot = SlotOf(v);
+  if (slot == kInvalidSlot) return out;
+  for (uint32_t s : OutSlotsWithin(slot, b)) out.push_back(VertexAt(s));
+  return out;
+}
+
+std::vector<VertexId> LightweightIndex::InVerticesWithin(VertexId v,
+                                                         uint32_t b) const {
+  std::vector<VertexId> out;
+  const uint32_t slot = SlotOf(v);
+  if (slot == kInvalidSlot) return out;
+  for (uint32_t s : InSlotsWithin(slot, b)) out.push_back(VertexAt(s));
+  return out;
+}
+
+uint64_t LightweightIndex::LevelSize(uint32_t i) const {
+  const uint32_t k = query_.hops;
+  uint64_t total = 0;
+  for (uint32_t a = 0; a <= std::min(i, k); ++a) {
+    for (uint32_t b = 0; b + i <= k; ++b) {
+      const auto [first, last] = CellSlots(a, b);
+      total += last - first;
+    }
+  }
+  return total;
+}
+
+size_t LightweightIndex::MemoryBytes() const {
+  return VectorBytes(x_vertices_) + VectorBytes(cell_offsets_) +
+         VectorBytes(slot_ds_) + VectorBytes(slot_dt_) +
+         VectorBytes(out_begin_) + VectorBytes(out_slots_) +
+         VectorBytes(out_edge_ids_) + VectorBytes(out_ends_) +
+         VectorBytes(in_begin_) + VectorBytes(in_slots_) +
+         VectorBytes(in_ends_) + VectorBytes(level_it_sum_) +
+         VectorBytes(level_count_) + VectorBytes(slot_lookup_);
+}
+
+LightweightIndex IndexBuilder::Build(const Graph& g, const Query& q,
+                                     const Options& opts) {
+  ValidateQuery(g, q);
+  LightweightIndex idx;
+  idx.query_ = q;
+  const uint32_t k = q.hops;
+  Timer total_timer;
+
+  // --- Line 1 of Alg. 3: the two bounded BFS. ---------------------------
+  // The backward pass runs first; the forward pass then admits only
+  // vertices with v.s + v.t <= k. The pruning is exact (every vertex on a
+  // shortest s->v path inherits the bound by the triangle inequality), so
+  // the forward pass visits exactly X instead of the whole k-ball of s.
+  {
+    DistanceField::Options bwd;
+    bwd.blocked = q.source;  // internal vertices avoid s
+    bwd.max_depth = k;
+    bwd.filter = opts.filter;
+    field_t_.Compute(g, Direction::kBackward, q.target, bwd);
+
+    const VertexAdmission admit = [&](VertexId v, uint32_t dist) {
+      const uint32_t dt = field_t_.Distance(v);
+      return dt != kInfDistance && dist + dt <= k;
+    };
+    DistanceField::Options fwd;
+    fwd.blocked = q.target;  // internal vertices avoid t
+    fwd.max_depth = k;
+    fwd.filter = opts.filter;
+    if (opts.prune_forward_bfs) fwd.admit = &admit;
+    field_s_.Compute(g, Direction::kForward, q.source, fwd);
+  }
+  idx.build_stats_.bfs_ms = total_timer.ElapsedMs();
+
+  // --- Lines 2-4: partition X by (v.s, v.t), v.s + v.t <= k. ------------
+  // With pruning, the forward pass reached exactly the X candidates;
+  // without (ablation), scan the smaller of the two k-balls.
+  const std::vector<VertexId>& cand =
+      (opts.prune_forward_bfs ||
+       field_s_.Reached().size() <= field_t_.Reached().size())
+          ? field_s_.Reached()
+          : field_t_.Reached();
+
+  const size_t num_cells = static_cast<size_t>(k + 1) * (k + 1);
+  idx.cell_offsets_.assign(num_cells + 1, 0);
+  for (const VertexId v : cand) {
+    const uint32_t ds = field_s_.Distance(v);
+    const uint32_t dt = field_t_.Distance(v);
+    if (ds == kInfDistance || dt == kInfDistance || ds + dt > k) continue;
+    idx.cell_offsets_[static_cast<size_t>(ds) * (k + 1) + dt + 1]++;
+  }
+  for (size_t c = 0; c < num_cells; ++c) {
+    idx.cell_offsets_[c + 1] += idx.cell_offsets_[c];
+  }
+  const uint32_t num_x = idx.cell_offsets_[num_cells];
+  idx.x_vertices_.resize(num_x);
+  idx.slot_ds_.resize(num_x);
+  idx.slot_dt_.resize(num_x);
+  {
+    std::vector<uint32_t> cursor(idx.cell_offsets_.begin(),
+                                 idx.cell_offsets_.end() - 1);
+    for (const VertexId v : cand) {
+      const uint32_t ds = field_s_.Distance(v);
+      const uint32_t dt = field_t_.Distance(v);
+      if (ds == kInfDistance || dt == kInfDistance || ds + dt > k) continue;
+      const uint32_t slot =
+          cursor[static_cast<size_t>(ds) * (k + 1) + dt]++;
+      idx.x_vertices_[slot] = v;
+      idx.slot_ds_[slot] = static_cast<uint8_t>(ds);
+      idx.slot_dt_[slot] = static_cast<uint8_t>(dt);
+    }
+  }
+  idx.slot_lookup_.assign(g.num_vertices(), kInvalidSlot);
+  for (uint32_t slot = 0; slot < num_x; ++slot) {
+    idx.slot_lookup_[idx.x_vertices_[slot]] = slot;
+  }
+  idx.source_slot_ = idx.SlotOf(q.source);
+  idx.target_slot_ = idx.SlotOf(q.target);
+
+  // If s (equivalently t) fell out of X there is no result within k hops;
+  // leave the adjacency empty but well-formed.
+  idx.out_begin_.assign(num_x + 1, 0);
+  idx.out_ends_.assign(static_cast<size_t>(num_x) * (k + 1), 0);
+  if (opts.build_in_direction) {
+    idx.in_begin_.assign(num_x + 1, 0);
+    idx.in_ends_.assign(static_cast<size_t>(num_x) * (k + 1), 0);
+  }
+  if (opts.collect_level_stats) {
+    idx.level_it_sum_.assign(k, 0.0);
+    idx.level_count_.assign(k, 0);
+  }
+
+  // --- Lines 5-11: out-direction adjacency H_t, sorted by v'.t. ---------
+  uint32_t key_counts[kMaxHops + 2];
+  for (uint32_t slot = 0; slot < num_x; ++slot) {
+    const VertexId v = idx.x_vertices_[slot];
+    const uint32_t ds = idx.slot_ds_[slot];
+    scratch_.clear();
+    if (slot == idx.target_slot_) {
+      // The (t,t) padding self-entry: H[t] = {t} with distance key 0.
+      scratch_.push_back({0, slot, kInvalidEdge});
+    } else {
+      const auto nbrs = g.OutNeighbors(v);
+      for (size_t j = 0; j < nbrs.size(); ++j) {
+        const VertexId w = nbrs[j];
+        if (w == q.source) continue;  // s is never a tuple destination
+        const uint32_t dt_w = field_t_.Distance(w);
+        if (dt_w == kInfDistance || ds + dt_w + 1 > k) continue;
+        const EdgeId e = g.OutEdgeId(v, j);
+        if (opts.filter != nullptr && !(*opts.filter)(v, w, e)) continue;
+        const uint32_t w_slot = idx.SlotOf(w);
+        // Reachability arithmetic guarantees w is in X (see DESIGN.md).
+        scratch_.push_back({dt_w, w_slot, e});
+      }
+    }
+    // Counting sort by distance key (stable: preserves adjacency order).
+    std::fill(key_counts, key_counts + k + 2, 0u);
+    for (const ScratchEntry& e : scratch_) key_counts[e.key + 1]++;
+    for (uint32_t b = 0; b <= k; ++b) key_counts[b + 1] += key_counts[b];
+    const uint64_t begin = idx.out_slots_.size();
+    idx.out_slots_.resize(begin + scratch_.size());
+    idx.out_edge_ids_.resize(begin + scratch_.size());
+    {
+      uint32_t place[kMaxHops + 2];
+      std::copy(key_counts, key_counts + k + 2, place);
+      for (const ScratchEntry& e : scratch_) {
+        const uint32_t pos = place[e.key]++;
+        idx.out_slots_[begin + pos] = e.slot;
+        idx.out_edge_ids_[begin + pos] = e.edge;
+      }
+    }
+    idx.out_begin_[slot + 1] = idx.out_slots_.size();
+    // ends[b] = #neighbors with key <= b = key_counts[b + 1].
+    uint32_t* ends = &idx.out_ends_[static_cast<size_t>(slot) * (k + 1)];
+    for (uint32_t b = 0; b <= k; ++b) ends[b] = key_counts[b + 1];
+    if (slot != idx.target_slot_) {
+      idx.num_out_edges_ += scratch_.size();
+    }
+  }
+
+  // --- Symmetric in-direction adjacency H_s, sorted by v'.s. ------------
+  if (opts.build_in_direction) {
+    for (uint32_t slot = 0; slot < num_x; ++slot) {
+      const VertexId v = idx.x_vertices_[slot];
+      const uint32_t dt = idx.slot_dt_[slot];
+      scratch_.clear();
+      if (slot != idx.source_slot_) {  // H_s[s] is empty
+        const auto nbrs = g.InNeighbors(v);
+        for (size_t j = 0; j < nbrs.size(); ++j) {
+          const VertexId w = nbrs[j];
+          if (w == q.target) continue;  // t is never a tuple source...
+          const uint32_t ds_w = field_s_.Distance(w);
+          if (ds_w == kInfDistance || ds_w + dt + 1 > k) continue;
+          if (opts.filter != nullptr) {
+            const EdgeId e = g.FindEdge(w, v);
+            if (!(*opts.filter)(w, v, e)) continue;
+          }
+          scratch_.push_back({ds_w, idx.SlotOf(w), kInvalidEdge});
+        }
+        if (slot == idx.target_slot_) {
+          // ... except the (t,t) padding self-entry, keyed by t.s.
+          scratch_.push_back(
+              {idx.slot_ds_[slot], slot, kInvalidEdge});
+        }
+      }
+      std::fill(key_counts, key_counts + k + 2, 0u);
+      for (const ScratchEntry& e : scratch_) key_counts[e.key + 1]++;
+      for (uint32_t b = 0; b <= k; ++b) key_counts[b + 1] += key_counts[b];
+      const uint64_t begin = idx.in_slots_.size();
+      idx.in_slots_.resize(begin + scratch_.size());
+      {
+        uint32_t place[kMaxHops + 2];
+        std::copy(key_counts, key_counts + k + 2, place);
+        for (const ScratchEntry& e : scratch_) {
+          idx.in_slots_[begin + place[e.key]++] = e.slot;
+        }
+      }
+      idx.in_begin_[slot + 1] = idx.in_slots_.size();
+      uint32_t* ends = &idx.in_ends_[static_cast<size_t>(slot) * (k + 1)];
+      for (uint32_t b = 0; b <= k; ++b) ends[b] = key_counts[b + 1];
+    }
+  }
+
+  // --- Preliminary-estimator statistics (paper §6.2). -------------------
+  if (opts.collect_level_stats) {
+    for (uint32_t slot = 0; slot < num_x; ++slot) {
+      const uint32_t ds = idx.slot_ds_[slot];
+      const uint32_t dt = idx.slot_dt_[slot];
+      const uint32_t j_hi = std::min(k - 1, k - dt);
+      const uint32_t* ends =
+          &idx.out_ends_[static_cast<size_t>(slot) * (k + 1)];
+      for (uint32_t j = ds; j <= j_hi; ++j) {
+        idx.level_count_[j]++;
+        idx.level_it_sum_[j] += ends[k - j - 1];
+      }
+    }
+  }
+
+  idx.build_stats_.total_ms = total_timer.ElapsedMs();
+  return idx;
+}
+
+}  // namespace pathenum

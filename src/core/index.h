@@ -1,0 +1,214 @@
+// The query-dependent light-weight index I(X, H) of paper Algorithm 3.
+//
+// For a query q(s, t, k) the index stores exactly the vertices that can lie
+// on some hop-constrained walk from s to t:
+//     X = { v : v.s + v.t <= k },   v.s = S(s,v | G-{t}), v.t = S(v,t | G-{s})
+// bucketed into the (k+1) x (k+1) partition matrix of Figure 4a, plus two
+// sorted adjacency structures:
+//   * out-direction H_t: for v in X, the out-neighbors v' with
+//     v.s + v'.t + 1 <= k, sorted ascending by v'.t, with per-vertex offset
+//     slots so that I_t(v, b) — "neighbors within distance b of t" — is an
+//     O(1) span lookup (Figure 4b);
+//   * in-direction H_s: symmetric over in-neighbors keyed by v'.s, serving
+//     I_s(v, b) for the join-order optimizer's forward DP.
+// The join model's (t,t) padding tuple appears as a self-entry of t in both
+// directions. s never appears as an out-destination and t never as an
+// in-source (no relation of Q contains such tuples; see DESIGN.md).
+//
+// Internally vertices are remapped to dense *slots* (positions in the
+// bucketed X order); all enumerators and the estimator work in slot space
+// and only translate back to vertex ids when emitting results.
+#ifndef PATHENUM_CORE_INDEX_H_
+#define PATHENUM_CORE_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "core/query.h"
+#include "graph/bfs.h"
+#include "graph/graph.h"
+
+namespace pathenum {
+
+/// Sentinel slot for "vertex not in the index".
+inline constexpr uint32_t kInvalidSlot = 0xffffffffu;
+
+class IndexBuilder;
+
+/// Immutable per-query index. Build via IndexBuilder.
+class LightweightIndex {
+ public:
+  struct BuildStats {
+    double bfs_ms = 0.0;    // the two bounded BFS (Alg. 3 line 1)
+    double total_ms = 0.0;  // whole construction
+  };
+
+  LightweightIndex() = default;
+
+  const Query& query() const { return query_; }
+  uint32_t hops() const { return query_.hops; }
+
+  /// Number of vertices in X.
+  uint32_t num_vertices() const {
+    return static_cast<uint32_t>(x_vertices_.size());
+  }
+
+  /// Edges stored in the out-direction, excluding t's padding self-entry —
+  /// the paper's "index size" metric (Figs. 10, 12; Table 7).
+  uint64_t num_edges() const { return num_out_edges_; }
+
+  bool Contains(VertexId v) const { return SlotOf(v) != kInvalidSlot; }
+
+  /// Slot of `v`, or kInvalidSlot. (The paper describes a hash table; a
+  /// dense vertex->slot array is used instead — same O(1) contract, far
+  /// cheaper to build, and its footprint is charged to MemoryBytes().)
+  uint32_t SlotOf(VertexId v) const {
+    return v < slot_lookup_.size() ? slot_lookup_[v] : kInvalidSlot;
+  }
+
+  VertexId VertexAt(uint32_t slot) const { return x_vertices_[slot]; }
+
+  /// v.s of the slot's vertex.
+  uint32_t DistFromSource(uint32_t slot) const { return slot_ds_[slot]; }
+
+  /// v.t of the slot's vertex.
+  uint32_t DistToTarget(uint32_t slot) const { return slot_dt_[slot]; }
+
+  uint32_t source_slot() const { return source_slot_; }
+  uint32_t target_slot() const { return target_slot_; }
+
+  /// I_t(v, b) in slot space: out-neighbor slots whose distance to t is at
+  /// most b, sorted ascending by that distance. O(1).
+  std::span<const uint32_t> OutSlotsWithin(uint32_t slot, uint32_t b) const {
+    const uint32_t k = query_.hops;
+    const uint64_t begin = out_begin_[slot];
+    const uint32_t count = out_ends_[slot * (k + 1) + std::min(b, k)];
+    return {out_slots_.data() + begin, count};
+  }
+
+  /// Graph edge ids aligned with OutSlotsWithin (kInvalidEdge for the
+  /// padding entry). Used by the constraint extensions.
+  std::span<const EdgeId> OutEdgeIdsWithin(uint32_t slot, uint32_t b) const {
+    const uint32_t k = query_.hops;
+    const uint64_t begin = out_begin_[slot];
+    const uint32_t count = out_ends_[slot * (k + 1) + std::min(b, k)];
+    return {out_edge_ids_.data() + begin, count};
+  }
+
+  /// I_s(v, b) in slot space: in-neighbor slots whose distance from s is at
+  /// most b, sorted ascending by that distance. O(1).
+  std::span<const uint32_t> InSlotsWithin(uint32_t slot, uint32_t b) const {
+    const uint32_t k = query_.hops;
+    const uint64_t begin = in_begin_[slot];
+    const uint32_t count = in_ends_[slot * (k + 1) + std::min(b, k)];
+    return {in_slots_.data() + begin, count};
+  }
+
+  /// Vertex-id convenience wrappers (allocate; meant for tests/tools).
+  std::vector<VertexId> OutVerticesWithin(VertexId v, uint32_t b) const;
+  std::vector<VertexId> InVerticesWithin(VertexId v, uint32_t b) const;
+
+  /// Vertices of partition cell X[a][b] (v.s == a, v.t == b) as a contiguous
+  /// slot range [first, last).
+  std::pair<uint32_t, uint32_t> CellSlots(uint32_t a, uint32_t b) const {
+    const uint32_t k = query_.hops;
+    const size_t c = static_cast<size_t>(a) * (k + 1) + b;
+    return {cell_offsets_[c], cell_offsets_[c + 1]};
+  }
+
+  /// Calls fn(slot) for every vertex of C_i = I(i): v.s <= i and v.t <= k-i.
+  template <typename Fn>
+  void ForEachSlotInLevel(uint32_t i, Fn&& fn) const {
+    const uint32_t k = query_.hops;
+    for (uint32_t a = 0; a <= std::min(i, k); ++a) {
+      for (uint32_t b = 0; b + i <= k; ++b) {
+        const auto [first, last] = CellSlots(a, b);
+        for (uint32_t slot = first; slot < last; ++slot) fn(slot);
+      }
+    }
+  }
+
+  /// |C_i|. O(k) cell-range arithmetic.
+  uint64_t LevelSize(uint32_t i) const;
+
+  /// Preliminary-estimator statistics (collected during construction):
+  /// sum over v in C_j of |I_t(v, k-j-1)|, and |C_j|, for 0 <= j < k.
+  double LevelItSum(uint32_t j) const { return level_it_sum_[j]; }
+  uint64_t LevelCount(uint32_t j) const { return level_count_[j]; }
+
+  /// Approximate heap footprint (Table 7's "Index" row).
+  size_t MemoryBytes() const;
+
+  const BuildStats& build_stats() const { return build_stats_; }
+
+ private:
+  friend class IndexBuilder;
+
+  Query query_;
+  BuildStats build_stats_;
+
+  std::vector<VertexId> x_vertices_;      // bucketed by (v.s, v.t) cell
+  std::vector<uint32_t> cell_offsets_;    // (k+1)^2 + 1 entries
+  std::vector<uint32_t> slot_lookup_;     // vertex -> slot, kInvalidSlot
+  std::vector<uint8_t> slot_ds_;          // v.s per slot
+  std::vector<uint8_t> slot_dt_;          // v.t per slot
+  uint32_t source_slot_ = kInvalidSlot;
+  uint32_t target_slot_ = kInvalidSlot;
+
+  std::vector<uint64_t> out_begin_;       // per slot, into out_slots_
+  std::vector<uint32_t> out_slots_;       // neighbors, ascending by v'.t
+  std::vector<EdgeId> out_edge_ids_;      // aligned with out_slots_
+  std::vector<uint32_t> out_ends_;        // (k+1) cumulative counts per slot
+  uint64_t num_out_edges_ = 0;            // excludes t's padding entry
+
+  std::vector<uint64_t> in_begin_;
+  std::vector<uint32_t> in_slots_;        // neighbors, ascending by v'.s
+  std::vector<uint32_t> in_ends_;
+
+  std::vector<double> level_it_sum_;      // size k (levels 0..k-1)
+  std::vector<uint64_t> level_count_;
+};
+
+/// Options for IndexBuilder::Build.
+struct IndexBuildOptions {
+  /// Predicate push-down (Appendix E): edges failing the filter are
+  /// invisible to the BFS and to the index adjacency.
+  const EdgeFilter* filter = nullptr;
+  /// The in-direction (H_s) is only needed by the join-order optimizer;
+  /// IDX-DFS-only users can skip it.
+  bool build_in_direction = true;
+  /// Level statistics feed the preliminary estimator.
+  bool collect_level_stats = true;
+  /// Confine the forward BFS to vertices with v.s + v.t <= k using the
+  /// backward pass's distances (exact; see DESIGN.md). Off only for the
+  /// ablation benchmark measuring what the optimization is worth.
+  bool prune_forward_bfs = true;
+};
+
+/// Builds LightweightIndex instances. Owns the epoch-stamped BFS buffers so
+/// that thousands of per-query builds avoid O(|V|) re-initialisation — keep
+/// one builder per graph/session.
+class IndexBuilder {
+ public:
+  using Options = IndexBuildOptions;
+
+  IndexBuilder() = default;
+
+  /// Builds the index for `q` over `g`. The query must be valid.
+  LightweightIndex Build(const Graph& g, const Query& q,
+                         const Options& opts = {});
+
+ private:
+  DistanceField field_s_;  // forward from s, t blocked
+  DistanceField field_t_;  // backward from t, s blocked
+  struct ScratchEntry {
+    uint32_t key;   // v'.t (out) or v'.s (in)
+    uint32_t slot;
+    EdgeId edge;
+  };
+  std::vector<ScratchEntry> scratch_;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_CORE_INDEX_H_

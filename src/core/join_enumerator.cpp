@@ -1,0 +1,173 @@
+#include "core/join_enumerator.h"
+
+#include <algorithm>
+
+#include "util/memory.h"
+
+namespace pathenum {
+
+namespace {
+constexpr uint64_t kCheckInterval = 8192;
+}  // namespace
+
+EnumCounters JoinEnumerator::Run(uint32_t cut, PathSink& sink,
+                                 const EnumOptions& opts) {
+  const uint32_t k = index_.hops();
+  PATHENUM_CHECK_MSG(cut >= 1 && cut < k, "cut position out of range");
+  sink_ = &sink;
+  counters_ = EnumCounters{};
+  timer_.Reset();
+  deadline_ = Deadline::AfterMs(opts.time_limit_ms);
+  result_limit_ = opts.result_limit;
+  response_target_ = opts.response_target;
+  // Each half may use half the budget (tuples are uint32 slots).
+  tuple_limit_ = opts.partial_memory_limit_bytes / (2 * sizeof(uint32_t));
+  check_countdown_ = kCheckInterval;
+  stop_ = false;
+
+  const uint32_t s_slot = index_.source_slot();
+  const uint32_t t_slot = index_.target_slot();
+  if (s_slot == kInvalidSlot) return counters_;
+
+  // --- Evaluate Q[0:cut]: tuples of cut+1 slots starting at s (line 2). --
+  const uint32_t left_width = cut + 1;
+  std::vector<uint32_t> left;
+  Materialize(s_slot, /*base=*/0, left_width, left);
+  counters_.partials += left.size() / left_width;
+  if (stop_) {
+    counters_.peak_partial_bytes = VectorBytes(left);
+    return counters_;
+  }
+
+  // --- Collect the join keys C = { r[cut] : r in R_a } (line 3). ---------
+  const uint32_t n = index_.num_vertices();
+  std::vector<uint8_t> is_key(n, 0);
+  for (size_t off = cut; off < left.size(); off += left_width) {
+    is_key[left[off]] = 1;
+  }
+
+  // --- Evaluate Q[cut:k] grouped by starting vertex (lines 4-5). ---------
+  const uint32_t right_width = k - cut + 1;
+  std::vector<uint32_t> right;
+  // Group ranges over `right`, in tuple units, indexed by starting slot.
+  std::vector<std::pair<uint64_t, uint64_t>> group(n, {0, 0});
+  for (uint32_t v = 0; v < n && !stop_; ++v) {
+    if (!is_key[v]) continue;
+    const uint64_t begin = right.size() / right_width;
+    Materialize(v, /*base=*/cut, right_width, right);
+    group[v] = {begin, right.size() / right_width};
+  }
+  counters_.partials += right.size() / right_width;
+  counters_.peak_partial_bytes = VectorBytes(left) + VectorBytes(right) +
+                                 VectorBytes(is_key) + VectorBytes(group);
+  if (stop_) return counters_;
+
+  // --- Hash join R_a ⋈ R_b and validate (lines 6-8). ---------------------
+  uint32_t joined[kMaxHops + 1];
+  for (size_t l = 0; l < left.size() && !stop_; l += left_width) {
+    const uint32_t key = left[l + cut];
+    const auto [gb, ge] = group[key];
+    for (uint64_t r = gb; r < ge; ++r) {
+      if (ShouldStop()) break;
+      const uint32_t* rt = right.data() + r * right_width;
+      // Compose the padded walk: left tuple + right tuple minus join key.
+      for (uint32_t i = 0; i <= cut; ++i) joined[i] = left[l + i];
+      for (uint32_t i = 1; i < right_width; ++i) joined[cut + i] = rt[i];
+      // De-pad: everything after the first t is padding by construction.
+      uint32_t end = 0;
+      while (joined[end] != t_slot) ++end;
+      // Validity: a simple path has pairwise-distinct vertices.
+      bool valid = true;
+      for (uint32_t i = 1; i <= end && valid; ++i) {
+        for (uint32_t j = 0; j < i; ++j) {
+          if (joined[i] == joined[j]) {
+            valid = false;
+            break;
+          }
+        }
+      }
+      if (!valid) {
+        counters_.invalid_partials++;
+        continue;
+      }
+      for (uint32_t i = 0; i <= end; ++i) {
+        path_buf_[i] = index_.VertexAt(joined[i]);
+      }
+      Emit({path_buf_, end + 1});
+    }
+  }
+  return counters_;
+}
+
+bool JoinEnumerator::ShouldStop() {
+  if (stop_) return true;
+  if (check_countdown_-- == 0) {
+    check_countdown_ = kCheckInterval;
+    if (deadline_.Expired()) {
+      counters_.timed_out = true;
+      stop_ = true;
+    }
+  }
+  return stop_;
+}
+
+void JoinEnumerator::Emit(std::span<const VertexId> path) {
+  counters_.num_results++;
+  if (counters_.num_results == response_target_) {
+    counters_.response_ms = timer_.ElapsedMs();
+  }
+  if (!sink_->OnPath(path)) {
+    counters_.stopped_by_sink = true;
+    stop_ = true;
+  } else if (counters_.num_results >= result_limit_) {
+    counters_.hit_result_limit = true;
+    stop_ = true;
+  }
+}
+
+void JoinEnumerator::Materialize(uint32_t start, uint32_t base, uint32_t len,
+                                 std::vector<uint32_t>& out) {
+  stack_[0] = start;
+  MaterializeStep(0, base, len, out);
+}
+
+void JoinEnumerator::MaterializeStep(uint32_t depth, uint32_t base,
+                                     uint32_t len,
+                                     std::vector<uint32_t>& out) {
+  // Line 10 of Alg. 6: a full-width tuple is materialized.
+  if (depth + 1 == len) {
+    if (out.size() >= tuple_limit_) {
+      counters_.out_of_memory = true;
+      stop_ = true;
+      return;
+    }
+    out.insert(out.end(), stack_, stack_ + len);
+    return;
+  }
+  const uint32_t k = index_.hops();
+  const uint32_t t_slot = index_.target_slot();
+  // Lines 11-13: extend with I_t(v, k - base - L(M) - 1); `base` shifts the
+  // budget for the right half, which starts at query position i*.
+  const auto nbrs =
+      index_.OutSlotsWithin(stack_[depth], k - base - depth - 1);
+  counters_.edges_accessed += nbrs.size();
+  for (const uint32_t next : nbrs) {
+    if (ShouldStop()) return;
+    if (next != t_slot) {
+      // Duplicate non-t vertices can never survive the validity check;
+      // reject them inside the half (the t self-entry is the padding).
+      bool in_path = false;
+      for (uint32_t i = 0; i <= depth; ++i) {
+        if (stack_[i] == next) {
+          in_path = true;
+          break;
+        }
+      }
+      if (in_path) continue;
+    }
+    stack_[depth + 1] = next;
+    MaterializeStep(depth + 1, base, len, out);
+  }
+}
+
+}  // namespace pathenum

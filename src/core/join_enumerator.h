@@ -1,0 +1,58 @@
+// IDX-JOIN (paper Algorithm 6): cut the chain query Q at position i*,
+// materialize the two halves with index-based DFS (walks with (t,t)
+// padding, so paths of every length <= k are covered), hash-join them on
+// the cut vertex, and emit the joined tuples that form valid simple paths.
+#ifndef PATHENUM_CORE_JOIN_ENUMERATOR_H_
+#define PATHENUM_CORE_JOIN_ENUMERATOR_H_
+
+#include <vector>
+
+#include "core/index.h"
+#include "core/options.h"
+#include "core/sink.h"
+#include "util/timer.h"
+
+namespace pathenum {
+
+/// Index-based join enumerator.
+class JoinEnumerator {
+ public:
+  explicit JoinEnumerator(const LightweightIndex& index) : index_(index) {}
+
+  /// Enumerates all paths using cut position `cut` (1 <= cut <= k-1).
+  /// `counters.peak_partial_bytes` reports the materialized tuple memory
+  /// (the paper's Table 7 "Partial Results" row).
+  EnumCounters Run(uint32_t cut, PathSink& sink, const EnumOptions& opts = {});
+
+ private:
+  /// Generates the padded-walk tuples of Q[base : base+len-1]... i.e. all
+  /// sequences of `len` slots starting at `start`, where position p of the
+  /// tuple sits at query position base+p. Appends flat tuples to `out`.
+  void Materialize(uint32_t start, uint32_t base, uint32_t len,
+                   std::vector<uint32_t>& out);
+
+  void MaterializeStep(uint32_t depth, uint32_t base, uint32_t len,
+                       std::vector<uint32_t>& out);
+
+  bool ShouldStop();
+  void Emit(std::span<const VertexId> path);
+
+  const LightweightIndex& index_;
+
+  // Per-run state.
+  EnumCounters counters_;
+  PathSink* sink_ = nullptr;
+  Timer timer_;
+  Deadline deadline_;
+  uint64_t result_limit_ = 0;
+  uint64_t response_target_ = 0;
+  size_t tuple_limit_ = 0;  // per half, in uint32 units
+  uint64_t check_countdown_ = 0;
+  bool stop_ = false;
+  uint32_t stack_[kMaxHops + 1];
+  VertexId path_buf_[kMaxHops + 1];
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_CORE_JOIN_ENUMERATOR_H_

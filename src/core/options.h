@@ -1,0 +1,115 @@
+// Enumeration options and the query-time statistics every algorithm reports.
+#ifndef PATHENUM_CORE_OPTIONS_H_
+#define PATHENUM_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace pathenum {
+
+/// Which enumeration strategy the PathEnum driver uses.
+enum class Method {
+  kAuto,  // cost-based selection (the full PathEnum pipeline, Fig. 2)
+  kDfs,   // force IDX-DFS (paper Alg. 4)
+  kJoin,  // force IDX-JOIN (paper Alg. 5 + 6)
+};
+
+inline std::string_view MethodName(Method m) {
+  switch (m) {
+    case Method::kAuto: return "Auto";
+    case Method::kDfs: return "IDX-DFS";
+    case Method::kJoin: return "IDX-JOIN";
+  }
+  return "?";
+}
+
+/// Per-query knobs shared by PathEnum and every baseline.
+struct EnumOptions {
+  /// Stop after this many results (the paper never limits; benches may).
+  uint64_t result_limit = std::numeric_limits<uint64_t>::max();
+
+  /// Wall-clock budget in milliseconds; infinity means unlimited. The
+  /// paper's harness uses 120000 ms.
+  double time_limit_ms = std::numeric_limits<double>::infinity();
+
+  /// The paper's "response time" is the elapsed time until this many
+  /// results have been found (1000 in §7.1).
+  uint64_t response_target = 1000;
+
+  /// Cap on materialized intermediate tuples (join-based methods). When a
+  /// half-query's materialization would exceed it, the run stops and
+  /// reports out_of_memory — the paper's BC-JOIN hits exactly this on ep
+  /// at k = 8.
+  size_t partial_memory_limit_bytes = size_t{1} << 30;  // 1 GiB
+
+  /// Preliminary-estimator threshold τ (paper §6.2; 1e5 in their setup).
+  double tau = 1e5;
+
+  /// Strategy selection; kAuto runs the full two-phase optimizer.
+  Method method = Method::kAuto;
+
+  /// Ablation knob: when false, kAuto skips the preliminary estimator and
+  /// always runs the full-fledged one.
+  bool use_preliminary_estimator = true;
+};
+
+/// Low-level counters produced by a single enumeration run.
+struct EnumCounters {
+  uint64_t num_results = 0;
+  /// Neighbor entries examined during the search — the paper's "#Edges".
+  uint64_t edges_accessed = 0;
+  /// Partial results generated — search-tree nodes / materialized tuples.
+  uint64_t partials = 0;
+  /// Partial results that do not appear in any emitted path ("#Invalid").
+  uint64_t invalid_partials = 0;
+  /// Milliseconds (relative to enumeration start) when the
+  /// `response_target`-th result appeared; negative if never reached.
+  double response_ms = -1.0;
+  /// Peak bytes of materialized intermediate tuples (join methods only).
+  size_t peak_partial_bytes = 0;
+  bool timed_out = false;
+  bool hit_result_limit = false;
+  bool stopped_by_sink = false;
+  bool out_of_memory = false;  // partial_memory_limit_bytes exceeded
+
+  bool completed() const {
+    return !timed_out && !hit_result_limit && !stopped_by_sink &&
+           !out_of_memory;
+  }
+};
+
+/// Full per-query report (paper metrics: query time, throughput, response
+/// time, plus the breakdowns of Figs. 7/12/17).
+struct QueryStats {
+  double bfs_ms = 0.0;        // the two BFS inside index construction
+  double index_ms = 0.0;      // total index construction (includes bfs_ms)
+  double optimize_ms = 0.0;   // Alg. 5 join-order optimization
+  double enumerate_ms = 0.0;  // the chosen enumerator
+  double total_ms = 0.0;      // end-to-end query time
+  double response_ms = 0.0;   // time to the first `response_target` results
+
+  double preliminary_estimate = 0.0;  // Eq. 5's T̂ (0 when skipped)
+  double t_dfs_cost = 0.0;            // cost-model T_DFS (when optimized)
+  double t_join_cost = 0.0;           // cost-model T_JOIN (when optimized)
+  Method method = Method::kDfs;       // what actually ran
+  uint32_t cut_position = 0;          // i* (join only)
+
+  uint64_t index_vertices = 0;
+  uint64_t index_edges = 0;
+  size_t index_bytes = 0;
+
+  EnumCounters counters;
+
+  /// Results per second over the whole query (paper's throughput metric;
+  /// counts results found even when the query was cut off).
+  double ThroughputPerSec() const {
+    return total_ms > 0.0
+               ? static_cast<double>(counters.num_results) / (total_ms / 1e3)
+               : 0.0;
+  }
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_CORE_OPTIONS_H_

@@ -1,0 +1,159 @@
+#include "core/parallel_dfs.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/dfs_enumerator.h"
+#include "util/timer.h"
+
+namespace pathenum {
+
+namespace {
+
+/// Per-worker sink adapter enforcing the cross-thread result limit and
+/// response-time target with a shared atomic counter.
+class SharedLimitSink : public PathSink {
+ public:
+  SharedLimitSink(PathSink& inner, std::atomic<uint64_t>& emitted,
+                  uint64_t limit, uint64_t response_target,
+                  const Timer& timer, std::atomic<bool>& response_recorded,
+                  double& response_ms, std::mutex& response_mutex)
+      : inner_(inner),
+        emitted_(emitted),
+        limit_(limit),
+        response_target_(response_target),
+        timer_(timer),
+        response_recorded_(response_recorded),
+        response_ms_(response_ms),
+        response_mutex_(response_mutex) {}
+
+  bool OnPath(std::span<const VertexId> path) override {
+    const uint64_t n = emitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n > limit_) return false;  // reservation failed: stop this worker
+    if (n == response_target_ &&
+        !response_recorded_.exchange(true, std::memory_order_relaxed)) {
+      const std::lock_guard<std::mutex> lock(response_mutex_);
+      response_ms_ = timer_.ElapsedMs();
+    }
+    if (!inner_.OnPath(path)) return false;
+    return n < limit_;
+  }
+
+ private:
+  PathSink& inner_;
+  std::atomic<uint64_t>& emitted_;
+  const uint64_t limit_;
+  const uint64_t response_target_;
+  const Timer& timer_;
+  std::atomic<bool>& response_recorded_;
+  double& response_ms_;
+  std::mutex& response_mutex_;
+};
+
+}  // namespace
+
+ParallelDfsEnumerator::ParallelDfsEnumerator(const LightweightIndex& index,
+                                             uint32_t num_threads)
+    : index_(index),
+      num_threads_(num_threads != 0 ? num_threads
+                                    : std::max(1u,
+                                               std::thread::
+                                                   hardware_concurrency())) {
+}
+
+ParallelEnumResult ParallelDfsEnumerator::Run(
+    const std::function<std::unique_ptr<PathSink>()>& sink_factory,
+    const EnumOptions& opts) {
+  ParallelEnumResult result;
+  Timer wall;
+  const uint32_t s_slot = index_.source_slot();
+  if (s_slot == kInvalidSlot) return result;
+
+  const uint32_t k = index_.hops();
+  const auto branches = index_.OutSlotsWithin(s_slot, k - 1);
+  const uint32_t workers = static_cast<uint32_t>(std::min<size_t>(
+      num_threads_, std::max<size_t>(branches.size(), 1)));
+  result.threads_used = workers;
+
+  std::atomic<uint64_t> emitted{0};
+  std::atomic<bool> response_recorded{false};
+  std::atomic<uint32_t> cursor{0};
+  double response_ms = -1.0;
+  std::mutex response_mutex;
+  std::vector<EnumCounters> worker_counters(workers);
+
+  auto worker_fn = [&](uint32_t worker_id) {
+    std::unique_ptr<PathSink> sink = sink_factory();
+    SharedLimitSink limited(*sink, emitted, opts.result_limit,
+                            opts.response_target, wall, response_recorded,
+                            response_ms, response_mutex);
+    DfsEnumerator dfs(index_);
+    EnumCounters& total = worker_counters[worker_id];
+    // Per-branch options: the shared sink handles the cross-thread result
+    // limit; the deadline is absolute, so re-deriving it per branch from
+    // the remaining wall budget keeps it globally correct.
+    while (true) {
+      const uint32_t b =
+          cursor.fetch_add(1, std::memory_order_relaxed);
+      if (b >= branches.size()) break;
+      const uint32_t branch = branches[b];
+      // The immediate target-arrival and the duplicate check for s are the
+      // root frame's job in the sequential code; handled by RunBranch.
+      EnumOptions branch_opts = opts;
+      branch_opts.result_limit =
+          std::numeric_limits<uint64_t>::max();   // delegated to the sink
+      branch_opts.response_target = 0;            // delegated to the sink
+      if (opts.time_limit_ms !=
+          std::numeric_limits<double>::infinity()) {
+        branch_opts.time_limit_ms =
+            std::max(0.0, opts.time_limit_ms - wall.ElapsedMs());
+      }
+      const EnumCounters c = dfs.RunBranch(branch, limited, branch_opts);
+      total.num_results += c.num_results;
+      total.edges_accessed += c.edges_accessed;
+      total.partials += c.partials;
+      total.invalid_partials += c.invalid_partials;
+      total.timed_out |= c.timed_out;
+      total.stopped_by_sink |= c.stopped_by_sink;
+      if (c.stopped_by_sink) break;  // limit reached: stop claiming work
+      if (c.timed_out) break;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
+  for (auto& t : threads) t.join();
+
+  for (const EnumCounters& c : worker_counters) {
+    result.counters.edges_accessed += c.edges_accessed;
+    result.counters.partials += c.partials;
+    result.counters.invalid_partials += c.invalid_partials;
+    result.counters.timed_out |= c.timed_out;
+    result.counters.stopped_by_sink |= c.stopped_by_sink;
+  }
+  // The root partial (s) and the per-branch edge scan are accounted once.
+  result.counters.partials += 1;
+  result.counters.edges_accessed += branches.size();
+  // Delivered results: the shared counter, capped by the limit (attempts
+  // beyond the reservation were dropped by the adapter).
+  result.counters.num_results =
+      std::min(emitted.load(std::memory_order_relaxed), opts.result_limit);
+  if (result.counters.num_results >= opts.result_limit) {
+    result.counters.hit_result_limit = true;
+    result.counters.stopped_by_sink = false;
+  }
+  result.counters.response_ms = response_ms;
+  result.wall_ms = wall.ElapsedMs();
+  return result;
+}
+
+ParallelEnumResult ParallelDfsEnumerator::CountAll(const EnumOptions& opts) {
+  return Run([] { return std::make_unique<CountingSink>(); }, opts);
+}
+
+}  // namespace pathenum

@@ -1,0 +1,57 @@
+// Multi-threaded IDX-DFS. The search tree under s fans out into the
+// independent subtrees rooted at each first-level extension I_t(s, k-1);
+// a worker pool claims subtrees dynamically (atomic cursor) and runs the
+// sequential enumerator inside each. An extension of the paper's system:
+// the per-query index is immutable after construction, so the enumeration
+// parallelizes without any synchronization beyond result accounting.
+#ifndef PATHENUM_CORE_PARALLEL_DFS_H_
+#define PATHENUM_CORE_PARALLEL_DFS_H_
+
+#include <functional>
+#include <memory>
+
+#include "core/index.h"
+#include "core/options.h"
+#include "core/sink.h"
+
+namespace pathenum {
+
+/// Outcome of a parallel enumeration.
+struct ParallelEnumResult {
+  /// Merged counters across all workers (times are wall-clock).
+  EnumCounters counters;
+  double wall_ms = 0.0;
+  uint32_t threads_used = 0;
+};
+
+/// Parallel index-based DFS enumerator.
+///
+/// Sinks are created per worker thread through `sink_factory`, so user
+/// code needs no locking: each worker owns its sink exclusively, and
+/// cross-thread limits (result_limit, response_target) are enforced by the
+/// enumerator with atomics. Results are exact: the union of the per-sink
+/// path sets equals the sequential result set.
+class ParallelDfsEnumerator {
+ public:
+  /// `num_threads` 0 picks std::thread::hardware_concurrency().
+  explicit ParallelDfsEnumerator(const LightweightIndex& index,
+                                 uint32_t num_threads = 0);
+
+  /// Runs the enumeration. `sink_factory` is invoked once per worker (from
+  /// that worker's thread); the returned sinks receive disjoint subsets of
+  /// the result set.
+  ParallelEnumResult Run(
+      const std::function<std::unique_ptr<PathSink>()>& sink_factory,
+      const EnumOptions& opts = {});
+
+  /// Convenience: counts all paths with per-thread counting sinks.
+  ParallelEnumResult CountAll(const EnumOptions& opts = {});
+
+ private:
+  const LightweightIndex& index_;
+  uint32_t num_threads_;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_CORE_PARALLEL_DFS_H_

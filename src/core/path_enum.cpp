@@ -1,0 +1,202 @@
+#include "core/path_enum.h"
+
+#include <algorithm>
+
+#include "core/dfs_enumerator.h"
+#include "core/join_enumerator.h"
+#include "graph/distance_oracle.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace pathenum {
+
+namespace {
+
+/// Folds enumeration counters and phase timings into the query report.
+void Finalize(QueryStats& stats, const EnumCounters& counters,
+              double enumerate_ms, double total_ms) {
+  stats.counters = counters;
+  stats.enumerate_ms = enumerate_ms;
+  stats.total_ms = total_ms;
+  // Response time = time from query start to the response_target-th result;
+  // if the target was never reached the whole query time is reported.
+  const double preprocessing = total_ms - enumerate_ms;
+  stats.response_ms = counters.response_ms >= 0.0
+                          ? preprocessing + counters.response_ms
+                          : total_ms;
+}
+
+}  // namespace
+
+bool PathEnumerator::OracleRejects(const Query& q) const {
+  // Safe in one direction only: the oracle's unconstrained distance lower-
+  // bounds every constrained variant, so "too far" implies no result.
+  return oracle_ != nullptr && !oracle_->Within(q.source, q.target, q.hops);
+}
+
+QueryStats PathEnumerator::Run(const Query& q, PathSink& sink,
+                               const EnumOptions& opts) {
+  ValidateQuery(graph_, q);
+  QueryStats stats;
+  Timer total;
+  if (OracleRejects(q)) {
+    stats.total_ms = total.ElapsedMs();
+    stats.response_ms = stats.total_ms;
+    return stats;
+  }
+
+  IndexBuilder::Options build_opts;
+  // IDX-DFS never consults the in-direction; skip it when forced to DFS.
+  build_opts.build_in_direction = opts.method != Method::kDfs && q.hops >= 2;
+  build_opts.collect_level_stats = opts.method == Method::kAuto;
+  LightweightIndex index = builder_.Build(graph_, q, build_opts);
+  stats.bfs_ms = index.build_stats().bfs_ms;
+  stats.index_ms = index.build_stats().total_ms;
+  stats.index_vertices = index.num_vertices();
+  stats.index_edges = index.num_edges();
+  stats.index_bytes = index.MemoryBytes();
+
+  Method chosen = opts.method;
+  uint32_t cut = 0;
+  if (q.hops < 2) chosen = Method::kDfs;  // no proper cut exists
+
+  if (chosen == Method::kAuto) {
+    // Step 2 of Fig. 2: the O(k) preliminary estimate decides whether the
+    // full optimizer is worth running at all.
+    stats.preliminary_estimate = EstimateSearchSpace(index);
+    if (opts.use_preliminary_estimator &&
+        stats.preliminary_estimate <= opts.tau) {
+      chosen = Method::kDfs;
+    } else {
+      Timer opt_timer;
+      const JoinPlan plan = OptimizeJoinOrder(index);
+      stats.optimize_ms = opt_timer.ElapsedMs();
+      stats.t_dfs_cost = plan.t_dfs;
+      stats.t_join_cost = plan.t_join;
+      if (plan.PreferJoin()) {
+        chosen = Method::kJoin;
+        cut = plan.cut;
+      } else {
+        chosen = Method::kDfs;
+      }
+    }
+  } else if (chosen == Method::kJoin) {
+    // Forced IDX-JOIN still needs Alg. 5 for the cut position.
+    Timer opt_timer;
+    const JoinPlan plan = OptimizeJoinOrder(index);
+    stats.optimize_ms = opt_timer.ElapsedMs();
+    stats.t_dfs_cost = plan.t_dfs;
+    stats.t_join_cost = plan.t_join;
+    cut = plan.cut == 0 ? std::max<uint32_t>(1, q.hops / 2) : plan.cut;
+  }
+
+  stats.method = chosen;
+  stats.cut_position = cut;
+
+  Timer enum_timer;
+  EnumCounters counters;
+  if (chosen == Method::kJoin) {
+    JoinEnumerator join(index);
+    counters = join.Run(cut, sink, opts);
+  } else {
+    DfsEnumerator dfs(index);
+    counters = dfs.Run(sink, opts);
+  }
+  Finalize(stats, counters, enum_timer.ElapsedMs(), total.ElapsedMs());
+  return stats;
+}
+
+QueryStats PathEnumerator::RunConstrained(const Query& q,
+                                          const PathConstraints& constraints,
+                                          PathSink& sink,
+                                          const EnumOptions& opts) {
+  ValidateQuery(graph_, q);
+  QueryStats stats;
+  Timer total;
+  if (OracleRejects(q)) {
+    stats.total_ms = total.ElapsedMs();
+    stats.response_ms = stats.total_ms;
+    return stats;
+  }
+
+  // Constrained queries default to the DFS enumerator (the cost model does
+  // not see constraint selectivity); a forced kJoin runs the Appendix-E
+  // join-side extension, which requires `init` to be an identity of
+  // `combine`.
+  const bool use_join = opts.method == Method::kJoin && q.hops >= 2;
+
+  IndexBuilder::Options build_opts;
+  build_opts.filter = constraints.edge_filter;
+  build_opts.build_in_direction = use_join;
+  build_opts.collect_level_stats = false;
+  LightweightIndex index = builder_.Build(graph_, q, build_opts);
+  stats.bfs_ms = index.build_stats().bfs_ms;
+  stats.index_ms = index.build_stats().total_ms;
+  stats.index_vertices = index.num_vertices();
+  stats.index_edges = index.num_edges();
+  stats.index_bytes = index.MemoryBytes();
+  stats.method = use_join ? Method::kJoin : Method::kDfs;
+
+  Timer enum_timer;
+  EnumCounters counters;
+  if (use_join) {
+    Timer opt_timer;
+    const JoinPlan plan = OptimizeJoinOrder(index);
+    stats.optimize_ms = opt_timer.ElapsedMs();
+    stats.t_dfs_cost = plan.t_dfs;
+    stats.t_join_cost = plan.t_join;
+    stats.cut_position =
+        plan.cut == 0 ? std::max<uint32_t>(1, q.hops / 2) : plan.cut;
+    enum_timer.Reset();
+    ConstrainedJoinEnumerator join(graph_, index, constraints);
+    counters = join.Run(stats.cut_position, sink, opts);
+  } else if (constraints.HasSearchState()) {
+    ConstrainedDfsEnumerator dfs(graph_, index, constraints);
+    counters = dfs.Run(sink, opts);
+  } else {
+    DfsEnumerator dfs(index);  // predicate-only: plain DFS on filtered index
+    counters = dfs.Run(sink, opts);
+  }
+  Finalize(stats, counters, enum_timer.ElapsedMs(), total.ElapsedMs());
+  return stats;
+}
+
+double CalibrateTau(const Graph& g, const std::vector<Query>& sample_queries,
+                    double max_tau) {
+  PathEnumerator enumerator(g);
+  std::vector<double> optimize_times;
+  std::vector<double> rates;  // results per millisecond
+  for (const Query& q : sample_queries) {
+    IndexBuilder builder;
+    IndexBuilder::Options opts;
+    LightweightIndex index = builder.Build(g, q, opts);
+
+    Timer opt_timer;
+    const JoinPlan plan = OptimizeJoinOrder(index);
+    (void)plan;
+    optimize_times.push_back(opt_timer.ElapsedMs());
+
+    CountingSink sink;
+    EnumOptions run_opts;
+    run_opts.result_limit = 100000;
+    run_opts.time_limit_ms = 1000.0;
+    DfsEnumerator dfs(index);
+    Timer run_timer;
+    const EnumCounters counters = dfs.Run(sink, run_opts);
+    const double ms = std::max(run_timer.ElapsedMs(), 1e-3);
+    if (counters.num_results > 0) {
+      rates.push_back(static_cast<double>(counters.num_results) / ms);
+    }
+  }
+  if (optimize_times.empty() || rates.empty()) return 1e5;
+  const double median_opt = Percentile(optimize_times, 50.0);
+  const double median_rate = Percentile(rates, 50.0);
+  // Smallest power of ten whose enumeration time exceeds the optimization
+  // time for the typical query (§6.2's procedure).
+  for (double tau = 10.0; tau <= max_tau; tau *= 10.0) {
+    if (tau / median_rate > median_opt) return tau;
+  }
+  return max_tau;
+}
+
+}  // namespace pathenum

@@ -1,0 +1,72 @@
+// The PathEnum driver — the full pipeline of paper Figure 2:
+//   1. build the light-weight index for q(s, t, k);
+//   2. preliminary cardinality estimate T̂ (Eq. 5);
+//   3. if T̂ <= τ, run IDX-DFS directly;
+//   4. otherwise run the full-fledged optimizer (Alg. 5) and execute the
+//      cheaper of IDX-DFS and IDX-JOIN.
+// Keep one PathEnumerator per graph/session: it owns the reusable BFS
+// buffers, so repeated queries avoid O(|V|) re-initialisation.
+#ifndef PATHENUM_CORE_PATH_ENUM_H_
+#define PATHENUM_CORE_PATH_ENUM_H_
+
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/estimator.h"
+#include "core/index.h"
+#include "core/options.h"
+#include "core/sink.h"
+
+namespace pathenum {
+
+class PrunedLandmarkIndex;
+
+/// Facade over index construction, the optimizer and both enumerators.
+class PathEnumerator {
+ public:
+  /// `oracle` (optional, not owned) is the §7.5-style offline global
+  /// index: when provided, queries with d(s,t) > k are rejected in
+  /// O(|label|) before any per-query work. It must describe the same graph
+  /// snapshot (a stale oracle may wrongly reject; never wrongly accept
+  /// results — acceptance still runs the exact pipeline).
+  explicit PathEnumerator(const Graph& g,
+                          const PrunedLandmarkIndex* oracle = nullptr)
+      : graph_(g), oracle_(oracle) {}
+
+  /// Runs q and streams every hop-constrained s-t path into `sink`.
+  /// `opts.method` selects IDX-DFS / IDX-JOIN / cost-based auto.
+  QueryStats Run(const Query& q, PathSink& sink, const EnumOptions& opts = {});
+
+  /// Runs q under the Appendix-E constraint extensions. Constrained queries
+  /// always use the (constrained) DFS enumerator; the edge predicate is
+  /// pushed down into index construction.
+  QueryStats RunConstrained(const Query& q, const PathConstraints& constraints,
+                            PathSink& sink, const EnumOptions& opts = {});
+
+  const Graph& graph() const { return graph_; }
+
+  /// Builds and returns just the index (tooling/benchmark hook).
+  LightweightIndex BuildIndex(const Query& q,
+                              const IndexBuilder::Options& opts = {}) {
+    return builder_.Build(graph_, q, opts);
+  }
+
+ private:
+  /// True iff the oracle certifies d(s,t) > k (query has no result).
+  bool OracleRejects(const Query& q) const;
+
+  const Graph& graph_;
+  const PrunedLandmarkIndex* oracle_;
+  IndexBuilder builder_;
+};
+
+/// Calibrates the preliminary-estimator threshold τ for a graph following
+/// §6.2: grow τ through powers of ten until the time IDX-DFS needs to find
+/// τ results exceeds the median join-order-optimization time of the sample
+/// queries. Returns the chosen τ.
+double CalibrateTau(const Graph& g, const std::vector<Query>& sample_queries,
+                    double max_tau = 1e8);
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_CORE_PATH_ENUM_H_

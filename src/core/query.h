@@ -1,0 +1,30 @@
+// The HcPE query type: q(s, t, k).
+#ifndef PATHENUM_CORE_QUERY_H_
+#define PATHENUM_CORE_QUERY_H_
+
+#include "graph/graph.h"
+#include "util/common.h"
+
+namespace pathenum {
+
+/// A hop-constrained s-t path enumeration query: find every simple path from
+/// `source` to `target` with at most `hops` edges.
+struct Query {
+  VertexId source = 0;
+  VertexId target = 0;
+  uint32_t hops = 2;
+};
+
+/// Validates a query against a graph: endpoints in range and distinct,
+/// 1 <= hops <= kMaxHops. Throws std::logic_error on violation.
+inline void ValidateQuery(const Graph& g, const Query& q) {
+  PATHENUM_CHECK_MSG(q.source < g.num_vertices(), "source out of range");
+  PATHENUM_CHECK_MSG(q.target < g.num_vertices(), "target out of range");
+  PATHENUM_CHECK_MSG(q.source != q.target, "source and target must differ");
+  PATHENUM_CHECK_MSG(q.hops >= 1, "hop constraint must be at least 1");
+  PATHENUM_CHECK_MSG(q.hops <= kMaxHops, "hop constraint too large");
+}
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_CORE_QUERY_H_

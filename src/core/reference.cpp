@@ -1,0 +1,84 @@
+#include "core/reference.h"
+
+#include <algorithm>
+
+namespace pathenum {
+
+namespace {
+
+/// Shared backtracking skeleton; `require_simple` distinguishes paths from
+/// Definition-2.1 walks.
+void Enumerate(const Graph& g, const Query& q, bool require_simple,
+               uint64_t limit, std::vector<std::vector<VertexId>>& out) {
+  std::vector<VertexId> walk{q.source};
+  auto step = [&](auto&& self, VertexId v) -> bool {
+    if (v == q.target) {
+      out.push_back(walk);
+      return out.size() < limit;
+    }
+    if (walk.size() > q.hops) return true;  // no room for another edge
+    for (const VertexId w : g.OutNeighbors(v)) {
+      if (w == q.source) continue;  // internal vertices avoid s
+      if (require_simple &&
+          std::find(walk.begin(), walk.end(), w) != walk.end()) {
+        continue;
+      }
+      walk.push_back(w);
+      const bool keep_going = self(self, w);
+      walk.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  step(step, q.source);
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> BruteForcePaths(const Graph& g,
+                                                   const Query& q,
+                                                   uint64_t limit) {
+  ValidateQuery(g, q);
+  std::vector<std::vector<VertexId>> out;
+  Enumerate(g, q, /*require_simple=*/true, limit, out);
+  return out;
+}
+
+uint64_t CountPathsBruteForce(const Graph& g, const Query& q) {
+  return BruteForcePaths(g, q).size();
+}
+
+std::vector<std::vector<VertexId>> BruteForceWalks(const Graph& g,
+                                                   const Query& q,
+                                                   uint64_t limit) {
+  ValidateQuery(g, q);
+  std::vector<std::vector<VertexId>> out;
+  Enumerate(g, q, /*require_simple=*/false, limit, out);
+  return out;
+}
+
+double CountWalksDp(const Graph& g, const Query& q) {
+  ValidateQuery(g, q);
+  const VertexId n = g.num_vertices();
+  // walks[v] = number of walks s -> v of length exactly d with internal
+  // vertices avoiding {s, t}.
+  std::vector<double> cur(n, 0.0), nxt(n, 0.0);
+  cur[q.source] = 1.0;
+  double total = 0.0;
+  for (uint32_t d = 1; d <= q.hops; ++d) {
+    std::fill(nxt.begin(), nxt.end(), 0.0);
+    for (VertexId u = 0; u < n; ++u) {
+      if (cur[u] == 0.0) continue;
+      if (u == q.target) continue;  // walks end at t
+      for (const VertexId v : g.OutNeighbors(u)) {
+        if (v == q.source) continue;  // walks never re-enter s
+        nxt[v] += cur[u];
+      }
+    }
+    total += nxt[q.target];
+    std::swap(cur, nxt);
+  }
+  return total;
+}
+
+}  // namespace pathenum

@@ -1,0 +1,35 @@
+// Reference (brute-force) implementations used as ground truth by tests and
+// by the estimation-accuracy experiment (Fig. 18). Deliberately simple:
+// plain backtracking over raw adjacency, no pruning beyond the definition.
+#ifndef PATHENUM_CORE_REFERENCE_H_
+#define PATHENUM_CORE_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "graph/graph.h"
+
+namespace pathenum {
+
+/// All simple paths from s to t with at most k edges, as vertex sequences.
+/// Stops after `limit` results. Exponential time — small inputs only.
+std::vector<std::vector<VertexId>> BruteForcePaths(
+    const Graph& g, const Query& q, uint64_t limit = UINT64_MAX);
+
+/// delta_P = |P(s,t,k,G)|.
+uint64_t CountPathsBruteForce(const Graph& g, const Query& q);
+
+/// All walks from s to t with at most k edges whose *internal* vertices
+/// avoid {s, t} (paper Definition 2.1). Exponential — small inputs only.
+std::vector<std::vector<VertexId>> BruteForceWalks(
+    const Graph& g, const Query& q, uint64_t limit = UINT64_MAX);
+
+/// delta_W = |W(s,t,k,G)| via dynamic programming over walk lengths;
+/// O(k * |E|). Returned as double (delta_W overflows uint64 on dense
+/// graphs), exact while below 2^53.
+double CountWalksDp(const Graph& g, const Query& q);
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_CORE_REFERENCE_H_

@@ -1,0 +1,83 @@
+#include "core/relations.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pathenum {
+
+uint64_t RelationSet::TotalTuples() const {
+  uint64_t total = 0;
+  for (const Relation& r : relations) total += r.size();
+  return total;
+}
+
+RelationSet BuildRelations(const Graph& g, const Query& q) {
+  ValidateQuery(g, q);
+  RelationSet rs;
+  rs.query = q;
+  const uint32_t k = q.hops;
+  rs.relations.resize(k);
+
+  // R_1: out-edges of s (including (s,t) — length-1 paths enter here).
+  for (const VertexId v : g.OutNeighbors(q.source)) {
+    rs.relations[0].push_back({q.source, v});
+  }
+
+  // Middle relations: edges of G - {s} with source != t, plus (t,t).
+  if (k >= 3) {
+    Relation middle;
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      if (u == q.source || u == q.target) continue;
+      for (const VertexId v : g.OutNeighbors(u)) {
+        if (v == q.source) continue;  // edges into s are also outside G-{s}
+        middle.push_back({u, v});
+      }
+    }
+    middle.push_back({q.target, q.target});
+    for (uint32_t i = 1; i + 1 < k; ++i) rs.relations[i] = middle;
+  }
+
+  // R_k: in-edges of t with source != s, plus (t,t). (For k == 1 the whole
+  // query is R_1 and no padding relation exists.)
+  if (k >= 2) {
+    Relation& last = rs.relations[k - 1];
+    for (const VertexId u : g.InNeighbors(q.target)) {
+      if (u == q.source) continue;
+      last.push_back({u, q.target});
+    }
+    last.push_back({q.target, q.target});
+  }
+  return rs;
+}
+
+void FullReduce(RelationSet& rs) {
+  const size_t k = rs.relations.size();
+  if (k <= 1) return;
+  std::unordered_set<VertexId> keep;
+
+  // Forward sweep (lines 5-8): R_{i+1} keeps tuples whose source appears as
+  // a destination of R_i.
+  for (size_t i = 0; i + 1 < k; ++i) {
+    keep.clear();
+    for (const auto& [u, v] : rs.relations[i]) keep.insert(v);
+    Relation& next = rs.relations[i + 1];
+    std::erase_if(next, [&](const auto& t) { return !keep.count(t.first); });
+  }
+
+  // Backward sweep (lines 9-12): R_i keeps tuples whose destination appears
+  // as a source of R_{i+1}.
+  for (size_t i = k - 1; i-- > 0;) {
+    keep.clear();
+    for (const auto& [u, v] : rs.relations[i + 1]) keep.insert(u);
+    Relation& prev = rs.relations[i];
+    std::erase_if(prev, [&](const auto& t) { return !keep.count(t.second); });
+  }
+}
+
+RelationSet BuildReducedRelations(const Graph& g, const Query& q) {
+  RelationSet rs = BuildRelations(g, q);
+  FullReduce(rs);
+  return rs;
+}
+
+}  // namespace pathenum

@@ -1,0 +1,44 @@
+// The join-model relations R_1..R_k of paper §3.1 and the full-reducer
+// dangling-tuple elimination of Algorithm 2. The light-weight index
+// supersedes this in the PathEnum pipeline (it prunes equally well at a
+// fraction of the cost — Appendix B); the module exists to validate that
+// claim (tests, ablation bench) and as a faithful reference implementation.
+#ifndef PATHENUM_CORE_RELATIONS_H_
+#define PATHENUM_CORE_RELATIONS_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "graph/graph.h"
+
+namespace pathenum {
+
+/// One binary relation: a list of (u, v) tuples.
+using Relation = std::vector<std::pair<VertexId, VertexId>>;
+
+/// The chain-join relations of Q for a query q(s, t, k):
+///   R_1 = out-edges of s;
+///   R_i (1<i<k) = edges of G-{s} with source != t, plus (t,t);
+///   R_k = in-edges of t with source != s, plus (t,t).
+struct RelationSet {
+  Query query;
+  std::vector<Relation> relations;  // relations[i] is R_{i+1}
+
+  /// Total tuples across all relations (the Alg. 2 footprint).
+  uint64_t TotalTuples() const;
+};
+
+/// Builds the initial (un-reduced) relations — Alg. 2 lines 1-4.
+RelationSet BuildRelations(const Graph& g, const Query& q);
+
+/// Runs the full reducer in place — Alg. 2 lines 5-12: a forward semijoin
+/// sweep (prune R_{i+1} sources absent from R_i's destinations) followed by
+/// a backward sweep.
+void FullReduce(RelationSet& rs);
+
+/// Convenience: BuildRelations + FullReduce.
+RelationSet BuildReducedRelations(const Graph& g, const Query& q);
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_CORE_RELATIONS_H_

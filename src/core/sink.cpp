@@ -1,0 +1,20 @@
+#include "core/sink.h"
+
+namespace pathenum {
+
+bool CountingSink::OnPath(std::span<const VertexId> path) {
+  ++count_;
+  total_length_ += path.size() - 1;
+  return true;
+}
+
+bool CollectingSink::OnPath(std::span<const VertexId> path) {
+  if (paths_.size() >= max_paths_) {
+    truncated_ = true;
+    return false;
+  }
+  paths_.emplace_back(path.begin(), path.end());
+  return paths_.size() < max_paths_;
+}
+
+}  // namespace pathenum

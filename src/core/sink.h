@@ -1,0 +1,72 @@
+// Result consumers. Enumerators push each discovered path into a PathSink;
+// the sink can stop the enumeration early by returning false.
+#ifndef PATHENUM_CORE_SINK_H_
+#define PATHENUM_CORE_SINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace pathenum {
+
+/// Consumer interface for enumerated paths. `path` is the full vertex
+/// sequence (source first, target last) and is only valid during the call.
+class PathSink {
+ public:
+  virtual ~PathSink() = default;
+
+  /// Returns false to stop the enumeration.
+  virtual bool OnPath(std::span<const VertexId> path) = 0;
+};
+
+/// Counts results; never stops the enumeration.
+class CountingSink : public PathSink {
+ public:
+  bool OnPath(std::span<const VertexId> path) override;
+
+  uint64_t count() const { return count_; }
+  /// Sum of path lengths (edges), handy for cheap result checksums.
+  uint64_t total_length() const { return total_length_; }
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t total_length_ = 0;
+};
+
+/// Stores every result (up to `max_paths`); stops when full.
+class CollectingSink : public PathSink {
+ public:
+  explicit CollectingSink(
+      size_t max_paths = std::numeric_limits<size_t>::max())
+      : max_paths_(max_paths) {}
+
+  bool OnPath(std::span<const VertexId> path) override;
+
+  const std::vector<std::vector<VertexId>>& paths() const { return paths_; }
+  bool truncated() const { return truncated_; }
+
+ private:
+  size_t max_paths_;
+  bool truncated_ = false;
+  std::vector<std::vector<VertexId>> paths_;
+};
+
+/// Adapts a callable `bool(std::span<const VertexId>)` or
+/// `void(std::span<const VertexId>)` into a sink.
+class CallbackSink : public PathSink {
+ public:
+  explicit CallbackSink(std::function<bool(std::span<const VertexId>)> fn)
+      : fn_(std::move(fn)) {}
+
+  bool OnPath(std::span<const VertexId> path) override { return fn_(path); }
+
+ private:
+  std::function<bool(std::span<const VertexId>)> fn_;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_CORE_SINK_H_

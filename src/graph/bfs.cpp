@@ -1,0 +1,71 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+
+namespace pathenum {
+
+void DistanceField::EnsureSize(size_t n) {
+  if (stamp_.size() < n) {
+    stamp_.assign(n, 0);
+    dist_.assign(n, 0);
+    epoch_ = 0;
+  }
+}
+
+void DistanceField::Compute(const Graph& g, Direction dir, VertexId source,
+                            const Options& opts) {
+  PATHENUM_CHECK(source < g.num_vertices());
+  EnsureSize(g.num_vertices());
+  if (++epoch_ == 0) {  // stamp wrap-around: reset and restart epochs
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  reached_.clear();
+
+  stamp_[source] = epoch_;
+  dist_[source] = 0;
+  reached_.push_back(source);
+  if (source == opts.stop_at) return;
+
+  // `reached_` doubles as the FIFO queue: BFS order is non-decreasing in
+  // distance, so scanning it front-to-back visits each frontier in turn.
+  for (size_t head = 0; head < reached_.size(); ++head) {
+    const VertexId u = reached_[head];
+    const uint32_t du = dist_[u];
+    if (du >= opts.max_depth) continue;  // children would exceed the cap
+    if (u == opts.blocked && u != source) continue;  // reached, not expanded
+    const auto nbrs =
+        dir == Direction::kForward ? g.OutNeighbors(u) : g.InNeighbors(u);
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      const VertexId v = nbrs[j];
+      if (stamp_[v] == epoch_) continue;
+      if (opts.filter != nullptr) {
+        // Present the edge in graph orientation regardless of direction.
+        const VertexId from = dir == Direction::kForward ? u : v;
+        const VertexId to = dir == Direction::kForward ? v : u;
+        const EdgeId e = dir == Direction::kForward
+                             ? g.OutEdgeId(u, j)
+                             : g.FindEdge(v, u);
+        if (!(*opts.filter)(from, to, e)) continue;
+      }
+      if (opts.admit != nullptr && !(*opts.admit)(v, du + 1)) continue;
+      stamp_[v] = epoch_;
+      dist_[v] = du + 1;
+      reached_.push_back(v);
+      if (v == opts.stop_at) return;
+    }
+  }
+}
+
+bool WithinDistance(const Graph& g, VertexId from, VertexId to,
+                    uint32_t max_depth) {
+  if (from == to) return true;
+  DistanceField field;
+  DistanceField::Options opts;
+  opts.max_depth = max_depth;
+  opts.stop_at = to;
+  field.Compute(g, Direction::kForward, from, opts);
+  return field.Distance(to) <= max_depth;
+}
+
+}  // namespace pathenum

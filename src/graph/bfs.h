@@ -1,0 +1,93 @@
+// Bounded breadth-first-search distance fields.
+//
+// The light-weight index (paper Alg. 3, line 1) needs, per query,
+//   v.s = S(s, v | G - {t})   and   v.t = S(v, t | G - {s}),
+// i.e. shortest-walk distances whose *internal* vertices avoid the other
+// query endpoint. `DistanceField` implements this with a "blocked" vertex
+// that is assigned a distance when reached but never expanded.
+//
+// Buffers are epoch-stamped so a field can be reused across thousands of
+// queries with O(frontier) cost instead of O(|V|) re-initialisation.
+#ifndef PATHENUM_GRAPH_BFS_H_
+#define PATHENUM_GRAPH_BFS_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/common.h"
+
+namespace pathenum {
+
+/// Which adjacency to follow.
+enum class Direction {
+  kForward,   // follow out-edges: distances *from* the source
+  kBackward,  // follow in-edges: distances *to* the source
+};
+
+/// Optional edge filter for predicate-constrained queries (Appendix E).
+/// Receives the edge in graph orientation (u -> v) and its edge id; returns
+/// false to make the edge invisible to the traversal.
+using EdgeFilter = std::function<bool(VertexId u, VertexId v, EdgeId e)>;
+
+/// Optional vertex admission filter: a discovered vertex failing the filter
+/// is neither stamped nor expanded (the source is always admitted). The
+/// index builder uses it to confine the second BFS to the X set — exact
+/// because every vertex on a shortest path to an admitted vertex is itself
+/// admitted (triangle inequality; see DESIGN.md).
+using VertexAdmission = std::function<bool(VertexId v, uint32_t dist)>;
+
+/// Traversal options for DistanceField::Compute.
+struct BfsOptions {
+  /// Vertex assigned a distance when reached but never expanded
+  /// (kInvalidVertex: none). Models "internal vertices avoid this vertex".
+  VertexId blocked = kInvalidVertex;
+  /// Depth cap; vertices farther than this stay unreached.
+  uint32_t max_depth = kInfDistance;
+  /// Stop the traversal as soon as this vertex is assigned a distance
+  /// (kInvalidVertex: run to exhaustion). Used by reachability probes.
+  VertexId stop_at = kInvalidVertex;
+  /// Optional edge filter; null means all edges are visible.
+  const EdgeFilter* filter = nullptr;
+  /// Optional vertex admission filter; null admits everything.
+  const VertexAdmission* admit = nullptr;
+};
+
+/// Reusable BFS distance field.
+class DistanceField {
+ public:
+  using Options = BfsOptions;
+
+  DistanceField() = default;
+
+  /// Runs a BFS from `source` over `g` in direction `dir`. Invalidates the
+  /// result of any previous Compute on this object.
+  void Compute(const Graph& g, Direction dir, VertexId source,
+               const Options& opts = {});
+
+  /// Distance of `v` from/to the source, or kInfDistance if unreached.
+  uint32_t Distance(VertexId v) const {
+    return (v < stamp_.size() && stamp_[v] == epoch_) ? dist_[v]
+                                                      : kInfDistance;
+  }
+
+  /// Vertices reached by the last Compute, in BFS order (source first).
+  const std::vector<VertexId>& Reached() const { return reached_; }
+
+ private:
+  void EnsureSize(size_t n);
+
+  std::vector<uint32_t> stamp_;
+  std::vector<uint32_t> dist_;
+  std::vector<VertexId> reached_;  // doubles as the BFS queue
+  uint32_t epoch_ = 0;
+};
+
+/// True iff a path from `from` to `to` of length <= `max_depth` exists.
+/// Convenience wrapper used by the workload generator (dist(s,t) <= 3).
+bool WithinDistance(const Graph& g, VertexId from, VertexId to,
+                    uint32_t max_depth);
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_GRAPH_BFS_H_

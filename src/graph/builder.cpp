@@ -1,0 +1,91 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace pathenum {
+
+GraphBuilder::GraphBuilder(VertexId num_vertices)
+    : num_vertices_(num_vertices) {}
+
+bool GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  return AddEdge(u, v, 1.0, 0);
+}
+
+bool GraphBuilder::AddEdge(VertexId u, VertexId v, double weight,
+                           uint32_t label) {
+  PATHENUM_CHECK_MSG(u < num_vertices_ && v < num_vertices_,
+                     "edge endpoint out of range");
+  if (u == v) return false;  // self-loop
+  if (weight != 1.0) any_weight_ = true;
+  if (label != 0) any_label_ = true;
+  edges_.push_back({u, v, weight, label});
+  return true;
+}
+
+void GraphBuilder::AddGraph(const Graph& g) {
+  PATHENUM_CHECK(g.num_vertices() <= num_vertices_);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.OutNeighbors(u);
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      const EdgeId e = g.OutEdgeId(u, j);
+      AddEdge(u, nbrs[j], g.has_weights() ? g.EdgeWeight(e) : 1.0,
+              g.has_labels() ? g.EdgeLabel(e) : 0);
+    }
+  }
+}
+
+Graph GraphBuilder::Build() const {
+  // Sort by (u, v); stable so dedup keeps the first-inserted attributes.
+  std::vector<uint32_t> order(edges_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (edges_[a].u != edges_[b].u) return edges_[a].u < edges_[b].u;
+    return edges_[a].v < edges_[b].v;
+  });
+
+  Graph g;
+  g.out_offsets_.assign(static_cast<size_t>(num_vertices_) + 1, 0);
+  g.out_adj_.reserve(edges_.size());
+  if (any_weight_) g.weights_.reserve(edges_.size());
+  if (any_label_) g.labels_.reserve(edges_.size());
+
+  VertexId prev_u = kInvalidVertex;
+  VertexId prev_v = kInvalidVertex;
+  uint32_t max_label = 0;
+  for (uint32_t idx : order) {
+    const PendingEdge& e = edges_[idx];
+    if (e.u == prev_u && e.v == prev_v) continue;  // duplicate
+    prev_u = e.u;
+    prev_v = e.v;
+    g.out_adj_.push_back(e.v);
+    g.out_offsets_[e.u + 1]++;
+    if (any_weight_) g.weights_.push_back(e.weight);
+    if (any_label_) {
+      g.labels_.push_back(e.label);
+      max_label = std::max(max_label, e.label);
+    }
+  }
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+  }
+  g.num_labels_ = any_label_ ? max_label + 1 : 0;
+
+  // Build the in-CSR from the deduplicated out-CSR.
+  g.in_offsets_.assign(static_cast<size_t>(num_vertices_) + 1, 0);
+  for (VertexId v : g.out_adj_) g.in_offsets_[v + 1]++;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.in_adj_.resize(g.out_adj_.size());
+  std::vector<uint64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (VertexId u = 0; u < num_vertices_; ++u) {
+    for (uint64_t i = g.out_offsets_[u]; i < g.out_offsets_[u + 1]; ++i) {
+      g.in_adj_[cursor[g.out_adj_[i]]++] = u;
+    }
+  }
+  // Out-CSR is emitted in (u, v) order, so each in-adjacency list is filled
+  // by ascending u: in-neighbors end up sorted without an extra pass.
+  return g;
+}
+
+}  // namespace pathenum

@@ -1,0 +1,61 @@
+// Mutable edge accumulator that produces immutable CSR `Graph`s. Also the
+// supported way to apply dynamic updates: accumulate edges, call Build()
+// (the paper's index is per-query, so graph updates need no index upkeep).
+#ifndef PATHENUM_GRAPH_BUILDER_H_
+#define PATHENUM_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/common.h"
+
+namespace pathenum {
+
+/// Accumulates directed edges and builds a `Graph`.
+///
+/// Self-loops are dropped (a simple s-t path never uses one; the join
+/// model's (t,t) padding tuple is synthesized by the index, not stored in
+/// the graph). Duplicate edges are deduplicated keeping the first
+/// occurrence's weight/label.
+class GraphBuilder {
+ public:
+  /// Creates a builder over `num_vertices` vertices; ids must stay below it.
+  explicit GraphBuilder(VertexId num_vertices);
+
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Number of edges accumulated so far (before dedup).
+  size_t pending_edges() const { return edges_.size(); }
+
+  /// Adds edge (u, v). Self-loops are ignored. Returns true if accepted.
+  bool AddEdge(VertexId u, VertexId v);
+
+  /// Adds a weighted and/or labeled edge. Mixing plain and attributed edges
+  /// is allowed: missing weights default to 1.0, missing labels to 0.
+  bool AddEdge(VertexId u, VertexId v, double weight, uint32_t label = 0);
+
+  /// Copies every edge (with attributes) of `g` into the builder. Useful for
+  /// dynamic-graph workloads that extend an existing snapshot.
+  void AddGraph(const Graph& g);
+
+  /// Builds the CSR graph. The builder may be reused afterwards (its edge
+  /// list is preserved).
+  Graph Build() const;
+
+ private:
+  struct PendingEdge {
+    VertexId u;
+    VertexId v;
+    double weight;
+    uint32_t label;
+  };
+
+  VertexId num_vertices_;
+  std::vector<PendingEdge> edges_;
+  bool any_weight_ = false;
+  bool any_label_ = false;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_GRAPH_BUILDER_H_

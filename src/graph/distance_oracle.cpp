@@ -1,0 +1,155 @@
+#include "graph/distance_oracle.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace pathenum {
+
+namespace {
+
+/// Working labels during construction: per-vertex growable entry lists in
+/// rank space (hubs are processed in rank order, so lists stay sorted).
+struct WorkingLabels {
+  std::vector<std::vector<PrunedLandmarkIndex::Entry>> out_labels;
+  std::vector<std::vector<PrunedLandmarkIndex::Entry>> in_labels;
+};
+
+/// Query over working labels (both sorted by hub rank): linear merge.
+uint32_t QueryWorking(const std::vector<PrunedLandmarkIndex::Entry>& out,
+                      const std::vector<PrunedLandmarkIndex::Entry>& in) {
+  uint32_t best = kInfDistance;
+  size_t i = 0, j = 0;
+  while (i < out.size() && j < in.size()) {
+    if (out[i].hub == in[j].hub) {
+      best = std::min(best, out[i].dist + in[j].dist);
+      ++i;
+      ++j;
+    } else if (out[i].hub < in[j].hub) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PrunedLandmarkIndex PrunedLandmarkIndex::Build(const Graph& g) {
+  Timer timer;
+  const VertexId n = g.num_vertices();
+  PrunedLandmarkIndex index;
+
+  // Hub order: descending total degree (the standard heuristic). `rank[v]`
+  // is v's position; labels store hubs in rank space.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+
+  WorkingLabels labels;
+  labels.out_labels.resize(n);
+  labels.in_labels.resize(n);
+
+  std::vector<uint32_t> dist(n, kInfDistance);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+
+  // One pruned BFS per direction per hub.
+  for (uint32_t rank = 0; rank < n; ++rank) {
+    const VertexId h = order[rank];
+    for (const int direction : {0, 1}) {  // 0: forward from h, 1: backward
+      queue.clear();
+      dist[h] = 0;
+      queue.push_back(h);
+      for (size_t head = 0; head < queue.size(); ++head) {
+        const VertexId u = queue[head];
+        const uint32_t du = dist[u];
+        // Prune: if some higher-ranked hub pair already certifies a
+        // distance <= du, u's subtree gains nothing from hub h.
+        const uint32_t certified =
+            direction == 0 ? QueryWorking(labels.out_labels[h],
+                                          labels.in_labels[u])
+                           : QueryWorking(labels.out_labels[u],
+                                          labels.in_labels[h]);
+        if (certified <= du) continue;
+        // Label u with hub h (rank space).
+        if (direction == 0) {
+          labels.in_labels[u].push_back({rank, du});
+        } else {
+          labels.out_labels[u].push_back({rank, du});
+        }
+        const auto nbrs = direction == 0 ? g.OutNeighbors(u)
+                                         : g.InNeighbors(u);
+        for (const VertexId w : nbrs) {
+          if (dist[w] != kInfDistance) continue;
+          dist[w] = du + 1;
+          queue.push_back(w);
+        }
+      }
+      for (const VertexId v : queue) dist[v] = kInfDistance;
+    }
+  }
+
+  // Pack into CSR form.
+  auto pack = [n](const std::vector<std::vector<Entry>>& src,
+                  std::vector<uint64_t>& offsets,
+                  std::vector<Entry>& entries) {
+    offsets.assign(static_cast<size_t>(n) + 1, 0);
+    for (VertexId v = 0; v < n; ++v) offsets[v + 1] = src[v].size();
+    for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+    entries.reserve(offsets[n]);
+    for (VertexId v = 0; v < n; ++v) {
+      entries.insert(entries.end(), src[v].begin(), src[v].end());
+    }
+  };
+  pack(labels.out_labels, index.out_offsets_, index.out_entries_);
+  pack(labels.in_labels, index.in_offsets_, index.in_entries_);
+
+  index.stats_.build_ms = timer.ElapsedMs();
+  index.stats_.avg_label_entries =
+      n == 0 ? 0.0
+             : static_cast<double>(index.out_entries_.size() +
+                                   index.in_entries_.size()) /
+                   (2.0 * static_cast<double>(n));
+  index.stats_.memory_bytes = index.MemoryBytes();
+  return index;
+}
+
+uint32_t PrunedLandmarkIndex::Distance(VertexId s, VertexId t) const {
+  PATHENUM_CHECK(s < num_vertices() && t < num_vertices());
+  if (s == t) return 0;
+  const auto out = OutLabel(s);
+  const auto in = InLabel(t);
+  uint32_t best = kInfDistance;
+  size_t i = 0, j = 0;
+  while (i < out.size() && j < in.size()) {
+    if (out[i].hub == in[j].hub) {
+      best = std::min(best, out[i].dist + in[j].dist);
+      ++i;
+      ++j;
+    } else if (out[i].hub < in[j].hub) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
+bool PrunedLandmarkIndex::Within(VertexId s, VertexId t,
+                                 uint32_t bound) const {
+  const uint32_t d = Distance(s, t);
+  return d != kInfDistance && d <= bound;
+}
+
+size_t PrunedLandmarkIndex::MemoryBytes() const {
+  return VectorBytes(out_offsets_) + VectorBytes(out_entries_) +
+         VectorBytes(in_offsets_) + VectorBytes(in_entries_);
+}
+
+}  // namespace pathenum

@@ -1,0 +1,192 @@
+#include "graph/generators.h"
+
+#include <unordered_set>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace pathenum {
+
+namespace {
+
+/// Packs a directed edge into one 64-bit key for dedup sets.
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph ErdosRenyi(VertexId num_vertices, uint64_t num_edges, uint64_t seed) {
+  PATHENUM_CHECK(num_vertices > 1 || num_edges == 0);
+  const uint64_t max_edges =
+      static_cast<uint64_t>(num_vertices) * (num_vertices - 1);
+  PATHENUM_CHECK_MSG(num_edges <= max_edges, "too many edges requested");
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  while (seen.size() < num_edges) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph BarabasiAlbert(VertexId num_vertices, uint32_t edges_per_vertex,
+                     uint64_t seed, double back_prob) {
+  PATHENUM_CHECK(edges_per_vertex >= 1);
+  PATHENUM_CHECK(num_vertices > edges_per_vertex);
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  // `endpoints` holds one entry per (half-)edge endpoint; sampling a uniform
+  // entry samples vertices proportionally to their degree.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(static_cast<size_t>(num_vertices) * edges_per_vertex * 2);
+  // Seed clique over the first m+1 vertices so early targets exist.
+  for (VertexId u = 0; u <= edges_per_vertex; ++u) {
+    for (VertexId v = 0; v <= edges_per_vertex; ++v) {
+      if (u == v) continue;
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (VertexId u = edges_per_vertex + 1; u < num_vertices; ++u) {
+    for (uint32_t j = 0; j < edges_per_vertex; ++j) {
+      const VertexId target =
+          endpoints[rng.NextBounded(endpoints.size())];
+      if (target == u) continue;
+      builder.AddEdge(u, target);
+      endpoints.push_back(u);
+      endpoints.push_back(target);
+      if (back_prob > 0.0 && rng.NextBool(back_prob)) {
+        builder.AddEdge(target, u);
+        endpoints.push_back(target);
+        endpoints.push_back(u);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph RMat(uint32_t scale, uint64_t num_edges, uint64_t seed, double a,
+           double b, double c, VertexId num_vertices) {
+  PATHENUM_CHECK(scale >= 1 && scale <= 31);
+  PATHENUM_CHECK(a + b + c <= 1.0);
+  const VertexId grid = static_cast<VertexId>(1) << scale;
+  const VertexId n = num_vertices == 0 ? grid : num_vertices;
+  PATHENUM_CHECK_MSG(n <= grid, "num_vertices exceeds 2^scale");
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  // Cap attempts so pathological parameters terminate; dedup makes the edge
+  // count approximate, which is fine for workload graphs.
+  const uint64_t max_attempts = num_edges * 16 + 1024;
+  uint64_t attempts = 0;
+  while (seen.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = 0, v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      // Quadrants: a = (0,0), b = (0,1), c = (1,0), d = (1,1). A small
+      // per-level noise keeps the degree distribution from being too
+      // regular, the standard Graph500 "smoothing" trick.
+      const double noise = 0.95 + 0.1 * rng.NextDouble();
+      const double aa = a * noise, bb = b * noise, cc = c * noise;
+      u <<= 1;
+      v <<= 1;
+      if (r < aa) {
+        // top-left
+      } else if (r < aa + bb) {
+        v |= 1;
+      } else if (r < aa + bb + cc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v || u >= n || v >= n) continue;
+    if (seen.insert(EdgeKey(u, v)).second) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph GridGraph(uint32_t width, uint32_t height) {
+  PATHENUM_CHECK(width >= 1 && height >= 1);
+  GraphBuilder builder(width * height);
+  for (uint32_t y = 0; y < height; ++y) {
+    for (uint32_t x = 0; x < width; ++x) {
+      const VertexId v = y * width + x;
+      if (x + 1 < width) builder.AddEdge(v, v + 1);
+      if (y + 1 < height) builder.AddEdge(v, v + width);
+    }
+  }
+  return builder.Build();
+}
+
+Graph LayeredGraph(uint32_t layers, uint32_t width) {
+  PATHENUM_CHECK(width >= 1);
+  const VertexId n = 2 + layers * width;
+  GraphBuilder builder(n);
+  const VertexId source = 0;
+  const VertexId sink = n - 1;
+  auto layer_vertex = [&](uint32_t layer, uint32_t i) -> VertexId {
+    return 1 + layer * width + i;
+  };
+  if (layers == 0) {
+    builder.AddEdge(source, sink);
+  } else {
+    for (uint32_t i = 0; i < width; ++i) {
+      builder.AddEdge(source, layer_vertex(0, i));
+      builder.AddEdge(layer_vertex(layers - 1, i), sink);
+    }
+    for (uint32_t l = 0; l + 1 < layers; ++l) {
+      for (uint32_t i = 0; i < width; ++i) {
+        for (uint32_t j = 0; j < width; ++j) {
+          builder.AddEdge(layer_vertex(l, i), layer_vertex(l + 1, j));
+        }
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph CompleteDigraph(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+Graph CycleGraph(VertexId n) {
+  PATHENUM_CHECK(n >= 2);
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) builder.AddEdge(v, (v + 1) % n);
+  return builder.Build();
+}
+
+Graph StarGraph(VertexId n) {
+  PATHENUM_CHECK(n >= 2);
+  GraphBuilder builder(n);
+  for (VertexId v = 1; v < n; ++v) {
+    builder.AddEdge(0, v);
+    builder.AddEdge(v, 0);
+  }
+  return builder.Build();
+}
+
+Graph PathGraph(VertexId n) {
+  PATHENUM_CHECK(n >= 1);
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  return builder.Build();
+}
+
+}  // namespace pathenum

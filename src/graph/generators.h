@@ -1,0 +1,63 @@
+// Synthetic graph generators. These stand in for the paper's SNAP /
+// NetworkRepository datasets (see DESIGN.md §2): R-MAT reproduces the
+// heavy-tailed degree distributions of the web and social graphs, the
+// Barabási–Albert model stands in for citation graphs, and Erdős–Rényi for
+// the near-uniform ones. The deterministic families (grid, layered, clique,
+// cycle, star, path) are used by tests, where exact path counts are known in
+// closed form.
+#ifndef PATHENUM_GRAPH_GENERATORS_H_
+#define PATHENUM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace pathenum {
+
+/// Directed Erdős–Rényi G(n, m): `num_edges` distinct directed non-loop
+/// edges sampled uniformly. Requires m <= n*(n-1).
+Graph ErdosRenyi(VertexId num_vertices, uint64_t num_edges, uint64_t seed);
+
+/// Directed Barabási–Albert preferential attachment: each new vertex emits
+/// `edges_per_vertex` out-edges to endpoints sampled proportionally to
+/// degree; each attachment is reciprocated with probability `back_prob`
+/// (citation-style graphs use back_prob = 0).
+Graph BarabasiAlbert(VertexId num_vertices, uint32_t edges_per_vertex,
+                     uint64_t seed, double back_prob = 0.0);
+
+/// R-MAT (recursive matrix) generator over 2^scale vertices with the classic
+/// (a, b, c, d) quadrant probabilities; duplicates and self-loops are
+/// dropped, so the result can have slightly fewer than `num_edges` edges.
+/// A non-zero `num_vertices` truncates the vertex space to exactly that
+/// count (samples landing beyond it are rejected), letting workload graphs
+/// match non-power-of-two dataset sizes.
+Graph RMat(uint32_t scale, uint64_t num_edges, uint64_t seed,
+           double a = 0.57, double b = 0.19, double c = 0.19,
+           VertexId num_vertices = 0);
+
+/// `width` x `height` grid; edges go right and down. Vertex (x, y) has id
+/// y*width + x. Number of monotone paths corner-to-corner is a binomial
+/// coefficient — handy for exact-count tests.
+Graph GridGraph(uint32_t width, uint32_t height);
+
+/// Layered "diamond": source -> L1 -> L2 -> ... -> sink with `layers` inner
+/// layers of `width` vertices each and complete bipartite edges between
+/// consecutive layers. Exactly width^layers s-t paths, all of length
+/// layers+1. Vertex 0 is the source; the last vertex is the sink.
+Graph LayeredGraph(uint32_t layers, uint32_t width);
+
+/// Complete digraph on n vertices (all ordered pairs, no loops).
+Graph CompleteDigraph(VertexId n);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+Graph CycleGraph(VertexId n);
+
+/// Star: hub 0 with spokes out to 1..n-1 and back in.
+Graph StarGraph(VertexId n);
+
+/// Simple directed path 0 -> 1 -> ... -> n-1.
+Graph PathGraph(VertexId n);
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_GRAPH_GENERATORS_H_

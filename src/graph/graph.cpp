@@ -1,0 +1,35 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "util/memory.h"
+
+namespace pathenum {
+
+Graph Graph::FromEdges(
+    VertexId num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder builder(num_vertices);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  return FindEdge(u, v) != kInvalidEdge;
+}
+
+EdgeId Graph::FindEdge(VertexId u, VertexId v) const {
+  const auto nbrs = OutNeighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidEdge;
+  return out_offsets_[u] + static_cast<uint64_t>(it - nbrs.begin());
+}
+
+size_t Graph::MemoryBytes() const {
+  return VectorBytes(out_offsets_) + VectorBytes(out_adj_) +
+         VectorBytes(in_offsets_) + VectorBytes(in_adj_) +
+         VectorBytes(weights_) + VectorBytes(labels_);
+}
+
+}  // namespace pathenum

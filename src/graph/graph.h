@@ -1,0 +1,105 @@
+// Immutable directed graph in CSR (compressed sparse row) form with both
+// out- and in-adjacency, plus optional per-edge weights and labels used by
+// the constraint extensions (paper Appendix E).
+#ifndef PATHENUM_GRAPH_GRAPH_H_
+#define PATHENUM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace pathenum {
+
+class GraphBuilder;
+
+/// An immutable simple directed graph.
+///
+/// Vertices are dense `VertexId`s in `[0, num_vertices())`. Out-neighbors of
+/// each vertex are stored sorted ascending, so `HasEdge` is a binary search
+/// and iteration order is deterministic. The edge id of edge `(u, v)` is its
+/// position in the flat out-adjacency array; weights/labels are parallel
+/// arrays indexed by edge id.
+///
+/// Construction goes through `GraphBuilder` (which deduplicates edges and
+/// removes self-loops) or `Graph::FromEdges` for convenience in tests.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Convenience factory: builds a graph over `num_vertices` vertices from an
+  /// edge list. Duplicate edges and self-loops are dropped.
+  static Graph FromEdges(VertexId num_vertices,
+                         const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(out_offsets_.empty() ? 0
+                                                      : out_offsets_.size() - 1);
+  }
+
+  uint64_t num_edges() const { return out_adj_.size(); }
+
+  /// Out-neighbors of `v`, sorted ascending by vertex id.
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {out_adj_.data() + out_offsets_[v],
+            out_adj_.data() + out_offsets_[v + 1]};
+  }
+
+  /// In-neighbors of `v`, sorted ascending by vertex id.
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    return {in_adj_.data() + in_offsets_[v],
+            in_adj_.data() + in_offsets_[v + 1]};
+  }
+
+  uint32_t OutDegree(VertexId v) const {
+    return static_cast<uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+
+  uint32_t InDegree(VertexId v) const {
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// Total degree (in + out), the paper's criterion for the V'/V'' query
+  /// partitions.
+  uint32_t Degree(VertexId v) const { return OutDegree(v) + InDegree(v); }
+
+  /// True iff the directed edge (u, v) exists. O(log OutDegree(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Edge id of (u, v), or kInvalidEdge if absent. O(log OutDegree(u)).
+  EdgeId FindEdge(VertexId u, VertexId v) const;
+
+  /// Edge id of the j-th out-edge of `v` (aligned with OutNeighbors(v)[j]).
+  EdgeId OutEdgeId(VertexId v, size_t j) const { return out_offsets_[v] + j; }
+
+  bool has_weights() const { return !weights_.empty(); }
+  bool has_labels() const { return !labels_.empty(); }
+
+  /// Weight of edge `e`. Requires has_weights().
+  double EdgeWeight(EdgeId e) const { return weights_[e]; }
+
+  /// Label of edge `e`. Requires has_labels().
+  uint32_t EdgeLabel(EdgeId e) const { return labels_[e]; }
+
+  /// Number of distinct labels (max label + 1), 0 if unlabeled.
+  uint32_t num_labels() const { return num_labels_; }
+
+  /// Approximate heap footprint of the CSR arrays, in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> out_offsets_;  // size num_vertices + 1
+  std::vector<VertexId> out_adj_;      // size num_edges
+  std::vector<uint64_t> in_offsets_;   // size num_vertices + 1
+  std::vector<VertexId> in_adj_;       // size num_edges
+  std::vector<double> weights_;        // empty or size num_edges
+  std::vector<uint32_t> labels_;       // empty or size num_edges
+  uint32_t num_labels_ = 0;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_GRAPH_GRAPH_H_

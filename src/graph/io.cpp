@@ -1,0 +1,193 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace pathenum {
+
+namespace {
+
+struct ParsedEdge {
+  VertexId u;
+  VertexId v;
+  double weight;
+  uint32_t label;
+};
+
+}  // namespace
+
+Graph ReadEdgeList(std::istream& in, EdgeListFormat format) {
+  std::vector<ParsedEdge> edges;
+  VertexId max_vertex = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    ParsedEdge e{0, 0, 1.0, 0};
+    uint64_t u64 = 0, v64 = 0;
+    if (!(ls >> u64 >> v64)) {
+      throw std::runtime_error("malformed edge list at line " +
+                               std::to_string(line_no));
+    }
+    if (format == EdgeListFormat::kWeighted ||
+        format == EdgeListFormat::kWeightedLabeled) {
+      if (!(ls >> e.weight)) {
+        throw std::runtime_error("missing weight at line " +
+                                 std::to_string(line_no));
+      }
+    }
+    if (format == EdgeListFormat::kWeightedLabeled) {
+      if (!(ls >> e.label)) {
+        throw std::runtime_error("missing label at line " +
+                                 std::to_string(line_no));
+      }
+    }
+    if (u64 >= kInvalidVertex || v64 >= kInvalidVertex) {
+      throw std::runtime_error("vertex id out of range at line " +
+                               std::to_string(line_no));
+    }
+    e.u = static_cast<VertexId>(u64);
+    e.v = static_cast<VertexId>(v64);
+    max_vertex = std::max({max_vertex, e.u, e.v});
+    edges.push_back(e);
+  }
+  GraphBuilder builder(edges.empty() ? 0 : max_vertex + 1);
+  for (const ParsedEdge& e : edges) {
+    builder.AddEdge(e.u, e.v, e.weight, e.label);
+  }
+  return builder.Build();
+}
+
+Graph LoadEdgeList(const std::string& path, EdgeListFormat format) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  return ReadEdgeList(in, format);
+}
+
+void WriteEdgeList(const Graph& g, std::ostream& out) {
+  out << "# pathenum edge list: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges\n";
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.OutNeighbors(u);
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      out << u << ' ' << nbrs[j];
+      if (g.has_weights() || g.has_labels()) {
+        const EdgeId e = g.OutEdgeId(u, j);
+        out << ' ' << (g.has_weights() ? g.EdgeWeight(e) : 1.0);
+        if (g.has_labels()) out << ' ' << g.EdgeLabel(e);
+      }
+      out << '\n';
+    }
+  }
+}
+
+void SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write graph file: " + path);
+  WriteEdgeList(g, out);
+  if (!out) throw std::runtime_error("I/O error writing: " + path);
+}
+
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x50454e554d475231ULL;  // "PENUMGR1"
+
+template <typename T>
+void WriteRaw(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void WriteVec(std::ostream& out, const std::vector<T>& v) {
+  WriteRaw(out, static_cast<uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+T ReadRaw(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("truncated binary graph");
+  return value;
+}
+
+template <typename T>
+std::vector<T> ReadVec(std::istream& in) {
+  const uint64_t n = ReadRaw<uint64_t>(in);
+  std::vector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!in) throw std::runtime_error("truncated binary graph");
+  return v;
+}
+
+}  // namespace
+
+void SaveBinary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write graph file: " + path);
+  WriteRaw(out, kBinaryMagic);
+  WriteRaw(out, static_cast<uint64_t>(g.num_vertices()));
+  // Rebuild-from-edge-list keeps the writer independent of Graph's private
+  // layout: dump (u, v, weight, label) runs.
+  const uint8_t flags = static_cast<uint8_t>((g.has_weights() ? 1 : 0) |
+                                             (g.has_labels() ? 2 : 0));
+  WriteRaw(out, flags);
+  std::vector<VertexId> sources, targets;
+  std::vector<double> weights;
+  std::vector<uint32_t> labels;
+  sources.reserve(g.num_edges());
+  targets.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.OutNeighbors(u);
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      sources.push_back(u);
+      targets.push_back(nbrs[j]);
+      const EdgeId e = g.OutEdgeId(u, j);
+      if (g.has_weights()) weights.push_back(g.EdgeWeight(e));
+      if (g.has_labels()) labels.push_back(g.EdgeLabel(e));
+    }
+  }
+  WriteVec(out, sources);
+  WriteVec(out, targets);
+  if (g.has_weights()) WriteVec(out, weights);
+  if (g.has_labels()) WriteVec(out, labels);
+  if (!out) throw std::runtime_error("I/O error writing: " + path);
+}
+
+Graph LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  if (ReadRaw<uint64_t>(in) != kBinaryMagic) {
+    throw std::runtime_error("not a pathenum binary graph: " + path);
+  }
+  const uint64_t num_vertices = ReadRaw<uint64_t>(in);
+  const uint8_t flags = ReadRaw<uint8_t>(in);
+  const auto sources = ReadVec<VertexId>(in);
+  const auto targets = ReadVec<VertexId>(in);
+  if (sources.size() != targets.size()) {
+    throw std::runtime_error("corrupt binary graph: " + path);
+  }
+  std::vector<double> weights;
+  std::vector<uint32_t> labels;
+  if (flags & 1) weights = ReadVec<double>(in);
+  if (flags & 2) labels = ReadVec<uint32_t>(in);
+  GraphBuilder builder(static_cast<VertexId>(num_vertices));
+  for (size_t i = 0; i < sources.size(); ++i) {
+    builder.AddEdge(sources[i], targets[i],
+                    (flags & 1) ? weights[i] : 1.0,
+                    (flags & 2) ? labels[i] : 0);
+  }
+  return builder.Build();
+}
+
+}  // namespace pathenum

@@ -1,0 +1,64 @@
+// Common type aliases and checking macros shared by every PathEnum module.
+#ifndef PATHENUM_UTIL_COMMON_H_
+#define PATHENUM_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pathenum {
+
+/// Identifier of a vertex. Vertices are dense integers `[0, num_vertices)`.
+using VertexId = uint32_t;
+
+/// Identifier of a directed edge: its position inside the out-CSR edge array.
+using EdgeId = uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "no edge".
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Sentinel distance meaning "unreachable".
+inline constexpr uint32_t kInfDistance = std::numeric_limits<uint32_t>::max();
+
+/// Largest supported hop constraint. Keeps per-vertex offset slots small; the
+/// paper's workloads use k in [3, 8].
+inline constexpr uint32_t kMaxHops = 30;
+
+namespace internal {
+
+[[noreturn]] inline void ThrowCheckFailure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PATHENUM_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace internal
+
+}  // namespace pathenum
+
+/// Invariant check that stays enabled in release builds. Used for API
+/// contract violations (bad queries, malformed inputs); algorithm hot loops
+/// use plain assert instead.
+#define PATHENUM_CHECK(expr)                                                  \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::pathenum::internal::ThrowCheckFailure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                         \
+  } while (0)
+
+#define PATHENUM_CHECK_MSG(expr, msg)                                         \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::pathenum::internal::ThrowCheckFailure(#expr, __FILE__, __LINE__,      \
+                                              (msg));                         \
+    }                                                                         \
+  } while (0)
+
+#endif  // PATHENUM_UTIL_COMMON_H_

@@ -1,0 +1,24 @@
+// Helpers for the paper's memory-consumption accounting (Table 7).
+#ifndef PATHENUM_UTIL_MEMORY_H_
+#define PATHENUM_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pathenum {
+
+/// Bytes held by the elements of a vector (capacity, not size, to reflect
+/// actual allocation).
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Converts bytes to mebibytes, the unit used in the paper's Table 7.
+inline double BytesToMiB(size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_UTIL_MEMORY_H_

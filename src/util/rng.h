@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation used by graph generators and
+// workload sampling. All randomness in the repository flows through this
+// class so every experiment is reproducible from a single seed.
+#ifndef PATHENUM_UTIL_RNG_H_
+#define PATHENUM_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace pathenum {
+
+/// SplitMix64: tiny, fast, high-quality seeding/stepping generator
+/// (Steele, Lea, Flood 2014). Used directly and to seed derived streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna: the repository's workhorse generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.Next();
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). Requires bound > 0. Uses Lemire's
+  /// multiply-shift rejection method for unbiased results.
+  uint64_t NextBounded(uint64_t bound) {
+    // For the graph sizes in this repository a 64x64->128 multiply is exact.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (0ULL - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_UTIL_RNG_H_

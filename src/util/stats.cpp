@@ -1,0 +1,94 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace pathenum {
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) {
+    const double d = v - s.mean;
+    sq += d * d;
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  PATHENUM_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  // Nearest-rank: smallest value with at least p% of the sample at or below.
+  // The epsilon guards against p/100*n landing a hair above an integer
+  // (e.g. 99.9% of 1000 must be rank 999, not 1000).
+  const size_t n = values.size();
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n) - 1e-9));
+  rank = std::clamp<size_t>(rank, 1, n);
+  return values[rank - 1];
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values,
+                                   size_t max_points) {
+  std::vector<CdfPoint> cdf;
+  if (values.empty() || max_points == 0) return cdf;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  const size_t points = std::min(max_points, n);
+  cdf.reserve(points);
+  for (size_t i = 1; i <= points; ++i) {
+    // Sample evenly across ranks, always including the maximum.
+    const size_t rank = (i * n) / points;
+    cdf.push_back({values[rank - 1],
+                   static_cast<double>(rank) / static_cast<double>(n)});
+  }
+  return cdf;
+}
+
+LinearFit FitLine(const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  PATHENUM_CHECK(xs.size() == ys.size());
+  LinearFit fit;
+  fit.count = xs.size();
+  if (xs.size() < 2) return fit;
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    syy += ys[i] * ys[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double cov = sxy - sx * sy / n;
+  const double var_x = sxx - sx * sx / n;
+  const double var_y = syy - sy * sy / n;
+  if (var_x <= 0.0) return fit;
+  fit.slope = cov / var_x;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  fit.r = var_y > 0.0 ? cov / std::sqrt(var_x * var_y) : 0.0;
+  return fit;
+}
+
+double SafeLog10(double v) {
+  constexpr double kFloor = 1e-6;
+  return std::log10(std::max(v, kFloor));
+}
+
+}  // namespace pathenum

@@ -1,0 +1,54 @@
+// Descriptive statistics used by the benchmark harnesses: means, percentiles,
+// CDFs and the log-log linear regression behind the paper's Figures 10/11.
+#ifndef PATHENUM_UTIL_STATS_H_
+#define PATHENUM_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pathenum {
+
+/// Summary statistics of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes count/mean/stddev/min/max of `values` (population stddev).
+Summary Summarize(const std::vector<double>& values);
+
+/// Nearest-rank percentile, `p` in [0, 100]. Returns 0 for empty input.
+/// p=50 is the median; p=99.9 is the paper's tail-latency metric (Fig. 8).
+double Percentile(std::vector<double> values, double p);
+
+/// One (x, y) point of an empirical CDF.
+struct CdfPoint {
+  double value;
+  double fraction;  // fraction of samples <= value
+};
+
+/// Empirical CDF of `values`, downsampled to at most `max_points` points.
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values,
+                                   size_t max_points = 64);
+
+/// Least-squares fit y = slope * x + intercept with Pearson correlation r.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r = 0.0;
+  size_t count = 0;
+};
+
+/// Fits a line through the (x, y) points. Requires xs.size() == ys.size().
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// log10 that saturates tiny/non-positive inputs so regressions over
+/// measured times (which may be 0 at clock resolution) stay well-defined.
+double SafeLog10(double v);
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_UTIL_STATS_H_

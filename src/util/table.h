@@ -1,0 +1,36 @@
+// Fixed-width text table printing for the benchmark harnesses. The paper's
+// tables report values like "5.75e+0"; `FormatSci` reproduces that format.
+#ifndef PATHENUM_UTIL_TABLE_H_
+#define PATHENUM_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pathenum {
+
+/// Formats `v` in the paper's scientific style, e.g. 5.75e+0, 1.46e+3.
+std::string FormatSci(double v);
+
+/// Formats `v` with `digits` decimal places.
+std::string FormatFixed(double v, int digits = 2);
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the table with a header separator to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+  size_t columns_;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_UTIL_TABLE_H_

@@ -1,0 +1,59 @@
+// Wall-clock timing helpers. All paper metrics are reported in milliseconds.
+#ifndef PATHENUM_UTIL_TIMER_H_
+#define PATHENUM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <limits>
+
+namespace pathenum {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget. `Deadline::Unlimited()` never expires. Enumerators
+/// check the deadline every few thousand search steps so the check itself
+/// does not perturb measurements.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  static Deadline Unlimited() { return Deadline(); }
+
+  static Deadline AfterMs(double ms) {
+    Deadline d;
+    if (ms < std::numeric_limits<double>::infinity()) {
+      d.limited_ = true;
+      d.end_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double, std::milli>(ms));
+    }
+    return d;
+  }
+
+  bool limited() const { return limited_; }
+
+  bool Expired() const { return limited_ && Clock::now() >= end_; }
+
+ private:
+  bool limited_ = false;
+  Clock::time_point end_{};
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_UTIL_TIMER_H_

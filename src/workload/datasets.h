@@ -1,0 +1,46 @@
+// The experiment dataset catalog: the paper's 15 graphs (Table 2),
+// substituted by synthetic generators with matched degree structure and
+// scaled sizes (DESIGN.md §2/§4). Every graph is reproducible from its spec.
+#ifndef PATHENUM_WORKLOAD_DATASETS_H_
+#define PATHENUM_WORKLOAD_DATASETS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pathenum {
+
+enum class GeneratorKind { kErdosRenyi, kBarabasiAlbert, kRMat };
+
+/// One catalog entry.
+struct DatasetSpec {
+  std::string name;         // the paper's short name, e.g. "ep"
+  std::string description;  // the paper's dataset, e.g. "Soc-Epinsion1"
+  GeneratorKind kind = GeneratorKind::kRMat;
+  VertexId vertices = 0;    // target vertex count at scale 1.0
+  uint64_t edges = 0;       // target edge count at scale 1.0
+  uint32_t ba_out_degree = 0;  // Barabási–Albert only
+  uint64_t seed = 0;
+  uint64_t paper_vertices = 0;  // the original graph's size, for reporting
+  uint64_t paper_edges = 0;
+};
+
+/// The 15 graphs of the paper's Table 2, in table order (tm last).
+const std::vector<DatasetSpec>& PaperCatalog();
+
+/// Lookup by short name; throws std::invalid_argument when unknown.
+const DatasetSpec& FindDataset(std::string_view name);
+
+/// Instantiates the dataset. `scale` multiplies vertex and edge counts
+/// (R-MAT vertex counts round up to a power of two); it also honors the
+/// PATHENUM_SCALE environment variable when `scale` is 0.
+Graph MakeDataset(const DatasetSpec& spec, double scale = 1.0);
+
+/// Convenience: FindDataset + MakeDataset.
+Graph MakeDataset(std::string_view name, double scale = 1.0);
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_WORKLOAD_DATASETS_H_

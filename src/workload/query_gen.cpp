@@ -1,0 +1,65 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/bfs.h"
+#include "util/rng.h"
+
+namespace pathenum {
+
+std::pair<std::vector<VertexId>, std::vector<VertexId>> DegreePartition(
+    const Graph& g, double top_fraction) {
+  PATHENUM_CHECK(top_fraction > 0.0 && top_fraction < 1.0);
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+  size_t cut = static_cast<size_t>(static_cast<double>(n) * top_fraction);
+  cut = std::clamp<size_t>(cut, n >= 2 ? 1 : 0, n >= 2 ? n - 1 : n);
+  std::vector<VertexId> high(order.begin(), order.begin() + cut);
+  std::vector<VertexId> low(order.begin() + cut, order.end());
+  return {std::move(high), std::move(low)};
+}
+
+std::vector<Query> GenerateQueries(const Graph& g,
+                                   const QueryGenOptions& opts) {
+  std::vector<Query> queries;
+  if (g.num_vertices() < 2) return queries;
+  const auto [high, low] = DegreePartition(g, opts.top_fraction);
+  const std::vector<VertexId>& src_pool =
+      opts.source_class == DegreeClass::kHigh ? high : low;
+  const std::vector<VertexId>& dst_pool =
+      opts.target_class == DegreeClass::kHigh ? high : low;
+  if (src_pool.empty() || dst_pool.empty()) return queries;
+
+  Rng rng(opts.seed);
+  DistanceField probe;
+  for (uint32_t i = 0; i < opts.count; ++i) {
+    bool found = false;
+    for (uint64_t attempt = 0; attempt < opts.max_attempts_per_query;
+         ++attempt) {
+      const VertexId s = src_pool[rng.NextBounded(src_pool.size())];
+      const VertexId t = dst_pool[rng.NextBounded(dst_pool.size())];
+      if (s == t) continue;
+      if (opts.oracle != nullptr) {
+        if (!opts.oracle->Within(s, t, opts.max_distance)) continue;
+      } else {
+        DistanceField::Options probe_opts;
+        probe_opts.max_depth = opts.max_distance;
+        probe_opts.stop_at = t;
+        probe.Compute(g, Direction::kForward, s, probe_opts);
+        if (probe.Distance(t) > opts.max_distance) continue;
+      }
+      queries.push_back({s, t, opts.hops});
+      found = true;
+      break;
+    }
+    if (!found) break;  // the graph cannot satisfy this setting any more
+  }
+  return queries;
+}
+
+}  // namespace pathenum

@@ -1,0 +1,55 @@
+// Query workload generation following the paper's §7.1 methodology:
+// vertices are split into V' (top 10% by degree) and V'' (the rest); a
+// query set draws s and t uniformly from a chosen side of the partition,
+// keeping only pairs with dist(s, t) <= 3 so that every query has at least
+// one result and is not trivially answered by the BFS.
+#ifndef PATHENUM_WORKLOAD_QUERY_GEN_H_
+#define PATHENUM_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "graph/distance_oracle.h"
+#include "graph/graph.h"
+
+namespace pathenum {
+
+/// Which side of the degree partition an endpoint is drawn from.
+enum class DegreeClass {
+  kHigh,  // V': top 10% by total degree — the paper's hard setting
+  kLow,   // V'': the remaining 90%
+};
+
+class PrunedLandmarkIndex;
+
+struct QueryGenOptions {
+  DegreeClass source_class = DegreeClass::kHigh;
+  DegreeClass target_class = DegreeClass::kHigh;
+  uint32_t count = 100;
+  uint32_t hops = 6;
+  /// Acceptance bound on dist(s, t); the paper uses 3.
+  uint32_t max_distance = 3;
+  uint64_t seed = 1;
+  /// Rejection-sampling budget per accepted query; generation stops early
+  /// (returning fewer queries) when the graph cannot satisfy the setting.
+  uint64_t max_attempts_per_query = 5000;
+  /// Fraction of vertices in V'.
+  double top_fraction = 0.1;
+  /// Optional distance oracle (not owned): when set, the dist(s,t) check
+  /// uses O(|label|) oracle lookups instead of a bounded BFS per attempt.
+  const PrunedLandmarkIndex* oracle = nullptr;
+};
+
+/// Splits vertices into (V', V'') by total degree: V' is the top
+/// `top_fraction` slice. Both sides are non-empty for graphs with >= 2
+/// vertices.
+std::pair<std::vector<VertexId>, std::vector<VertexId>> DegreePartition(
+    const Graph& g, double top_fraction = 0.1);
+
+/// Generates up to `opts.count` queries.
+std::vector<Query> GenerateQueries(const Graph& g,
+                                   const QueryGenOptions& opts);
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,212 @@
+// Tests for every baseline algorithm: GenericDFS, BC-DFS, BC-JOIN, T-DFS,
+// Yen — each checked against brute force, plus algorithm-specific
+// behaviours (barrier bookkeeping, ascending-length order for Yen, ...).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/algorithm.h"
+#include "core/reference.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace pathenum {
+namespace {
+
+using testing::CollectPaths;
+using testing::kS;
+using testing::kT;
+using testing::PathSet;
+using testing::ToSet;
+
+TEST(AlgorithmFactoryTest, KnowsEveryName) {
+  const Graph g = testing::PaperExampleGraph();
+  for (const std::string& name : AllAlgorithmNames()) {
+    const auto algo = MakeAlgorithm(name, g);
+    ASSERT_NE(algo, nullptr);
+    EXPECT_EQ(algo->name(), name);
+  }
+  EXPECT_THROW(MakeAlgorithm("NoSuchAlgorithm", g), std::invalid_argument);
+}
+
+TEST(AlgorithmFactoryTest, Table3NamesAreTheFivePaperRows) {
+  const auto& names = Table3AlgorithmNames();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "BC-DFS");
+  EXPECT_EQ(names[4], "PathEnum");
+}
+
+class BaselineOnExampleTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineOnExampleTest, FindsTheFiveExamplePaths) {
+  const Graph g = testing::PaperExampleGraph();
+  const auto algo = MakeAlgorithm(GetParam(), g);
+  const PathSet expected =
+      ToSet(BruteForcePaths(g, testing::PaperExampleQuery()));
+  EXPECT_EQ(expected.size(), 5u);
+  EXPECT_EQ(CollectPaths(*algo, testing::PaperExampleQuery()), expected);
+}
+
+TEST_P(BaselineOnExampleTest, AllKValuesMatchBruteForce) {
+  const Graph g = testing::PaperExampleGraph();
+  const auto algo = MakeAlgorithm(GetParam(), g);
+  for (uint32_t k = 1; k <= 7; ++k) {
+    const Query q{kS, kT, k};
+    EXPECT_EQ(CollectPaths(*algo, q), ToSet(BruteForcePaths(g, q)))
+        << GetParam() << " k=" << k;
+  }
+}
+
+TEST_P(BaselineOnExampleTest, UnreachableTargetIsEmpty) {
+  const Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {3, 4}});
+  const auto algo = MakeAlgorithm(GetParam(), g);
+  EXPECT_TRUE(CollectPaths(*algo, {0, 4, 6}).empty());
+}
+
+TEST_P(BaselineOnExampleTest, ReportsTimings) {
+  const Graph g = testing::PaperExampleGraph();
+  const auto algo = MakeAlgorithm(GetParam(), g);
+  CountingSink sink;
+  const QueryStats stats =
+      algo->Run(testing::PaperExampleQuery(), sink, EnumOptions{});
+  EXPECT_EQ(stats.counters.num_results, 5u);
+  EXPECT_GE(stats.total_ms, 0.0);
+  EXPECT_GE(stats.total_ms, stats.enumerate_ms);
+  EXPECT_GE(stats.response_ms, 0.0);
+  EXPECT_LE(stats.response_ms, stats.total_ms + 1e-9);
+  EXPECT_GT(stats.ThroughputPerSec(), 0.0);
+}
+
+TEST_P(BaselineOnExampleTest, ResultLimitHonored) {
+  const Graph g = LayeredGraph(3, 4);  // 64 paths
+  const Query q{0, static_cast<VertexId>(g.num_vertices() - 1), 4};
+  const auto algo = MakeAlgorithm(GetParam(), g);
+  EnumOptions opts;
+  opts.result_limit = 5;
+  CountingSink sink;
+  const QueryStats stats = algo->Run(q, sink, opts);
+  EXPECT_EQ(stats.counters.num_results, 5u);
+  EXPECT_TRUE(stats.counters.hit_result_limit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, BaselineOnExampleTest,
+    ::testing::Values("GenericDFS", "BC-DFS", "BC-JOIN", "T-DFS", "Yen",
+                      "IDX-DFS", "IDX-JOIN", "PathEnum"),
+    [](const auto& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// --- Algorithm-specific behaviour -----------------------------------------
+
+TEST(BcDfsTest, BarriersPruneMoreThanStaticDistance) {
+  // A trap subgraph: many branches lead into a region that can only exit
+  // through a vertex already on the path. BC-DFS must access no more edges
+  // than GenericDFS on the same query.
+  const Graph g = RMat(6, 250, 12345);
+  const Query q{1, 2, 6};
+  const auto generic = MakeAlgorithm("GenericDFS", g);
+  const auto bc = MakeAlgorithm("BC-DFS", g);
+  CountingSink s1, s2;
+  const QueryStats gs = generic->Run(q, s1, EnumOptions{});
+  const QueryStats bs = bc->Run(q, s2, EnumOptions{});
+  EXPECT_EQ(s1.count(), s2.count());
+  EXPECT_LE(bs.counters.partials, gs.counters.partials)
+      << "barriers must not enlarge the search tree";
+}
+
+TEST(BcDfsTest, RepeatedQueriesAreConsistent) {
+  // Barrier undo must restore state: the same query run twice through one
+  // bound instance returns identical results.
+  const Graph g = RMat(6, 300, 7);
+  const auto bc = MakeAlgorithm("BC-DFS", g);
+  const Query q{3, 5, 5};
+  const PathSet first = CollectPaths(*bc, q);
+  const PathSet second = CollectPaths(*bc, q);
+  EXPECT_EQ(first, second);
+}
+
+TEST(BcJoinTest, CutAtMiddlePosition) {
+  const Graph g = testing::PaperExampleGraph();
+  const auto bc = MakeAlgorithm("BC-JOIN", g);
+  CountingSink sink;
+  const QueryStats stats =
+      bc->Run(testing::PaperExampleQuery(), sink, EnumOptions{});
+  EXPECT_EQ(stats.cut_position, 2u);  // ceil(4/2)
+  EXPECT_EQ(stats.method, Method::kJoin);
+}
+
+TEST(BcJoinTest, DirectEdgeAtKEqualsOne) {
+  const Graph g = Graph::FromEdges(3, {{0, 2}, {0, 1}, {1, 2}});
+  const auto bc = MakeAlgorithm("BC-JOIN", g);
+  EXPECT_EQ(CollectPaths(*bc, {0, 2, 1}), (PathSet{{0, 2}}));
+}
+
+TEST(TDfsTest, EveryBranchLeadsToAResult) {
+  // T-DFS certifies branches, so no partial result is invalid (beyond the
+  // cut-off bookkeeping of the root).
+  const Graph g = testing::PaperExampleGraph();
+  const auto tdfs = MakeAlgorithm("T-DFS", g);
+  CountingSink sink;
+  const QueryStats stats =
+      tdfs->Run(testing::PaperExampleQuery(), sink, EnumOptions{});
+  EXPECT_EQ(stats.counters.num_results, 5u);
+  EXPECT_EQ(stats.counters.invalid_partials, 0u)
+      << "polynomial delay requires zero dead branches";
+}
+
+TEST(YenTest, EmitsInAscendingLengthOrder) {
+  const Graph g = testing::PaperExampleGraph();
+  const auto yen = MakeAlgorithm("Yen", g);
+  std::vector<size_t> lengths;
+  CallbackSink sink([&](std::span<const VertexId> p) {
+    lengths.push_back(p.size() - 1);
+    return true;
+  });
+  yen->Run(testing::PaperExampleQuery(), sink, EnumOptions{});
+  ASSERT_EQ(lengths.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(lengths.begin(), lengths.end()))
+      << "top-K shortest paths arrive by ascending length";
+  EXPECT_EQ(lengths.front(), 2u);
+}
+
+TEST(YenTest, StopsAtHopConstraint) {
+  // A 6-cycle with a chord gives paths longer than k that must be cut off.
+  const Graph g = Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 3}});
+  const auto yen = MakeAlgorithm("Yen", g);
+  EXPECT_EQ(CollectPaths(*yen, {0, 5, 3}), (PathSet{{0, 3, 4, 5}}));
+}
+
+class BaselineRandomTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(BaselineRandomTest, MatchesBruteForce) {
+  const auto& [name, seed] = GetParam();
+  const Graph g = ErdosRenyi(32, 180, seed);
+  const auto algo = MakeAlgorithm(name, g);
+  for (uint32_t k = 2; k <= 5; ++k) {
+    const Query q{static_cast<VertexId>(seed % 32),
+                  static_cast<VertexId>((seed * 19 + 3) % 32), k};
+    if (q.source == q.target) continue;
+    EXPECT_EQ(CollectPaths(*algo, q), ToSet(BruteForcePaths(g, q)))
+        << name << " seed=" << seed << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BaselineRandomTest,
+    ::testing::Combine(::testing::Values("GenericDFS", "BC-DFS", "BC-JOIN",
+                                         "T-DFS", "Yen"),
+                       ::testing::Range<uint64_t>(1, 8)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + "_" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace pathenum

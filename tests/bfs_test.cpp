@@ -1,0 +1,195 @@
+// Unit tests for the DistanceField BFS substrate, in particular the
+// blocked-endpoint semantics the light-weight index depends on.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace pathenum {
+namespace {
+
+using testing::kS;
+using testing::kT;
+using testing::kV0;
+using testing::kV1;
+using testing::kV2;
+using testing::kV3;
+using testing::kV4;
+using testing::kV5;
+using testing::kV6;
+using testing::kV7;
+
+TEST(DistanceFieldTest, ForwardDistancesOnPath) {
+  const Graph g = PathGraph(5);
+  DistanceField f;
+  f.Compute(g, Direction::kForward, 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(f.Distance(v), v);
+}
+
+TEST(DistanceFieldTest, BackwardDistancesOnPath) {
+  const Graph g = PathGraph(5);
+  DistanceField f;
+  f.Compute(g, Direction::kBackward, 4);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(f.Distance(v), 4 - v);
+}
+
+TEST(DistanceFieldTest, UnreachableIsInfinite) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}});
+  DistanceField f;
+  f.Compute(g, Direction::kForward, 0);
+  EXPECT_EQ(f.Distance(2), kInfDistance);
+}
+
+TEST(DistanceFieldTest, MaxDepthCapsExpansion) {
+  const Graph g = PathGraph(10);
+  DistanceField f;
+  BfsOptions opts;
+  opts.max_depth = 3;
+  f.Compute(g, Direction::kForward, 0, opts);
+  EXPECT_EQ(f.Distance(3), 3u);
+  EXPECT_EQ(f.Distance(4), kInfDistance);
+}
+
+TEST(DistanceFieldTest, BlockedVertexIsReachedButNotExpanded) {
+  // 0 -> 1 -> 2 -> 3; block 1: distance of 1 is assigned, 2/3 unreachable.
+  const Graph g = PathGraph(4);
+  DistanceField f;
+  BfsOptions opts;
+  opts.blocked = 1;
+  f.Compute(g, Direction::kForward, 0, opts);
+  EXPECT_EQ(f.Distance(1), 1u);
+  EXPECT_EQ(f.Distance(2), kInfDistance);
+}
+
+TEST(DistanceFieldTest, BlockedForcesDetour) {
+  // Two routes 0->3: direct via 1 (length 2) and long via 4,5 (length 3).
+  const Graph g = Graph::FromEdges(
+      6, {{0, 1}, {1, 3}, {0, 4}, {4, 5}, {5, 3}});
+  DistanceField f;
+  BfsOptions opts;
+  opts.blocked = 1;
+  f.Compute(g, Direction::kForward, 0, opts);
+  EXPECT_EQ(f.Distance(3), 3u) << "must route around the blocked vertex";
+}
+
+TEST(DistanceFieldTest, BlockedSourceStillExpands) {
+  // Blocking the source itself must not stop the traversal (the index
+  // blocks t in the forward BFS; s == blocked never happens, but the
+  // guard's `u != source` branch is load-bearing).
+  const Graph g = PathGraph(3);
+  DistanceField f;
+  BfsOptions opts;
+  opts.blocked = 0;
+  f.Compute(g, Direction::kForward, 0, opts);
+  EXPECT_EQ(f.Distance(2), 2u);
+}
+
+TEST(DistanceFieldTest, StopAtEndsEarly) {
+  const Graph g = PathGraph(10);
+  DistanceField f;
+  BfsOptions opts;
+  opts.stop_at = 4;
+  f.Compute(g, Direction::kForward, 0, opts);
+  EXPECT_EQ(f.Distance(4), 4u);
+  EXPECT_EQ(f.Distance(9), kInfDistance) << "traversal should have stopped";
+}
+
+TEST(DistanceFieldTest, ReachedListMatchesFiniteDistances) {
+  const Graph g = testing::PaperExampleGraph();
+  DistanceField f;
+  f.Compute(g, Direction::kForward, kS);
+  for (const VertexId v : f.Reached()) {
+    EXPECT_NE(f.Distance(v), kInfDistance);
+  }
+  EXPECT_EQ(f.Reached().front(), kS);
+  // BFS order: distances along Reached() are non-decreasing.
+  for (size_t i = 1; i < f.Reached().size(); ++i) {
+    EXPECT_LE(f.Distance(f.Reached()[i - 1]), f.Distance(f.Reached()[i]));
+  }
+}
+
+TEST(DistanceFieldTest, ReuseAcrossQueriesResetsState) {
+  const Graph g = PathGraph(6);
+  DistanceField f;
+  f.Compute(g, Direction::kForward, 0);
+  EXPECT_EQ(f.Distance(5), 5u);
+  f.Compute(g, Direction::kForward, 3);
+  EXPECT_EQ(f.Distance(5), 2u);
+  EXPECT_EQ(f.Distance(0), kInfDistance) << "stale distances must vanish";
+}
+
+TEST(DistanceFieldTest, EdgeFilterHidesEdges) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  // Hide the edge (1,3); the only route to 3 is through 2.
+  const EdgeFilter filter = [](VertexId u, VertexId v, EdgeId) {
+    return !(u == 1 && v == 3);
+  };
+  DistanceField f;
+  BfsOptions opts;
+  opts.filter = &filter;
+  f.Compute(g, Direction::kForward, 0, opts);
+  EXPECT_EQ(f.Distance(3), 2u);
+  // Backward direction must present edges in graph orientation.
+  f.Compute(g, Direction::kBackward, 3, opts);
+  EXPECT_EQ(f.Distance(1), kInfDistance);
+  EXPECT_EQ(f.Distance(2), 1u);
+  EXPECT_EQ(f.Distance(0), 2u);
+}
+
+TEST(DistanceFieldTest, PaperExampleDistances) {
+  // The v.s / v.t values behind Figure 4a.
+  const Graph g = testing::PaperExampleGraph();
+  DistanceField fs;
+  BfsOptions fwd;
+  fwd.blocked = kT;
+  fs.Compute(g, Direction::kForward, kS, fwd);
+  EXPECT_EQ(fs.Distance(kS), 0u);
+  EXPECT_EQ(fs.Distance(kV0), 1u);
+  EXPECT_EQ(fs.Distance(kV1), 1u);
+  EXPECT_EQ(fs.Distance(kV3), 1u);
+  EXPECT_EQ(fs.Distance(kV2), 2u);
+  EXPECT_EQ(fs.Distance(kV4), 2u);
+  EXPECT_EQ(fs.Distance(kV6), 2u);
+  EXPECT_EQ(fs.Distance(kV5), 3u);
+  EXPECT_EQ(fs.Distance(kV7), 3u);
+  EXPECT_EQ(fs.Distance(kT), 2u);
+
+  DistanceField ft;
+  BfsOptions bwd;
+  bwd.blocked = kS;
+  ft.Compute(g, Direction::kBackward, kT, bwd);
+  EXPECT_EQ(ft.Distance(kT), 0u);
+  EXPECT_EQ(ft.Distance(kV0), 1u);
+  EXPECT_EQ(ft.Distance(kV2), 1u);
+  EXPECT_EQ(ft.Distance(kV5), 1u);
+  EXPECT_EQ(ft.Distance(kV1), 2u);
+  EXPECT_EQ(ft.Distance(kV4), 2u);
+  EXPECT_EQ(ft.Distance(kV6), 2u);
+  EXPECT_EQ(ft.Distance(kV3), 3u);
+  EXPECT_EQ(ft.Distance(kV7), kInfDistance);
+  // s is reached (as an endpoint) but never expanded: s.t = S(s,t) = 2.
+  EXPECT_EQ(ft.Distance(kS), 2u);
+}
+
+TEST(WithinDistanceTest, Basic) {
+  const Graph g = PathGraph(5);
+  EXPECT_TRUE(WithinDistance(g, 0, 3, 3));
+  EXPECT_FALSE(WithinDistance(g, 0, 4, 3));
+  EXPECT_TRUE(WithinDistance(g, 2, 2, 0));  // trivially within
+  EXPECT_FALSE(WithinDistance(g, 4, 0, 10));
+}
+
+TEST(DistanceFieldTest, LargeGraphSmoke) {
+  const Graph g = ErdosRenyi(20000, 100000, 99);
+  DistanceField f;
+  BfsOptions opts;
+  opts.max_depth = 6;
+  f.Compute(g, Direction::kForward, 0, opts);
+  size_t reached = f.Reached().size();
+  EXPECT_GT(reached, 1u);
+  for (const VertexId v : f.Reached()) EXPECT_LE(f.Distance(v), 6u);
+}
+
+}  // namespace
+}  // namespace pathenum

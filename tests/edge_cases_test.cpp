@@ -1,0 +1,162 @@
+// Boundary-condition tests across the public API: extreme hop budgets,
+// degenerate topologies, and repeated-use object lifecycles.
+#include <gtest/gtest.h>
+
+#include "baselines/algorithm.h"
+#include "core/estimator.h"
+#include "core/path_enum.h"
+#include "core/reference.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace pathenum {
+namespace {
+
+using testing::PathSet;
+using testing::ToSet;
+
+TEST(EdgeCaseTest, MaxHopBudgetOnLongPath) {
+  // A path of exactly kMaxHops edges, queried at the budget ceiling.
+  const Graph g = PathGraph(kMaxHops + 1);
+  PathEnumerator pe(g);
+  CollectingSink sink;
+  const QueryStats stats =
+      pe.Run({0, static_cast<VertexId>(kMaxHops), kMaxHops}, sink);
+  EXPECT_EQ(sink.paths().size(), 1u);
+  EXPECT_EQ(sink.paths()[0].size(), kMaxHops + 1);
+  EXPECT_TRUE(stats.counters.completed());
+}
+
+TEST(EdgeCaseTest, BudgetOneBelowPathLengthFindsNothing) {
+  const Graph g = PathGraph(12);
+  PathEnumerator pe(g);
+  CountingSink sink;
+  pe.Run({0, 11, 10}, sink);
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(EdgeCaseTest, TwoVertexGraph) {
+  const Graph g = Graph::FromEdges(2, {{0, 1}, {1, 0}});
+  PathEnumerator pe(g);
+  CollectingSink sink;
+  pe.Run({0, 1, 5}, sink);
+  EXPECT_EQ(ToSet(sink.paths()), (PathSet{{0, 1}}));
+}
+
+TEST(EdgeCaseTest, SourceWithNoOutEdges) {
+  const Graph g = Graph::FromEdges(3, {{1, 0}, {1, 2}});
+  PathEnumerator pe(g);
+  CountingSink sink;
+  const QueryStats stats = pe.Run({0, 2, 5}, sink);
+  EXPECT_EQ(sink.count(), 0u);
+  EXPECT_EQ(stats.index_vertices, 0u);
+}
+
+TEST(EdgeCaseTest, TargetWithNoInEdges) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}, {2, 1}});
+  PathEnumerator pe(g);
+  CountingSink sink;
+  pe.Run({0, 2, 5}, sink);
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(EdgeCaseTest, HubAsSourceOnStar) {
+  // From the hub, every spoke is one hop; spokes only connect back through
+  // the hub, which is already on the path — exactly one path per spoke
+  // pair... i.e. a single path (0, spoke).
+  const Graph g = StarGraph(6);
+  PathEnumerator pe(g);
+  for (VertexId t = 1; t < 6; ++t) {
+    CollectingSink sink;
+    pe.Run({0, t, 6}, sink);
+    EXPECT_EQ(ToSet(sink.paths()), (PathSet{{0, t}})) << "t=" << t;
+  }
+}
+
+TEST(EdgeCaseTest, DenseBipartiteAllMethodsAgree) {
+  // Complete bipartite-ish: s -> L -> t with back edges L <- t; walks
+  // revisit heavily, exercising the padding machinery.
+  GraphBuilder b(8);
+  const VertexId s = 0, t = 7;
+  for (VertexId m = 1; m <= 6; ++m) {
+    b.AddEdge(s, m);
+    b.AddEdge(m, t);
+    b.AddEdge(t, m);
+  }
+  const Graph g = b.Build();
+  const Query q{s, t, 6};
+  const PathSet expected = ToSet(BruteForcePaths(g, q));
+  EXPECT_EQ(expected.size(), 6u);
+  for (const std::string name : AllAlgorithmNames()) {
+    const auto algo = MakeAlgorithm(name, g);
+    EXPECT_EQ(testing::CollectPaths(*algo, q), expected) << name;
+  }
+}
+
+TEST(EdgeCaseTest, RepeatedRunsOnOneEnumeratorAreIndependent) {
+  const Graph g = testing::PaperExampleGraph();
+  PathEnumerator pe(g);
+  for (int i = 0; i < 5; ++i) {
+    CountingSink sink;
+    const QueryStats stats = pe.Run(testing::PaperExampleQuery(), sink);
+    EXPECT_EQ(sink.count(), 5u) << "iteration " << i;
+    EXPECT_TRUE(stats.counters.completed());
+  }
+  // Interleave a different query and re-verify.
+  CountingSink other;
+  pe.Run({testing::kS, testing::kV5, 3}, other);
+  CountingSink again;
+  pe.Run(testing::PaperExampleQuery(), again);
+  EXPECT_EQ(again.count(), 5u);
+}
+
+TEST(EdgeCaseTest, MutualEdgesTinyCycles) {
+  // Every pair connected both ways: heavy walk-vs-path divergence.
+  const Graph g = CompleteDigraph(5);
+  const Query q{0, 4, 4};
+  const PathSet expected = ToSet(BruteForcePaths(g, q));
+  PathEnumerator pe(g);
+  CollectingSink dfs_sink, join_sink;
+  EnumOptions dfs_opts;
+  dfs_opts.method = Method::kDfs;
+  pe.Run(q, dfs_sink, dfs_opts);
+  EnumOptions join_opts;
+  join_opts.method = Method::kJoin;
+  pe.Run(q, join_sink, join_opts);
+  EXPECT_EQ(ToSet(dfs_sink.paths()), expected);
+  EXPECT_EQ(ToSet(join_sink.paths()), expected);
+}
+
+TEST(EdgeCaseTest, EstimatorOnBudgetEqualsDistance) {
+  // dist(s,t) == k: only shortest paths fit; every level has exactly the
+  // BFS-layer vertices.
+  const Graph g = GridGraph(4, 4);
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, {0, 15, 6});
+  const JoinPlan plan = OptimizeJoinOrder(idx);
+  EXPECT_DOUBLE_EQ(plan.TotalWalks(), 20.0);  // C(6,3): grid is a DAG
+  EXPECT_DOUBLE_EQ(plan.forward_sizes.back(), 20.0);
+}
+
+TEST(EdgeCaseTest, IsolatedVerticesDoNotEnterTheIndex) {
+  GraphBuilder b(100);  // vertices 10.. are isolated
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  const Graph g = b.Build();
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, {0, 2, 4});
+  EXPECT_EQ(idx.num_vertices(), 3u);
+}
+
+TEST(EdgeCaseTest, QueryEndpointsSwappedAreIndependent) {
+  const Graph g = testing::PaperExampleGraph();
+  PathEnumerator pe(g);
+  CountingSink forward, backward;
+  pe.Run({testing::kS, testing::kT, 4}, forward);
+  pe.Run({testing::kT, testing::kS, 4}, backward);
+  EXPECT_EQ(forward.count(), 5u);
+  EXPECT_EQ(backward.count(), 0u);  // no edges back to s
+}
+
+}  // namespace
+}  // namespace pathenum

@@ -1,0 +1,156 @@
+// Cross-algorithm equivalence property tests: on a grid of random graphs
+// and queries, every algorithm in the repository must produce exactly the
+// same result set as the brute-force oracle — and therefore as each other.
+// Also checks the paper's walk/path propositions on the same grid.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/algorithm.h"
+#include "core/estimator.h"
+#include "core/index.h"
+#include "core/reference.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace pathenum {
+namespace {
+
+using testing::CollectPaths;
+using testing::PathSet;
+using testing::ToSet;
+
+struct GraphCase {
+  std::string name;
+  Graph graph;
+  Query query;
+};
+
+std::vector<GraphCase> MakeCases() {
+  std::vector<GraphCase> cases;
+  // Deterministic topologies with known structure.
+  cases.push_back({"paper_example", testing::PaperExampleGraph(),
+                   testing::PaperExampleQuery()});
+  cases.push_back({"figure5_g1", testing::Figure5G1(), {0, 7, 4}});
+  {
+    Graph g = LayeredGraph(3, 3);
+    const VertexId t = g.num_vertices() - 1;
+    cases.push_back({"layered", std::move(g), {0, t, 5}});
+  }
+  {
+    Graph g = GridGraph(4, 3);
+    cases.push_back({"grid", std::move(g), {0, 11, 6}});
+  }
+  cases.push_back({"complete_k8", CompleteDigraph(8), {0, 7, 4}});
+  cases.push_back({"cycle", CycleGraph(7), {0, 4, 6}});
+  cases.push_back({"star", StarGraph(8), {1, 5, 4}});
+  // Random families.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Graph g = ErdosRenyi(30, 160, seed);
+    cases.push_back({"er_" + std::to_string(seed), std::move(g),
+                     {static_cast<VertexId>(seed % 30),
+                      static_cast<VertexId>((seed * 13 + 7) % 30),
+                      3 + static_cast<uint32_t>(seed % 3)}});
+  }
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Graph g = RMat(5, 150, seed * 53);
+    cases.push_back({"rmat_" + std::to_string(seed), std::move(g),
+                     {static_cast<VertexId>((seed * 3) % 32),
+                      static_cast<VertexId>((seed * 11 + 5) % 32),
+                      3 + static_cast<uint32_t>(seed % 4)}});
+  }
+  // Drop degenerate queries.
+  std::vector<GraphCase> valid;
+  for (auto& c : cases) {
+    if (c.query.source != c.query.target) valid.push_back(std::move(c));
+  }
+  return valid;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<size_t> {
+ public:
+  static const std::vector<GraphCase>& Cases() {
+    static const std::vector<GraphCase>* cases =
+        new std::vector<GraphCase>(MakeCases());
+    return *cases;
+  }
+};
+
+TEST_P(EquivalenceTest, AllAlgorithmsAgreeWithBruteForce) {
+  const GraphCase& c = Cases()[GetParam()];
+  const PathSet expected = ToSet(BruteForcePaths(c.graph, c.query));
+  for (const std::string& name : AllAlgorithmNames()) {
+    const auto algo = MakeAlgorithm(name, c.graph);
+    EXPECT_EQ(CollectPaths(*algo, c.query), expected)
+        << name << " disagrees on " << c.name;
+  }
+}
+
+TEST_P(EquivalenceTest, WalksDominatePathsAndEstimatorIsExact) {
+  const GraphCase& c = Cases()[GetParam()];
+  const uint64_t paths = CountPathsBruteForce(c.graph, c.query);
+  const double walks_dp = CountWalksDp(c.graph, c.query);
+  const auto walks = BruteForceWalks(c.graph, c.query);
+  EXPECT_EQ(static_cast<double>(walks.size()), walks_dp) << c.name;
+  EXPECT_LE(static_cast<double>(paths), walks_dp) << c.name;
+  // Proposition 5.1 + Theorem 3.1: the full-fledged DP over the index
+  // counts exactly the walks.
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(c.graph, c.query);
+  const JoinPlan plan = OptimizeJoinOrder(idx);
+  EXPECT_DOUBLE_EQ(plan.TotalWalks(), walks_dp) << c.name;
+}
+
+TEST_P(EquivalenceTest, EveryWalkContainsEveryPathPrefix) {
+  // Proposition 5.1 second half, spot-checked: each path is a walk, and
+  // each walk's proper prefixes never contain t.
+  const GraphCase& c = Cases()[GetParam()];
+  const auto walks = BruteForceWalks(c.graph, c.query);
+  const PathSet paths = ToSet(BruteForcePaths(c.graph, c.query));
+  const PathSet walk_set = ToSet(walks);
+  for (const auto& p : paths) {
+    EXPECT_TRUE(walk_set.count(p)) << c.name;
+  }
+  for (const auto& w : walks) {
+    for (size_t i = 0; i + 1 < w.size(); ++i) {
+      EXPECT_NE(w[i], c.query.target) << c.name;
+      if (i > 0) {
+        EXPECT_NE(w[i], c.query.source) << c.name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EquivalenceTest,
+    ::testing::Range<size_t>(0, EquivalenceTest::Cases().size()),
+    [](const auto& info) {
+      return EquivalenceTest::Cases()[info.param].name;
+    });
+
+// Cross-check the cycle-enumeration reduction used by the fraud example:
+// cycles through edge (v, v') of length <= k are exactly the paths
+// q(v', v, k-1) plus the closing edge.
+TEST(CycleReductionTest, MatchesDirectCycleSearch) {
+  const Graph g = RMat(5, 120, 9);
+  uint32_t checked = 0;
+  for (VertexId v = 0; v < g.num_vertices() && checked < 5; ++v) {
+    for (const VertexId w : g.OutNeighbors(v)) {
+      if (v == w) continue;
+      const Query q{w, v, 5};
+      const auto cycles_via_paths = BruteForcePaths(g, q);
+      for (const auto& p : cycles_via_paths) {
+        // Closing edge must exist by construction.
+        EXPECT_TRUE(g.HasEdge(v, w));
+        EXPECT_EQ(p.front(), w);
+        EXPECT_EQ(p.back(), v);
+      }
+      ++checked;
+      break;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace pathenum

@@ -1,0 +1,157 @@
+// Tests for the preliminary estimator (Eq. 5) and the full-fledged
+// join-order optimizer (Alg. 5). Key property: the "full-fledged estimator"
+// is *exact* walk counting over the index, so |Q| must equal delta_W.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/estimator.h"
+#include "core/index.h"
+#include "core/reference.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace pathenum {
+namespace {
+
+JoinPlan PlanFor(const Graph& g, const Query& q) {
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, q);
+  return OptimizeJoinOrder(idx);
+}
+
+TEST(FullEstimatorTest, PaperExampleWalkCount) {
+  // Hand count on Figure 1a with q(s,t,4): the 5 paths plus the walk
+  // (s, v0, v6, v0, t) of Example 3.2 — delta_W = 6.
+  const Graph g = testing::PaperExampleGraph();
+  const Query q = testing::PaperExampleQuery();
+  const JoinPlan plan = PlanFor(g, q);
+  EXPECT_DOUBLE_EQ(plan.TotalWalks(), 6.0);
+  EXPECT_DOUBLE_EQ(CountWalksDp(g, q), 6.0);
+  EXPECT_EQ(BruteForceWalks(g, q).size(), 6u);
+}
+
+TEST(FullEstimatorTest, Figure5G1WalkGap) {
+  // Example 5.2's G1: delta_W = 6 but delta_P = 1.
+  const Graph g = testing::Figure5G1();
+  const Query q{0, 7, 4};
+  EXPECT_DOUBLE_EQ(PlanFor(g, q).TotalWalks(), 6.0);
+  EXPECT_DOUBLE_EQ(CountWalksDp(g, q), 6.0);
+  EXPECT_EQ(CountPathsBruteForce(g, q), 1u);
+}
+
+TEST(FullEstimatorTest, LayeredGraphExactCounts) {
+  // In a layered diamond every walk is a path: width^layers of them.
+  const Graph g = LayeredGraph(3, 3);
+  const Query q{0, static_cast<VertexId>(g.num_vertices() - 1), 4};
+  const JoinPlan plan = PlanFor(g, q);
+  EXPECT_DOUBLE_EQ(plan.TotalWalks(), 27.0);
+}
+
+TEST(FullEstimatorTest, ForwardBackwardConsistency) {
+  // |Q[0:k]| computed forward must equal |Q[0:k]| computed backward.
+  const Graph g = testing::PaperExampleGraph();
+  const JoinPlan plan = PlanFor(g, testing::PaperExampleQuery());
+  ASSERT_EQ(plan.forward_sizes.size(), 5u);
+  EXPECT_DOUBLE_EQ(plan.forward_sizes.back(), plan.backward_sizes.front());
+  EXPECT_DOUBLE_EQ(plan.forward_sizes.front(), 1.0);  // |Q[0:0]| = |{(s)}|
+}
+
+TEST(FullEstimatorTest, CutMinimizesLevelSum) {
+  const Graph g = testing::PaperExampleGraph();
+  const JoinPlan plan = PlanFor(g, testing::PaperExampleQuery());
+  ASSERT_GE(plan.cut, 1u);
+  ASSERT_LE(plan.cut, 3u);
+  const double chosen =
+      plan.forward_sizes[plan.cut] + plan.backward_sizes[plan.cut];
+  for (uint32_t i = 1; i < 4; ++i) {
+    EXPECT_LE(chosen, plan.forward_sizes[i] + plan.backward_sizes[i]);
+  }
+}
+
+TEST(FullEstimatorTest, CostFormulas) {
+  const Graph g = testing::PaperExampleGraph();
+  const JoinPlan plan = PlanFor(g, testing::PaperExampleQuery());
+  double t_dfs = 0;
+  for (uint32_t i = 1; i <= 4; ++i) t_dfs += plan.forward_sizes[i];
+  EXPECT_DOUBLE_EQ(plan.t_dfs, t_dfs);
+  double t_join = plan.backward_sizes[0];
+  for (uint32_t i = 1; i <= plan.cut; ++i) t_join += plan.forward_sizes[i];
+  for (uint32_t i = plan.cut; i <= 4; ++i) t_join += plan.backward_sizes[i];
+  EXPECT_DOUBLE_EQ(plan.t_join, t_join);
+}
+
+TEST(FullEstimatorTest, EmptyIndexYieldsZeroPlan) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  const JoinPlan plan = PlanFor(g, {0, 3, 4});
+  EXPECT_EQ(plan.cut, 0u);
+  EXPECT_DOUBLE_EQ(plan.TotalWalks(), 0.0);
+  EXPECT_FALSE(plan.PreferJoin());
+}
+
+class EstimatorRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EstimatorRandomTest, ExactlyCountsWalks) {
+  const uint64_t seed = GetParam();
+  const Graph g = ErdosRenyi(40, 200, seed);
+  for (uint32_t k = 2; k <= 6; ++k) {
+    const Query q{static_cast<VertexId>(seed % 40),
+                  static_cast<VertexId>((seed * 11 + 3) % 40), k};
+    if (q.source == q.target) continue;
+    const JoinPlan plan = PlanFor(g, q);
+    const double expected = CountWalksDp(g, q);
+    EXPECT_DOUBLE_EQ(plan.TotalWalks(), expected)
+        << "seed=" << seed << " k=" << k;
+    EXPECT_DOUBLE_EQ(plan.forward_sizes.back(), plan.backward_sizes.front());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorRandomTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// --- Preliminary estimator ---------------------------------------------------
+
+TEST(PreliminaryEstimatorTest, ZeroWhenIndexEmpty) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, {0, 3, 4});
+  EXPECT_DOUBLE_EQ(EstimateSearchSpace(idx), 0.0);
+}
+
+TEST(PreliminaryEstimatorTest, ExactOnUniformFanout) {
+  // Layered diamond: every level has identical fan-out, so the average-based
+  // estimate is exact: sum_i width^i ... with the final hop to the sink.
+  const Graph g = LayeredGraph(2, 3);
+  IndexBuilder builder;
+  const LightweightIndex idx =
+      builder.Build(g, {0, static_cast<VertexId>(g.num_vertices() - 1), 3});
+  // Levels: |M1| = 3 (first layer), |M2| = 9, |M3| = 9 (all reach t).
+  EXPECT_DOUBLE_EQ(EstimateSearchSpace(idx), 3 + 9 + 9);
+}
+
+TEST(PreliminaryEstimatorTest, PositiveAndFiniteOnExample) {
+  const Graph g = testing::PaperExampleGraph();
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, testing::PaperExampleQuery());
+  const double t_hat = EstimateSearchSpace(idx);
+  EXPECT_GT(t_hat, 0.0);
+  EXPECT_TRUE(std::isfinite(t_hat));
+  // A crude sanity bound: the estimate is within two orders of magnitude of
+  // the true search-space size (sum over levels of |~M_i| <= k * delta_W).
+  EXPECT_LT(t_hat, 100.0 * 4 * 6);
+}
+
+TEST(PreliminaryEstimatorTest, GrowsWithHopBudget) {
+  const Graph g = ErdosRenyi(200, 3000, 5);
+  IndexBuilder builder;
+  double prev = 0.0;
+  for (uint32_t k = 3; k <= 6; ++k) {
+    const LightweightIndex idx = builder.Build(g, {0, 100, k});
+    const double t_hat = EstimateSearchSpace(idx);
+    EXPECT_GE(t_hat, prev * 0.5) << "estimate should broadly grow with k";
+    prev = t_hat;
+  }
+}
+
+}  // namespace
+}  // namespace pathenum

@@ -1,0 +1,164 @@
+// Unit tests for the synthetic graph generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/query.h"
+#include "core/reference.h"
+#include "graph/generators.h"
+
+namespace pathenum {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  const Graph g = ErdosRenyi(100, 500, 42);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 500u);
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  const Graph a = ErdosRenyi(50, 200, 7);
+  const Graph b = ErdosRenyi(50, 200, 7);
+  const Graph c = ErdosRenyi(50, 200, 8);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  bool identical = true;
+  for (VertexId v = 0; v < a.num_vertices() && identical; ++v) {
+    const auto na = a.OutNeighbors(v);
+    const auto nb = b.OutNeighbors(v);
+    identical = std::equal(na.begin(), na.end(), nb.begin(), nb.end());
+  }
+  EXPECT_TRUE(identical);
+  bool differs = false;
+  for (VertexId v = 0; v < a.num_vertices() && !differs; ++v) {
+    const auto na = a.OutNeighbors(v);
+    const auto nc = c.OutNeighbors(v);
+    differs = !std::equal(na.begin(), na.end(), nc.begin(), nc.end());
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoopsOrDuplicates) {
+  const Graph g = ErdosRenyi(40, 400, 3);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.OutNeighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_NE(nbrs[i], v);
+      if (i > 0) EXPECT_LT(nbrs[i - 1], nbrs[i]);  // strictly sorted = unique
+    }
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleDensity) {
+  EXPECT_THROW(ErdosRenyi(3, 10, 1), std::logic_error);
+}
+
+TEST(ErdosRenyiTest, CompleteGraphPossible) {
+  const Graph g = ErdosRenyi(5, 20, 9);  // 5*4 = 20: the full digraph
+  EXPECT_EQ(g.num_edges(), 20u);
+}
+
+TEST(BarabasiAlbertTest, SizeAndSkew) {
+  const Graph g = BarabasiAlbert(2000, 3, 11);
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  EXPECT_GT(g.num_edges(), 4000u);
+  // Preferential attachment must produce a hub far above the average.
+  uint32_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.Degree(v));
+  }
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_vertices());
+  EXPECT_GT(max_deg, 10 * avg);
+}
+
+TEST(RMatTest, ApproximateEdgeCountAndSkew) {
+  const Graph g = RMat(12, 40000, 5);
+  EXPECT_EQ(g.num_vertices(), 4096u);
+  EXPECT_GT(g.num_edges(), 30000u);
+  EXPECT_LE(g.num_edges(), 40000u);
+  uint32_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.Degree(v));
+  }
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) / 4096.0;
+  EXPECT_GT(max_deg, 5 * avg) << "R-MAT degree distribution should be skewed";
+}
+
+TEST(RMatTest, Deterministic) {
+  const Graph a = RMat(8, 1000, 77);
+  const Graph b = RMat(8, 1000, 77);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(RMatTest, ExactVertexCountTruncation) {
+  // Non-power-of-two vertex spaces: samples beyond n are rejected.
+  const Graph g = RMat(10, 3000, 4, 0.57, 0.19, 0.19, /*num_vertices=*/700);
+  EXPECT_EQ(g.num_vertices(), 700u);
+  EXPECT_GT(g.num_edges(), 2000u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId w : g.OutNeighbors(v)) EXPECT_LT(w, 700u);
+  }
+}
+
+TEST(RMatTest, RejectsVertexCountBeyondGrid) {
+  EXPECT_THROW(RMat(4, 10, 1, 0.57, 0.19, 0.19, /*num_vertices=*/17),
+               std::logic_error);
+}
+
+TEST(GridGraphTest, StructureAndPathCount) {
+  const Graph g = GridGraph(3, 3);
+  EXPECT_EQ(g.num_vertices(), 9u);
+  EXPECT_EQ(g.num_edges(), 12u);  // 2*3*(3-1)
+  // Corner-to-corner monotone paths in a 3x3 grid: C(4,2) = 6, length 4.
+  EXPECT_EQ(CountPathsBruteForce(g, {0, 8, 4}), 6u);
+  // With a tighter hop bound than the Manhattan distance: none.
+  EXPECT_EQ(CountPathsBruteForce(g, {0, 8, 3}), 0u);
+}
+
+TEST(LayeredGraphTest, ExactPathCounts) {
+  // width^layers paths, all of length layers + 1.
+  const Graph g = LayeredGraph(3, 2);
+  const VertexId sink = g.num_vertices() - 1;
+  EXPECT_EQ(CountPathsBruteForce(g, {0, sink, 4}), 8u);
+  EXPECT_EQ(CountPathsBruteForce(g, {0, sink, 3}), 0u);
+  const Graph wide = LayeredGraph(2, 5);
+  EXPECT_EQ(CountPathsBruteForce(wide, {0, wide.num_vertices() - 1, 3}), 25u);
+}
+
+TEST(LayeredGraphTest, ZeroLayersIsSingleEdge)
+{
+  const Graph g = LayeredGraph(0, 3);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, g.num_vertices() - 1));
+}
+
+TEST(CompleteDigraphTest, AllOrderedPairs) {
+  const Graph g = CompleteDigraph(6);
+  EXPECT_EQ(g.num_edges(), 30u);
+  // Paths s->t with <= 2 hops in K6: direct + 4 through intermediates.
+  EXPECT_EQ(CountPathsBruteForce(g, {0, 5, 2}), 5u);
+}
+
+TEST(CycleGraphTest, SinglePathAroundTheRing) {
+  const Graph g = CycleGraph(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(CountPathsBruteForce(g, {0, 3, 6}), 1u);
+  EXPECT_EQ(CountPathsBruteForce(g, {0, 3, 2}), 0u);
+}
+
+TEST(StarGraphTest, HubRouting) {
+  const Graph g = StarGraph(5);
+  // Spoke to spoke must go through the hub: one path of length 2.
+  EXPECT_EQ(CountPathsBruteForce(g, {1, 2, 6}), 1u);
+}
+
+TEST(PathGraphTest, OnlyTheLinePath) {
+  const Graph g = PathGraph(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(CountPathsBruteForce(g, {0, 4, 4}), 1u);
+  EXPECT_EQ(CountPathsBruteForce(g, {0, 4, 3}), 0u);
+}
+
+}  // namespace
+}  // namespace pathenum

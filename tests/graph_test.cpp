@@ -1,0 +1,251 @@
+// Unit tests for the Graph/GraphBuilder CSR substrate and edge-list I/O.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "test_util.h"
+
+namespace pathenum {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphTest, FromEdgesBasic) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_EQ(g.Degree(2), 3u);
+}
+
+TEST(GraphTest, NeighborsSortedAscending) {
+  const Graph g = Graph::FromEdges(5, {{0, 4}, {0, 1}, {0, 3}, {2, 0}, {1, 0}});
+  const auto out = g.OutNeighbors(0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  const auto in = g.InNeighbors(0);
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+}
+
+TEST(GraphTest, HasEdgeAndFindEdge) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_NE(g.FindEdge(1, 2), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(2, 1), kInvalidEdge);
+}
+
+TEST(GraphTest, EdgeIdsAlignWithNeighbors) {
+  const Graph g = Graph::FromEdges(4, {{1, 0}, {1, 2}, {1, 3}});
+  const auto nbrs = g.OutNeighbors(1);
+  for (size_t j = 0; j < nbrs.size(); ++j) {
+    EXPECT_EQ(g.FindEdge(1, nbrs[j]), g.OutEdgeId(1, j));
+  }
+}
+
+TEST(GraphBuilderTest, DropsSelfLoops) {
+  GraphBuilder b(3);
+  EXPECT_FALSE(b.AddEdge(1, 1));
+  EXPECT_TRUE(b.AddEdge(0, 1));
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, DeduplicatesKeepingFirstAttributes) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 2.5, 7);
+  b.AddEdge(0, 1, 9.0, 8);  // duplicate; attributes must be ignored
+  const Graph g = b.Build();
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0), 2.5);
+  EXPECT_EQ(g.EdgeLabel(0), 7u);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoint) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.AddEdge(0, 2), std::logic_error);
+}
+
+TEST(GraphBuilderTest, InOutConsistency) {
+  const Graph g = testing::PaperExampleGraph();
+  uint64_t out_sum = 0, in_sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out_sum += g.OutDegree(v);
+    in_sum += g.InDegree(v);
+    for (const VertexId w : g.OutNeighbors(v)) {
+      const auto in = g.InNeighbors(w);
+      EXPECT_TRUE(std::find(in.begin(), in.end(), v) != in.end())
+          << v << "->" << w << " missing from in-adjacency";
+    }
+  }
+  EXPECT_EQ(out_sum, g.num_edges());
+  EXPECT_EQ(in_sum, g.num_edges());
+}
+
+TEST(GraphBuilderTest, AddGraphCopiesAttributes) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 3.0, 2);
+  b.AddEdge(1, 2, 4.0, 1);
+  const Graph g = b.Build();
+  GraphBuilder b2(3);
+  b2.AddGraph(g);
+  b2.AddEdge(2, 0, 5.0, 0);
+  const Graph g2 = b2.Build();
+  EXPECT_EQ(g2.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g2.EdgeWeight(g2.FindEdge(0, 1)), 3.0);
+  EXPECT_EQ(g2.EdgeLabel(g2.FindEdge(1, 2)), 1u);
+}
+
+TEST(GraphBuilderTest, UnattributedGraphHasNoWeightArrays) {
+  const Graph g = Graph::FromEdges(2, {{0, 1}});
+  EXPECT_FALSE(g.has_weights());
+  EXPECT_FALSE(g.has_labels());
+  EXPECT_EQ(g.num_labels(), 0u);
+}
+
+TEST(GraphBuilderTest, LabelCountIsMaxPlusOne) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0, 4);
+  b.AddEdge(1, 2, 1.0, 2);
+  const Graph g = b.Build();
+  EXPECT_TRUE(g.has_labels());
+  EXPECT_EQ(g.num_labels(), 5u);
+}
+
+TEST(GraphTest, MemoryBytesIsPositive) {
+  const Graph g = testing::PaperExampleGraph();
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+// --- I/O -------------------------------------------------------------------
+
+TEST(GraphIoTest, ParsesSnapStyleInput) {
+  std::istringstream in(
+      "# comment line\n"
+      "0 1\n"
+      "1 2\n"
+      "\n"
+      "% another comment\n"
+      "2 0\n");
+  const Graph g = ReadEdgeList(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(2, 0));
+}
+
+TEST(GraphIoTest, SparseIdsKeepMaxPlusOneVertices) {
+  std::istringstream in("0 10\n10 5\n");
+  const Graph g = ReadEdgeList(in);
+  EXPECT_EQ(g.num_vertices(), 11u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIoTest, MalformedLineThrows) {
+  std::istringstream in("0 1\nbroken\n");
+  EXPECT_THROW(ReadEdgeList(in), std::runtime_error);
+}
+
+TEST(GraphIoTest, WeightedRoundTrip) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 2.5, 0);
+  b.AddEdge(1, 2, 0.5, 0);
+  const Graph g = b.Build();
+  std::ostringstream out;
+  WriteEdgeList(g, out);
+  std::istringstream in(out.str());
+  const Graph g2 = ReadEdgeList(in, EdgeListFormat::kWeighted);
+  ASSERT_EQ(g2.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g2.EdgeWeight(g2.FindEdge(0, 1)), 2.5);
+}
+
+TEST(GraphIoTest, WeightedLabeledRoundTrip) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1.5, 3);
+  b.AddEdge(1, 2, 2.0, 1);
+  const Graph g = b.Build();
+  std::ostringstream out;
+  WriteEdgeList(g, out);
+  std::istringstream in(out.str());
+  const Graph g2 = ReadEdgeList(in, EdgeListFormat::kWeightedLabeled);
+  ASSERT_EQ(g2.num_edges(), 2u);
+  EXPECT_EQ(g2.EdgeLabel(g2.FindEdge(0, 1)), 3u);
+  EXPECT_EQ(g2.EdgeLabel(g2.FindEdge(1, 2)), 1u);
+}
+
+TEST(GraphIoTest, PlainRoundTripPreservesStructure) {
+  const Graph g = testing::PaperExampleGraph();
+  std::ostringstream out;
+  WriteEdgeList(g, out);
+  std::istringstream in(out.str());
+  const Graph g2 = ReadEdgeList(in);
+  ASSERT_EQ(g2.num_vertices(), g.num_vertices());
+  ASSERT_EQ(g2.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.OutNeighbors(v);
+    const auto b = g2.OutNeighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(GraphIoTest, BinaryRoundTripPlain) {
+  const Graph g = testing::PaperExampleGraph();
+  const std::string path = ::testing::TempDir() + "pathenum_bin_plain.bin";
+  SaveBinary(g, path);
+  const Graph g2 = LoadBinary(path);
+  ASSERT_EQ(g2.num_vertices(), g.num_vertices());
+  ASSERT_EQ(g2.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.OutNeighbors(v);
+    const auto b = g2.OutNeighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(GraphIoTest, BinaryRoundTripAttributed) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 2.25, 3);
+  b.AddEdge(1, 2, -1.5, 1);
+  const Graph g = b.Build();
+  const std::string path = ::testing::TempDir() + "pathenum_bin_attr.bin";
+  SaveBinary(g, path);
+  const Graph g2 = LoadBinary(path);
+  ASSERT_EQ(g2.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g2.EdgeWeight(g2.FindEdge(0, 1)), 2.25);
+  EXPECT_EQ(g2.EdgeLabel(g2.FindEdge(1, 2)), 1u);
+  EXPECT_EQ(g2.num_labels(), 4u);
+}
+
+TEST(GraphIoTest, BinaryRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "pathenum_bin_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a graph";
+  }
+  EXPECT_THROW(LoadBinary(path), std::runtime_error);
+  EXPECT_THROW(LoadBinary("/nonexistent/graph.bin"), std::runtime_error);
+}
+
+TEST(GraphIoTest, MissingFileThrows) {
+  EXPECT_THROW(LoadEdgeList("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+TEST(GraphIoTest, MissingWeightColumnThrows) {
+  std::istringstream in("0 1\n");
+  EXPECT_THROW(ReadEdgeList(in, EdgeListFormat::kWeighted),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pathenum

@@ -1,0 +1,330 @@
+// Unit tests for the light-weight index (paper Algorithm 3), checked
+// against the paper's running example (Figures 1/4) and naive
+// recomputation on random graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/index.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "test_util.h"
+#include "workload/query_gen.h"
+
+namespace pathenum {
+namespace {
+
+using testing::kS;
+using testing::kT;
+using testing::kV0;
+using testing::kV1;
+using testing::kV2;
+using testing::kV3;
+using testing::kV4;
+using testing::kV5;
+using testing::kV6;
+using testing::kV7;
+
+LightweightIndex BuildPaperIndex() {
+  IndexBuilder builder;
+  return builder.Build(testing::PaperExampleGraph(),
+                       testing::PaperExampleQuery());
+}
+
+TEST(IndexTest, MembershipMatchesFigure4a) {
+  const LightweightIndex idx = BuildPaperIndex();
+  // X contains every vertex except v7 (v7 cannot reach t).
+  EXPECT_EQ(idx.num_vertices(), 9u);
+  for (const VertexId v : {kS, kV0, kV1, kV2, kV3, kV4, kV5, kV6, kT}) {
+    EXPECT_TRUE(idx.Contains(v)) << "vertex " << v;
+  }
+  EXPECT_FALSE(idx.Contains(kV7));
+}
+
+TEST(IndexTest, CellX22HoldsV4AndV6) {
+  // Example 4.4: X[2,2] = {v4, v6}.
+  const LightweightIndex idx = BuildPaperIndex();
+  const auto [first, last] = idx.CellSlots(2, 2);
+  std::set<VertexId> cell;
+  for (uint32_t slot = first; slot < last; ++slot) {
+    cell.insert(idx.VertexAt(slot));
+  }
+  EXPECT_EQ(cell, (std::set<VertexId>{kV4, kV6}));
+}
+
+TEST(IndexTest, SlotRoundTripAndDistances) {
+  const LightweightIndex idx = BuildPaperIndex();
+  for (uint32_t slot = 0; slot < idx.num_vertices(); ++slot) {
+    const VertexId v = idx.VertexAt(slot);
+    EXPECT_EQ(idx.SlotOf(v), slot);
+    EXPECT_LE(idx.DistFromSource(slot) + idx.DistToTarget(slot), 4u);
+  }
+  EXPECT_EQ(idx.SlotOf(kV7), kInvalidSlot);
+  EXPECT_EQ(idx.VertexAt(idx.source_slot()), kS);
+  EXPECT_EQ(idx.VertexAt(idx.target_slot()), kT);
+}
+
+TEST(IndexTest, Example44NeighborLookup) {
+  // I_t(v0, 2) = {t, v1, v6}; I_t(v0, 0) = {t}.
+  const LightweightIndex idx = BuildPaperIndex();
+  const auto all = idx.OutVerticesWithin(kV0, 2);
+  EXPECT_EQ(std::set<VertexId>(all.begin(), all.end()),
+            (std::set<VertexId>{kT, kV1, kV6}));
+  EXPECT_EQ(idx.OutVerticesWithin(kV0, 0), std::vector<VertexId>{kT});
+  EXPECT_EQ(idx.OutVerticesWithin(kV0, 1), std::vector<VertexId>{kT});
+}
+
+TEST(IndexTest, OutNeighborsSortedByDistanceToTarget) {
+  const LightweightIndex idx = BuildPaperIndex();
+  for (uint32_t slot = 0; slot < idx.num_vertices(); ++slot) {
+    const auto nbrs = idx.OutSlotsWithin(slot, 4);
+    for (size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LE(idx.DistToTarget(nbrs[i - 1]), idx.DistToTarget(nbrs[i]));
+    }
+  }
+}
+
+TEST(IndexTest, InNeighborsSortedByDistanceFromSource) {
+  const LightweightIndex idx = BuildPaperIndex();
+  for (uint32_t slot = 0; slot < idx.num_vertices(); ++slot) {
+    const auto nbrs = idx.InSlotsWithin(slot, 4);
+    for (size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LE(idx.DistFromSource(nbrs[i - 1]),
+                idx.DistFromSource(nbrs[i]));
+    }
+  }
+}
+
+TEST(IndexTest, TargetHasPaddingSelfEntry) {
+  const LightweightIndex idx = BuildPaperIndex();
+  for (uint32_t b = 0; b <= 4; ++b) {
+    EXPECT_EQ(idx.OutVerticesWithin(kT, b), std::vector<VertexId>{kT});
+  }
+  // The padding entry carries no graph edge.
+  const auto edge_ids = idx.OutEdgeIdsWithin(idx.target_slot(), 4);
+  ASSERT_EQ(edge_ids.size(), 1u);
+  EXPECT_EQ(edge_ids[0], kInvalidEdge);
+}
+
+TEST(IndexTest, SourceInListIsEmptyAndTargetInListHasPad) {
+  const LightweightIndex idx = BuildPaperIndex();
+  EXPECT_TRUE(idx.InVerticesWithin(kS, 4).empty());
+  const auto t_in = idx.InVerticesWithin(kT, 4);
+  // In-neighbors of t within the index: v0, v2, v5, plus the pad entry t.
+  EXPECT_EQ(std::set<VertexId>(t_in.begin(), t_in.end()),
+            (std::set<VertexId>{kV0, kV2, kV5, kT}));
+  EXPECT_EQ(idx.InVerticesWithin(kT, 1), std::vector<VertexId>{kV0});
+}
+
+TEST(IndexTest, SourceNeverAppearsAsOutDestination) {
+  // Triangle s <-> a, a -> t: the index must not offer s as an extension.
+  const Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {1, 2}});
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, {0, 2, 3});
+  EXPECT_EQ(idx.OutVerticesWithin(1, 3), std::vector<VertexId>{2});
+}
+
+TEST(IndexTest, TargetNeverAppearsAsInSource) {
+  // s->1, 1->t, s->2, 2->t, t->2: the in-list of 2 holds s but not t.
+  const Graph g =
+      Graph::FromEdges(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}, {3, 2}});
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, {0, 3, 3});
+  const auto in2 = idx.InVerticesWithin(2, 3);
+  EXPECT_EQ(std::set<VertexId>(in2.begin(), in2.end()),
+            (std::set<VertexId>{0}));
+}
+
+TEST(IndexTest, EdgeCountExcludesPadding) {
+  // Hand-counted over the example: 13 admissible out-entries (s:3, v0:3,
+  // v1:1, v2:2, v3:1, v4:1, v5:1, v6:1).
+  const LightweightIndex idx = BuildPaperIndex();
+  EXPECT_EQ(idx.num_edges(), 13u);
+}
+
+TEST(IndexTest, StoredConditionIsTight) {
+  // v1 -> v3 violates v.s + v'.t + 1 <= k (1 + 3 + 1 > 4) and must be
+  // dropped even though both endpoints are in X; v1 -> v2 (1 + 1 + 1)
+  // stays. Likewise v5 -> v2 (3 + 1 + 1 > 4) is dropped.
+  const LightweightIndex idx = BuildPaperIndex();
+  EXPECT_EQ(idx.OutVerticesWithin(kV1, 4), std::vector<VertexId>{kV2});
+  EXPECT_EQ(idx.OutVerticesWithin(kV5, 4), std::vector<VertexId>{kT});
+}
+
+TEST(IndexTest, OutEdgeIdsMatchGraphEdges) {
+  const Graph g = testing::PaperExampleGraph();
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, testing::PaperExampleQuery());
+  for (uint32_t slot = 0; slot < idx.num_vertices(); ++slot) {
+    if (slot == idx.target_slot()) continue;
+    const VertexId v = idx.VertexAt(slot);
+    const auto nbrs = idx.OutSlotsWithin(slot, 4);
+    const auto edges = idx.OutEdgeIdsWithin(slot, 4);
+    ASSERT_EQ(nbrs.size(), edges.size());
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      EXPECT_EQ(edges[j], g.FindEdge(v, idx.VertexAt(nbrs[j])));
+    }
+  }
+}
+
+TEST(IndexTest, LevelIterationMatchesDefinition) {
+  const LightweightIndex idx = BuildPaperIndex();
+  const uint32_t k = 4;
+  for (uint32_t i = 0; i <= k; ++i) {
+    std::set<VertexId> via_levels;
+    idx.ForEachSlotInLevel(
+        i, [&](uint32_t slot) { via_levels.insert(idx.VertexAt(slot)); });
+    std::set<VertexId> expected;
+    for (uint32_t slot = 0; slot < idx.num_vertices(); ++slot) {
+      if (idx.DistFromSource(slot) <= i && idx.DistToTarget(slot) <= k - i) {
+        expected.insert(idx.VertexAt(slot));
+      }
+    }
+    EXPECT_EQ(via_levels, expected) << "level " << i;
+    EXPECT_EQ(idx.LevelSize(i), expected.size());
+  }
+}
+
+TEST(IndexTest, LevelZeroIsSourceOnly) {
+  const LightweightIndex idx = BuildPaperIndex();
+  EXPECT_EQ(idx.LevelSize(0), 1u);
+  idx.ForEachSlotInLevel(0, [&](uint32_t slot) {
+    EXPECT_EQ(idx.VertexAt(slot), kS);
+  });
+  EXPECT_EQ(idx.LevelSize(4), 1u);  // level k is {t}
+}
+
+TEST(IndexTest, LevelStatsMatchManualRecount) {
+  const LightweightIndex idx = BuildPaperIndex();
+  const uint32_t k = 4;
+  for (uint32_t j = 0; j < k; ++j) {
+    uint64_t count = 0;
+    double sum = 0;
+    idx.ForEachSlotInLevel(j, [&](uint32_t slot) {
+      count++;
+      sum += static_cast<double>(idx.OutSlotsWithin(slot, k - j - 1).size());
+    });
+    EXPECT_EQ(idx.LevelCount(j), count) << "level " << j;
+    EXPECT_DOUBLE_EQ(idx.LevelItSum(j), sum) << "level " << j;
+  }
+}
+
+TEST(IndexTest, UnreachableQueryYieldsEmptyIndex) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, {0, 3, 5});
+  EXPECT_EQ(idx.num_vertices(), 0u);
+  EXPECT_EQ(idx.source_slot(), kInvalidSlot);
+  EXPECT_EQ(idx.num_edges(), 0u);
+}
+
+TEST(IndexTest, HopBudgetTooSmallYieldsEmptyIndex) {
+  const Graph g = PathGraph(6);
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, {0, 5, 3});  // dist is 5
+  EXPECT_EQ(idx.num_vertices(), 0u);
+}
+
+TEST(IndexTest, EdgeFilterShrinksIndex) {
+  const Graph g = testing::PaperExampleGraph();
+  // Remove v0 -> t: the only length-2 path disappears and distances shift.
+  const EdgeFilter filter = [](VertexId u, VertexId v, EdgeId) {
+    return !(u == kV0 && v == kT);
+  };
+  IndexBuilder builder;
+  IndexBuildOptions opts;
+  opts.filter = &filter;
+  const LightweightIndex idx = builder.Build(g, testing::PaperExampleQuery(),
+                                             opts);
+  const LightweightIndex unfiltered =
+      builder.Build(g, testing::PaperExampleQuery());
+  EXPECT_LT(idx.num_edges(), unfiltered.num_edges());
+  const auto v0_nbrs = idx.OutVerticesWithin(kV0, 4);
+  EXPECT_TRUE(std::find(v0_nbrs.begin(), v0_nbrs.end(), kT) ==
+              v0_nbrs.end());
+}
+
+TEST(IndexTest, MemoryAccountingPositiveAndOrdered) {
+  const LightweightIndex idx = BuildPaperIndex();
+  EXPECT_GT(idx.MemoryBytes(), 0u);
+  EXPECT_GE(idx.build_stats().total_ms, idx.build_stats().bfs_ms);
+}
+
+TEST(IndexTest, BuilderReuseAcrossQueries) {
+  const Graph g = testing::PaperExampleGraph();
+  IndexBuilder builder;
+  const LightweightIndex a = builder.Build(g, {kS, kT, 4});
+  const LightweightIndex b = builder.Build(g, {kS, kV5, 3});
+  const LightweightIndex c = builder.Build(g, {kS, kT, 4});
+  EXPECT_EQ(a.num_vertices(), c.num_vertices());
+  EXPECT_EQ(a.num_edges(), c.num_edges());
+  EXPECT_NE(a.num_vertices(), b.num_vertices());
+}
+
+// Randomized consistency: every index invariant recomputed naively.
+class IndexRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexRandomTest, MatchesNaiveConstruction) {
+  const uint64_t seed = GetParam();
+  const Graph g = ErdosRenyi(60, 400, seed);
+  const uint32_t k = 3 + static_cast<uint32_t>(seed % 4);
+  const Query q{static_cast<VertexId>(seed % 60),
+                static_cast<VertexId>((seed * 7 + 13) % 60), k};
+  if (q.source == q.target) return;
+
+  DistanceField fs, ft;
+  BfsOptions fwd;
+  fwd.blocked = q.target;
+  fwd.max_depth = k;
+  fs.Compute(g, Direction::kForward, q.source, fwd);
+  BfsOptions bwd;
+  bwd.blocked = q.source;
+  bwd.max_depth = k;
+  ft.Compute(g, Direction::kBackward, q.target, bwd);
+
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, q);
+
+  // Membership.
+  uint32_t expected_members = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const uint32_t ds = fs.Distance(v);
+    const uint32_t dt = ft.Distance(v);
+    const bool in_x =
+        ds != kInfDistance && dt != kInfDistance && ds + dt <= k;
+    EXPECT_EQ(idx.Contains(v), in_x) << "vertex " << v;
+    if (in_x) expected_members++;
+  }
+  ASSERT_EQ(idx.num_vertices(), expected_members);
+
+  // Adjacency, for every vertex and bound.
+  for (uint32_t slot = 0; slot < idx.num_vertices(); ++slot) {
+    const VertexId v = idx.VertexAt(slot);
+    EXPECT_EQ(idx.DistFromSource(slot), fs.Distance(v));
+    EXPECT_EQ(idx.DistToTarget(slot), ft.Distance(v));
+    for (uint32_t b = 0; b <= k; ++b) {
+      std::multiset<VertexId> expected;
+      if (v == q.target) {
+        expected.insert(q.target);  // the padding self-entry
+      } else {
+        for (const VertexId w : g.OutNeighbors(v)) {
+          if (w == q.source) continue;
+          const uint32_t dt_w = ft.Distance(w);
+          if (dt_w == kInfDistance || dt_w > b) continue;
+          if (fs.Distance(v) + dt_w + 1 > k) continue;
+          expected.insert(w);
+        }
+      }
+      const auto got_v = idx.OutVerticesWithin(v, b);
+      EXPECT_EQ(std::multiset<VertexId>(got_v.begin(), got_v.end()), expected)
+          << "v=" << v << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexRandomTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace pathenum

@@ -1,0 +1,169 @@
+// Tests for IDX-JOIN (paper Algorithm 6): equivalence with IDX-DFS and
+// brute force at every cut position, padding behaviour, limits, memory
+// accounting.
+#include <gtest/gtest.h>
+
+#include "core/dfs_enumerator.h"
+#include "core/index.h"
+#include "core/join_enumerator.h"
+#include "core/reference.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace pathenum {
+namespace {
+
+using testing::kS;
+using testing::kT;
+using testing::PathSet;
+using testing::ToSet;
+
+PathSet RunJoin(const Graph& g, const Query& q, uint32_t cut,
+                EnumCounters* counters = nullptr,
+                const EnumOptions& opts = {}) {
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, q);
+  JoinEnumerator join(idx);
+  CollectingSink sink;
+  const EnumCounters c = join.Run(cut, sink, opts);
+  if (counters != nullptr) *counters = c;
+  return ToSet(sink.paths());
+}
+
+TEST(JoinEnumeratorTest, PaperExampleAtEveryCut) {
+  const Graph g = testing::PaperExampleGraph();
+  const Query q = testing::PaperExampleQuery();
+  const PathSet expected = ToSet(BruteForcePaths(g, q));
+  for (uint32_t cut = 1; cut < q.hops; ++cut) {
+    EXPECT_EQ(RunJoin(g, q, cut), expected) << "cut=" << cut;
+  }
+}
+
+TEST(JoinEnumeratorTest, ShortPathsSurviveViaPadding) {
+  // The length-2 path (s, v0, t) must appear regardless of the cut, thanks
+  // to the (t,t) padding tuples.
+  const Graph g = testing::PaperExampleGraph();
+  const Query q = testing::PaperExampleQuery();
+  for (uint32_t cut = 1; cut < 4; ++cut) {
+    const PathSet paths = RunJoin(g, q, cut);
+    EXPECT_TRUE(paths.count({kS, 1, kT})) << "cut=" << cut;  // v0 == 1
+  }
+}
+
+TEST(JoinEnumeratorTest, RejectsInvalidCut) {
+  const Graph g = testing::PaperExampleGraph();
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, testing::PaperExampleQuery());
+  JoinEnumerator join(idx);
+  CollectingSink sink;
+  EXPECT_THROW(join.Run(0, sink, {}), std::logic_error);
+  EXPECT_THROW(join.Run(4, sink, {}), std::logic_error);
+}
+
+TEST(JoinEnumeratorTest, UnreachableTargetYieldsNothing) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  EnumCounters c;
+  EXPECT_TRUE(RunJoin(g, {0, 3, 4}, 2, &c).empty());
+  EXPECT_EQ(c.num_results, 0u);
+}
+
+TEST(JoinEnumeratorTest, CrossHalfDuplicatesAreFiltered) {
+  // Cycle 0 -> 1 -> 2 -> 3 -> 0 plus chord 2 -> 1: the sequence
+  // (0,1,2,1,...) must never survive the join validity check.
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {2, 1}});
+  const Query q{0, 3, 4};
+  EnumCounters c;
+  const PathSet paths = RunJoin(g, q, 2, &c);
+  EXPECT_EQ(paths, (PathSet{{0, 1, 2, 3}}));
+}
+
+TEST(JoinEnumeratorTest, InvalidJoinCandidatesAreCounted) {
+  // Two diamonds sharing their middle vertex create half-walks that join
+  // into non-simple sequences.
+  const Graph g = Graph::FromEdges(
+      6, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 1}, {1, 5}, {4, 5}});
+  const Query q{0, 5, 5};
+  EnumCounters c;
+  const PathSet paths = RunJoin(g, q, 2, &c);
+  EXPECT_EQ(paths, ToSet(BruteForcePaths(g, q)));
+  EXPECT_GT(c.invalid_partials, 0u)
+      << "expected at least one rejected join candidate";
+}
+
+TEST(JoinEnumeratorTest, PartialMemoryAccounted) {
+  const Graph g = LayeredGraph(3, 4);
+  const Query q{0, static_cast<VertexId>(g.num_vertices() - 1), 4};
+  EnumCounters c;
+  RunJoin(g, q, 2, &c);
+  EXPECT_GT(c.peak_partial_bytes, 0u);
+  EXPECT_GT(c.partials, 0u);
+}
+
+TEST(JoinEnumeratorTest, ResultLimitStops) {
+  const Graph g = LayeredGraph(3, 4);  // 64 paths
+  const Query q{0, static_cast<VertexId>(g.num_vertices() - 1), 4};
+  EnumOptions opts;
+  opts.result_limit = 7;
+  EnumCounters c;
+  const PathSet paths = RunJoin(g, q, 2, &c, opts);
+  EXPECT_EQ(paths.size(), 7u);
+  EXPECT_TRUE(c.hit_result_limit);
+}
+
+TEST(JoinEnumeratorTest, ZeroTimeBudgetTimesOut) {
+  const Graph g = CompleteDigraph(24);
+  EnumOptions opts;
+  opts.time_limit_ms = 0.0;
+  EnumCounters c;
+  RunJoin(g, {0, 23, 6}, 3, &c, opts);
+  EXPECT_TRUE(c.timed_out);
+}
+
+TEST(JoinEnumeratorTest, ResponseTimeRecorded) {
+  const Graph g = LayeredGraph(3, 4);
+  const Query q{0, static_cast<VertexId>(g.num_vertices() - 1), 4};
+  EnumOptions opts;
+  opts.response_target = 10;
+  EnumCounters c;
+  RunJoin(g, q, 2, &c, opts);
+  EXPECT_GE(c.response_ms, 0.0);
+}
+
+TEST(JoinEnumeratorTest, AgreesWithDfsOnDenseGraph) {
+  const Graph g = CompleteDigraph(9);
+  const Query q{0, 8, 4};
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, q);
+  DfsEnumerator dfs(idx);
+  CollectingSink dfs_sink;
+  dfs.Run(dfs_sink, {});
+  const PathSet expected = ToSet(dfs_sink.paths());
+  // K9 with k=4: 1 + 7 + 7*6 + 7*6*5 = 260 paths.
+  EXPECT_EQ(expected.size(), 260u);
+  for (uint32_t cut = 1; cut < 4; ++cut) {
+    EXPECT_EQ(RunJoin(g, q, cut), expected) << "cut=" << cut;
+  }
+}
+
+class JoinRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinRandomTest, EveryCutMatchesBruteForce) {
+  const uint64_t seed = GetParam();
+  const Graph g = ErdosRenyi(36, 250, seed);
+  for (uint32_t k = 3; k <= 6; ++k) {
+    const Query q{static_cast<VertexId>((seed * 5) % 36),
+                  static_cast<VertexId>((seed * 17 + 11) % 36), k};
+    if (q.source == q.target) continue;
+    const PathSet expected = ToSet(BruteForcePaths(g, q));
+    for (uint32_t cut = 1; cut < k; ++cut) {
+      EXPECT_EQ(RunJoin(g, q, cut), expected)
+          << "seed=" << seed << " k=" << k << " cut=" << cut;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinRandomTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace pathenum

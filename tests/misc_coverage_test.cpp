@@ -1,0 +1,156 @@
+// Remaining small-surface coverage: memory helpers, deadline boundaries,
+// stats counters of each baseline, GenericDFS/BC-DFS field population, and
+// regression guards for subtle invariants found during development.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "baselines/algorithm.h"
+#include "core/estimator.h"
+#include "core/path_enum.h"
+#include "core/reference.h"
+#include "graph/generators.h"
+#include "test_util.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace pathenum {
+namespace {
+
+TEST(MemoryHelpersTest, VectorBytesUsesCapacity) {
+  std::vector<uint32_t> v;
+  v.reserve(100);
+  v.push_back(1);
+  EXPECT_EQ(VectorBytes(v), 100 * sizeof(uint32_t));
+  EXPECT_DOUBLE_EQ(BytesToMiB(1024 * 1024), 1.0);
+  EXPECT_DOUBLE_EQ(BytesToMiB(0), 0.0);
+}
+
+TEST(DeadlineBoundaryTest, NegativeBudgetExpiresImmediately) {
+  EXPECT_TRUE(Deadline::AfterMs(-5.0).Expired());
+}
+
+TEST(DeadlineBoundaryTest, GenerousBudgetDoesNotExpire) {
+  EXPECT_FALSE(Deadline::AfterMs(1e9).Expired());
+}
+
+TEST(QueryValidationTest, EveryFailureMode) {
+  const Graph g = PathGraph(4);
+  EXPECT_NO_THROW(ValidateQuery(g, {0, 3, 3}));
+  EXPECT_THROW(ValidateQuery(g, {4, 0, 3}), std::logic_error);
+  EXPECT_THROW(ValidateQuery(g, {0, 4, 3}), std::logic_error);
+  EXPECT_THROW(ValidateQuery(g, {2, 2, 3}), std::logic_error);
+  EXPECT_THROW(ValidateQuery(g, {0, 3, 0}), std::logic_error);
+  EXPECT_THROW(ValidateQuery(g, {0, 3, kMaxHops + 1}), std::logic_error);
+}
+
+TEST(BaselineStatsTest, EveryAlgorithmPopulatesCoreFields) {
+  const Graph g = testing::PaperExampleGraph();
+  for (const std::string name : AllAlgorithmNames()) {
+    const auto algo = MakeAlgorithm(name, g);
+    CountingSink sink;
+    const QueryStats stats =
+        algo->Run(testing::PaperExampleQuery(), sink, EnumOptions{});
+    EXPECT_EQ(stats.counters.num_results, 5u) << name;
+    EXPECT_GT(stats.total_ms, 0.0) << name;
+    EXPECT_GT(stats.counters.edges_accessed, 0u) << name;
+    EXPECT_TRUE(stats.counters.completed()) << name;
+    EXPECT_GT(stats.ThroughputPerSec(), 0.0) << name;
+  }
+}
+
+TEST(BaselineStatsTest, MethodTagsAreTruthful) {
+  const Graph g = testing::PaperExampleGraph();
+  const Query q = testing::PaperExampleQuery();
+  CountingSink sink;
+  EXPECT_EQ(MakeAlgorithm("BC-JOIN", g)->Run(q, sink, EnumOptions{}).method,
+            Method::kJoin);
+  EXPECT_EQ(MakeAlgorithm("IDX-JOIN", g)->Run(q, sink, EnumOptions{}).method,
+            Method::kJoin);
+  EXPECT_EQ(MakeAlgorithm("BC-DFS", g)->Run(q, sink, EnumOptions{}).method,
+            Method::kDfs);
+}
+
+TEST(MethodNameTest, StableStrings) {
+  EXPECT_EQ(MethodName(Method::kAuto), "Auto");
+  EXPECT_EQ(MethodName(Method::kDfs), "IDX-DFS");
+  EXPECT_EQ(MethodName(Method::kJoin), "IDX-JOIN");
+}
+
+TEST(GenericDfsRegressionTest, StaticPruningEqualsPaperAlgorithmOne) {
+  // Alg. 1's static check must prune the v7 dangling branch of the
+  // example without ever visiting it: v7 has no path to t.
+  const Graph g = testing::PaperExampleGraph();
+  const auto algo = MakeAlgorithm("GenericDFS", g);
+  CollectingSink sink;
+  const QueryStats stats =
+      algo->Run(testing::PaperExampleQuery(), sink, EnumOptions{});
+  for (const auto& p : sink.paths()) {
+    for (const VertexId v : p) EXPECT_NE(v, testing::kV7);
+  }
+  EXPECT_GT(stats.counters.invalid_partials, 0u)
+      << "the walk-only branch (s,v0,v6,...) must register as invalid";
+}
+
+TEST(ThroughputAccountingTest, TimedOutQueriesStillReportThroughput) {
+  // The paper computes throughput from results found at termination.
+  const Graph g = CompleteDigraph(24);
+  const auto algo = MakeAlgorithm("IDX-DFS", g);
+  CountingSink sink;
+  EnumOptions opts;
+  opts.time_limit_ms = 20.0;
+  const QueryStats stats = algo->Run({0, 23, 8}, sink, opts);
+  EXPECT_TRUE(stats.counters.timed_out);
+  EXPECT_GT(stats.counters.num_results, 0u);
+  EXPECT_GT(stats.ThroughputPerSec(), 0.0);
+}
+
+TEST(PlanConsistencyTest, JoinCostNeverBelowTotalWalks) {
+  // T_JOIN includes |Q| as its first term, so it lower-bounds at delta_W.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = ErdosRenyi(40, 260, seed);
+    const Query q{static_cast<VertexId>(seed % 40),
+                  static_cast<VertexId>((seed * 29 + 3) % 40), 5};
+    if (q.source == q.target) continue;
+    IndexBuilder builder;
+    const LightweightIndex idx = builder.Build(g, q);
+    const JoinPlan plan = OptimizeJoinOrder(idx);
+    EXPECT_GE(plan.t_join, plan.TotalWalks()) << seed;
+    if (plan.TotalWalks() > 0) {
+      EXPECT_GT(plan.t_dfs, 0.0) << seed;
+    }
+  }
+}
+
+TEST(IndexStatsTest, BuildStatsNestProperly) {
+  const Graph g = ErdosRenyi(500, 4000, 2);
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, {0, 1, 5});
+  EXPECT_GE(idx.build_stats().total_ms, idx.build_stats().bfs_ms);
+}
+
+TEST(CollectingSinkLifecycleTest, ReusableAcrossQueries) {
+  const Graph g = testing::PaperExampleGraph();
+  PathEnumerator pe(g);
+  CollectingSink sink;  // unbounded
+  pe.Run({testing::kS, testing::kT, 2}, sink);
+  const size_t after_first = sink.paths().size();
+  pe.Run({testing::kS, testing::kT, 4}, sink);
+  EXPECT_GT(sink.paths().size(), after_first)
+      << "sink accumulates across runs by design";
+}
+
+TEST(WalkPathGapTest, Figure5ShapesAsDescribed) {
+  // Example 5.2's two regimes: G0-like (all walks are paths) vs G1 (few).
+  const Graph g0 = LayeredGraph(3, 2);
+  const Query q0{0, static_cast<VertexId>(g0.num_vertices() - 1), 4};
+  EXPECT_DOUBLE_EQ(CountWalksDp(g0, q0),
+                   static_cast<double>(CountPathsBruteForce(g0, q0)));
+  const Graph g1 = testing::Figure5G1();
+  const Query q1{0, 7, 4};
+  EXPECT_GT(CountWalksDp(g1, q1),
+            static_cast<double>(CountPathsBruteForce(g1, q1)) * 5);
+}
+
+}  // namespace
+}  // namespace pathenum

@@ -1,0 +1,204 @@
+// Tests for the parallel IDX-DFS enumerator and the triggered-cycle API.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "core/cycles.h"
+#include "core/dfs_enumerator.h"
+#include "core/parallel_dfs.h"
+#include "core/path_enum.h"
+#include "core/reference.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace pathenum {
+namespace {
+
+using testing::PathSet;
+using testing::ToSet;
+
+/// Runs the parallel enumerator with per-thread collecting sinks merged
+/// into one set.
+PathSet ParallelCollect(const LightweightIndex& idx, uint32_t threads,
+                        ParallelEnumResult* out_result = nullptr,
+                        const EnumOptions& opts = {}) {
+  ParallelDfsEnumerator parallel(idx, threads);
+  std::mutex mutex;
+  std::vector<std::vector<std::vector<VertexId>>> shards;
+  shards.reserve(64);  // stable addresses: one shard per worker at most
+  const ParallelEnumResult result = parallel.Run(
+      [&]() -> std::unique_ptr<PathSink> {
+        const std::lock_guard<std::mutex> lock(mutex);
+        shards.emplace_back();
+        auto* shard = &shards.back();
+        return std::make_unique<CallbackSink>(
+            [shard](std::span<const VertexId> p) {
+              shard->emplace_back(p.begin(), p.end());
+              return true;
+            });
+      },
+      opts);
+  if (out_result != nullptr) *out_result = result;
+  PathSet merged;
+  size_t total = 0;
+  for (const auto& shard : shards) {
+    total += shard.size();
+    for (const auto& p : shard) merged.insert(p);
+  }
+  EXPECT_EQ(total, merged.size()) << "shards must be disjoint";
+  return merged;
+}
+
+class ParallelDfsTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ParallelDfsTest, MatchesSequentialOnExample) {
+  const Graph g = testing::PaperExampleGraph();
+  const Query q = testing::PaperExampleQuery();
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, q);
+  const PathSet expected = ToSet(BruteForcePaths(g, q));
+  EXPECT_EQ(ParallelCollect(idx, GetParam()), expected);
+}
+
+TEST_P(ParallelDfsTest, MatchesSequentialOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const Graph g = RMat(6, 300, seed * 7);
+    const Query q{static_cast<VertexId>(seed % 64),
+                  static_cast<VertexId>((seed * 37 + 5) % 64), 5};
+    if (q.source == q.target) continue;
+    IndexBuilder builder;
+    const LightweightIndex idx = builder.Build(g, q);
+    DfsEnumerator sequential(idx);
+    CollectingSink seq_sink;
+    sequential.Run(seq_sink, {});
+    EXPECT_EQ(ParallelCollect(idx, GetParam()), ToSet(seq_sink.paths()))
+        << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelDfsTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(ParallelDfsTest, CountAllAgreesWithSequentialCounters) {
+  const Graph g = CompleteDigraph(10);
+  const Query q{0, 9, 4};
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, q);
+  DfsEnumerator sequential(idx);
+  CountingSink seq_sink;
+  const EnumCounters seq = sequential.Run(seq_sink, {});
+  ParallelDfsEnumerator parallel(idx, 4);
+  const ParallelEnumResult par = parallel.CountAll();
+  EXPECT_EQ(par.counters.num_results, seq.num_results);
+  EXPECT_EQ(par.counters.partials, seq.partials);
+  EXPECT_EQ(par.counters.edges_accessed, seq.edges_accessed);
+  EXPECT_EQ(par.threads_used, 4u);
+}
+
+TEST(ParallelDfsTest, ResultLimitIsExactAcrossThreads) {
+  const Graph g = LayeredGraph(3, 5);  // 125 paths
+  const Query q{0, static_cast<VertexId>(g.num_vertices() - 1), 4};
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, q);
+  EnumOptions opts;
+  opts.result_limit = 40;
+  ParallelEnumResult result;
+  const PathSet got = ParallelCollect(idx, 4, &result, opts);
+  EXPECT_EQ(got.size(), 40u);
+  EXPECT_TRUE(result.counters.hit_result_limit);
+}
+
+TEST(ParallelDfsTest, ResponseTargetRecordedOnce) {
+  const Graph g = LayeredGraph(3, 5);
+  const Query q{0, static_cast<VertexId>(g.num_vertices() - 1), 4};
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, q);
+  EnumOptions opts;
+  opts.response_target = 50;
+  ParallelDfsEnumerator parallel(idx, 4);
+  const ParallelEnumResult result = parallel.CountAll(opts);
+  EXPECT_EQ(result.counters.num_results, 125u);
+  EXPECT_GE(result.counters.response_ms, 0.0);
+}
+
+TEST(ParallelDfsTest, EmptyIndexYieldsNothing) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, {0, 3, 4});
+  ParallelDfsEnumerator parallel(idx, 4);
+  const ParallelEnumResult result = parallel.CountAll();
+  EXPECT_EQ(result.counters.num_results, 0u);
+  EXPECT_EQ(result.threads_used, 0u);
+}
+
+TEST(ParallelDfsTest, DirectEdgeBranchHandled) {
+  // t itself is a first-level branch when the edge (s, t) exists.
+  const Graph g = Graph::FromEdges(3, {{0, 2}, {0, 1}, {1, 2}});
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, {0, 2, 2});
+  EXPECT_EQ(ParallelCollect(idx, 2), (PathSet{{0, 2}, {0, 1, 2}}));
+}
+
+// --- Triggered cycles ---------------------------------------------------------
+
+TEST(CycleApiTest, ClosesThePaperExamplePaths) {
+  // Cycles through a hypothetical edge (t, s): each s-t path plus that
+  // edge, emitted as (t, s, ..., t).
+  const Graph g = testing::PaperExampleGraph();
+  PathEnumerator pe(g);
+  CollectingSink sink;
+  EnumerateTriggeredCycles(pe, testing::kT, testing::kS, 5, sink);
+  ASSERT_EQ(sink.paths().size(), 5u);
+  for (const auto& c : sink.paths()) {
+    EXPECT_EQ(c.front(), testing::kT);
+    EXPECT_EQ(c.back(), testing::kT);
+    EXPECT_EQ(c[1], testing::kS);
+    EXPECT_LE(c.size(), 6u + 1u);
+    std::set<VertexId> interior(c.begin() + 1, c.end() - 1);
+    EXPECT_EQ(interior.size(), c.size() - 2) << "cycle must be simple";
+  }
+}
+
+TEST(CycleApiTest, MatchesManualReduction) {
+  const Graph g = RMat(5, 150, 44);
+  PathEnumerator pe(g);
+  for (VertexId u = 0; u < 8; ++u) {
+    for (const VertexId v : g.OutNeighbors(u)) {
+      CountingSink cycles;
+      EnumerateTriggeredCycles(pe, u, v, 5, cycles);
+      EXPECT_EQ(cycles.count(), CountPathsBruteForce(g, {v, u, 4}))
+          << u << "->" << v;
+      break;  // one edge per source suffices
+    }
+  }
+}
+
+TEST(CycleApiTest, SelfLoopYieldsNothing) {
+  const Graph g = testing::PaperExampleGraph();
+  PathEnumerator pe(g);
+  CountingSink sink;
+  const QueryStats stats = EnumerateTriggeredCycles(pe, 3, 3, 6, sink);
+  EXPECT_EQ(sink.count(), 0u);
+  EXPECT_EQ(stats.counters.num_results, 0u);
+}
+
+TEST(CycleApiTest, HopBoundRespected) {
+  const Graph g = CycleGraph(6);
+  PathEnumerator pe(g);
+  // The ring is one 6-cycle; asking through edge (0,1) with max 6 finds
+  // it, with max 5 does not.
+  CountingSink found;
+  EnumerateTriggeredCycles(pe, 0, 1, 6, found);
+  EXPECT_EQ(found.count(), 1u);
+  CountingSink missed;
+  EnumerateTriggeredCycles(pe, 0, 1, 5, missed);
+  EXPECT_EQ(missed.count(), 0u);
+  EXPECT_THROW(EnumerateTriggeredCycles(pe, 0, 1, 1, missed),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace pathenum

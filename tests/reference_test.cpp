@@ -1,0 +1,127 @@
+// Tests for the brute-force reference oracles themselves, against
+// closed-form counts on structured graphs — the oracles anchor every other
+// correctness test, so they get their own scrutiny.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/reference.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace pathenum {
+namespace {
+
+/// Paths s->t of length <= k in the complete digraph K_n:
+/// sum over l=1..k of (n-2)(n-3)...(n-l) ordered arrangements.
+uint64_t CompletePathCount(uint64_t n, uint32_t k) {
+  uint64_t total = 0;
+  for (uint32_t l = 1; l <= k; ++l) {
+    uint64_t ways = 1;
+    for (uint32_t i = 0; i + 1 < l; ++i) ways *= n - 2 - i;
+    total += ways;
+  }
+  return total;
+}
+
+/// Walks s->t of length <= k in K_n (internal vertices avoid {s,t};
+/// consecutive vertices differ because K_n has no self-loops):
+/// 1 for l = 1, then (n-2)(n-3)^(l-2) for each l >= 2.
+uint64_t CompleteWalkCount(uint64_t n, uint32_t k) {
+  uint64_t total = k >= 1 ? 1 : 0;
+  for (uint32_t l = 2; l <= k; ++l) {
+    uint64_t ways = n - 2;
+    for (uint32_t i = 0; i + 2 < l; ++i) ways *= n - 3;
+    total += ways;
+  }
+  return total;
+}
+
+TEST(ReferenceTest, CompleteDigraphClosedForm) {
+  for (const VertexId n : {5u, 7u, 9u}) {
+    const Graph g = CompleteDigraph(n);
+    for (uint32_t k = 1; k <= 4; ++k) {
+      const Query q{0, static_cast<VertexId>(n - 1), k};
+      EXPECT_EQ(CountPathsBruteForce(g, q), CompletePathCount(n, k))
+          << "n=" << n << " k=" << k;
+      EXPECT_DOUBLE_EQ(CountWalksDp(g, q),
+                       static_cast<double>(CompleteWalkCount(n, k)))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(ReferenceTest, GridBinomialCount) {
+  // Monotone corner-to-corner paths in a w x h grid: C(w+h-2, w-1), all of
+  // length exactly (w-1) + (h-1).
+  const Graph g = GridGraph(4, 4);
+  const Query q{0, 15, 6};
+  EXPECT_EQ(CountPathsBruteForce(g, q), 20u);  // C(6,3)
+  // Grids are DAGs: walks == paths.
+  EXPECT_DOUBLE_EQ(CountWalksDp(g, q), 20.0);
+  EXPECT_EQ(BruteForceWalks(g, q).size(), 20u);
+}
+
+TEST(ReferenceTest, WalkEnumerationMatchesDpOnCycles) {
+  // A graph with a tight cycle produces walks beyond the paths; the
+  // explicit enumeration and the DP must agree exactly.
+  const Graph g = testing::Figure5G1();
+  for (uint32_t k = 2; k <= 8; ++k) {
+    const Query q{0, 7, k};
+    EXPECT_DOUBLE_EQ(static_cast<double>(BruteForceWalks(g, q).size()),
+                     CountWalksDp(g, q))
+        << "k=" << k;
+  }
+}
+
+TEST(ReferenceTest, WalksNeverReenterEndpoints) {
+  const Graph g = testing::PaperExampleGraph();
+  for (const auto& w : BruteForceWalks(g, testing::PaperExampleQuery())) {
+    EXPECT_EQ(w.front(), testing::kS);
+    EXPECT_EQ(w.back(), testing::kT);
+    for (size_t i = 1; i + 1 < w.size(); ++i) {
+      EXPECT_NE(w[i], testing::kS);
+      EXPECT_NE(w[i], testing::kT);
+    }
+  }
+}
+
+TEST(ReferenceTest, LimitTruncatesEnumeration) {
+  const Graph g = CompleteDigraph(8);
+  const Query q{0, 7, 4};
+  EXPECT_EQ(BruteForcePaths(g, q, 10).size(), 10u);
+  EXPECT_EQ(BruteForceWalks(g, q, 25).size(), 25u);
+}
+
+TEST(ReferenceTest, SelfLoopNeighborhoodsAreImpossible) {
+  // Builders drop self-loops, so the direct query on a two-vertex cycle
+  // sees exactly the two directed edges.
+  const Graph g = Graph::FromEdges(2, {{0, 1}, {1, 0}, {0, 0}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(CountPathsBruteForce(g, {0, 1, 5}), 1u);
+  EXPECT_DOUBLE_EQ(CountWalksDp(g, {0, 1, 5}), 1.0);
+}
+
+TEST(ReferenceTest, HopZeroNeverAllowed) {
+  const Graph g = PathGraph(3);
+  EXPECT_THROW(CountPathsBruteForce(g, {0, 2, 0}), std::logic_error);
+}
+
+TEST(ReferenceTest, DpHandlesLargeCountsAsDoubles) {
+  // K12 with k = 8 overflows 32-bit counts comfortably; the DP must keep
+  // counting (exactly, since everything stays below 2^53).
+  const Graph g = CompleteDigraph(12);
+  const Query q{0, 11, 8};
+  EXPECT_DOUBLE_EQ(CountWalksDp(g, q),
+                   static_cast<double>(CompleteWalkCount(12, 8)));
+}
+
+TEST(ReferenceTest, DisconnectedIsZero) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(CountPathsBruteForce(g, {0, 3, 8}), 0u);
+  EXPECT_DOUBLE_EQ(CountWalksDp(g, {0, 3, 8}), 0.0);
+  EXPECT_TRUE(BruteForceWalks(g, {0, 3, 8}).empty());
+}
+
+}  // namespace
+}  // namespace pathenum

@@ -1,0 +1,191 @@
+// Tests for the join-model relations and the full reducer (paper Alg. 2),
+// including the paper's propositions: Prop. 4.2 (reduced relations are
+// dangling-free) and Appendix B (the light-weight index prunes exactly as
+// well as the full reducer).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/index.h"
+#include "core/reference.h"
+#include "core/relations.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace pathenum {
+namespace {
+
+using testing::kS;
+using testing::kT;
+using testing::kV0;
+using testing::kV1;
+using testing::kV2;
+using testing::kV3;
+using testing::kV4;
+using testing::kV5;
+using testing::kV6;
+
+using TupleSet = std::set<std::pair<VertexId, VertexId>>;
+
+TupleSet ToTupleSet(const Relation& r) { return TupleSet(r.begin(), r.end()); }
+
+/// Pads every Definition-2.1 walk to k+1 vertices with trailing t's — the
+/// tuples of Q per Lemmas A.1/A.2.
+std::vector<std::vector<VertexId>> PaddedWalks(const Graph& g,
+                                               const Query& q) {
+  auto walks = BruteForceWalks(g, q);
+  for (auto& w : walks) w.resize(q.hops + 1, q.target);
+  return walks;
+}
+
+TEST(RelationsTest, InitialRelationsMatchFigure3a) {
+  const Graph g = testing::PaperExampleGraph();
+  const RelationSet rs = BuildRelations(g, testing::PaperExampleQuery());
+  ASSERT_EQ(rs.relations.size(), 4u);
+  EXPECT_EQ(ToTupleSet(rs.relations[0]),
+            (TupleSet{{kS, kV0}, {kS, kV1}, {kS, kV3}}));
+  // R2 = R3: all edges of G - {s} with source != t, plus (t,t). The example
+  // graph additionally contains (v6, v7), absent from Figure 3a's table
+  // because the figure's graph drawing omits v7's edge list; the full
+  // reducer removes it immediately.
+  const TupleSet middle = ToTupleSet(rs.relations[1]);
+  EXPECT_EQ(middle, ToTupleSet(rs.relations[2]));
+  EXPECT_TRUE(middle.count({kV0, kV1}));
+  EXPECT_TRUE(middle.count({kV5, kT}));
+  EXPECT_TRUE(middle.count({kT, kT}));
+  EXPECT_FALSE(middle.count({kS, kV0})) << "no edges out of s in the middle";
+  EXPECT_EQ(ToTupleSet(rs.relations[3]),
+            (TupleSet{{kV0, kT}, {kV2, kT}, {kV5, kT}, {kT, kT}}));
+}
+
+TEST(RelationsTest, FullReduceMatchesFigure3c) {
+  const Graph g = testing::PaperExampleGraph();
+  RelationSet rs = BuildRelations(g, testing::PaperExampleQuery());
+  FullReduce(rs);
+  // Figure 3c's final relations.
+  EXPECT_EQ(ToTupleSet(rs.relations[0]),
+            (TupleSet{{kS, kV0}, {kS, kV1}, {kS, kV3}}));
+  // Note R2 loses its (t,t) tuple: with no edge (s,t) in R1, no walk can sit
+  // at t in position 1, so the padding tuple itself is dangling there.
+  EXPECT_EQ(ToTupleSet(rs.relations[1]),
+            (TupleSet{{kV0, kV1}, {kV0, kV6}, {kV0, kT}, {kV1, kV2},
+                      {kV3, kV4}}));
+  EXPECT_EQ(ToTupleSet(rs.relations[2]),
+            (TupleSet{{kV1, kV2}, {kV2, kV0}, {kV2, kT}, {kV4, kV5},
+                      {kV6, kV0}, {kT, kT}}));
+  EXPECT_EQ(ToTupleSet(rs.relations[3]),
+            (TupleSet{{kV0, kT}, {kV2, kT}, {kV5, kT}, {kT, kT}}));
+}
+
+TEST(RelationsTest, Example41PrunedTuples) {
+  // Example 4.1 names two pruned tuples: (v4, v5) leaves R2 in the forward
+  // sweep and (v1, v3) leaves R3 in the backward sweep.
+  const Graph g = testing::PaperExampleGraph();
+  RelationSet rs = BuildRelations(g, testing::PaperExampleQuery());
+  ASSERT_TRUE(ToTupleSet(rs.relations[1]).count({kV4, kV5}));
+  ASSERT_TRUE(ToTupleSet(rs.relations[2]).count({kV1, kV3}));
+  FullReduce(rs);
+  EXPECT_FALSE(ToTupleSet(rs.relations[1]).count({kV4, kV5}));
+  EXPECT_FALSE(ToTupleSet(rs.relations[2]).count({kV1, kV3}));
+}
+
+TEST(RelationsTest, KEqualsOneIsJustR1) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}, {0, 2}, {1, 2}});
+  const RelationSet rs = BuildReducedRelations(g, {0, 2, 1});
+  ASSERT_EQ(rs.relations.size(), 1u);
+  EXPECT_EQ(ToTupleSet(rs.relations[0]), (TupleSet{{0, 1}, {0, 2}}));
+}
+
+TEST(RelationsTest, TotalTuplesCounts) {
+  const Graph g = testing::PaperExampleGraph();
+  RelationSet rs = BuildRelations(g, testing::PaperExampleQuery());
+  const uint64_t before = rs.TotalTuples();
+  FullReduce(rs);
+  EXPECT_LT(rs.TotalTuples(), before);
+  EXPECT_GT(rs.TotalTuples(), 0u);
+}
+
+// Prop. 4.2: after full reduction, every tuple of R_i appears in at least
+// one padded walk of Q at positions (i-1, i) — and conversely.
+class RelationsDanglingFreeTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(RelationsDanglingFreeTest, ReducedTuplesExactlyCoverWalks) {
+  const uint64_t seed = GetParam();
+  const Graph g = ErdosRenyi(24, 110, seed);
+  const Query q{static_cast<VertexId>(seed % 24),
+                static_cast<VertexId>((seed * 13 + 5) % 24),
+                3 + static_cast<uint32_t>(seed % 3)};
+  if (q.source == q.target) return;
+  RelationSet rs = BuildReducedRelations(g, q);
+  const auto walks = PaddedWalks(g, q);
+
+  // Tuples used by walks, per relation position.
+  std::vector<TupleSet> used(q.hops);
+  for (const auto& w : walks) {
+    for (uint32_t i = 1; i <= q.hops; ++i) {
+      used[i - 1].insert({w[i - 1], w[i]});
+    }
+  }
+  for (uint32_t i = 0; i < q.hops; ++i) {
+    EXPECT_EQ(ToTupleSet(rs.relations[i]), used[i])
+        << "relation R_" << (i + 1) << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationsDanglingFreeTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// Appendix B: for every v in the sources of reduced R_i (v != t),
+// R_i(v) == I_t(v, k - i).
+class PruningPowerTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PruningPowerTest, IndexEqualsFullReducer) {
+  const uint64_t seed = GetParam();
+  const Graph g = RMat(5, 140, seed);  // 32 vertices
+  const Query q{static_cast<VertexId>(seed % 32),
+                static_cast<VertexId>((seed * 7 + 9) % 32),
+                3 + static_cast<uint32_t>(seed % 4)};
+  if (q.source == q.target) return;
+  const RelationSet rs = BuildReducedRelations(g, q);
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, q);
+
+  for (uint32_t i = 1; i <= q.hops; ++i) {
+    // Group R_i by source.
+    std::map<VertexId, std::multiset<VertexId>> by_source;
+    for (const auto& [u, v] : rs.relations[i - 1]) {
+      by_source[u].insert(v);
+    }
+    for (const auto& [v, dests] : by_source) {
+      if (v == q.target) continue;  // the (t,t) padding row
+      const auto got = idx.OutVerticesWithin(v, q.hops - i);
+      EXPECT_EQ(std::multiset<VertexId>(got.begin(), got.end()), dests)
+          << "R_" << i << " source " << v << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningPowerTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(PruningPowerTest, PaperExampleExplicit) {
+  const Graph g = testing::PaperExampleGraph();
+  const Query q = testing::PaperExampleQuery();
+  const RelationSet rs = BuildReducedRelations(g, q);
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, q);
+  // R_2 sources after reduction: v0, v1, v3 (and the t pad row).
+  const auto v0_r2 = idx.OutVerticesWithin(kV0, 2);
+  EXPECT_EQ(std::set<VertexId>(v0_r2.begin(), v0_r2.end()),
+            (std::set<VertexId>{kV1, kV6, kT}));
+  // Theorem 3.1 end-to-end: walks of Q == padded brute-force walks.
+  const auto walks = PaddedWalks(g, q);
+  EXPECT_EQ(walks.size(), 6u);
+  (void)rs;
+}
+
+}  // namespace
+}  // namespace pathenum

@@ -1,0 +1,60 @@
+// Tests for the PathSink implementations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sink.h"
+
+namespace pathenum {
+namespace {
+
+std::vector<VertexId> P(std::initializer_list<VertexId> v) { return v; }
+
+TEST(CountingSinkTest, CountsAndSumsLengths) {
+  CountingSink sink;
+  EXPECT_TRUE(sink.OnPath(P({0, 1})));
+  EXPECT_TRUE(sink.OnPath(P({0, 2, 1})));
+  EXPECT_TRUE(sink.OnPath(P({0, 3, 4, 1})));
+  EXPECT_EQ(sink.count(), 3u);
+  EXPECT_EQ(sink.total_length(), 1u + 2u + 3u);
+}
+
+TEST(CollectingSinkTest, StoresCopies) {
+  CollectingSink sink;
+  std::vector<VertexId> buf{5, 6, 7};
+  sink.OnPath(buf);
+  buf[0] = 99;  // the sink must have copied, not referenced
+  ASSERT_EQ(sink.paths().size(), 1u);
+  EXPECT_EQ(sink.paths()[0][0], 5u);
+  EXPECT_FALSE(sink.truncated());
+}
+
+TEST(CollectingSinkTest, CapStopsEnumeration) {
+  CollectingSink sink(2);
+  EXPECT_TRUE(sink.OnPath(P({0, 1})));
+  EXPECT_FALSE(sink.OnPath(P({0, 2, 1}))) << "cap reached: signal stop";
+  EXPECT_FALSE(sink.OnPath(P({0, 3, 1})));
+  EXPECT_EQ(sink.paths().size(), 2u);
+  EXPECT_TRUE(sink.truncated());
+}
+
+TEST(CollectingSinkTest, CapZeroAcceptsNothing) {
+  CollectingSink sink(0);
+  EXPECT_FALSE(sink.OnPath(P({0, 1})));
+  EXPECT_TRUE(sink.paths().empty());
+  EXPECT_TRUE(sink.truncated());
+}
+
+TEST(CallbackSinkTest, ForwardsReturnValue) {
+  int calls = 0;
+  CallbackSink sink([&](std::span<const VertexId> p) {
+    ++calls;
+    return p.size() < 3;
+  });
+  EXPECT_TRUE(sink.OnPath(P({0, 1})));
+  EXPECT_FALSE(sink.OnPath(P({0, 2, 1})));
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace pathenum

@@ -1,0 +1,89 @@
+// Shared fixtures and helpers for the PathEnum test suite.
+#ifndef PATHENUM_TESTS_TEST_UTIL_H_
+#define PATHENUM_TESTS_TEST_UTIL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/algorithm.h"
+#include "core/query.h"
+#include "core/sink.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+
+namespace pathenum::testing {
+
+/// Canonical representation of a result set: paths as sorted set.
+using PathSet = std::set<std::vector<VertexId>>;
+
+inline PathSet ToSet(const std::vector<std::vector<VertexId>>& paths) {
+  return PathSet(paths.begin(), paths.end());
+}
+
+/// Runs `algorithm` on q and returns the result set.
+inline PathSet CollectPaths(BoundAlgorithm& algorithm, const Query& q,
+                            const EnumOptions& opts = {}) {
+  CollectingSink sink;
+  algorithm.Run(q, sink, opts);
+  return ToSet(sink.paths());
+}
+
+// ---------------------------------------------------------------------------
+// The paper's running example (Figure 1a). Vertex numbering:
+//   s = 0, v0..v7 = 1..8, t = 9.
+// Edges reconstructed from the relations in Figure 3a; v7 dangles off v6
+// (it is the vertex every pruning technique must exclude, Example D.1).
+// ---------------------------------------------------------------------------
+inline constexpr VertexId kS = 0;
+inline constexpr VertexId kT = 9;
+inline constexpr VertexId kV0 = 1, kV1 = 2, kV2 = 3, kV3 = 4, kV4 = 5,
+                          kV5 = 6, kV6 = 7, kV7 = 8;
+
+inline Graph PaperExampleGraph() {
+  GraphBuilder b(10);
+  // R1 of Figure 3a: out-edges of s.
+  b.AddEdge(kS, kV0);
+  b.AddEdge(kS, kV1);
+  b.AddEdge(kS, kV3);
+  // Middle edges (E(G - {s}) with source != t).
+  b.AddEdge(kV0, kV1);
+  b.AddEdge(kV0, kV6);
+  b.AddEdge(kV0, kT);
+  b.AddEdge(kV1, kV2);
+  b.AddEdge(kV1, kV3);
+  b.AddEdge(kV2, kV0);
+  b.AddEdge(kV2, kT);
+  b.AddEdge(kV3, kV4);
+  b.AddEdge(kV4, kV5);
+  b.AddEdge(kV5, kV2);
+  b.AddEdge(kV5, kT);
+  b.AddEdge(kV6, kV0);
+  // v7: reachable from v6 but with no way back to t.
+  b.AddEdge(kV6, kV7);
+  return b.Build();
+}
+
+/// The paper's default query on the example graph: q(s, t, 4).
+inline Query PaperExampleQuery() { return Query{kS, kT, 4}; }
+
+// ---------------------------------------------------------------------------
+// Figure 5's G0/G1: the walk-vs-path extremes of Example 5.2.
+// ---------------------------------------------------------------------------
+
+/// G1: one real path (s, v0, t) plus 5 ping-pong detours v0 <-> vi, giving
+/// delta_W = 6 and delta_P = 1 at k = 4. s = 0, v0 = 1, detours 2..6, t = 7.
+inline Graph Figure5G1() {
+  GraphBuilder b(8);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 7);
+  for (VertexId i = 2; i <= 6; ++i) {
+    b.AddEdge(1, i);
+    b.AddEdge(i, 1);
+  }
+  return b.Build();
+}
+
+}  // namespace pathenum::testing
+
+#endif  // PATHENUM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,175 @@
+// Tests for the dataset catalog and the query workload generator (§7.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/bfs.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace pathenum {
+namespace {
+
+TEST(DatasetCatalogTest, HasTheFifteenPaperGraphs) {
+  const auto& catalog = PaperCatalog();
+  ASSERT_EQ(catalog.size(), 15u);
+  const std::set<std::string> expected = {"up", "db", "gg", "st", "tw",
+                                          "bk", "tr", "ep", "uk", "wt",
+                                          "sl", "lj", "da", "ye", "tm"};
+  std::set<std::string> actual;
+  for (const auto& spec : catalog) actual.insert(spec.name);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(DatasetCatalogTest, FindByName) {
+  EXPECT_EQ(FindDataset("ep").description, "Soc-Epinsion1");
+  EXPECT_EQ(FindDataset("tm").paper_edges, 1960000000u);
+  EXPECT_THROW(FindDataset("nope"), std::invalid_argument);
+}
+
+TEST(DatasetCatalogTest, YeastIsKeptAtFullPaperScale) {
+  const DatasetSpec& ye = FindDataset("ye");
+  EXPECT_EQ(ye.vertices, ye.paper_vertices);
+  EXPECT_EQ(ye.edges, ye.paper_edges);
+}
+
+TEST(DatasetCatalogTest, InstantiationMatchesSpecApproximately) {
+  const Graph g = MakeDataset("ep", 0.2);
+  // R-MAT dedups edges, so the edge count is a tight upper bound; the
+  // vertex count matches the scaled spec exactly (truncated vertex space).
+  EXPECT_EQ(g.num_vertices(), 15000u);
+  EXPECT_GT(g.num_edges(), 60000u);
+  EXPECT_LE(g.num_edges(), static_cast<uint64_t>(508000 * 0.2) + 1);
+}
+
+TEST(DatasetCatalogTest, DeterministicInstantiation) {
+  const Graph a = MakeDataset("tw", 0.1);
+  const Graph b = MakeDataset("tw", 0.1);
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(DatasetCatalogTest, ScaleChangesSize) {
+  const Graph small = MakeDataset("tw", 0.05);
+  const Graph larger = MakeDataset("tw", 0.2);
+  EXPECT_LT(small.num_edges(), larger.num_edges());
+}
+
+// --- Degree partition --------------------------------------------------------
+
+TEST(DegreePartitionTest, SplitsTopTenPercent) {
+  const Graph g = MakeDataset("tw", 0.1);
+  const auto [high, low] = DegreePartition(g);
+  EXPECT_EQ(high.size() + low.size(), g.num_vertices());
+  EXPECT_NEAR(static_cast<double>(high.size()),
+              0.1 * static_cast<double>(g.num_vertices()), 2.0);
+  // Every high vertex has degree >= every low vertex's degree.
+  uint32_t min_high = UINT32_MAX;
+  for (const VertexId v : high) min_high = std::min(min_high, g.Degree(v));
+  for (const VertexId v : low) {
+    EXPECT_LE(g.Degree(v), min_high);
+  }
+}
+
+TEST(DegreePartitionTest, TinyGraphStillSplits) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}, {1, 0}});
+  const auto [high, low] = DegreePartition(g);
+  EXPECT_GE(high.size(), 1u);
+  EXPECT_GE(low.size(), 1u);
+}
+
+TEST(DegreePartitionTest, RejectsDegenerateFraction) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}});
+  EXPECT_THROW(DegreePartition(g, 0.0), std::logic_error);
+  EXPECT_THROW(DegreePartition(g, 1.0), std::logic_error);
+}
+
+// --- Query generation --------------------------------------------------------
+
+TEST(QueryGenTest, RespectsDistanceConstraintAndPartition) {
+  const Graph g = MakeDataset("ep", 0.15);
+  QueryGenOptions opts;
+  opts.count = 30;
+  opts.hops = 6;
+  opts.seed = 42;
+  const auto queries = GenerateQueries(g, opts);
+  ASSERT_GT(queries.size(), 0u);
+  const auto [high, low] = DegreePartition(g);
+  const std::set<VertexId> high_set(high.begin(), high.end());
+  for (const Query& q : queries) {
+    EXPECT_NE(q.source, q.target);
+    EXPECT_EQ(q.hops, 6u);
+    EXPECT_TRUE(WithinDistance(g, q.source, q.target, 3));
+    EXPECT_TRUE(high_set.count(q.source)) << "source must be in V'";
+    EXPECT_TRUE(high_set.count(q.target)) << "target must be in V'";
+  }
+}
+
+TEST(QueryGenTest, LowDegreeSetting) {
+  const Graph g = MakeDataset("ep", 0.15);
+  QueryGenOptions opts;
+  opts.source_class = DegreeClass::kLow;
+  opts.target_class = DegreeClass::kLow;
+  opts.count = 10;
+  opts.seed = 7;
+  const auto queries = GenerateQueries(g, opts);
+  const auto [high, low] = DegreePartition(g);
+  const std::set<VertexId> low_set(low.begin(), low.end());
+  for (const Query& q : queries) {
+    EXPECT_TRUE(low_set.count(q.source));
+    EXPECT_TRUE(low_set.count(q.target));
+  }
+}
+
+TEST(QueryGenTest, DeterministicPerSeed) {
+  const Graph g = MakeDataset("tw", 0.1);
+  QueryGenOptions opts;
+  opts.count = 10;
+  opts.seed = 99;
+  const auto a = GenerateQueries(g, opts);
+  const auto b = GenerateQueries(g, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].target, b[i].target);
+  }
+  opts.seed = 100;
+  const auto c = GenerateQueries(g, opts);
+  bool differs = a.size() != c.size();
+  for (size_t i = 0; i < std::min(a.size(), c.size()) && !differs; ++i) {
+    differs = a[i].source != c[i].source || a[i].target != c[i].target;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(QueryGenTest, ImpossibleSettingReturnsEmpty) {
+  // Two disconnected cliques: no high-high pair within distance 3 across
+  // them; but within a clique there are — so instead test a graph with no
+  // edges at all.
+  const Graph g = Graph::FromEdges(10, {});
+  QueryGenOptions opts;
+  opts.count = 5;
+  opts.max_attempts_per_query = 50;
+  const auto queries = GenerateQueries(g, opts);
+  EXPECT_TRUE(queries.empty());
+}
+
+TEST(QueryGenTest, AllFourSettingsProduceQueries) {
+  const Graph g = MakeDataset("ep", 0.15);
+  for (const DegreeClass sc : {DegreeClass::kHigh, DegreeClass::kLow}) {
+    for (const DegreeClass tc : {DegreeClass::kHigh, DegreeClass::kLow}) {
+      QueryGenOptions opts;
+      opts.source_class = sc;
+      opts.target_class = tc;
+      opts.count = 5;
+      opts.seed = 11;
+      EXPECT_GT(GenerateQueries(g, opts).size(), 0u)
+          << "setting " << static_cast<int>(sc) << "/"
+          << static_cast<int>(tc);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pathenum
