@@ -1,0 +1,218 @@
+// Batch-engine throughput harness (extension of the paper's system; no
+// figure counterpart): queries/sec of the pooled QueryEngine at several
+// worker counts, cold contexts vs. warm, against the naive
+// loop-over-PathEnumerator::Run baselines. Writes a machine-readable
+// baseline so later PRs have a perf trajectory to compare against.
+//
+// Environment (on top of the bench_util knobs):
+//   PATHENUM_BENCH_WORKERS   comma list of worker counts (default "1,4,8")
+//   PATHENUM_BENCH_REPS      warm measurement repetitions (default 3)
+//   PATHENUM_BENCH_LIMIT     per-query result limit       (default 20000)
+//   PATHENUM_BENCH_JSON      output path ("" disables; default
+//                            "BENCH_throughput.json")
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "core/path_enum.h"
+#include "engine/query_engine.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace pathenum;
+
+struct Measurement {
+  std::string name;
+  uint32_t workers = 0;
+  bool warm = false;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  uint64_t total_results = 0;
+};
+
+Measurement Measure(const std::string& name, uint32_t workers, bool warm,
+                    size_t num_queries, double wall_ms,
+                    uint64_t total_results) {
+  Measurement m;
+  m.name = name;
+  m.workers = workers;
+  m.warm = warm;
+  m.wall_ms = wall_ms;
+  m.qps = wall_ms > 0.0 ? static_cast<double>(num_queries) / (wall_ms / 1e3)
+                        : 0.0;
+  m.total_results = total_results;
+  return m;
+}
+
+/// The pre-engine service shape: a fresh PathEnumerator (cold scratch,
+/// cold BFS fields) for every query, sequentially.
+Measurement RunNaive(const Graph& g, const std::vector<Query>& queries,
+                     const EnumOptions& opts) {
+  Timer wall;
+  uint64_t results = 0;
+  for (const Query& q : queries) {
+    PathEnumerator pe(g);
+    CountingSink sink;
+    pe.Run(q, sink, opts);
+    results += sink.count();
+  }
+  return Measure("naive_sequential", 1, false, queries.size(),
+                 wall.ElapsedMs(), results);
+}
+
+/// One reused PathEnumerator, sequential loop (scratch warm, no pool).
+Measurement RunWarmSequential(const Graph& g,
+                              const std::vector<Query>& queries,
+                              const EnumOptions& opts) {
+  PathEnumerator pe(g);
+  for (const Query& q : queries) {  // warm-up pass
+    CountingSink sink;
+    pe.Run(q, sink, opts);
+  }
+  Timer wall;
+  uint64_t results = 0;
+  for (const Query& q : queries) {
+    CountingSink sink;
+    pe.Run(q, sink, opts);
+    results += sink.count();
+  }
+  return Measure("warm_sequential", 1, true, queries.size(), wall.ElapsedMs(),
+                 results);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto env = bench::BenchEnv::FromEnv();
+  bench::PrintBanner("Batch engine throughput",
+                     "extension (no paper counterpart)", env);
+
+  const char* workers_env = std::getenv("PATHENUM_BENCH_WORKERS");
+  std::vector<uint32_t> worker_counts;
+  {
+    std::istringstream ss(workers_env != nullptr ? workers_env : "1,4,8");
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      const long w = std::atol(item.c_str());
+      if (w > 0) worker_counts.push_back(static_cast<uint32_t>(w));
+    }
+  }
+  const int reps = [] {
+    const char* v = std::getenv("PATHENUM_BENCH_REPS");
+    return v != nullptr ? std::max(1, std::atoi(v)) : 3;
+  }();
+  const uint64_t result_limit = [] {
+    const char* v = std::getenv("PATHENUM_BENCH_LIMIT");
+    return v != nullptr ? static_cast<uint64_t>(std::atoll(v)) : 20000ull;
+  }();
+
+  const std::string dataset = env.datasets.empty() ? "ep" : env.datasets[0];
+  Graph g;
+  try {
+    g = bench::CachedDataset(dataset, env.scale);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  const std::vector<Query> queries = bench::MakeQueries(g, env, env.hops);
+  if (queries.empty()) {
+    std::cerr << "no queries generated; dataset too small for the setting\n";
+    return 1;
+  }
+  EnumOptions opts = bench::MakeOptions(env);
+  opts.result_limit = result_limit;
+
+  std::vector<Measurement> measurements;
+  measurements.push_back(RunNaive(g, queries, opts));
+  measurements.push_back(RunWarmSequential(g, queries, opts));
+
+  for (const uint32_t workers : worker_counts) {
+    QueryEngine engine(g, {.num_workers = workers});
+    BatchOptions batch;
+    batch.query = opts;
+
+    // Cold: the engine's very first batch (contexts at initial capacity).
+    const BatchResult cold = engine.CountBatch(queries, batch);
+    measurements.push_back(Measure("engine_cold", workers, false,
+                                   queries.size(), cold.wall_ms,
+                                   cold.TotalResults()));
+
+    // Warm: steady state, averaged over reps.
+    double wall_sum = 0.0;
+    uint64_t results = 0;
+    for (int r = 0; r < reps; ++r) {
+      const BatchResult warm = engine.CountBatch(queries, batch);
+      wall_sum += warm.wall_ms;
+      results = warm.TotalResults();
+    }
+    measurements.push_back(Measure("engine_warm", workers, true,
+                                   queries.size(), wall_sum / reps, results));
+    const auto stats = engine.Stats();
+    std::printf("  [workers=%u] scratch %.1f KiB across contexts, %llu "
+                "queries served\n",
+                workers, stats.scratch_bytes / 1024.0,
+                static_cast<unsigned long long>(stats.queries_run));
+  }
+
+  const double naive_qps = measurements[0].qps;
+  std::printf("\n%-18s %-8s %-6s %12s %12s %14s\n", "config", "workers",
+              "warm", "wall ms", "queries/s", "vs naive");
+  for (const Measurement& m : measurements) {
+    std::printf("%-18s %-8u %-6s %12.2f %12.1f %13.2fx\n", m.name.c_str(),
+                m.workers, m.warm ? "yes" : "no", m.wall_ms, m.qps,
+                naive_qps > 0.0 ? m.qps / naive_qps : 0.0);
+  }
+
+  const char* json_env = std::getenv("PATHENUM_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_throughput.json";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"bench_throughput\",\n"
+        << "  \"dataset\": \"" << JsonEscape(dataset) << "\",\n"
+        << "  \"scale\": " << env.scale << ",\n"
+        << "  \"hops\": " << env.hops << ",\n"
+        << "  \"num_queries\": " << queries.size() << ",\n"
+        << "  \"result_limit\": " << result_limit << ",\n"
+        << "  \"time_limit_ms\": " << env.time_limit_ms << ",\n"
+        << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "  \"measurements\": [\n";
+    for (size_t i = 0; i < measurements.size(); ++i) {
+      const Measurement& m = measurements[i];
+      out << "    {\"config\": \"" << JsonEscape(m.name) << "\", "
+          << "\"workers\": " << m.workers << ", "
+          << "\"warm\": " << (m.warm ? "true" : "false") << ", "
+          << "\"wall_ms\": " << m.wall_ms << ", "
+          << "\"queries_per_sec\": " << m.qps << ", "
+          << "\"total_results\": " << m.total_results << ", "
+          << "\"speedup_vs_naive\": "
+          << (naive_qps > 0.0 ? m.qps / naive_qps : 0.0) << "}"
+          << (i + 1 < measurements.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cerr << "[bench] wrote " << json_path << "\n";
+  }
+
+  bench::PrintShapeNote(
+      "engine_warm at >1 workers should beat naive_sequential by >= the "
+      "worker count's share of physical cores; on a single-core host only "
+      "the scratch-reuse gain (warm vs cold/naive) remains.");
+  return 0;
+}

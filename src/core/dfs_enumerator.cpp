@@ -1,5 +1,9 @@
 #include "core/dfs_enumerator.h"
 
+#include <algorithm>
+
+#include "util/memory.h"
+
 namespace pathenum {
 
 namespace {
@@ -8,8 +12,9 @@ namespace {
 constexpr uint64_t kCheckInterval = 8192;
 }  // namespace
 
-EnumCounters DfsEnumerator::Run(PathSink& sink, const EnumOptions& opts) {
-  sink_ = &sink;
+void DfsEnumerator::Prepare(const LightweightIndex& index,
+                            const EnumOptions& opts) {
+  index_ = &index;
   counters_ = EnumCounters{};
   timer_.Reset();
   deadline_ = Deadline::AfterMs(opts.time_limit_ms);
@@ -18,10 +23,30 @@ EnumCounters DfsEnumerator::Run(PathSink& sink, const EnumOptions& opts) {
   check_countdown_ = kCheckInterval;
   stop_ = false;
 
-  const uint32_t s_slot = index_.source_slot();
+  if (on_path_.size() < index.num_vertices()) {
+    on_path_.resize(index.num_vertices(), 0);
+  }
+  if (++epoch_ == 0) {  // wrap: stale stamps could collide, wipe them
+    std::fill(on_path_.begin(), on_path_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
+EnumCounters DfsEnumerator::Run(PathSink& sink, const EnumOptions& opts) {
+  PATHENUM_CHECK_MSG(index_ != nullptr, "enumerator not bound to an index");
+  return Run(*index_, sink, opts);
+}
+
+EnumCounters DfsEnumerator::Run(const LightweightIndex& index, PathSink& sink,
+                                const EnumOptions& opts) {
+  Prepare(index, opts);
+  sink_ = &sink;
+
+  const uint32_t s_slot = index.source_slot();
   if (s_slot == kInvalidSlot) return counters_;  // no result within k hops
 
   stack_[0] = s_slot;
+  on_path_[s_slot] = epoch_;
   counters_.partials = 1;  // M = (s)
   const uint64_t found = Search(s_slot, 0);
   if (found == 0) counters_.invalid_partials += 1;  // the root itself
@@ -30,24 +55,29 @@ EnumCounters DfsEnumerator::Run(PathSink& sink, const EnumOptions& opts) {
 
 EnumCounters DfsEnumerator::RunBranch(uint32_t branch, PathSink& sink,
                                       const EnumOptions& opts) {
-  sink_ = &sink;
-  counters_ = EnumCounters{};
-  timer_.Reset();
-  deadline_ = Deadline::AfterMs(opts.time_limit_ms);
-  result_limit_ = opts.result_limit;
-  response_target_ = opts.response_target;
-  check_countdown_ = kCheckInterval;
-  stop_ = false;
+  PATHENUM_CHECK_MSG(index_ != nullptr, "enumerator not bound to an index");
+  return RunBranch(*index_, branch, sink, opts);
+}
 
-  const uint32_t s_slot = index_.source_slot();
+EnumCounters DfsEnumerator::RunBranch(const LightweightIndex& index,
+                                      uint32_t branch, PathSink& sink,
+                                      const EnumOptions& opts) {
+  Prepare(index, opts);
+  sink_ = &sink;
+
+  const uint32_t s_slot = index.source_slot();
   PATHENUM_CHECK_MSG(s_slot != kInvalidSlot, "empty index");
   stack_[0] = s_slot;
   stack_[1] = branch;
+  on_path_[s_slot] = epoch_;
+  on_path_[branch] = epoch_;
   counters_.partials = 1;  // M = (s, branch)
   const uint64_t found = Search(branch, 1);
   if (found == 0) counters_.invalid_partials += 1;
   return counters_;
 }
+
+size_t DfsEnumerator::ScratchBytes() const { return VectorBytes(on_path_); }
 
 bool DfsEnumerator::ShouldStop() {
   if (stop_) return true;
@@ -63,7 +93,7 @@ bool DfsEnumerator::ShouldStop() {
 
 void DfsEnumerator::Emit(uint32_t depth) {
   for (uint32_t i = 0; i <= depth; ++i) {
-    path_buf_[i] = index_.VertexAt(stack_[i]);
+    path_buf_[i] = index_->VertexAt(stack_[i]);
   }
   counters_.num_results++;
   if (counters_.num_results == response_target_) {
@@ -80,29 +110,24 @@ void DfsEnumerator::Emit(uint32_t depth) {
 
 uint64_t DfsEnumerator::Search(uint32_t slot, uint32_t depth) {
   // Lines 4-5 of Alg. 4: emit when the partial result reached t.
-  if (slot == index_.target_slot()) {
+  if (slot == index_->target_slot()) {
     Emit(depth);
     return 1;
   }
-  const uint32_t k = index_.hops();
+  const uint32_t k = index_->hops();
   uint64_t found = 0;
-  // Lines 6-7: extend with I_t(v, k - L(M) - 1); the duplicate check is the
-  // only per-neighbor work left.
-  const auto nbrs = index_.OutSlotsWithin(slot, k - depth - 1);
+  // Lines 6-7: extend with I_t(v, k - L(M) - 1); the O(1) on-path mark is
+  // the only per-neighbor work left.
+  const auto nbrs = index_->OutSlotsWithin(slot, k - depth - 1);
   counters_.edges_accessed += nbrs.size();
   for (const uint32_t next : nbrs) {
     if (ShouldStop()) break;
-    bool in_path = false;
-    for (uint32_t i = 0; i <= depth; ++i) {
-      if (stack_[i] == next) {
-        in_path = true;
-        break;
-      }
-    }
-    if (in_path) continue;
+    if (on_path_[next] == epoch_) continue;  // already on the partial result
     stack_[depth + 1] = next;
+    on_path_[next] = epoch_;
     counters_.partials++;
     const uint64_t sub = Search(next, depth + 1);
+    on_path_[next] = 0;
     if (sub == 0) counters_.invalid_partials++;
     found += sub;
   }

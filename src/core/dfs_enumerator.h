@@ -2,8 +2,12 @@
 // index. At a partial result M ending at v with L(M) edges, the only
 // neighbors considered are I_t(v, k - L(M) - 1) — an O(1) span from the
 // index — so each step needs neither a distance check nor dynamic pruning.
+// The on-path duplicate test is an O(1) epoch-stamped mark per slot (see
+// DESIGN.md) rather than a scan of the partial result.
 #ifndef PATHENUM_CORE_DFS_ENUMERATOR_H_
 #define PATHENUM_CORE_DFS_ENUMERATOR_H_
+
+#include <vector>
 
 #include "core/index.h"
 #include "core/options.h"
@@ -12,29 +16,53 @@
 
 namespace pathenum {
 
-/// Index-based DFS enumerator. Stateless between runs; reuse freely.
+/// Index-based DFS enumerator. Holds only reusable scratch between runs:
+/// rebind it to a new index per query (the `Run(index, ...)` overloads) and
+/// the scratch is reused with no steady-state allocation. Not thread-safe;
+/// use one instance per worker.
 class DfsEnumerator {
  public:
-  explicit DfsEnumerator(const LightweightIndex& index) : index_(index) {}
+  /// Unbound enumerator; pass the index to Run/RunBranch.
+  DfsEnumerator() = default;
+
+  /// Bound to a fixed index (convenience for single-query use).
+  explicit DfsEnumerator(const LightweightIndex& index) : index_(&index) {}
 
   /// Enumerates all paths into `sink` honoring limits in `opts`.
   /// `counters.response_ms` is relative to this call's start.
   EnumCounters Run(PathSink& sink, const EnumOptions& opts = {});
+  EnumCounters Run(const LightweightIndex& index, PathSink& sink,
+                   const EnumOptions& opts = {});
 
   /// Enumerates only the paths whose first edge is s -> VertexAt(branch);
-  /// `branch` must be a slot from I_t(s, k-1). The parallel enumerator
-  /// fans these subtrees out across worker threads.
+  /// `branch` must be a slot from I_t(s, k-1). The parallel enumerators
+  /// fan these subtrees out across worker threads.
   EnumCounters RunBranch(uint32_t branch, PathSink& sink,
                          const EnumOptions& opts = {});
+  EnumCounters RunBranch(const LightweightIndex& index, uint32_t branch,
+                         PathSink& sink, const EnumOptions& opts = {});
+
+  /// Bytes of reusable scratch currently held (steady-state stability is
+  /// asserted by the engine tests).
+  size_t ScratchBytes() const;
 
  private:
+  /// Rebinds the index and resets all per-run state.
+  void Prepare(const LightweightIndex& index, const EnumOptions& opts);
+
   /// Returns the number of results emitted below the frame.
   uint64_t Search(uint32_t slot, uint32_t depth);
 
   bool ShouldStop();
   void Emit(uint32_t depth);
 
-  const LightweightIndex& index_;
+  const LightweightIndex* index_ = nullptr;
+
+  // Reusable scratch: epoch-stamped "slot is on the current partial result"
+  // marks. A slot is on the path iff on_path_[slot] == epoch_; bumping
+  // epoch_ clears all marks in O(1).
+  std::vector<uint32_t> on_path_;
+  uint32_t epoch_ = 0;
 
   // Per-run state.
   PathSink* sink_ = nullptr;

@@ -1,8 +1,7 @@
 #include "core/join_enumerator.h"
 
 #include <algorithm>
-
-#include "util/memory.h"
+#include <cstring>
 
 namespace pathenum {
 
@@ -12,7 +11,14 @@ constexpr uint64_t kCheckInterval = 8192;
 
 EnumCounters JoinEnumerator::Run(uint32_t cut, PathSink& sink,
                                  const EnumOptions& opts) {
-  const uint32_t k = index_.hops();
+  PATHENUM_CHECK_MSG(index_ != nullptr, "enumerator not bound to an index");
+  return Run(*index_, cut, sink, opts);
+}
+
+EnumCounters JoinEnumerator::Run(const LightweightIndex& index, uint32_t cut,
+                                 PathSink& sink, const EnumOptions& opts) {
+  index_ = &index;
+  const uint32_t k = index.hops();
   PATHENUM_CHECK_MSG(cut >= 1 && cut < k, "cut position out of range");
   sink_ = &sink;
   counters_ = EnumCounters{};
@@ -25,53 +31,67 @@ EnumCounters JoinEnumerator::Run(uint32_t cut, PathSink& sink,
   check_countdown_ = kCheckInterval;
   stop_ = false;
 
-  const uint32_t s_slot = index_.source_slot();
-  const uint32_t t_slot = index_.target_slot();
+  const uint32_t n = index.num_vertices();
+  left_.clear();
+  right_.clear();
+  if (on_path_.size() < n) on_path_.resize(n, 0);
+  if (arena_ != nullptr) {
+    is_key_ = arena_->AllocateSpan<uint8_t>(n);
+    group_ = arena_->AllocateSpan<GroupRange>(n);
+  } else {
+    if (is_key_store_.size() < n) is_key_store_.resize(n);
+    if (group_store_.size() < n) group_store_.resize(n);
+    is_key_ = {is_key_store_.data(), n};
+    group_ = {group_store_.data(), n};
+  }
+  std::memset(is_key_.data(), 0, is_key_.size());
+  std::fill(group_.begin(), group_.end(), GroupRange{});
+
+  const uint32_t s_slot = index.source_slot();
+  const uint32_t t_slot = index.target_slot();
   if (s_slot == kInvalidSlot) return counters_;
 
   // --- Evaluate Q[0:cut]: tuples of cut+1 slots starting at s (line 2). --
   const uint32_t left_width = cut + 1;
-  std::vector<uint32_t> left;
-  Materialize(s_slot, /*base=*/0, left_width, left);
-  counters_.partials += left.size() / left_width;
+  Materialize(s_slot, /*base=*/0, left_width, left_);
+  counters_.partials += left_.size() / left_width;
   if (stop_) {
-    counters_.peak_partial_bytes = VectorBytes(left);
+    // This query's footprint is the materialized sizes, not the pooled
+    // buffers' retained capacity (which carries the heaviest query this
+    // enumerator ever served).
+    counters_.peak_partial_bytes = left_.size() * sizeof(uint32_t);
     return counters_;
   }
 
   // --- Collect the join keys C = { r[cut] : r in R_a } (line 3). ---------
-  const uint32_t n = index_.num_vertices();
-  std::vector<uint8_t> is_key(n, 0);
-  for (size_t off = cut; off < left.size(); off += left_width) {
-    is_key[left[off]] = 1;
+  for (size_t off = cut; off < left_.size(); off += left_width) {
+    is_key_[left_[off]] = 1;
   }
 
   // --- Evaluate Q[cut:k] grouped by starting vertex (lines 4-5). ---------
   const uint32_t right_width = k - cut + 1;
-  std::vector<uint32_t> right;
-  // Group ranges over `right`, in tuple units, indexed by starting slot.
-  std::vector<std::pair<uint64_t, uint64_t>> group(n, {0, 0});
   for (uint32_t v = 0; v < n && !stop_; ++v) {
-    if (!is_key[v]) continue;
-    const uint64_t begin = right.size() / right_width;
-    Materialize(v, /*base=*/cut, right_width, right);
-    group[v] = {begin, right.size() / right_width};
+    if (!is_key_[v]) continue;
+    const uint64_t begin = right_.size() / right_width;
+    Materialize(v, /*base=*/cut, right_width, right_);
+    group_[v] = {begin, right_.size() / right_width};
   }
-  counters_.partials += right.size() / right_width;
-  counters_.peak_partial_bytes = VectorBytes(left) + VectorBytes(right) +
-                                 VectorBytes(is_key) + VectorBytes(group);
+  counters_.partials += right_.size() / right_width;
+  counters_.peak_partial_bytes = (left_.size() + right_.size()) *
+                                     sizeof(uint32_t) +
+                                 is_key_.size_bytes() + group_.size_bytes();
   if (stop_) return counters_;
 
   // --- Hash join R_a ⋈ R_b and validate (lines 6-8). ---------------------
   uint32_t joined[kMaxHops + 1];
-  for (size_t l = 0; l < left.size() && !stop_; l += left_width) {
-    const uint32_t key = left[l + cut];
-    const auto [gb, ge] = group[key];
+  for (size_t l = 0; l < left_.size() && !stop_; l += left_width) {
+    const uint32_t key = left_[l + cut];
+    const auto [gb, ge] = group_[key];
     for (uint64_t r = gb; r < ge; ++r) {
       if (ShouldStop()) break;
-      const uint32_t* rt = right.data() + r * right_width;
+      const uint32_t* rt = right_.data() + r * right_width;
       // Compose the padded walk: left tuple + right tuple minus join key.
-      for (uint32_t i = 0; i <= cut; ++i) joined[i] = left[l + i];
+      for (uint32_t i = 0; i <= cut; ++i) joined[i] = left_[l + i];
       for (uint32_t i = 1; i < right_width; ++i) joined[cut + i] = rt[i];
       // De-pad: everything after the first t is padding by construction.
       uint32_t end = 0;
@@ -91,12 +111,17 @@ EnumCounters JoinEnumerator::Run(uint32_t cut, PathSink& sink,
         continue;
       }
       for (uint32_t i = 0; i <= end; ++i) {
-        path_buf_[i] = index_.VertexAt(joined[i]);
+        path_buf_[i] = index_->VertexAt(joined[i]);
       }
       Emit({path_buf_, end + 1});
     }
   }
   return counters_;
+}
+
+size_t JoinEnumerator::ScratchBytes() const {
+  return VectorBytes(left_) + VectorBytes(right_) + VectorBytes(is_key_store_) +
+         VectorBytes(group_store_) + VectorBytes(on_path_);
 }
 
 bool JoinEnumerator::ShouldStop() {
@@ -127,6 +152,13 @@ void JoinEnumerator::Emit(std::span<const VertexId> path) {
 
 void JoinEnumerator::Materialize(uint32_t start, uint32_t base, uint32_t len,
                                  std::vector<uint32_t>& out) {
+  // One epoch per half-query DFS: clears every on-path mark in O(1). The
+  // padding vertex t is never marked (its self-loop must repeat freely).
+  if (++epoch_ == 0) {
+    std::fill(on_path_.begin(), on_path_.end(), 0);
+    epoch_ = 1;
+  }
+  if (start != index_->target_slot()) on_path_[start] = epoch_;
   stack_[0] = start;
   MaterializeStep(0, base, len, out);
 }
@@ -144,29 +176,25 @@ void JoinEnumerator::MaterializeStep(uint32_t depth, uint32_t base,
     out.insert(out.end(), stack_, stack_ + len);
     return;
   }
-  const uint32_t k = index_.hops();
-  const uint32_t t_slot = index_.target_slot();
+  const uint32_t k = index_->hops();
+  const uint32_t t_slot = index_->target_slot();
   // Lines 11-13: extend with I_t(v, k - base - L(M) - 1); `base` shifts the
   // budget for the right half, which starts at query position i*.
   const auto nbrs =
-      index_.OutSlotsWithin(stack_[depth], k - base - depth - 1);
+      index_->OutSlotsWithin(stack_[depth], k - base - depth - 1);
   counters_.edges_accessed += nbrs.size();
   for (const uint32_t next : nbrs) {
     if (ShouldStop()) return;
     if (next != t_slot) {
       // Duplicate non-t vertices can never survive the validity check;
-      // reject them inside the half (the t self-entry is the padding).
-      bool in_path = false;
-      for (uint32_t i = 0; i <= depth; ++i) {
-        if (stack_[i] == next) {
-          in_path = true;
-          break;
-        }
-      }
-      if (in_path) continue;
+      // reject them inside the half via the O(1) epoch mark (the t
+      // self-entry is the padding and may repeat).
+      if (on_path_[next] == epoch_) continue;
+      on_path_[next] = epoch_;
     }
     stack_[depth + 1] = next;
     MaterializeStep(depth + 1, base, len, out);
+    if (next != t_slot) on_path_[next] = 0;
   }
 }
 

@@ -2,29 +2,60 @@
 // materialize the two halves with index-based DFS (walks with (t,t)
 // padding, so paths of every length <= k are covered), hash-join them on
 // the cut vertex, and emit the joined tuples that form valid simple paths.
+//
+// All intermediate storage (half-query tuple tables, the join key set, the
+// per-key group ranges, the materialization on-path marks) is reusable
+// scratch: rebind the enumerator to a new index per query and the steady
+// state allocates nothing (see DESIGN.md). The key/group tables, whose size
+// follows the per-query index vertex count, can optionally be served from a
+// caller-owned BumpArena.
 #ifndef PATHENUM_CORE_JOIN_ENUMERATOR_H_
 #define PATHENUM_CORE_JOIN_ENUMERATOR_H_
 
+#include <span>
 #include <vector>
 
 #include "core/index.h"
 #include "core/options.h"
 #include "core/sink.h"
+#include "util/memory.h"
 #include "util/timer.h"
 
 namespace pathenum {
 
-/// Index-based join enumerator.
+/// Index-based join enumerator. Not thread-safe; one instance per worker.
 class JoinEnumerator {
  public:
-  explicit JoinEnumerator(const LightweightIndex& index) : index_(index) {}
+  /// Unbound enumerator; pass the index to Run.
+  JoinEnumerator() = default;
+
+  /// Bound to a fixed index (convenience for single-query use).
+  explicit JoinEnumerator(const LightweightIndex& index) : index_(&index) {}
+
+  /// Serves the per-query-sized tables (join keys, group ranges) from
+  /// `arena` instead of member vectors. The caller owns the arena's Reset
+  /// cadence: reset it between queries, never during a Run. Pass nullptr
+  /// to return to member storage.
+  void SetArena(BumpArena* arena) { arena_ = arena; }
 
   /// Enumerates all paths using cut position `cut` (1 <= cut <= k-1).
   /// `counters.peak_partial_bytes` reports the materialized tuple memory
   /// (the paper's Table 7 "Partial Results" row).
   EnumCounters Run(uint32_t cut, PathSink& sink, const EnumOptions& opts = {});
+  EnumCounters Run(const LightweightIndex& index, uint32_t cut, PathSink& sink,
+                   const EnumOptions& opts = {});
+
+  /// Bytes of reusable scratch currently held in member storage (excludes
+  /// arena-served tables; those are charged to the arena).
+  size_t ScratchBytes() const;
 
  private:
+  /// [begin, end) tuple range of one join key's group in `right_`.
+  struct GroupRange {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+
   /// Generates the padded-walk tuples of Q[base : base+len-1]... i.e. all
   /// sequences of `len` slots starting at `start`, where position p of the
   /// tuple sits at query position base+p. Appends flat tuples to `out`.
@@ -37,7 +68,22 @@ class JoinEnumerator {
   bool ShouldStop();
   void Emit(std::span<const VertexId> path);
 
-  const LightweightIndex& index_;
+  const LightweightIndex* index_ = nullptr;
+  BumpArena* arena_ = nullptr;
+
+  // Reusable scratch. left_/right_ hold the materialized half-query tuple
+  // tables; is_key_/group_ are the join key set and per-key group ranges
+  // (spans over the arena when one is set, over the _store vectors
+  // otherwise); on_path_ carries the epoch-stamped duplicate marks for
+  // Materialize (epoch bumps once per Materialize call).
+  std::vector<uint32_t> left_;
+  std::vector<uint32_t> right_;
+  std::vector<uint8_t> is_key_store_;
+  std::vector<GroupRange> group_store_;
+  std::span<uint8_t> is_key_;
+  std::span<GroupRange> group_;
+  std::vector<uint32_t> on_path_;
+  uint32_t epoch_ = 0;
 
   // Per-run state.
   EnumCounters counters_;

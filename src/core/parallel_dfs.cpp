@@ -56,6 +56,53 @@ class SharedLimitSink : public PathSink {
 
 }  // namespace
 
+namespace internal {
+
+EnumOptions BranchOptions(const EnumOptions& opts, const Timer& since_start) {
+  EnumOptions branch_opts = opts;
+  branch_opts.result_limit =
+      std::numeric_limits<uint64_t>::max();  // delegated to the sink
+  branch_opts.response_target = 0;           // delegated to the sink
+  if (opts.time_limit_ms != std::numeric_limits<double>::infinity()) {
+    branch_opts.time_limit_ms =
+        std::max(0.0, opts.time_limit_ms - since_start.ElapsedMs());
+  }
+  return branch_opts;
+}
+
+bool AccumulateBranch(EnumCounters& total, const EnumCounters& branch) {
+  total.num_results += branch.num_results;
+  total.edges_accessed += branch.edges_accessed;
+  total.partials += branch.partials;
+  total.invalid_partials += branch.invalid_partials;
+  total.timed_out |= branch.timed_out;
+  total.stopped_by_sink |= branch.stopped_by_sink;
+  return !branch.stopped_by_sink && !branch.timed_out;
+}
+
+void FinishFanout(EnumCounters& out, std::span<const EnumCounters> workers,
+                  size_t num_branches, uint64_t delivered, double response_ms,
+                  const EnumOptions& opts) {
+  for (const EnumCounters& c : workers) {
+    out.edges_accessed += c.edges_accessed;
+    out.partials += c.partials;
+    out.invalid_partials += c.invalid_partials;
+    out.timed_out |= c.timed_out;
+    out.stopped_by_sink |= c.stopped_by_sink;
+  }
+  // The root partial (s) and the per-branch edge scan are accounted once.
+  out.partials += 1;
+  out.edges_accessed += num_branches;
+  out.num_results = std::min(delivered, opts.result_limit);
+  if (out.num_results >= opts.result_limit) {
+    out.hit_result_limit = true;
+    out.stopped_by_sink = false;
+  }
+  out.response_ms = response_ms;
+}
+
+}  // namespace internal
+
 ParallelDfsEnumerator::ParallelDfsEnumerator(const LightweightIndex& index,
                                              uint32_t num_threads)
     : index_(index),
@@ -103,24 +150,10 @@ ParallelEnumResult ParallelDfsEnumerator::Run(
       const uint32_t branch = branches[b];
       // The immediate target-arrival and the duplicate check for s are the
       // root frame's job in the sequential code; handled by RunBranch.
-      EnumOptions branch_opts = opts;
-      branch_opts.result_limit =
-          std::numeric_limits<uint64_t>::max();   // delegated to the sink
-      branch_opts.response_target = 0;            // delegated to the sink
-      if (opts.time_limit_ms !=
-          std::numeric_limits<double>::infinity()) {
-        branch_opts.time_limit_ms =
-            std::max(0.0, opts.time_limit_ms - wall.ElapsedMs());
-      }
-      const EnumCounters c = dfs.RunBranch(branch, limited, branch_opts);
-      total.num_results += c.num_results;
-      total.edges_accessed += c.edges_accessed;
-      total.partials += c.partials;
-      total.invalid_partials += c.invalid_partials;
-      total.timed_out |= c.timed_out;
-      total.stopped_by_sink |= c.stopped_by_sink;
-      if (c.stopped_by_sink) break;  // limit reached: stop claiming work
-      if (c.timed_out) break;
+      const EnumCounters c = dfs.RunBranch(
+          branch, limited, internal::BranchOptions(opts, wall));
+      // Stop claiming work once the limit was reached or time ran out.
+      if (!internal::AccumulateBranch(total, c)) break;
     }
   };
 
@@ -129,25 +162,11 @@ ParallelEnumResult ParallelDfsEnumerator::Run(
   for (uint32_t w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
   for (auto& t : threads) t.join();
 
-  for (const EnumCounters& c : worker_counters) {
-    result.counters.edges_accessed += c.edges_accessed;
-    result.counters.partials += c.partials;
-    result.counters.invalid_partials += c.invalid_partials;
-    result.counters.timed_out |= c.timed_out;
-    result.counters.stopped_by_sink |= c.stopped_by_sink;
-  }
-  // The root partial (s) and the per-branch edge scan are accounted once.
-  result.counters.partials += 1;
-  result.counters.edges_accessed += branches.size();
   // Delivered results: the shared counter, capped by the limit (attempts
   // beyond the reservation were dropped by the adapter).
-  result.counters.num_results =
-      std::min(emitted.load(std::memory_order_relaxed), opts.result_limit);
-  if (result.counters.num_results >= opts.result_limit) {
-    result.counters.hit_result_limit = true;
-    result.counters.stopped_by_sink = false;
-  }
-  result.counters.response_ms = response_ms;
+  internal::FinishFanout(result.counters, worker_counters, branches.size(),
+                         emitted.load(std::memory_order_relaxed), response_ms,
+                         opts);
   result.wall_ms = wall.ElapsedMs();
   return result;
 }

@@ -9,12 +9,41 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "core/index.h"
 #include "core/options.h"
 #include "core/sink.h"
+#include "util/timer.h"
 
 namespace pathenum {
+
+namespace internal {
+
+// Accounting helpers shared by every branch-parallel DFS driver (the
+// thread-spawning ParallelDfsEnumerator below and the pooled
+// QueryEngine::RunSplit). Branch-level limit bookkeeping is subtle enough
+// that it must live in exactly one place.
+
+/// Options for one branch of a fanned-out enumeration: result limit and
+/// response target are delegated to the shared sink; the absolute deadline
+/// is re-derived from the budget remaining since `since_start`.
+EnumOptions BranchOptions(const EnumOptions& opts, const Timer& since_start);
+
+/// Folds one finished branch's counters into a worker's running total.
+/// Returns false when the worker should stop claiming branches (sink stop
+/// or timeout).
+bool AccumulateBranch(EnumCounters& total, const EnumCounters& branch);
+
+/// Merges per-worker totals into `out` and applies the shared accounting:
+/// the root partial and the per-branch edge scan are charged once, and
+/// `delivered` results against `opts.result_limit` decide hit_result_limit
+/// vs stopped_by_sink.
+void FinishFanout(EnumCounters& out, std::span<const EnumCounters> workers,
+                  size_t num_branches, uint64_t delivered, double response_ms,
+                  const EnumOptions& opts);
+
+}  // namespace internal
 
 /// Outcome of a parallel enumeration.
 struct ParallelEnumResult {

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "core/dfs_enumerator.h"
-#include "core/join_enumerator.h"
 #include "graph/distance_oracle.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -37,6 +35,7 @@ bool PathEnumerator::OracleRejects(const Query& q) const {
 QueryStats PathEnumerator::Run(const Query& q, PathSink& sink,
                                const EnumOptions& opts) {
   ValidateQuery(graph_, q);
+  arena_.Reset();  // previous query's arena tables die here
   QueryStats stats;
   Timer total;
   if (OracleRejects(q)) {
@@ -96,11 +95,9 @@ QueryStats PathEnumerator::Run(const Query& q, PathSink& sink,
   Timer enum_timer;
   EnumCounters counters;
   if (chosen == Method::kJoin) {
-    JoinEnumerator join(index);
-    counters = join.Run(cut, sink, opts);
+    counters = join_.Run(index, cut, sink, opts);
   } else {
-    DfsEnumerator dfs(index);
-    counters = dfs.Run(sink, opts);
+    counters = dfs_.Run(index, sink, opts);
   }
   Finalize(stats, counters, enum_timer.ElapsedMs(), total.ElapsedMs());
   return stats;
@@ -111,6 +108,7 @@ QueryStats PathEnumerator::RunConstrained(const Query& q,
                                           PathSink& sink,
                                           const EnumOptions& opts) {
   ValidateQuery(graph_, q);
+  arena_.Reset();
   QueryStats stats;
   Timer total;
   if (OracleRejects(q)) {
@@ -154,8 +152,8 @@ QueryStats PathEnumerator::RunConstrained(const Query& q,
     ConstrainedDfsEnumerator dfs(graph_, index, constraints);
     counters = dfs.Run(sink, opts);
   } else {
-    DfsEnumerator dfs(index);  // predicate-only: plain DFS on filtered index
-    counters = dfs.Run(sink, opts);
+    // Predicate-only: plain DFS on the filtered index, pooled scratch.
+    counters = dfs_.Run(index, sink, opts);
   }
   Finalize(stats, counters, enum_timer.ElapsedMs(), total.ElapsedMs());
   return stats;

@@ -12,16 +12,25 @@
 #include <vector>
 
 #include "core/constraints.h"
+#include "core/dfs_enumerator.h"
 #include "core/estimator.h"
 #include "core/index.h"
+#include "core/join_enumerator.h"
 #include "core/options.h"
 #include "core/sink.h"
+#include "util/memory.h"
 
 namespace pathenum {
 
 class PrunedLandmarkIndex;
 
 /// Facade over index construction, the optimizer and both enumerators.
+///
+/// Owns every piece of per-query scratch (BFS fields, enumerator stacks and
+/// mark arrays, join tuple tables, the bump arena for per-query-sized
+/// tables), so repeated queries through one instance reach a zero-allocation
+/// steady state. One instance serves one thread; the engine keeps one per
+/// worker (see src/engine/).
 class PathEnumerator {
  public:
   /// `oracle` (optional, not owned) is the §7.5-style offline global
@@ -31,7 +40,9 @@ class PathEnumerator {
   /// results — acceptance still runs the exact pipeline).
   explicit PathEnumerator(const Graph& g,
                           const PrunedLandmarkIndex* oracle = nullptr)
-      : graph_(g), oracle_(oracle) {}
+      : graph_(g), oracle_(oracle) {
+    join_.SetArena(&arena_);
+  }
 
   /// Runs q and streams every hop-constrained s-t path into `sink`.
   /// `opts.method` selects IDX-DFS / IDX-JOIN / cost-based auto.
@@ -51,13 +62,27 @@ class PathEnumerator {
     return builder_.Build(graph_, q, opts);
   }
 
+  /// Bytes of reusable scratch currently held (enumerator marks/buffers plus
+  /// the arena's capacity). Stable across repeated identical queries — the
+  /// engine's no-allocation-in-steady-state tests assert exactly this.
+  size_t ScratchBytes() const {
+    return dfs_.ScratchBytes() + join_.ScratchBytes() + arena_.capacity_bytes();
+  }
+
+  const BumpArena& arena() const { return arena_; }
+
  private:
+  friend class QueryEngine;  // intra-query splitting reuses dfs_/builder_
+
   /// True iff the oracle certifies d(s,t) > k (query has no result).
   bool OracleRejects(const Query& q) const;
 
   const Graph& graph_;
   const PrunedLandmarkIndex* oracle_;
   IndexBuilder builder_;
+  DfsEnumerator dfs_;
+  JoinEnumerator join_;
+  BumpArena arena_;
 };
 
 /// Calibrates the preliminary-estimator threshold τ for a graph following

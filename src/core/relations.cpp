@@ -1,9 +1,33 @@
 #include "core/relations.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace pathenum {
+
+namespace {
+
+/// Starts a new semijoin key set: grows the stamp array to cover `bound`
+/// vertex ids and bumps the epoch (wipes on epoch wrap).
+uint32_t NextEpoch(SemijoinScratch& scratch, VertexId bound) {
+  if (scratch.stamp.size() < bound) scratch.stamp.resize(bound, 0);
+  if (++scratch.epoch == 0) {
+    std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0);
+    scratch.epoch = 1;
+  }
+  return scratch.epoch;
+}
+
+/// Largest vertex id + 1 across all tuples (fallback when the set's
+/// num_vertices bound was not recorded).
+VertexId TupleBound(const RelationSet& rs) {
+  VertexId bound = 0;
+  for (const Relation& r : rs.relations) {
+    for (const auto& [u, v] : r) bound = std::max({bound, u + 1, v + 1});
+  }
+  return bound;
+}
+
+}  // namespace
 
 uint64_t RelationSet::TotalTuples() const {
   uint64_t total = 0;
@@ -15,10 +39,12 @@ RelationSet BuildRelations(const Graph& g, const Query& q) {
   ValidateQuery(g, q);
   RelationSet rs;
   rs.query = q;
+  rs.num_vertices = g.num_vertices();
   const uint32_t k = q.hops;
   rs.relations.resize(k);
 
   // R_1: out-edges of s (including (s,t) — length-1 paths enter here).
+  rs.relations[0].reserve(g.OutDegree(q.source));
   for (const VertexId v : g.OutNeighbors(q.source)) {
     rs.relations[0].push_back({q.source, v});
   }
@@ -26,6 +52,10 @@ RelationSet BuildRelations(const Graph& g, const Query& q) {
   // Middle relations: edges of G - {s} with source != t, plus (t,t).
   if (k >= 3) {
     Relation middle;
+    // Upper bound: every graph edge plus the padding tuple; at most
+    // OutDegree(s) + OutDegree(t) + InDegree(s) of the reservation go
+    // unused.
+    middle.reserve(g.num_edges() + 1);
     for (VertexId u = 0; u < g.num_vertices(); ++u) {
       if (u == q.source || u == q.target) continue;
       for (const VertexId v : g.OutNeighbors(u)) {
@@ -41,6 +71,7 @@ RelationSet BuildRelations(const Graph& g, const Query& q) {
   // query is R_1 and no padding relation exists.)
   if (k >= 2) {
     Relation& last = rs.relations[k - 1];
+    last.reserve(last.size() + g.InDegree(q.target) + 1);
     for (const VertexId u : g.InNeighbors(q.target)) {
       if (u == q.source) continue;
       last.push_back({u, q.target});
@@ -50,27 +81,32 @@ RelationSet BuildRelations(const Graph& g, const Query& q) {
   return rs;
 }
 
-void FullReduce(RelationSet& rs) {
+void FullReduce(RelationSet& rs, SemijoinScratch* scratch) {
   const size_t k = rs.relations.size();
   if (k <= 1) return;
-  std::unordered_set<VertexId> keep;
+  SemijoinScratch local;
+  SemijoinScratch& sj = scratch != nullptr ? *scratch : local;
+  const VertexId bound =
+      rs.num_vertices != 0 ? rs.num_vertices : TupleBound(rs);
 
   // Forward sweep (lines 5-8): R_{i+1} keeps tuples whose source appears as
   // a destination of R_i.
   for (size_t i = 0; i + 1 < k; ++i) {
-    keep.clear();
-    for (const auto& [u, v] : rs.relations[i]) keep.insert(v);
+    const uint32_t epoch = NextEpoch(sj, bound);
+    for (const auto& [u, v] : rs.relations[i]) sj.stamp[v] = epoch;
     Relation& next = rs.relations[i + 1];
-    std::erase_if(next, [&](const auto& t) { return !keep.count(t.first); });
+    std::erase_if(next,
+                  [&](const auto& t) { return sj.stamp[t.first] != epoch; });
   }
 
   // Backward sweep (lines 9-12): R_i keeps tuples whose destination appears
   // as a source of R_{i+1}.
   for (size_t i = k - 1; i-- > 0;) {
-    keep.clear();
-    for (const auto& [u, v] : rs.relations[i + 1]) keep.insert(u);
+    const uint32_t epoch = NextEpoch(sj, bound);
+    for (const auto& [u, v] : rs.relations[i + 1]) sj.stamp[u] = epoch;
     Relation& prev = rs.relations[i];
-    std::erase_if(prev, [&](const auto& t) { return !keep.count(t.second); });
+    std::erase_if(prev,
+                  [&](const auto& t) { return sj.stamp[t.second] != epoch; });
   }
 }
 

@@ -22,19 +22,35 @@ using Relation = std::vector<std::pair<VertexId, VertexId>>;
 ///   R_k = in-edges of t with source != s, plus (t,t).
 struct RelationSet {
   Query query;
+  /// Vertex-id bound (the graph's vertex count); sizes the full reducer's
+  /// flat semijoin scratch. 0 means "derive from the tuples".
+  VertexId num_vertices = 0;
   std::vector<Relation> relations;  // relations[i] is R_{i+1}
 
   /// Total tuples across all relations (the Alg. 2 footprint).
   uint64_t TotalTuples() const;
 };
 
-/// Builds the initial (un-reduced) relations — Alg. 2 lines 1-4.
+/// Reusable scratch for FullReduce's semijoin membership tests: a flat
+/// epoch-stamped array (the same trick the IndexBuilder uses for its BFS
+/// fields) replacing the original per-call hash set. `stamp[v] == epoch`
+/// means v is in the current sweep's key set; bumping `epoch` clears the
+/// set in O(1).
+struct SemijoinScratch {
+  std::vector<uint32_t> stamp;
+  uint32_t epoch = 0;
+};
+
+/// Builds the initial (un-reduced) relations — Alg. 2 lines 1-4. Vectors
+/// are reserved from the known degree/edge-count bounds.
 RelationSet BuildRelations(const Graph& g, const Query& q);
 
 /// Runs the full reducer in place — Alg. 2 lines 5-12: a forward semijoin
 /// sweep (prune R_{i+1} sources absent from R_i's destinations) followed by
-/// a backward sweep.
-void FullReduce(RelationSet& rs);
+/// a backward sweep. Pass a `scratch` to amortize the membership array
+/// across calls (a worker context reducing many queries); nullptr uses a
+/// call-local one.
+void FullReduce(RelationSet& rs, SemijoinScratch* scratch = nullptr);
 
 /// Convenience: BuildRelations + FullReduce.
 RelationSet BuildReducedRelations(const Graph& g, const Query& q);

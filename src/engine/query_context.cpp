@@ -1,0 +1,24 @@
+#include "engine/query_context.h"
+
+namespace pathenum {
+
+QueryStats QueryContext::Run(const Query& q, PathSink& sink,
+                             const EnumOptions& opts) {
+  // Count only queries that actually executed: validation throws before
+  // any work happens.
+  const QueryStats stats = enumerator_.Run(q, sink, opts);
+  ++queries_run_;
+  return stats;
+}
+
+QueryStats QueryContext::RunConstrained(const Query& q,
+                                        const PathConstraints& constraints,
+                                        PathSink& sink,
+                                        const EnumOptions& opts) {
+  const QueryStats stats =
+      enumerator_.RunConstrained(q, constraints, sink, opts);
+  ++queries_run_;
+  return stats;
+}
+
+}  // namespace pathenum

@@ -1,0 +1,50 @@
+// Per-worker reusable query state. Each engine worker owns exactly one
+// QueryContext for its whole lifetime; everything a query needs scratch for
+// (index-construction BFS fields, enumerator stacks and epoch-stamped mark
+// arrays, join tuple tables, the bump arena behind per-query-sized tables)
+// lives inside the context's PathEnumerator and is recycled query after
+// query — the zero-allocation steady state of DESIGN.md §Engine.
+#ifndef PATHENUM_ENGINE_QUERY_CONTEXT_H_
+#define PATHENUM_ENGINE_QUERY_CONTEXT_H_
+
+#include <cstdint>
+
+#include "core/path_enum.h"
+
+namespace pathenum {
+
+/// One worker's reusable execution state. Not thread-safe: a context is
+/// owned by exactly one worker at a time.
+class QueryContext {
+ public:
+  explicit QueryContext(const Graph& g,
+                        const PrunedLandmarkIndex* oracle = nullptr)
+      : enumerator_(g, oracle) {}
+
+  /// Runs one query through the full PathEnum pipeline with this context's
+  /// pooled scratch. Every per-run limit (deadline, result limit, sink
+  /// stop) is re-armed from `opts`, so a limit hit by one query can never
+  /// leak into the next one on the same context.
+  QueryStats Run(const Query& q, PathSink& sink, const EnumOptions& opts);
+
+  /// Like Run, but under the Appendix-E constraint extensions.
+  QueryStats RunConstrained(const Query& q, const PathConstraints& constraints,
+                            PathSink& sink, const EnumOptions& opts);
+
+  PathEnumerator& enumerator() { return enumerator_; }
+
+  /// Queries executed through this context since construction.
+  uint64_t queries_run() const { return queries_run_; }
+
+  /// Bytes of reusable scratch currently held (see
+  /// PathEnumerator::ScratchBytes).
+  size_t ScratchBytes() const { return enumerator_.ScratchBytes(); }
+
+ private:
+  PathEnumerator enumerator_;
+  uint64_t queries_run_ = 0;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_ENGINE_QUERY_CONTEXT_H_

@@ -1,0 +1,260 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <limits>
+#include <mutex>
+
+#include "core/dfs_enumerator.h"
+#include "core/parallel_dfs.h"
+#include "graph/distance_oracle.h"
+#include "util/timer.h"
+
+namespace pathenum {
+
+namespace {
+
+/// Per-worker task deques with stealing: a worker drains its own deque from
+/// the front and, when empty, steals from the back of the others. Queries
+/// are dealt round-robin, so under even load every worker mostly touches
+/// its own deque; skew (one worker stuck on a heavy query) drains through
+/// steals without any coordination beyond the per-deque mutex.
+class WorkStealingQueues {
+ public:
+  WorkStealingQueues(uint32_t workers, size_t num_tasks) : queues_(workers) {
+    for (size_t t = 0; t < num_tasks; ++t) {
+      queues_[t % workers].tasks.push_back(t);
+    }
+  }
+
+  /// Claims a task for `worker`; returns false when the batch is drained.
+  bool Pop(uint32_t worker, size_t& out) {
+    Queue& own = queues_[worker];
+    {
+      const std::lock_guard<std::mutex> lock(own.mutex);
+      if (!own.tasks.empty()) {
+        out = own.tasks.front();
+        own.tasks.pop_front();
+        return true;
+      }
+    }
+    const uint32_t n = static_cast<uint32_t>(queues_.size());
+    for (uint32_t i = 1; i < n; ++i) {
+      Queue& victim = queues_[(worker + i) % n];
+      const std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        out = victim.tasks.back();
+        victim.tasks.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<size_t> tasks;
+  };
+  std::vector<Queue> queues_;
+};
+
+/// Sink shared by every worker of one split query: enforces the query-wide
+/// result limit and response target with an atomic reservation counter and
+/// serializes calls into the (single, caller-owned) inner sink.
+class SharedQuerySink : public PathSink {
+ public:
+  SharedQuerySink(PathSink& inner, uint64_t limit, uint64_t response_target,
+                  const Timer& timer)
+      : inner_(inner),
+        limit_(limit),
+        response_target_(response_target),
+        timer_(timer) {}
+
+  bool OnPath(std::span<const VertexId> path) override {
+    if (stopped_.load(std::memory_order_relaxed)) return false;
+    const uint64_t n = emitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n > limit_) return false;  // reservation failed: stop this worker
+    if (n == response_target_ &&
+        !response_recorded_.exchange(true, std::memory_order_relaxed)) {
+      response_ms_.store(timer_.ElapsedMs(), std::memory_order_relaxed);
+    }
+    bool keep_going;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      // The stop latch is re-checked under the serialization mutex: once
+      // the inner sink returns false it must never be called again (it may
+      // have torn down its state on that contract).
+      if (stopped_.load(std::memory_order_relaxed)) return false;
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+      keep_going = inner_.OnPath(path);
+      if (!keep_going) stopped_.store(true, std::memory_order_relaxed);
+    }
+    if (!keep_going) return false;
+    return n < limit_;
+  }
+
+  /// Paths actually handed to the inner sink — reservations refused by the
+  /// limit or the stop latch are not counted.
+  uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  double response_ms() const {
+    return response_ms_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  PathSink& inner_;
+  const uint64_t limit_;
+  const uint64_t response_target_;
+  const Timer& timer_;
+  std::mutex mutex_;
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> delivered_{0};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> response_recorded_{false};
+  std::atomic<double> response_ms_{-1.0};
+};
+
+}  // namespace
+
+QueryEngine::QueryEngine(const Graph& g, const EngineOptions& opts,
+                         const PrunedLandmarkIndex* oracle)
+    : graph_(g), oracle_(oracle), pool_(opts.num_workers) {
+  contexts_.reserve(pool_.num_workers());
+  for (uint32_t w = 0; w < pool_.num_workers(); ++w) {
+    contexts_.push_back(std::make_unique<QueryContext>(g, oracle));
+  }
+}
+
+QueryEngine::~QueryEngine() = default;
+
+BatchResult QueryEngine::RunBatch(std::span<const Query> queries,
+                                  std::span<PathSink* const> sinks,
+                                  const BatchOptions& opts) {
+  PATHENUM_CHECK_MSG(queries.size() == sinks.size(),
+                     "one sink per query required");
+  BatchResult result;
+  result.stats.resize(queries.size());
+  result.errors.resize(queries.size());
+  result.workers = pool_.num_workers();
+  ++batches_run_;
+  Timer wall;
+
+  if (opts.split_branches) {
+    // Intra-query mode: the pool gangs up on one query at a time.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      try {
+        result.stats[i] = RunSplit(queries[i], *sinks[i], opts.query);
+      } catch (const std::exception& e) {
+        result.errors[i] = e.what();
+      }
+    }
+  } else {
+    RunStealing(queries, sinks, opts, result);
+  }
+  result.wall_ms = wall.ElapsedMs();
+  return result;
+}
+
+void QueryEngine::RunStealing(std::span<const Query> queries,
+                              std::span<PathSink* const> sinks,
+                              const BatchOptions& opts, BatchResult& result) {
+  WorkStealingQueues queues(pool_.num_workers(), queries.size());
+  pool_.RunOnAllWorkers([&](uint32_t worker) {
+    QueryContext& ctx = *contexts_[worker];
+    size_t task;
+    while (queues.Pop(worker, task)) {
+      // Per-query fault isolation: a rejected query reports its error and
+      // the worker moves on; the context re-arms every limit per run.
+      try {
+        result.stats[task] =
+            ctx.Run(queries[task], *sinks[task], opts.query);
+      } catch (const std::exception& e) {
+        result.errors[task] = e.what();
+      }
+    }
+  });
+}
+
+BatchResult QueryEngine::CountBatch(std::span<const Query> queries,
+                                    const BatchOptions& opts) {
+  std::vector<CountingSink> counting(queries.size());
+  std::vector<PathSink*> sinks(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) sinks[i] = &counting[i];
+  return RunBatch(queries, sinks, opts);
+}
+
+QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
+                                 const EnumOptions& opts) {
+  ValidateQuery(graph_, q);
+  QueryStats stats;
+  stats.method = Method::kDfs;  // splitting implies IDX-DFS
+  Timer total;
+
+  PathEnumerator& lead = contexts_[0]->enumerator();
+  if (oracle_ != nullptr && !oracle_->Within(q.source, q.target, q.hops)) {
+    stats.total_ms = total.ElapsedMs();
+    stats.response_ms = stats.total_ms;
+    return stats;
+  }
+
+  IndexBuilder::Options build_opts;
+  build_opts.build_in_direction = false;
+  build_opts.collect_level_stats = false;
+  const LightweightIndex index = lead.BuildIndex(q, build_opts);
+  stats.bfs_ms = index.build_stats().bfs_ms;
+  stats.index_ms = index.build_stats().total_ms;
+  stats.index_vertices = index.num_vertices();
+  stats.index_edges = index.num_edges();
+  stats.index_bytes = index.MemoryBytes();
+
+  Timer enum_timer;
+  EnumCounters counters;
+  const uint32_t s_slot = index.source_slot();
+  if (s_slot != kInvalidSlot) {
+    const auto branches = index.OutSlotsWithin(s_slot, index.hops() - 1);
+    SharedQuerySink shared(sink, opts.result_limit, opts.response_target,
+                           enum_timer);
+    std::atomic<uint32_t> cursor{0};
+    std::vector<EnumCounters> per_worker(pool_.num_workers());
+    pool_.RunOnAllWorkers([&](uint32_t worker) {
+      DfsEnumerator& dfs = contexts_[worker]->enumerator().dfs_;
+      EnumCounters& mine = per_worker[worker];
+      while (true) {
+        const uint32_t b = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (b >= branches.size()) break;
+        const EnumCounters c =
+            dfs.RunBranch(index, branches[b], shared,
+                          internal::BranchOptions(opts, enum_timer));
+        if (!internal::AccumulateBranch(mine, c)) break;
+      }
+    });
+    internal::FinishFanout(counters, per_worker, branches.size(),
+                           shared.delivered(), shared.response_ms(), opts);
+  }
+
+  stats.counters = counters;
+  stats.enumerate_ms = enum_timer.ElapsedMs();
+  stats.total_ms = total.ElapsedMs();
+  const double preprocessing = stats.total_ms - stats.enumerate_ms;
+  stats.response_ms = counters.response_ms >= 0.0
+                          ? preprocessing + counters.response_ms
+                          : stats.total_ms;
+  ++split_queries_run_;
+  return stats;
+}
+
+QueryEngine::EngineStats QueryEngine::Stats() const {
+  EngineStats s;
+  for (const auto& ctx : contexts_) {
+    s.scratch_bytes += ctx->ScratchBytes();
+    s.queries_run += ctx->queries_run();
+  }
+  s.queries_run += split_queries_run_;
+  s.batches_run = batches_run_;
+  return s;
+}
+
+}  // namespace pathenum

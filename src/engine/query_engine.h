@@ -1,0 +1,127 @@
+// The batch QueryEngine: a persistent worker pool serving hop-constrained
+// path queries at service scale. Where PathEnumerator answers one query on
+// the calling thread, the engine keeps N workers alive across batches, each
+// with a reusable QueryContext, and schedules a batch of queries over them
+// with work stealing. Optionally a batch runs with intra-query parallelism:
+// each query's first-level DFS branches fan out across the whole pool
+// (DfsEnumerator::RunBranch), which is the right shape for a few heavy
+// queries rather than many small ones. See DESIGN.md §Engine.
+#ifndef PATHENUM_ENGINE_QUERY_ENGINE_H_
+#define PATHENUM_ENGINE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/query.h"
+#include "core/sink.h"
+#include "engine/query_context.h"
+#include "engine/thread_pool.h"
+
+namespace pathenum {
+
+class PrunedLandmarkIndex;
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Worker threads (and contexts). 0 picks hardware_concurrency().
+  uint32_t num_workers = 0;
+};
+
+/// Per-batch knobs.
+struct BatchOptions {
+  /// Applied to every query of the batch.
+  EnumOptions query;
+
+  /// When true, queries execute one at a time with their first-level DFS
+  /// branches spread across the whole pool (forces IDX-DFS and serializes
+  /// sink calls per query). When false (default), each query runs entirely
+  /// on one worker and workers steal whole queries from each other.
+  bool split_branches = false;
+};
+
+/// Outcome of RunBatch. `stats[i]`/`errors[i]` belong to `queries[i]`;
+/// a non-empty error string means the query was rejected (its stats are
+/// default) — other queries of the batch are unaffected.
+struct BatchResult {
+  std::vector<QueryStats> stats;
+  std::vector<std::string> errors;
+  double wall_ms = 0.0;
+  uint32_t workers = 0;
+
+  bool ok() const {
+    for (const std::string& e : errors) {
+      if (!e.empty()) return false;
+    }
+    return true;
+  }
+
+  uint64_t TotalResults() const {
+    uint64_t total = 0;
+    for (const QueryStats& s : stats) total += s.counters.num_results;
+    return total;
+  }
+
+  /// Batch throughput in queries per second.
+  double QueriesPerSec() const {
+    return wall_ms > 0.0 ? static_cast<double>(stats.size()) /
+                               (wall_ms / 1e3)
+                         : 0.0;
+  }
+};
+
+/// Thread-pooled batch query engine. One instance per graph/session; the
+/// graph (and optional oracle) must outlive it. RunBatch may be called any
+/// number of times, from one thread at a time.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const Graph& g, const EngineOptions& opts = {},
+                       const PrunedLandmarkIndex* oracle = nullptr);
+  ~QueryEngine();
+
+  uint32_t num_workers() const { return pool_.num_workers(); }
+  const Graph& graph() const { return graph_; }
+
+  /// Runs the batch; `sinks[i]` receives exactly the paths of `queries[i]`.
+  /// With split_branches each sink must tolerate calls from pool threads
+  /// (calls are serialized by the engine, so plain sinks are safe); without
+  /// it, sink i is only ever touched by the single worker running query i.
+  BatchResult RunBatch(std::span<const Query> queries,
+                       std::span<PathSink* const> sinks,
+                       const BatchOptions& opts = {});
+
+  /// Convenience: counts every query's results (per-query CountingSink).
+  BatchResult CountBatch(std::span<const Query> queries,
+                         const BatchOptions& opts = {});
+
+  /// Aggregate footprint/usage over all worker contexts.
+  struct EngineStats {
+    size_t scratch_bytes = 0;    // reusable scratch across all contexts
+    uint64_t queries_run = 0;    // queries executed since construction
+    uint64_t batches_run = 0;
+  };
+  EngineStats Stats() const;
+
+ private:
+  /// Inter-query mode: workers claim whole queries, stealing across
+  /// per-worker deques.
+  void RunStealing(std::span<const Query> queries,
+                   std::span<PathSink* const> sinks, const BatchOptions& opts,
+                   BatchResult& result);
+
+  /// Intra-query mode: one query at a time, branches across the pool.
+  QueryStats RunSplit(const Query& q, PathSink& sink, const EnumOptions& opts);
+
+  const Graph& graph_;
+  const PrunedLandmarkIndex* oracle_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<QueryContext>> contexts_;  // one per worker
+  uint64_t batches_run_ = 0;
+  uint64_t split_queries_run_ = 0;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_ENGINE_QUERY_ENGINE_H_

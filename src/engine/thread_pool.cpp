@@ -1,0 +1,81 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace pathenum {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  const uint32_t n =
+      num_threads != 0 ? num_threads
+                       : std::max(1u, std::thread::hardware_concurrency());
+  // A mistyped worker count (e.g. a negative number pushed through a
+  // uint32 cast) must fail with a diagnosable error, not an attempt to
+  // spawn billions of threads.
+  PATHENUM_CHECK_MSG(n <= kMaxWorkers, "implausible worker count");
+  threads_.reserve(n);
+  try {
+    for (uint32_t w = 0; w < n; ++w) {
+      threads_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  } catch (...) {
+    // Spawn failed partway (resource exhaustion): join what started, or
+    // their joinable destructors would terminate the process.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::RunOnAllWorkers(const std::function<void(uint32_t)>& job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  PATHENUM_CHECK_MSG(active_ == 0 && job_ == nullptr,
+                     "ThreadPool::RunOnAllWorkers is not reentrant");
+  job_ = &job;
+  first_error_ = nullptr;
+  active_ = num_workers();
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::WorkerLoop(uint32_t worker_id) {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    start_cv_.wait(lock, [&] {
+      return shutdown_ || generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    const auto* job = job_;
+    lock.unlock();
+    try {
+      (*job)(worker_id);
+    } catch (...) {
+      lock.lock();
+      if (!first_error_) first_error_ = std::current_exception();
+      lock.unlock();
+    }
+    lock.lock();
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace pathenum

@@ -1,0 +1,65 @@
+// A fixed pool of persistent worker threads. Workers are spawned once and
+// parked on a condition variable between jobs, so issuing a batch costs a
+// wake-up instead of thread creation — the per-query thread spawn of the
+// original ParallelDfsEnumerator is exactly what this amortizes away.
+#ifndef PATHENUM_ENGINE_THREAD_POOL_H_
+#define PATHENUM_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pathenum {
+
+/// Parallel-region thread pool: RunOnAllWorkers(job) executes job(worker_id)
+/// once on every worker concurrently and blocks until all invocations
+/// return. Work distribution (queues, cursors, stealing) lives in the
+/// caller's job closure, which keeps this class scheduling-agnostic.
+class ThreadPool {
+ public:
+  /// Upper bound on `num_threads`; requests beyond it are configuration
+  /// errors (PATHENUM_CHECK), not capacity planning.
+  static constexpr uint32_t kMaxWorkers = 4096;
+
+  /// `num_threads` 0 picks std::thread::hardware_concurrency(). Throws
+  /// std::logic_error above kMaxWorkers.
+  explicit ThreadPool(uint32_t num_threads = 0);
+
+  /// Joins all workers. Outstanding RunOnAllWorkers calls must have
+  /// returned.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(threads_.size());
+  }
+
+  /// Runs `job(worker_id)` on every worker and waits for completion. If any
+  /// invocation throws, the first exception is rethrown here (the remaining
+  /// workers still finish). Not reentrant: must not be called from inside a
+  /// job, and only one caller thread may use the pool at a time.
+  void RunOnAllWorkers(const std::function<void(uint32_t)>& job);
+
+ private:
+  void WorkerLoop(uint32_t worker_id);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(uint32_t)>* job_ = nullptr;  // valid while active
+  uint64_t generation_ = 0;  // bumped per job; workers latch the last seen
+  uint32_t active_ = 0;      // workers still inside the current job
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_ENGINE_THREAD_POOL_H_

@@ -171,6 +171,30 @@ TEST_P(PruningPowerTest, IndexEqualsFullReducer) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PruningPowerTest,
                          ::testing::Range<uint64_t>(1, 13));
 
+TEST(RelationsTest, SharedSemijoinScratchMatchesLocal) {
+  // The reducer's epoch-stamped scratch must behave identically whether it
+  // is call-local or reused (a worker context reducing many queries) — and
+  // the stamp array must stop growing once it covers the graph.
+  SemijoinScratch scratch;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = ErdosRenyi(40, 250, seed);
+    for (uint32_t k = 2; k <= 5; ++k) {
+      const Query q{0, 1 + static_cast<VertexId>(seed), k};
+      RelationSet with_scratch = BuildRelations(g, q);
+      FullReduce(with_scratch, &scratch);
+      const RelationSet reference = BuildReducedRelations(g, q);
+      ASSERT_EQ(with_scratch.relations.size(), reference.relations.size());
+      for (size_t i = 0; i < reference.relations.size(); ++i) {
+        EXPECT_EQ(ToTupleSet(with_scratch.relations[i]),
+                  ToTupleSet(reference.relations[i]))
+            << "R_" << i + 1 << " seed=" << seed << " k=" << k;
+      }
+    }
+  }
+  EXPECT_EQ(scratch.stamp.size(), 40u);
+  EXPECT_GT(scratch.epoch, 0u);
+}
+
 TEST(PruningPowerTest, PaperExampleExplicit) {
   const Graph g = testing::PaperExampleGraph();
   const Query q = testing::PaperExampleQuery();
