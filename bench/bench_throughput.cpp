@@ -1,15 +1,27 @@
 // Batch-engine throughput harness (extension of the paper's system; no
 // figure counterpart): queries/sec of the pooled QueryEngine at several
 // worker counts, cold contexts vs. warm, against the naive
-// loop-over-PathEnumerator::Run baselines. Writes a machine-readable
-// baseline so later PRs have a perf trajectory to compare against.
+// loop-over-PathEnumerator::Run baselines — plus the cross-query cache
+// configurations of DESIGN.md §6: a Zipfian skewed workload (hot (s, t, k)
+// pairs repeat, as service traffic does) with the cache off vs. on, and a
+// uniform all-distinct workload with the cache on to price the overhead of
+// a miss-dominated batch. Writes a machine-readable baseline so later PRs
+// have a perf trajectory to compare against.
 //
 // Environment (on top of the bench_util knobs):
-//   PATHENUM_BENCH_WORKERS   comma list of worker counts (default "1,4,8")
-//   PATHENUM_BENCH_REPS      warm measurement repetitions (default 3)
-//   PATHENUM_BENCH_LIMIT     per-query result limit       (default 20000)
-//   PATHENUM_BENCH_JSON      output path ("" disables; default
-//                            "BENCH_throughput.json")
+//   PATHENUM_BENCH_WORKERS        comma list of worker counts (default "1,4,8")
+//   PATHENUM_BENCH_REPS           warm measurement repetitions (default 3)
+//   PATHENUM_BENCH_LIMIT          per-query result limit       (default 20000)
+//   PATHENUM_BENCH_JSON           output path ("" disables; default
+//                                 "BENCH_throughput.json")
+//   PATHENUM_BENCH_SKEW_QUERIES   skewed-workload batch size    (default 64)
+//   PATHENUM_BENCH_SKEW_DISTINCT  distinct hot keys in the skew (default 8)
+//   PATHENUM_BENCH_SKEW_HOPS      hop bound for the skewed set  (default 4,
+//                                 small enough to enumerate completely so
+//                                 runs are result-cacheable)
+//   PATHENUM_BENCH_SKEW_LIMIT     result limit for the skewed set
+//                                 (default 10000000: effectively complete)
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -21,6 +33,7 @@
 #include "common/bench_util.h"
 #include "core/path_enum.h"
 #include "engine/query_engine.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace {
@@ -34,6 +47,8 @@ struct Measurement {
   double wall_ms = 0.0;
   double qps = 0.0;
   uint64_t total_results = 0;
+  bool has_cache = false;
+  IndexCacheStats cache;  // last measured rep's batch delta
 };
 
 Measurement Measure(const std::string& name, uint32_t workers, bool warm,
@@ -86,6 +101,35 @@ Measurement RunWarmSequential(const Graph& g,
                  results);
 }
 
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<uint64_t>(std::atoll(v)) : fallback;
+}
+
+/// Samples `total` queries from `pool` with Zipf(1.0) rank weights —
+/// rank r is picked proportionally to 1/(r+1) — modelling the hot-key
+/// repetition of real service traffic. Deterministic.
+std::vector<Query> MakeSkewedWorkload(const std::vector<Query>& pool,
+                                      size_t total) {
+  std::vector<double> cdf;
+  cdf.reserve(pool.size());
+  double c = 0.0;
+  for (size_t r = 0; r < pool.size(); ++r) {
+    c += 1.0 / static_cast<double>(r + 1);
+    cdf.push_back(c);
+  }
+  Rng rng(123);
+  std::vector<Query> out;
+  out.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    const double u = rng.NextDouble() * c;
+    const size_t idx = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    out.push_back(pool[std::min(idx, pool.size() - 1)]);
+  }
+  return out;
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   for (const char c : s) {
@@ -112,14 +156,14 @@ int main() {
       if (w > 0) worker_counts.push_back(static_cast<uint32_t>(w));
     }
   }
-  const int reps = [] {
-    const char* v = std::getenv("PATHENUM_BENCH_REPS");
-    return v != nullptr ? std::max(1, std::atoi(v)) : 3;
-  }();
-  const uint64_t result_limit = [] {
-    const char* v = std::getenv("PATHENUM_BENCH_LIMIT");
-    return v != nullptr ? static_cast<uint64_t>(std::atoll(v)) : 20000ull;
-  }();
+  const int reps = static_cast<int>(EnvU64("PATHENUM_BENCH_REPS", 3));
+  const uint64_t result_limit = EnvU64("PATHENUM_BENCH_LIMIT", 20000);
+  const size_t skew_total = EnvU64("PATHENUM_BENCH_SKEW_QUERIES", 64);
+  const uint32_t skew_distinct =
+      static_cast<uint32_t>(EnvU64("PATHENUM_BENCH_SKEW_DISTINCT", 8));
+  const uint32_t skew_hops =
+      static_cast<uint32_t>(EnvU64("PATHENUM_BENCH_SKEW_HOPS", 4));
+  const uint64_t skew_limit = EnvU64("PATHENUM_BENCH_SKEW_LIMIT", 10000000);
 
   const std::string dataset = env.datasets.empty() ? "ep" : env.datasets[0];
   Graph g;
@@ -169,6 +213,82 @@ int main() {
                 static_cast<unsigned long long>(stats.queries_run));
   }
 
+  // --- Cross-query cache configurations (DESIGN.md §6). ------------------
+  const uint32_t cw = worker_counts.front();
+
+  // Uniform all-distinct workload with the cache enabled but invalidated
+  // between reps: every batch is miss-dominated, so this prices the cache's
+  // bookkeeping overhead against the cache-off engine_warm config above.
+  {
+    QueryEngine engine(g, {.num_workers = cw, .enable_cache = true});
+    BatchOptions batch;
+    batch.query = opts;
+    engine.CountBatch(queries, batch);  // warm scratch
+    double wall_sum = 0.0;
+    uint64_t results = 0;
+    IndexCacheStats last{};
+    for (int r = 0; r < reps; ++r) {
+      engine.InvalidateCaches();
+      const BatchResult b = engine.CountBatch(queries, batch);
+      wall_sum += b.wall_ms;
+      results = b.TotalResults();
+      last = b.cache;
+    }
+    Measurement m = Measure("uniform_cache_on", cw, true, queries.size(),
+                            wall_sum / reps, results);
+    m.has_cache = true;
+    m.cache = last;
+    measurements.push_back(m);
+  }
+
+  // Skewed workload: hot keys repeat (Zipf over a small distinct pool).
+  bench::BenchEnv skew_env = env;
+  skew_env.num_queries = skew_distinct;
+  std::vector<Query> skew_pool =
+      bench::MakeQueries(g, skew_env, skew_hops, /*seed=*/99);
+  if (skew_pool.empty()) skew_pool = queries;
+  const std::vector<Query> skewed = MakeSkewedWorkload(skew_pool, skew_total);
+  EnumOptions skew_opts = opts;
+  skew_opts.result_limit = skew_limit;
+
+  {
+    QueryEngine engine(g, {.num_workers = cw});
+    BatchOptions batch;
+    batch.query = skew_opts;
+    batch.use_cache = false;
+    batch.dedup_identical = false;  // the pre-cache engine, for comparison
+    engine.CountBatch(skewed, batch);  // warm scratch
+    double wall_sum = 0.0;
+    uint64_t results = 0;
+    for (int r = 0; r < reps; ++r) {
+      const BatchResult b = engine.CountBatch(skewed, batch);
+      wall_sum += b.wall_ms;
+      results = b.TotalResults();
+    }
+    measurements.push_back(Measure("skew_cache_off", cw, true, skewed.size(),
+                                   wall_sum / reps, results));
+  }
+  {
+    QueryEngine engine(g, {.num_workers = cw, .enable_cache = true});
+    BatchOptions batch;
+    batch.query = skew_opts;
+    engine.CountBatch(skewed, batch);  // warm scratch + populate the cache
+    double wall_sum = 0.0;
+    uint64_t results = 0;
+    IndexCacheStats last{};
+    for (int r = 0; r < reps; ++r) {
+      const BatchResult b = engine.CountBatch(skewed, batch);
+      wall_sum += b.wall_ms;
+      results = b.TotalResults();
+      last = b.cache;
+    }
+    Measurement m = Measure("skew_cache_on", cw, true, skewed.size(),
+                            wall_sum / reps, results);
+    m.has_cache = true;
+    m.cache = last;
+    measurements.push_back(m);
+  }
+
   const double naive_qps = measurements[0].qps;
   std::printf("\n%-18s %-8s %-6s %12s %12s %14s\n", "config", "workers",
               "warm", "wall ms", "queries/s", "vs naive");
@@ -176,6 +296,27 @@ int main() {
     std::printf("%-18s %-8u %-6s %12.2f %12.1f %13.2fx\n", m.name.c_str(),
                 m.workers, m.warm ? "yes" : "no", m.wall_ms, m.qps,
                 naive_qps > 0.0 ? m.qps / naive_qps : 0.0);
+  }
+
+  double skew_off_qps = 0.0, skew_on_qps = 0.0;
+  for (const Measurement& m : measurements) {
+    if (m.name == "skew_cache_off") skew_off_qps = m.qps;
+    if (m.name == "skew_cache_on") skew_on_qps = m.qps;
+    if (m.has_cache) {
+      std::printf("  [%s] idx hit/miss %llu/%llu, result hit %llu, "
+                  "bytes %.1f KiB idx + %.1f KiB results\n",
+                  m.name.c_str(),
+                  static_cast<unsigned long long>(m.cache.index_hits),
+                  static_cast<unsigned long long>(m.cache.index_misses),
+                  static_cast<unsigned long long>(m.cache.result_hits),
+                  m.cache.index_bytes / 1024.0,
+                  m.cache.result_bytes / 1024.0);
+    }
+  }
+  if (skew_off_qps > 0.0) {
+    std::printf("  [skew] cache speedup: %.2fx (%zu queries, %u distinct)\n",
+                skew_on_qps / skew_off_qps, skewed.size(),
+                static_cast<uint32_t>(skew_pool.size()));
   }
 
   const char* json_env = std::getenv("PATHENUM_BENCH_JSON");
@@ -191,6 +332,10 @@ int main() {
         << "  \"num_queries\": " << queries.size() << ",\n"
         << "  \"result_limit\": " << result_limit << ",\n"
         << "  \"time_limit_ms\": " << env.time_limit_ms << ",\n"
+        << "  \"skew\": {\"queries\": " << skewed.size()
+        << ", \"distinct\": " << skew_pool.size()
+        << ", \"hops\": " << skew_hops << ", \"limit\": " << skew_limit
+        << "},\n"
         << "  \"hardware_concurrency\": "
         << std::thread::hardware_concurrency() << ",\n"
         << "  \"measurements\": [\n";
@@ -203,8 +348,15 @@ int main() {
           << "\"queries_per_sec\": " << m.qps << ", "
           << "\"total_results\": " << m.total_results << ", "
           << "\"speedup_vs_naive\": "
-          << (naive_qps > 0.0 ? m.qps / naive_qps : 0.0) << "}"
-          << (i + 1 < measurements.size() ? "," : "") << "\n";
+          << (naive_qps > 0.0 ? m.qps / naive_qps : 0.0);
+      if (m.has_cache) {
+        out << ", \"index_hits\": " << m.cache.index_hits
+            << ", \"index_misses\": " << m.cache.index_misses
+            << ", \"result_hits\": " << m.cache.result_hits
+            << ", \"index_bytes\": " << m.cache.index_bytes
+            << ", \"result_bytes\": " << m.cache.result_bytes;
+      }
+      out << "}" << (i + 1 < measurements.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::cerr << "[bench] wrote " << json_path << "\n";
@@ -212,7 +364,9 @@ int main() {
 
   bench::PrintShapeNote(
       "engine_warm at >1 workers should beat naive_sequential by >= the "
-      "worker count's share of physical cores; on a single-core host only "
-      "the scratch-reuse gain (warm vs cold/naive) remains.");
+      "worker count's share of physical cores (single-core hosts only show "
+      "the scratch-reuse gain); skew_cache_on should beat skew_cache_off by "
+      ">= 2x once warm, and uniform_cache_on should sit within ~5% of "
+      "engine_warm at the same worker count.");
   return 0;
 }

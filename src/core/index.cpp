@@ -64,19 +64,34 @@ LightweightIndex IndexBuilder::Build(const Graph& g, const Query& q,
     DistanceField::Options bwd;
     bwd.blocked = q.source;  // internal vertices avoid s
     bwd.max_depth = k;
-    bwd.filter = opts.filter;
-    field_t_.Compute(g, Direction::kBackward, q.target, bwd);
-
-    const VertexAdmission admit = [&](VertexId v, uint32_t dist) {
-      const uint32_t dt = field_t_.Distance(v);
-      return dt != kInfDistance && dist + dt <= k;
-    };
     DistanceField::Options fwd;
     fwd.blocked = q.target;  // internal vertices avoid t
     fwd.max_depth = k;
-    fwd.filter = opts.filter;
-    if (opts.prune_forward_bfs) fwd.admit = &admit;
-    field_s_.Compute(g, Direction::kForward, q.source, fwd);
+    // The X-set admission check, inlined into the forward relaxation loop.
+    const auto admit_x = [this, k](VertexId v, uint32_t dist) {
+      const uint32_t dt = field_t_.Distance(v);
+      return dt != kInfDistance && dist + dt <= k;
+    };
+    if (opts.filter == nullptr) {
+      // Devirtualized hot path (the overwhelmingly common case): concrete
+      // callables, zero std::function calls in either inner loop.
+      field_t_.ComputeWith(g, Direction::kBackward, q.target, bwd,
+                           AcceptAllEdges{}, AdmitAllVertices{});
+      if (opts.prune_forward_bfs) {
+        field_s_.ComputeWith(g, Direction::kForward, q.source, fwd,
+                             AcceptAllEdges{}, admit_x);
+      } else {
+        field_s_.ComputeWith(g, Direction::kForward, q.source, fwd,
+                             AcceptAllEdges{}, AdmitAllVertices{});
+      }
+    } else {
+      bwd.filter = opts.filter;
+      field_t_.Compute(g, Direction::kBackward, q.target, bwd);
+      const VertexAdmission admit = admit_x;
+      fwd.filter = opts.filter;
+      if (opts.prune_forward_bfs) fwd.admit = &admit;
+      field_s_.Compute(g, Direction::kForward, q.source, fwd);
+    }
   }
   idx.build_stats_.bfs_ms = total_timer.ElapsedMs();
 

@@ -136,6 +136,14 @@ class LightweightIndex {
   double LevelItSum(uint32_t j) const { return level_it_sum_[j]; }
   uint64_t LevelCount(uint32_t j) const { return level_count_[j]; }
 
+  /// True when the in-direction adjacency (H_s) was built — required by the
+  /// join-order optimizer (and hence by any non-kDfs execution).
+  bool has_in_direction() const { return !in_begin_.empty(); }
+
+  /// True when the preliminary-estimator level statistics were collected —
+  /// required by kAuto execution.
+  bool has_level_stats() const { return !level_count_.empty(); }
+
   /// Approximate heap footprint (Table 7's "Index" row).
   size_t MemoryBytes() const;
 

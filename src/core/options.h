@@ -99,6 +99,12 @@ struct QueryStats {
   uint64_t index_edges = 0;
   size_t index_bytes = 0;
 
+  /// Set by the engine's cross-query cache (DESIGN.md §6): the per-query
+  /// index was reused from a previous query / the whole result set was
+  /// replayed without enumerating.
+  bool index_cache_hit = false;
+  bool result_cache_hit = false;
+
   EnumCounters counters;
 
   /// Results per second over the whole query (paper's throughput metric;

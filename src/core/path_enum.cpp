@@ -32,6 +32,15 @@ bool PathEnumerator::OracleRejects(const Query& q) const {
   return oracle_ != nullptr && !oracle_->Within(q.source, q.target, q.hops);
 }
 
+IndexBuilder::Options PathEnumerator::BuildOptionsFor(const Query& q,
+                                                      const EnumOptions& opts) {
+  IndexBuilder::Options build_opts;
+  // IDX-DFS never consults the in-direction; skip it when forced to DFS.
+  build_opts.build_in_direction = opts.method != Method::kDfs && q.hops >= 2;
+  build_opts.collect_level_stats = opts.method == Method::kAuto;
+  return build_opts;
+}
+
 QueryStats PathEnumerator::Run(const Query& q, PathSink& sink,
                                const EnumOptions& opts) {
   ValidateQuery(graph_, q);
@@ -44,13 +53,34 @@ QueryStats PathEnumerator::Run(const Query& q, PathSink& sink,
     return stats;
   }
 
-  IndexBuilder::Options build_opts;
-  // IDX-DFS never consults the in-direction; skip it when forced to DFS.
-  build_opts.build_in_direction = opts.method != Method::kDfs && q.hops >= 2;
-  build_opts.collect_level_stats = opts.method == Method::kAuto;
-  LightweightIndex index = builder_.Build(graph_, q, build_opts);
+  LightweightIndex index = builder_.Build(graph_, q, BuildOptionsFor(q, opts));
   stats.bfs_ms = index.build_stats().bfs_ms;
   stats.index_ms = index.build_stats().total_ms;
+  ExecuteOnIndex(index, stats, sink, opts, total);
+  return stats;
+}
+
+QueryStats PathEnumerator::RunWithIndex(const LightweightIndex& index,
+                                        PathSink& sink,
+                                        const EnumOptions& opts) {
+  const Query& q = index.query();
+  ValidateQuery(graph_, q);
+  const IndexBuilder::Options need = BuildOptionsFor(q, opts);
+  PATHENUM_CHECK_MSG(!need.build_in_direction || index.has_in_direction(),
+                     "cached index lacks the in-direction this method needs");
+  PATHENUM_CHECK_MSG(!need.collect_level_stats || index.has_level_stats(),
+                     "cached index lacks level stats required by kAuto");
+  arena_.Reset();
+  QueryStats stats;
+  Timer total;
+  ExecuteOnIndex(index, stats, sink, opts, total);
+  return stats;
+}
+
+void PathEnumerator::ExecuteOnIndex(const LightweightIndex& index,
+                                    QueryStats& stats, PathSink& sink,
+                                    const EnumOptions& opts, Timer& total) {
+  const Query& q = index.query();
   stats.index_vertices = index.num_vertices();
   stats.index_edges = index.num_edges();
   stats.index_bytes = index.MemoryBytes();
@@ -100,7 +130,6 @@ QueryStats PathEnumerator::Run(const Query& q, PathSink& sink,
     counters = dfs_.Run(index, sink, opts);
   }
   Finalize(stats, counters, enum_timer.ElapsedMs(), total.ElapsedMs());
-  return stats;
 }
 
 QueryStats PathEnumerator::RunConstrained(const Query& q,

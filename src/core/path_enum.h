@@ -48,6 +48,24 @@ class PathEnumerator {
   /// `opts.method` selects IDX-DFS / IDX-JOIN / cost-based auto.
   QueryStats Run(const Query& q, PathSink& sink, const EnumOptions& opts = {});
 
+  /// The index-construction options Run would use for `q` under `opts` —
+  /// exposed so the engine's cross-query cache keys (DESIGN.md §6) match
+  /// exactly what Run builds.
+  static IndexBuilder::Options BuildOptionsFor(const Query& q,
+                                               const EnumOptions& opts);
+
+  /// Runs the post-construction pipeline (estimate, optimize, enumerate) on
+  /// an externally provided index for `index.query()`, skipping the build —
+  /// the engine's index cache executes hits through this. `index` must have
+  /// been built over graph() with options at least as complete as
+  /// BuildOptionsFor(index.query(), opts); it may be shared read-only with
+  /// other threads. `stats.bfs_ms`/`index_ms` are 0 (nothing was built).
+  QueryStats RunWithIndex(const LightweightIndex& index, PathSink& sink,
+                          const EnumOptions& opts = {});
+
+  /// True iff the oracle certifies d(s,t) > k (query has no result).
+  bool OracleRejects(const Query& q) const;
+
   /// Runs q under the Appendix-E constraint extensions. Constrained queries
   /// always use the (constrained) DFS enumerator; the edge predicate is
   /// pushed down into index construction.
@@ -74,8 +92,9 @@ class PathEnumerator {
  private:
   friend class QueryEngine;  // intra-query splitting reuses dfs_/builder_
 
-  /// True iff the oracle certifies d(s,t) > k (query has no result).
-  bool OracleRejects(const Query& q) const;
+  /// Shared tail of Run/RunWithIndex: method choice and enumeration.
+  void ExecuteOnIndex(const LightweightIndex& index, QueryStats& stats,
+                      PathSink& sink, const EnumOptions& opts, Timer& total);
 
   const Graph& graph_;
   const PrunedLandmarkIndex* oracle_;

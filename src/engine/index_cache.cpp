@@ -1,0 +1,350 @@
+#include "engine/index_cache.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace pathenum {
+
+namespace {
+
+/// Fixed per-entry bookkeeping charge (list node, map slot, control block).
+constexpr size_t kEntryOverheadBytes = 128;
+
+uint32_t RoundUpPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+uint64_t IndexOptionsFingerprint(const IndexBuildOptions& opts) {
+  PATHENUM_CHECK_MSG(opts.filter == nullptr,
+                     "predicate-filtered index builds are not cacheable");
+  return (opts.build_in_direction ? 1u : 0u) |
+         (opts.collect_level_stats ? 2u : 0u) |
+         (opts.prune_forward_bfs ? 4u : 0u);
+}
+
+uint64_t ResultOptionsFingerprint(const EnumOptions& opts) {
+  // Method selection is what can reorder the emitted sequence; under kAuto
+  // the estimator inputs (tau, the ablation knob) decide which method runs.
+  uint64_t fp = 0x100 | static_cast<uint64_t>(opts.method);
+  fp |= opts.use_preliminary_estimator ? 0x200 : 0;
+  uint64_t tau_bits = 0;
+  static_assert(sizeof(tau_bits) == sizeof(opts.tau));
+  __builtin_memcpy(&tau_bits, &opts.tau, sizeof(tau_bits));
+  return fp ^ (tau_bits * 0x9e3779b97f4a7c15ULL);
+}
+
+// ---------------------------------------------------------------------------
+// IndexCache
+// ---------------------------------------------------------------------------
+
+struct IndexCache::Shard {
+  struct IndexEntry {
+    CacheKey key;
+    std::shared_ptr<const LightweightIndex> index;
+    size_t bytes = 0;
+  };
+  struct ResultEntry {
+    CacheKey key;
+    std::shared_ptr<const CachedResultSet> result;
+    size_t bytes = 0;
+  };
+  /// One in-flight build; waiters block on the shard cv until `done`.
+  struct Inflight {
+    bool done = false;
+    bool failed = false;
+    uint64_t generation = 0;
+    std::shared_ptr<const LightweightIndex> index;
+  };
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  std::list<IndexEntry> lru;  // front = most recently used
+  std::unordered_map<CacheKey, std::list<IndexEntry>::iterator, CacheKeyHash>
+      map;
+  std::unordered_map<CacheKey, std::shared_ptr<Inflight>, CacheKeyHash>
+      building;
+  size_t bytes = 0;
+
+  std::list<ResultEntry> result_lru;
+  std::unordered_map<CacheKey, std::list<ResultEntry>::iterator, CacheKeyHash>
+      result_map;
+  size_t result_bytes = 0;
+};
+
+IndexCache::IndexCache(const IndexCacheOptions& opts) : opts_(opts) {
+  const uint32_t shards = RoundUpPow2(std::max(1u, opts_.shards));
+  opts_.shards = shards;
+  shard_mask_ = shards - 1;
+  index_budget_per_shard_ = std::max<size_t>(1, opts_.max_index_bytes / shards);
+  result_budget_per_shard_ = opts_.max_result_bytes / shards;
+  shards_ = std::make_unique<Shard[]>(shards);
+}
+
+IndexCache::~IndexCache() = default;
+
+IndexCache::Shard& IndexCache::ShardFor(const CacheKey& key) const {
+  return shards_[CacheKeyHash{}(key) & shard_mask_];
+}
+
+std::shared_ptr<const LightweightIndex> IndexCache::GetOrBuild(
+    const CacheKey& key, const std::function<LightweightIndex()>& build,
+    bool* was_hit) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<Shard::Inflight> inflight;
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    while (true) {
+      const auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        index_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (was_hit != nullptr) *was_hit = true;
+        return it->second->index;
+      }
+      const auto bit = shard.building.find(key);
+      if (bit == shard.building.end()) break;  // this thread builds
+      const std::shared_ptr<Shard::Inflight> pending = bit->second;
+      if (pending->generation !=
+          generation_.load(std::memory_order_relaxed)) {
+        // The in-flight build predates a Clear(): its index describes the
+        // swapped-away graph. Don't join it — take over the slot and build
+        // fresh (the stale builder only erases its own registration).
+        break;
+      }
+      coalesced_builds_.fetch_add(1, std::memory_order_relaxed);
+      shard.cv.wait(lock, [&] { return pending->done; });
+      if (!pending->failed) {
+        if (was_hit != nullptr) *was_hit = true;
+        return pending->index;
+      }
+      // The build this thread piggybacked on threw; retry from scratch.
+    }
+    inflight = std::make_shared<Shard::Inflight>();
+    inflight->generation = generation_.load(std::memory_order_relaxed);
+    shard.building[key] = inflight;  // insert, or displace a stale in-flight
+    index_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (was_hit != nullptr) *was_hit = false;
+
+  // Erase only this thread's own registration: a fresh builder may have
+  // displaced it after a Clear().
+  const auto erase_own_registration = [&shard, &key, &inflight] {
+    const auto it = shard.building.find(key);
+    if (it != shard.building.end() && it->second == inflight) {
+      shard.building.erase(it);
+    }
+  };
+
+  std::shared_ptr<const LightweightIndex> index;
+  try {
+    index = std::make_shared<const LightweightIndex>(build());
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      erase_own_registration();
+      inflight->failed = true;
+      inflight->done = true;
+    }
+    shard.cv.notify_all();
+    throw;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    erase_own_registration();
+    inflight->index = index;
+    inflight->done = true;
+    // Skip publication when Clear() ran mid-build (the index describes a
+    // graph that may have been swapped away) — waiters still get the index.
+    if (inflight->generation == generation_.load(std::memory_order_relaxed) &&
+        shard.map.find(key) == shard.map.end()) {
+      const size_t bytes = index->MemoryBytes() + kEntryOverheadBytes;
+      shard.lru.push_front({key, index, bytes});
+      shard.map.emplace(key, shard.lru.begin());
+      shard.bytes += bytes;
+      index_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      // Evict from the cold end; the just-inserted front entry is always
+      // retained, so one oversized index degrades to a cache of one
+      // instead of thrashing.
+      while (shard.bytes > index_budget_per_shard_ && shard.lru.size() > 1) {
+        const Shard::IndexEntry& victim = shard.lru.back();
+        shard.bytes -= victim.bytes;
+        index_bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+        shard.map.erase(victim.key);
+        shard.lru.pop_back();
+        index_evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  shard.cv.notify_all();
+  return index;
+}
+
+std::shared_ptr<const LightweightIndex> IndexCache::PeekIndex(
+    const CacheKey& key) const {
+  const Shard& shard = ShardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  return it != shard.map.end() ? it->second->index : nullptr;
+}
+
+std::shared_ptr<const CachedResultSet> IndexCache::GetResult(
+    const CacheKey& key) {
+  Shard& shard = ShardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.result_map.find(key);
+  if (it == shard.result_map.end()) {
+    result_misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.result_lru.splice(shard.result_lru.begin(), shard.result_lru,
+                          it->second);
+  result_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->result;
+}
+
+bool IndexCache::HasResult(const CacheKey& key) const {
+  const Shard& shard = ShardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.result_map.find(key) != shard.result_map.end();
+}
+
+bool IndexCache::PutResult(const CacheKey& key,
+                           std::shared_ptr<const CachedResultSet> result) {
+  const size_t bytes = result->MemoryBytes() + kEntryOverheadBytes;
+  if (opts_.max_result_bytes == 0 || bytes > opts_.max_result_entry_bytes) {
+    result_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = ShardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.result_map.find(key) != shard.result_map.end()) {
+    return true;  // a concurrent worker already recorded this key
+  }
+  shard.result_lru.push_front({key, std::move(result), bytes});
+  shard.result_map.emplace(key, shard.result_lru.begin());
+  shard.result_bytes += bytes;
+  result_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  result_inserts_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.result_bytes > result_budget_per_shard_ &&
+         shard.result_lru.size() > 1) {
+    const Shard::ResultEntry& victim = shard.result_lru.back();
+    shard.result_bytes -= victim.bytes;
+    result_bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    shard.result_map.erase(victim.key);
+    shard.result_lru.pop_back();
+    result_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The per-entry cap <= shard budget is not enforced by construction; an
+  // entry above the shard budget stays as the single retained entry.
+  return true;
+}
+
+void IndexCache::Clear() {
+  // Bump first so any in-flight build publishes nowhere.
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  for (uint32_t s = 0; s <= shard_mask_; ++s) {
+    Shard& shard = shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    index_bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
+    result_bytes_.fetch_sub(shard.result_bytes, std::memory_order_relaxed);
+    shard.map.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+    shard.result_map.clear();
+    shard.result_lru.clear();
+    shard.result_bytes = 0;
+  }
+}
+
+IndexCacheStats IndexCache::Stats() const {
+  IndexCacheStats s;
+  s.index_hits = index_hits_.load(std::memory_order_relaxed);
+  s.index_misses = index_misses_.load(std::memory_order_relaxed);
+  s.index_evictions = index_evictions_.load(std::memory_order_relaxed);
+  s.coalesced_builds = coalesced_builds_.load(std::memory_order_relaxed);
+  s.result_hits = result_hits_.load(std::memory_order_relaxed);
+  s.result_misses = result_misses_.load(std::memory_order_relaxed);
+  s.result_evictions = result_evictions_.load(std::memory_order_relaxed);
+  s.result_inserts = result_inserts_.load(std::memory_order_relaxed);
+  s.result_rejects = result_rejects_.load(std::memory_order_relaxed);
+  s.index_bytes = index_bytes_.load(std::memory_order_relaxed);
+  s.result_bytes = result_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Recording and replay
+// ---------------------------------------------------------------------------
+
+RecordingSink::RecordingSink(PathSink& inner, size_t max_bytes)
+    : inner_(inner),
+      max_bytes_(max_bytes),
+      set_(std::make_shared<CachedResultSet>()) {
+  set_->offsets.push_back(0);
+}
+
+bool RecordingSink::OnPath(std::span<const VertexId> path) {
+  if (recording_) {
+    std::vector<VertexId>& v = set_->vertices;
+    v.insert(v.end(), path.begin(), path.end());
+    set_->offsets.push_back(static_cast<uint32_t>(v.size()));
+    if (set_->MemoryBytes() > max_bytes_) {
+      recording_ = false;
+      set_.reset();  // free the buffer immediately, keep forwarding
+    }
+  }
+  return inner_.OnPath(path);
+}
+
+std::shared_ptr<const CachedResultSet> RecordingSink::Finish(
+    const QueryStats& stats) {
+  PATHENUM_CHECK(recording_ && set_ != nullptr);
+  set_->vertices.shrink_to_fit();
+  set_->offsets.shrink_to_fit();
+  set_->method = stats.method;
+  set_->index_vertices = stats.index_vertices;
+  set_->index_edges = stats.index_edges;
+  set_->index_bytes = stats.index_bytes;
+  recording_ = false;
+  return std::shared_ptr<const CachedResultSet>(std::move(set_));
+}
+
+QueryStats ReplayCachedResult(const CachedResultSet& result, PathSink& sink,
+                              const EnumOptions& opts) {
+  QueryStats stats;
+  Timer total;
+  stats.method = result.method;
+  stats.index_vertices = result.index_vertices;
+  stats.index_edges = result.index_edges;
+  stats.index_bytes = result.index_bytes;
+  stats.result_cache_hit = true;
+  EnumCounters& c = stats.counters;
+  const size_t n = result.num_paths();
+  for (size_t i = 0; i < n; ++i) {
+    if (c.num_results >= opts.result_limit) {
+      c.hit_result_limit = true;
+      break;
+    }
+    ++c.num_results;
+    if (c.num_results == opts.response_target) {
+      c.response_ms = total.ElapsedMs();
+    }
+    if (!sink.OnPath(result.Path(i))) {
+      c.stopped_by_sink = true;
+      break;
+    }
+  }
+  stats.enumerate_ms = total.ElapsedMs();
+  stats.total_ms = stats.enumerate_ms;
+  stats.response_ms =
+      c.response_ms >= 0.0 ? c.response_ms : stats.total_ms;
+  return stats;
+}
+
+}  // namespace pathenum

@@ -1,0 +1,240 @@
+// Cross-query caching for the batch engine (DESIGN.md §6).
+//
+// At service scale real workloads are skewed: hot (s, t, k) pairs repeat and
+// batches contain duplicates, so the single biggest win over the paper's
+// build-per-query design is to stop rebuilding the same light-weight index
+// at all. `IndexCache` is a sharded, thread-safe LRU over
+// shared_ptr<const LightweightIndex> keyed by (s, t, k, options-fingerprint)
+// under a byte budget (MemoryBytes()-based accounting), with single-flight
+// build latching: concurrent workers hitting the same missing key build the
+// index exactly once and share the result — no thundering herd.
+//
+// It also carries an optional result cache: a query whose previous run
+// completed without truncation (no limit / deadline / sink stop) stores its
+// full path set, and identical later queries replay it without touching the
+// enumerator. Truncated runs never enter the result cache.
+//
+// Invalidation is generation-stamped: Clear() (e.g. on graph rebind) bumps
+// the generation, so an index whose build straddles the swap is handed to
+// its waiters but never published into the cache.
+#ifndef PATHENUM_ENGINE_INDEX_CACHE_H_
+#define PATHENUM_ENGINE_INDEX_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/index.h"
+#include "core/options.h"
+#include "core/sink.h"
+
+namespace pathenum {
+
+/// Cache key: query endpoints + hop bound + an options fingerprint, so
+/// indexes built under different IndexBuildOptions (or result sets recorded
+/// under result-relevant EnumOptions) never alias each other.
+struct CacheKey {
+  VertexId source = 0;
+  VertexId target = 0;
+  uint32_t hops = 0;
+  uint64_t fingerprint = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ k.fingerprint;
+    const auto mix = [&h](uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(k.source);
+    mix(k.target);
+    mix(k.hops);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Fingerprint of the build options that shape an index. The filter must be
+/// null — predicate-constrained builds are not cacheable (the predicate's
+/// identity cannot be fingerprinted).
+uint64_t IndexOptionsFingerprint(const IndexBuildOptions& opts);
+
+/// Fingerprint of the EnumOptions fields that can change the *sequence* of
+/// emitted paths (method selection); limits are excluded on purpose — a
+/// completed run's result set is limit-independent and replay re-applies
+/// the current limits.
+uint64_t ResultOptionsFingerprint(const EnumOptions& opts);
+
+/// Construction knobs. Budgets are split evenly across shards; a shard
+/// always retains its most recent entry even when that entry alone exceeds
+/// the shard budget (caching nothing would thrash strictly harder).
+struct IndexCacheOptions {
+  size_t max_index_bytes = size_t{128} << 20;
+  /// 0 disables the result cache entirely.
+  size_t max_result_bytes = size_t{32} << 20;
+  /// Per-entry cap: a result set larger than this is never recorded.
+  size_t max_result_entry_bytes = size_t{4} << 20;
+  /// Rounded up to a power of two.
+  uint32_t shards = 8;
+};
+
+/// Counter snapshot (monotonic except the byte gauges).
+struct IndexCacheStats {
+  uint64_t index_hits = 0;
+  uint64_t index_misses = 0;
+  uint64_t index_evictions = 0;
+  /// Lookups that waited on another worker's in-flight build of the same
+  /// key instead of building themselves.
+  uint64_t coalesced_builds = 0;
+  uint64_t result_hits = 0;
+  uint64_t result_misses = 0;
+  uint64_t result_evictions = 0;
+  uint64_t result_inserts = 0;
+  /// Insert attempts refused by the per-entry cap / disabled result cache.
+  uint64_t result_rejects = 0;
+  size_t index_bytes = 0;   // gauge: bytes currently cached
+  size_t result_bytes = 0;  // gauge
+
+  /// Batch delta: counters subtract, byte gauges keep this (newer) value.
+  IndexCacheStats operator-(const IndexCacheStats& o) const {
+    IndexCacheStats d = *this;
+    d.index_hits -= o.index_hits;
+    d.index_misses -= o.index_misses;
+    d.index_evictions -= o.index_evictions;
+    d.coalesced_builds -= o.coalesced_builds;
+    d.result_hits -= o.result_hits;
+    d.result_misses -= o.result_misses;
+    d.result_evictions -= o.result_evictions;
+    d.result_inserts -= o.result_inserts;
+    d.result_rejects -= o.result_rejects;
+    return d;
+  }
+};
+
+/// A fully-enumerated result set, paths flattened into one vertex buffer.
+struct CachedResultSet {
+  std::vector<VertexId> vertices;  // concatenated path vertex sequences
+  std::vector<uint32_t> offsets;   // num_paths() + 1 prefix offsets
+  Method method = Method::kDfs;    // what produced it (stats fidelity)
+  uint64_t index_vertices = 0;
+  uint64_t index_edges = 0;
+  size_t index_bytes = 0;
+
+  size_t num_paths() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+
+  std::span<const VertexId> Path(size_t i) const {
+    return {vertices.data() + offsets[i],
+            static_cast<size_t>(offsets[i + 1] - offsets[i])};
+  }
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + vertices.capacity() * sizeof(VertexId) +
+           offsets.capacity() * sizeof(uint32_t);
+  }
+};
+
+class IndexCache {
+ public:
+  explicit IndexCache(const IndexCacheOptions& opts = {});
+  ~IndexCache();
+
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  /// Returns the cached index for `key`, or runs `build` (outside any lock)
+  /// and publishes the result. Concurrent callers on the same missing key
+  /// coalesce onto one build. A throwing build propagates to the builder
+  /// and wakes the waiters, which retry (one becomes the next builder).
+  /// `was_hit` (optional) reports whether an already-built index was
+  /// returned (including coalesced waits).
+  std::shared_ptr<const LightweightIndex> GetOrBuild(
+      const CacheKey& key, const std::function<LightweightIndex()>& build,
+      bool* was_hit = nullptr);
+
+  /// Non-mutating probe (no LRU touch, no stats): scheduling uses it to
+  /// order cache hits first within a batch.
+  std::shared_ptr<const LightweightIndex> PeekIndex(const CacheKey& key) const;
+
+  /// Result-cache lookup; counts a hit/miss and touches the LRU.
+  std::shared_ptr<const CachedResultSet> GetResult(const CacheKey& key);
+
+  /// Non-mutating result probe for scheduling.
+  bool HasResult(const CacheKey& key) const;
+
+  /// Inserts a completed result set; returns false when rejected (result
+  /// cache disabled or entry above the per-entry cap).
+  bool PutResult(const CacheKey& key,
+                 std::shared_ptr<const CachedResultSet> result);
+
+  /// Drops every cached entry and bumps the generation, so in-flight builds
+  /// finish for their waiters but are not published. Call on graph swap.
+  void Clear();
+
+  IndexCacheStats Stats() const;
+  const IndexCacheOptions& options() const { return opts_; }
+
+ private:
+  struct Shard;
+
+  Shard& ShardFor(const CacheKey& key) const;
+
+  IndexCacheOptions opts_;
+  uint32_t shard_mask_ = 0;
+  size_t index_budget_per_shard_ = 0;
+  size_t result_budget_per_shard_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> generation_{0};
+
+  mutable std::atomic<uint64_t> index_hits_{0};
+  mutable std::atomic<uint64_t> index_misses_{0};
+  mutable std::atomic<uint64_t> index_evictions_{0};
+  mutable std::atomic<uint64_t> coalesced_builds_{0};
+  mutable std::atomic<uint64_t> result_hits_{0};
+  mutable std::atomic<uint64_t> result_misses_{0};
+  mutable std::atomic<uint64_t> result_evictions_{0};
+  mutable std::atomic<uint64_t> result_inserts_{0};
+  mutable std::atomic<uint64_t> result_rejects_{0};
+  std::atomic<size_t> index_bytes_{0};
+  std::atomic<size_t> result_bytes_{0};
+};
+
+/// Tees enumerated paths into a CachedResultSet while forwarding them to the
+/// inner sink. Recording is abandoned (forwarding continues) once the entry
+/// would exceed `max_bytes`, so a surprise-huge query cannot blow the
+/// recording buffer.
+class RecordingSink : public PathSink {
+ public:
+  RecordingSink(PathSink& inner, size_t max_bytes);
+
+  bool OnPath(std::span<const VertexId> path) override;
+
+  bool recording() const { return recording_; }
+
+  /// Finalizes and hands the recorded set over (call once, only when the
+  /// run completed and recording() is still true).
+  std::shared_ptr<const CachedResultSet> Finish(const QueryStats& stats);
+
+ private:
+  PathSink& inner_;
+  const size_t max_bytes_;
+  bool recording_ = true;
+  std::shared_ptr<CachedResultSet> set_;
+};
+
+/// Replays a cached result set into `sink`, honoring the current run's
+/// result limit and sink-stop contract; returns synthesized QueryStats with
+/// result_cache_hit set.
+QueryStats ReplayCachedResult(const CachedResultSet& result, PathSink& sink,
+                              const EnumOptions& opts);
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_ENGINE_INDEX_CACHE_H_

@@ -1,5 +1,7 @@
 #include "engine/query_context.h"
 
+#include "util/timer.h"
+
 namespace pathenum {
 
 QueryStats QueryContext::Run(const Query& q, PathSink& sink,
@@ -7,6 +9,66 @@ QueryStats QueryContext::Run(const Query& q, PathSink& sink,
   // Count only queries that actually executed: validation throws before
   // any work happens.
   const QueryStats stats = enumerator_.Run(q, sink, opts);
+  ++queries_run_;
+  return stats;
+}
+
+QueryStats QueryContext::RunCached(const Query& q, PathSink& sink,
+                                   const EnumOptions& opts,
+                                   IndexCache* cache) {
+  if (cache == nullptr) return Run(q, sink, opts);
+  // Validation throws before any cache interaction, exactly like Run.
+  ValidateQuery(enumerator_.graph(), q);
+
+  const bool result_cache_on = cache->options().max_result_bytes > 0;
+  const CacheKey result_key{q.source, q.target, q.hops,
+                            ResultOptionsFingerprint(opts)};
+  if (result_cache_on) {
+    if (const auto cached = cache->GetResult(result_key)) {
+      const QueryStats stats = ReplayCachedResult(*cached, sink, opts);
+      ++queries_run_;
+      return stats;
+    }
+  }
+
+  if (enumerator_.OracleRejects(q)) {
+    QueryStats stats;
+    Timer total;
+    stats.total_ms = total.ElapsedMs();
+    stats.response_ms = stats.total_ms;
+    ++queries_run_;
+    return stats;
+  }
+
+  const IndexBuilder::Options build_opts =
+      PathEnumerator::BuildOptionsFor(q, opts);
+  const CacheKey index_key{q.source, q.target, q.hops,
+                           IndexOptionsFingerprint(build_opts)};
+  bool index_hit = false;
+  const std::shared_ptr<const LightweightIndex> index = cache->GetOrBuild(
+      index_key, [&] { return enumerator_.BuildIndex(q, build_opts); },
+      &index_hit);
+
+  QueryStats stats;
+  if (result_cache_on) {
+    RecordingSink recorder(sink, cache->options().max_result_entry_bytes);
+    stats = enumerator_.RunWithIndex(*index, recorder, opts);
+    // Only complete runs enter the result cache: a truncated path set
+    // (limit, deadline, sink stop) must never be replayed as the answer.
+    if (stats.counters.completed() && recorder.recording()) {
+      cache->PutResult(result_key, recorder.Finish(stats));
+    }
+  } else {
+    stats = enumerator_.RunWithIndex(*index, sink, opts);
+  }
+  stats.index_cache_hit = index_hit;
+  if (!index_hit) {
+    // This context paid for the build inside GetOrBuild; charge it.
+    stats.bfs_ms = index->build_stats().bfs_ms;
+    stats.index_ms = index->build_stats().total_ms;
+    stats.total_ms += stats.index_ms;
+    stats.response_ms += stats.index_ms;
+  }
   ++queries_run_;
   return stats;
 }

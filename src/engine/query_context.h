@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "core/path_enum.h"
+#include "engine/index_cache.h"
 
 namespace pathenum {
 
@@ -30,6 +31,19 @@ class QueryContext {
   /// Like Run, but under the Appendix-E constraint extensions.
   QueryStats RunConstrained(const Query& q, const PathConstraints& constraints,
                             PathSink& sink, const EnumOptions& opts);
+
+  /// Cache-aware Run (DESIGN.md §6): consults `cache` for a replayable
+  /// result set first, then for a shared prebuilt index (building and
+  /// publishing on miss, coalescing with concurrent builders of the same
+  /// key), and records completed runs back into the result cache. Falls
+  /// back to Run when `cache` is null. The cache may be shared across
+  /// contexts/threads; everything else in the context stays single-owner.
+  QueryStats RunCached(const Query& q, PathSink& sink, const EnumOptions& opts,
+                       IndexCache* cache);
+
+  /// Accounts duplicate queries served through one fanned-out run (batch
+  /// dedup): each duplicate counts as a served query.
+  void NoteFanout(uint64_t extra_served) { queries_run_ += extra_served; }
 
   PathEnumerator& enumerator() { return enumerator_; }
 

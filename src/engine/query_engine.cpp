@@ -5,6 +5,8 @@
 #include <deque>
 #include <limits>
 #include <mutex>
+#include <thread>
+#include <unordered_map>
 
 #include "core/dfs_enumerator.h"
 #include "core/parallel_dfs.h"
@@ -16,7 +18,7 @@ namespace pathenum {
 namespace {
 
 /// Per-worker task deques with stealing: a worker drains its own deque from
-/// the front and, when empty, steals from the back of the others. Queries
+/// the front and, when empty, steals from the back of the others. Tasks
 /// are dealt round-robin, so under even load every worker mostly touches
 /// its own deque; skew (one worker stuck on a heavy query) drains through
 /// steals without any coordination beyond the per-deque mutex.
@@ -63,6 +65,11 @@ class WorkStealingQueues {
 /// Sink shared by every worker of one split query: enforces the query-wide
 /// result limit and response target with an atomic reservation counter and
 /// serializes calls into the (single, caller-owned) inner sink.
+///
+/// Near-duplicate of parallel_dfs's SharedLimitSink in spirit, but the
+/// contracts differ (per-worker sinks there vs. one serialized sink + stop
+/// latch here); unify once ParallelDfsEnumerator migrates onto the engine's
+/// pool — see ROADMAP consolidation debt.
 class SharedQuerySink : public PathSink {
  public:
   SharedQuerySink(PathSink& inner, uint64_t limit, uint64_t response_target,
@@ -117,18 +124,89 @@ class SharedQuerySink : public PathSink {
   std::atomic<double> response_ms_{-1.0};
 };
 
+/// Delivers one run's paths to every sink of a deduplicated query group.
+/// Each sink may stop independently (and is then never called again, per
+/// the PathSink contract); the enumeration continues while any sink wants
+/// more. Per-sink delivery counts and stop flags let the engine report
+/// each duplicate's stats exactly as a standalone run would have.
+class FanoutSink : public PathSink {
+ public:
+  explicit FanoutSink(std::vector<PathSink*> sinks)
+      : sinks_(std::move(sinks)),
+        active_(sinks_.size(), 1),
+        delivered_(sinks_.size(), 0) {}
+
+  bool OnPath(std::span<const VertexId> path) override {
+    bool any = false;
+    for (size_t i = 0; i < sinks_.size(); ++i) {
+      if (!active_[i]) continue;
+      ++delivered_[i];
+      if (sinks_[i]->OnPath(path)) {
+        any = true;
+      } else {
+        active_[i] = 0;
+      }
+    }
+    return any;
+  }
+
+  /// Paths handed to sink `i` (counts the delivery it declined on).
+  uint64_t delivered(size_t i) const { return delivered_[i]; }
+  bool stopped(size_t i) const { return active_[i] == 0; }
+
+ private:
+  std::vector<PathSink*> sinks_;
+  std::vector<uint8_t> active_;
+  std::vector<uint64_t> delivered_;
+};
+
+/// One unit of batch work: a representative query plus the indices of its
+/// in-batch duplicates, with a scheduling priority (cache hits first).
+struct TaskGroup {
+  size_t rep = 0;
+  std::vector<size_t> extra;
+  uint32_t priority = 2;  // 0 result-cache hit, 1 index-cache hit, 2 miss
+};
+
 }  // namespace
 
 QueryEngine::QueryEngine(const Graph& g, const EngineOptions& opts,
                          const PrunedLandmarkIndex* oracle)
-    : graph_(g), oracle_(oracle), pool_(opts.num_workers) {
+    : graph_(&g), oracle_(oracle), pool_(opts.num_workers) {
   contexts_.reserve(pool_.num_workers());
   for (uint32_t w = 0; w < pool_.num_workers(); ++w) {
     contexts_.push_back(std::make_unique<QueryContext>(g, oracle));
   }
+  if (opts.enable_cache) {
+    cache_ = std::make_unique<IndexCache>(opts.cache);
+  }
 }
 
 QueryEngine::~QueryEngine() = default;
+
+void QueryEngine::InvalidateCaches() {
+  if (cache_ != nullptr) cache_->Clear();
+}
+
+void QueryEngine::RebindGraph(const Graph& g,
+                              const PrunedLandmarkIndex* oracle) {
+  graph_ = &g;
+  oracle_ = oracle;
+  // Contexts hold graph references (BFS fields sized to |V|); rebuild them.
+  contexts_.clear();
+  for (uint32_t w = 0; w < pool_.num_workers(); ++w) {
+    contexts_.push_back(std::make_unique<QueryContext>(g, oracle));
+  }
+  InvalidateCaches();
+}
+
+uint32_t QueryEngine::ClampedWorkers(size_t tasks) const {
+  uint32_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = pool_.num_workers();  // unknown: trust the pool size
+  uint64_t cap = std::min<uint64_t>(pool_.num_workers(), hw);
+  cap = std::min<uint64_t>(cap, std::max<size_t>(tasks, 1));
+  return static_cast<uint32_t>(std::max<uint64_t>(cap, 1));
+}
 
 BatchResult QueryEngine::RunBatch(std::span<const Query> queries,
                                   std::span<PathSink* const> sinks,
@@ -138,41 +216,125 @@ BatchResult QueryEngine::RunBatch(std::span<const Query> queries,
   BatchResult result;
   result.stats.resize(queries.size());
   result.errors.resize(queries.size());
-  result.workers = pool_.num_workers();
   ++batches_run_;
+  IndexCache* cache =
+      (opts.use_cache && cache_ != nullptr) ? cache_.get() : nullptr;
+  const IndexCacheStats before =
+      cache != nullptr ? cache->Stats() : IndexCacheStats{};
   Timer wall;
 
   if (opts.split_branches) {
     // Intra-query mode: the pool gangs up on one query at a time.
+    const uint32_t active = ClampedWorkers(pool_.num_workers());
+    result.workers = active;
     for (size_t i = 0; i < queries.size(); ++i) {
       try {
-        result.stats[i] = RunSplit(queries[i], *sinks[i], opts.query);
+        result.stats[i] =
+            RunSplit(queries[i], *sinks[i], opts.query, cache, active);
       } catch (const std::exception& e) {
         result.errors[i] = e.what();
       }
     }
   } else {
-    RunStealing(queries, sinks, opts, result);
+    RunStealing(queries, sinks, opts, cache, result);
   }
   result.wall_ms = wall.ElapsedMs();
+  if (cache != nullptr) result.cache = cache->Stats() - before;
   return result;
 }
 
 void QueryEngine::RunStealing(std::span<const Query> queries,
                               std::span<PathSink* const> sinks,
-                              const BatchOptions& opts, BatchResult& result) {
-  WorkStealingQueues queues(pool_.num_workers(), queries.size());
-  pool_.RunOnAllWorkers([&](uint32_t worker) {
+                              const BatchOptions& opts, IndexCache* cache,
+                              BatchResult& result) {
+  // Collapse identical (s, t, k) queries into one task group each; the
+  // representative runs once and fans its paths out to every duplicate.
+  std::vector<TaskGroup> groups;
+  groups.reserve(queries.size());
+  if (opts.dedup_identical) {
+    std::unordered_map<CacheKey, size_t, CacheKeyHash> seen;
+    seen.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const Query& q = queries[i];
+      const CacheKey key{q.source, q.target, q.hops, 0};
+      const auto [it, inserted] = seen.emplace(key, groups.size());
+      if (inserted) {
+        groups.push_back({i, {}, 2});
+      } else {
+        groups[it->second].extra.push_back(i);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) groups.push_back({i, {}, 2});
+  }
+
+  // Cache-aware scheduling: replayable results first, then prebuilt
+  // indexes, then misses — hits clear the queue fast and published builds
+  // are available before any duplicate key is claimed again.
+  if (cache != nullptr) {
+    for (TaskGroup& g : groups) {
+      const Query& q = queries[g.rep];
+      const CacheKey rkey{q.source, q.target, q.hops,
+                          ResultOptionsFingerprint(opts.query)};
+      if (cache->options().max_result_bytes > 0 && cache->HasResult(rkey)) {
+        g.priority = 0;
+        continue;
+      }
+      const CacheKey ikey{
+          q.source, q.target, q.hops,
+          IndexOptionsFingerprint(
+              PathEnumerator::BuildOptionsFor(q, opts.query))};
+      if (cache->PeekIndex(ikey) != nullptr) g.priority = 1;
+    }
+    std::stable_sort(groups.begin(), groups.end(),
+                     [](const TaskGroup& a, const TaskGroup& b) {
+                       return a.priority < b.priority;
+                     });
+  }
+
+  // Clamp active workers to the actual parallelism available: surplus pool
+  // threads park instead of oversubscribing the host.
+  const uint32_t active = ClampedWorkers(groups.size());
+  result.workers = active;
+  WorkStealingQueues queues(active, groups.size());
+  pool_.RunOnWorkers(active, [&](uint32_t worker) {
     QueryContext& ctx = *contexts_[worker];
     size_t task;
     while (queues.Pop(worker, task)) {
+      const TaskGroup& group = groups[task];
+      const size_t rep = group.rep;
       // Per-query fault isolation: a rejected query reports its error and
       // the worker moves on; the context re-arms every limit per run.
       try {
-        result.stats[task] =
-            ctx.Run(queries[task], *sinks[task], opts.query);
+        if (group.extra.empty()) {
+          result.stats[rep] =
+              ctx.RunCached(queries[rep], *sinks[rep], opts.query, cache);
+        } else {
+          std::vector<PathSink*> fan_sinks;
+          fan_sinks.reserve(group.extra.size() + 1);
+          fan_sinks.push_back(sinks[rep]);
+          for (const size_t dup : group.extra) fan_sinks.push_back(sinks[dup]);
+          FanoutSink fan(std::move(fan_sinks));
+          const QueryStats stats =
+              ctx.RunCached(queries[rep], fan, opts.query, cache);
+          ctx.NoteFanout(group.extra.size());
+          // Each duplicate reports the shared run's stats, adjusted to what
+          // its own sink observed: a sink that stopped early looks exactly
+          // like a standalone sink-stopped run.
+          for (size_t m = 0; m < group.extra.size() + 1; ++m) {
+            const size_t qi = m == 0 ? rep : group.extra[m - 1];
+            QueryStats mine = stats;
+            mine.counters.num_results = fan.delivered(m);
+            if (fan.stopped(m)) {
+              mine.counters.stopped_by_sink = true;
+              mine.counters.hit_result_limit = false;
+            }
+            result.stats[qi] = mine;
+          }
+        }
       } catch (const std::exception& e) {
-        result.errors[task] = e.what();
+        result.errors[rep] = e.what();
+        for (const size_t dup : group.extra) result.errors[dup] = e.what();
       }
     }
   });
@@ -187,8 +349,9 @@ BatchResult QueryEngine::CountBatch(std::span<const Query> queries,
 }
 
 QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
-                                 const EnumOptions& opts) {
-  ValidateQuery(graph_, q);
+                                 const EnumOptions& opts, IndexCache* cache,
+                                 uint32_t active_workers) {
+  ValidateQuery(*graph_, q);
   QueryStats stats;
   stats.method = Method::kDfs;  // splitting implies IDX-DFS
   Timer total;
@@ -203,30 +366,51 @@ QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
   IndexBuilder::Options build_opts;
   build_opts.build_in_direction = false;
   build_opts.collect_level_stats = false;
-  const LightweightIndex index = lead.BuildIndex(q, build_opts);
-  stats.bfs_ms = index.build_stats().bfs_ms;
-  stats.index_ms = index.build_stats().total_ms;
-  stats.index_vertices = index.num_vertices();
-  stats.index_edges = index.num_edges();
-  stats.index_bytes = index.MemoryBytes();
+
+  // Split mode shares the index cache but not the result cache (its sink
+  // interleaving is nondeterministic, so replay order would be, too).
+  std::shared_ptr<const LightweightIndex> shared_index;
+  const LightweightIndex* index = nullptr;
+  if (cache != nullptr) {
+    const CacheKey key{q.source, q.target, q.hops,
+                       IndexOptionsFingerprint(build_opts)};
+    bool hit = false;
+    shared_index = cache->GetOrBuild(
+        key, [&] { return lead.BuildIndex(q, build_opts); }, &hit);
+    index = shared_index.get();
+    stats.index_cache_hit = hit;
+    if (!hit) {
+      stats.bfs_ms = index->build_stats().bfs_ms;
+      stats.index_ms = index->build_stats().total_ms;
+    }
+  } else {
+    shared_index = std::make_shared<const LightweightIndex>(
+        lead.BuildIndex(q, build_opts));
+    index = shared_index.get();
+    stats.bfs_ms = index->build_stats().bfs_ms;
+    stats.index_ms = index->build_stats().total_ms;
+  }
+  stats.index_vertices = index->num_vertices();
+  stats.index_edges = index->num_edges();
+  stats.index_bytes = index->MemoryBytes();
 
   Timer enum_timer;
   EnumCounters counters;
-  const uint32_t s_slot = index.source_slot();
+  const uint32_t s_slot = index->source_slot();
   if (s_slot != kInvalidSlot) {
-    const auto branches = index.OutSlotsWithin(s_slot, index.hops() - 1);
+    const auto branches = index->OutSlotsWithin(s_slot, index->hops() - 1);
     SharedQuerySink shared(sink, opts.result_limit, opts.response_target,
                            enum_timer);
     std::atomic<uint32_t> cursor{0};
-    std::vector<EnumCounters> per_worker(pool_.num_workers());
-    pool_.RunOnAllWorkers([&](uint32_t worker) {
+    std::vector<EnumCounters> per_worker(active_workers);
+    pool_.RunOnWorkers(active_workers, [&](uint32_t worker) {
       DfsEnumerator& dfs = contexts_[worker]->enumerator().dfs_;
       EnumCounters& mine = per_worker[worker];
       while (true) {
         const uint32_t b = cursor.fetch_add(1, std::memory_order_relaxed);
         if (b >= branches.size()) break;
         const EnumCounters c =
-            dfs.RunBranch(index, branches[b], shared,
+            dfs.RunBranch(*index, branches[b], shared,
                           internal::BranchOptions(opts, enum_timer));
         if (!internal::AccumulateBranch(mine, c)) break;
       }

@@ -6,6 +6,12 @@
 // each query's first-level DFS branches fan out across the whole pool
 // (DfsEnumerator::RunBranch), which is the right shape for a few heavy
 // queries rather than many small ones. See DESIGN.md §Engine.
+//
+// With `EngineOptions::enable_cache` the engine additionally keeps a
+// cross-query IndexCache shared by all workers (DESIGN.md §6): batches
+// deduplicate identical queries (one run fans its results out to every
+// duplicate's sink), cache hits are scheduled ahead of misses, and
+// concurrent workers on the same missing key build the index exactly once.
 #ifndef PATHENUM_ENGINE_QUERY_ENGINE_H_
 #define PATHENUM_ENGINE_QUERY_ENGINE_H_
 
@@ -17,6 +23,7 @@
 #include "core/options.h"
 #include "core/query.h"
 #include "core/sink.h"
+#include "engine/index_cache.h"
 #include "engine/query_context.h"
 #include "engine/thread_pool.h"
 
@@ -28,6 +35,14 @@ class PrunedLandmarkIndex;
 struct EngineOptions {
   /// Worker threads (and contexts). 0 picks hardware_concurrency().
   uint32_t num_workers = 0;
+
+  /// When true the engine keeps a cross-query cache of per-query indexes
+  /// (and, budget permitting, fully-enumerated result sets) shared by all
+  /// workers. See DESIGN.md §6.
+  bool enable_cache = false;
+
+  /// Budgets/sharding for the cache (used only with enable_cache).
+  IndexCacheOptions cache;
 };
 
 /// Per-batch knobs.
@@ -40,6 +55,15 @@ struct BatchOptions {
   /// sink calls per query). When false (default), each query runs entirely
   /// on one worker and workers steal whole queries from each other.
   bool split_branches = false;
+
+  /// Consult/populate the engine's cross-query cache (no-op when the
+  /// engine was constructed without one).
+  bool use_cache = true;
+
+  /// Collapse identical (s, t, k) queries within the batch: the group runs
+  /// once and the paths fan out to every duplicate's sink (each sink may
+  /// still stop independently). Duplicates report the shared run's stats.
+  bool dedup_identical = true;
 };
 
 /// Outcome of RunBatch. `stats[i]`/`errors[i]` belong to `queries[i]`;
@@ -49,7 +73,12 @@ struct BatchResult {
   std::vector<QueryStats> stats;
   std::vector<std::string> errors;
   double wall_ms = 0.0;
+  /// Workers that actually executed the batch — clamped to
+  /// min(pool, tasks, hardware cores), not the pool size.
   uint32_t workers = 0;
+  /// Cache activity during this batch (all zeros without a cache): hits,
+  /// misses, evictions and current byte gauges.
+  IndexCacheStats cache;
 
   bool ok() const {
     for (const std::string& e : errors) {
@@ -82,12 +111,14 @@ class QueryEngine {
   ~QueryEngine();
 
   uint32_t num_workers() const { return pool_.num_workers(); }
-  const Graph& graph() const { return graph_; }
+  const Graph& graph() const { return *graph_; }
 
   /// Runs the batch; `sinks[i]` receives exactly the paths of `queries[i]`.
   /// With split_branches each sink must tolerate calls from pool threads
   /// (calls are serialized by the engine, so plain sinks are safe); without
   /// it, sink i is only ever touched by the single worker running query i.
+  /// With dedup_identical, the sinks of identical queries are all fed from
+  /// one run on one worker.
   BatchResult RunBatch(std::span<const Query> queries,
                        std::span<PathSink* const> sinks,
                        const BatchOptions& opts = {});
@@ -95,6 +126,19 @@ class QueryEngine {
   /// Convenience: counts every query's results (per-query CountingSink).
   BatchResult CountBatch(std::span<const Query> queries,
                          const BatchOptions& opts = {});
+
+  /// The cross-query cache, or null when not enabled.
+  IndexCache* cache() { return cache_.get(); }
+
+  /// Drops every cached index/result (generation-stamped; see
+  /// IndexCache::Clear). No-op without a cache.
+  void InvalidateCaches();
+
+  /// Points the engine at a different graph snapshot: recreates every
+  /// worker context and invalidates the caches (a cached index describes
+  /// the old topology). Must not race RunBatch. The new graph/oracle must
+  /// outlive the engine.
+  void RebindGraph(const Graph& g, const PrunedLandmarkIndex* oracle = nullptr);
 
   /// Aggregate footprint/usage over all worker contexts.
   struct EngineStats {
@@ -105,19 +149,24 @@ class QueryEngine {
   EngineStats Stats() const;
 
  private:
-  /// Inter-query mode: workers claim whole queries, stealing across
-  /// per-worker deques.
+  /// Inter-query mode: workers claim whole (deduplicated) query groups,
+  /// stealing across per-worker deques; cache hits are scheduled first.
   void RunStealing(std::span<const Query> queries,
                    std::span<PathSink* const> sinks, const BatchOptions& opts,
-                   BatchResult& result);
+                   IndexCache* cache, BatchResult& result);
 
   /// Intra-query mode: one query at a time, branches across the pool.
-  QueryStats RunSplit(const Query& q, PathSink& sink, const EnumOptions& opts);
+  QueryStats RunSplit(const Query& q, PathSink& sink, const EnumOptions& opts,
+                      IndexCache* cache, uint32_t active_workers);
 
-  const Graph& graph_;
+  /// min(pool, tasks, hardware cores), at least 1.
+  uint32_t ClampedWorkers(size_t tasks) const;
+
+  const Graph* graph_;
   const PrunedLandmarkIndex* oracle_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<QueryContext>> contexts_;  // one per worker
+  std::unique_ptr<IndexCache> cache_;  // null unless opts.enable_cache
   uint64_t batches_run_ = 0;
   uint64_t split_queries_run_ = 0;
 };

@@ -42,10 +42,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::RunOnAllWorkers(const std::function<void(uint32_t)>& job) {
+  RunOnWorkers(num_workers(), job);
+}
+
+void ThreadPool::RunOnWorkers(uint32_t active,
+                              const std::function<void(uint32_t)>& job) {
   std::unique_lock<std::mutex> lock(mutex_);
   PATHENUM_CHECK_MSG(active_ == 0 && job_ == nullptr,
-                     "ThreadPool::RunOnAllWorkers is not reentrant");
+                     "ThreadPool::RunOnWorkers is not reentrant");
   job_ = &job;
+  job_limit_ = active;
   first_error_ = nullptr;
   active_ = num_workers();
   ++generation_;
@@ -65,13 +71,16 @@ void ThreadPool::WorkerLoop(uint32_t worker_id) {
     if (shutdown_) return;
     seen_generation = generation_;
     const auto* job = job_;
+    const bool participates = worker_id < job_limit_;
     lock.unlock();
-    try {
-      (*job)(worker_id);
-    } catch (...) {
-      lock.lock();
-      if (!first_error_) first_error_ = std::current_exception();
-      lock.unlock();
+    if (participates) {
+      try {
+        (*job)(worker_id);
+      } catch (...) {
+        lock.lock();
+        if (!first_error_) first_error_ = std::current_exception();
+        lock.unlock();
+      }
     }
     lock.lock();
     if (--active_ == 0) done_cv_.notify_all();

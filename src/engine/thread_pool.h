@@ -46,6 +46,13 @@ class ThreadPool {
   /// job, and only one caller thread may use the pool at a time.
   void RunOnAllWorkers(const std::function<void(uint32_t)>& job);
 
+  /// Like RunOnAllWorkers, but only workers with id < `active` execute the
+  /// job; the rest wake, skip it, and park again. The engine uses this to
+  /// clamp a batch to min(workers, queries, hardware cores) — parking the
+  /// surplus instead of oversubscribing the host (the 8-worker-on-1-core
+  /// warm regression in BENCH_throughput.json).
+  void RunOnWorkers(uint32_t active, const std::function<void(uint32_t)>& job);
+
  private:
   void WorkerLoop(uint32_t worker_id);
 
@@ -54,6 +61,7 @@ class ThreadPool {
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
   const std::function<void(uint32_t)>* job_ = nullptr;  // valid while active
+  uint32_t job_limit_ = 0;   // workers with id >= limit skip the job
   uint64_t generation_ = 0;  // bumped per job; workers latch the last seen
   uint32_t active_ = 0;      // workers still inside the current job
   bool shutdown_ = false;

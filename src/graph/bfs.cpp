@@ -14,46 +14,25 @@ void DistanceField::EnsureSize(size_t n) {
 
 void DistanceField::Compute(const Graph& g, Direction dir, VertexId source,
                             const Options& opts) {
-  PATHENUM_CHECK(source < g.num_vertices());
-  EnsureSize(g.num_vertices());
-  if (++epoch_ == 0) {  // stamp wrap-around: reset and restart epochs
-    std::fill(stamp_.begin(), stamp_.end(), 0);
-    epoch_ = 1;
-  }
-  reached_.clear();
-
-  stamp_[source] = epoch_;
-  dist_[source] = 0;
-  reached_.push_back(source);
-  if (source == opts.stop_at) return;
-
-  // `reached_` doubles as the FIFO queue: BFS order is non-decreasing in
-  // distance, so scanning it front-to-back visits each frontier in turn.
-  for (size_t head = 0; head < reached_.size(); ++head) {
-    const VertexId u = reached_[head];
-    const uint32_t du = dist_[u];
-    if (du >= opts.max_depth) continue;  // children would exceed the cap
-    if (u == opts.blocked && u != source) continue;  // reached, not expanded
-    const auto nbrs =
-        dir == Direction::kForward ? g.OutNeighbors(u) : g.InNeighbors(u);
-    for (size_t j = 0; j < nbrs.size(); ++j) {
-      const VertexId v = nbrs[j];
-      if (stamp_[v] == epoch_) continue;
-      if (opts.filter != nullptr) {
-        // Present the edge in graph orientation regardless of direction.
-        const VertexId from = dir == Direction::kForward ? u : v;
-        const VertexId to = dir == Direction::kForward ? v : u;
-        const EdgeId e = dir == Direction::kForward
-                             ? g.OutEdgeId(u, j)
-                             : g.FindEdge(v, u);
-        if (!(*opts.filter)(from, to, e)) continue;
-      }
-      if (opts.admit != nullptr && !(*opts.admit)(v, du + 1)) continue;
-      stamp_[v] = epoch_;
-      dist_[v] = du + 1;
-      reached_.push_back(v);
-      if (v == opts.stop_at) return;
-    }
+  // Dispatch once per traversal: each combination instantiates ComputeWith
+  // with the std::function indirection confined to the branches that need
+  // it, so the common unfiltered case runs the branch-free instantiation.
+  const EdgeFilter* filter = opts.filter;
+  const VertexAdmission* admit = opts.admit;
+  const auto call_filter = [filter](VertexId u, VertexId v, EdgeId e) {
+    return (*filter)(u, v, e);
+  };
+  const auto call_admit = [admit](VertexId v, uint32_t dist) {
+    return (*admit)(v, dist);
+  };
+  if (filter != nullptr && admit != nullptr) {
+    ComputeWith(g, dir, source, opts, call_filter, call_admit);
+  } else if (filter != nullptr) {
+    ComputeWith(g, dir, source, opts, call_filter, AdmitAllVertices{});
+  } else if (admit != nullptr) {
+    ComputeWith(g, dir, source, opts, AcceptAllEdges{}, call_admit);
+  } else {
+    ComputeWith(g, dir, source, opts, AcceptAllEdges{}, AdmitAllVertices{});
   }
 }
 

@@ -8,10 +8,18 @@
 //
 // Buffers are epoch-stamped so a field can be reused across thousands of
 // queries with O(frontier) cost instead of O(|V|) re-initialisation.
+//
+// Two entry points: `Compute` takes the std::function-based BfsOptions
+// filters (stable public API), while the templated `ComputeWith` accepts
+// concrete callables that inline into the relaxation loop — the index-build
+// hot path uses it so the unfiltered case performs zero indirect calls per
+// edge.
 #ifndef PATHENUM_GRAPH_BFS_H_
 #define PATHENUM_GRAPH_BFS_H_
 
+#include <algorithm>
 #include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.h"
@@ -37,6 +45,16 @@ using EdgeFilter = std::function<bool(VertexId u, VertexId v, EdgeId e)>;
 /// admitted (triangle inequality; see DESIGN.md).
 using VertexAdmission = std::function<bool(VertexId v, uint32_t dist)>;
 
+/// Sentinel callables for ComputeWith: the compiler folds the always-true
+/// branches away, so the unfiltered traversal never computes edge ids and
+/// performs no per-edge calls at all.
+struct AcceptAllEdges {
+  constexpr bool operator()(VertexId, VertexId, EdgeId) const { return true; }
+};
+struct AdmitAllVertices {
+  constexpr bool operator()(VertexId, uint32_t) const { return true; }
+};
+
 /// Traversal options for DistanceField::Compute.
 struct BfsOptions {
   /// Vertex assigned a distance when reached but never expanded
@@ -61,9 +79,68 @@ class DistanceField {
   DistanceField() = default;
 
   /// Runs a BFS from `source` over `g` in direction `dir`. Invalidates the
-  /// result of any previous Compute on this object.
+  /// result of any previous Compute on this object. Dispatches once on the
+  /// presence of `opts.filter`/`opts.admit`, so the std::function cost is
+  /// only paid when a filter is actually installed.
   void Compute(const Graph& g, Direction dir, VertexId source,
                const Options& opts = {});
+
+  /// Devirtualized traversal: `filter` and `admit` are concrete callables
+  /// (same signatures as EdgeFilter/VertexAdmission) inlined into the
+  /// relaxation loop. `opts.filter`/`opts.admit` are ignored here — the
+  /// parameters replace them; pass AcceptAllEdges/AdmitAllVertices for the
+  /// unrestricted branch-free path.
+  template <typename FilterFn, typename AdmitFn>
+  void ComputeWith(const Graph& g, Direction dir, VertexId source,
+                   const Options& opts, FilterFn&& filter, AdmitFn&& admit) {
+    PATHENUM_CHECK(source < g.num_vertices());
+    EnsureSize(g.num_vertices());
+    if (++epoch_ == 0) {  // stamp wrap-around: reset and restart epochs
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+    reached_.clear();
+
+    stamp_[source] = epoch_;
+    dist_[source] = 0;
+    reached_.push_back(source);
+    if (source == opts.stop_at) return;
+
+    constexpr bool kHasFilter =
+        !std::is_same_v<std::decay_t<FilterFn>, AcceptAllEdges>;
+    constexpr bool kHasAdmit =
+        !std::is_same_v<std::decay_t<AdmitFn>, AdmitAllVertices>;
+
+    // `reached_` doubles as the FIFO queue: BFS order is non-decreasing in
+    // distance, so scanning it front-to-back visits each frontier in turn.
+    for (size_t head = 0; head < reached_.size(); ++head) {
+      const VertexId u = reached_[head];
+      const uint32_t du = dist_[u];
+      if (du >= opts.max_depth) continue;  // children would exceed the cap
+      if (u == opts.blocked && u != source) continue;  // reached, unexpanded
+      const auto nbrs =
+          dir == Direction::kForward ? g.OutNeighbors(u) : g.InNeighbors(u);
+      for (size_t j = 0; j < nbrs.size(); ++j) {
+        const VertexId v = nbrs[j];
+        if (stamp_[v] == epoch_) continue;
+        if constexpr (kHasFilter) {
+          // Present the edge in graph orientation regardless of direction.
+          const VertexId from = dir == Direction::kForward ? u : v;
+          const VertexId to = dir == Direction::kForward ? v : u;
+          const EdgeId e = dir == Direction::kForward ? g.OutEdgeId(u, j)
+                                                      : g.FindEdge(v, u);
+          if (!filter(from, to, e)) continue;
+        }
+        if constexpr (kHasAdmit) {
+          if (!admit(v, du + 1)) continue;
+        }
+        stamp_[v] = epoch_;
+        dist_[v] = du + 1;
+        reached_.push_back(v);
+        if (v == opts.stop_at) return;
+      }
+    }
+  }
 
   /// Distance of `v` from/to the source, or kInfDistance if unreached.
   uint32_t Distance(VertexId v) const {
