@@ -50,8 +50,11 @@ EnumOptions MakeOptions(const BenchEnv& env) {
 }
 
 Graph CachedDataset(const std::string& name, double scale) {
+  // Scratch lives under build/ by default so a source checkout stays clean
+  // (build/ is gitignored; the old top-level bench_cache/ default is not
+  // regenerated but stays ignored for stale trees).
   const char* dir_env = std::getenv("PATHENUM_BENCH_CACHE_DIR");
-  const std::string dir = dir_env != nullptr ? dir_env : "bench_cache";
+  const std::string dir = dir_env != nullptr ? dir_env : "build/bench_cache";
   char scale_str[32];
   std::snprintf(scale_str, sizeof(scale_str), "%g", scale);
   const std::string path = dir + "/" + name + "_" + scale_str + ".bin";

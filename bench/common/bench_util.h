@@ -38,8 +38,8 @@ struct BenchEnv {
 EnumOptions MakeOptions(const BenchEnv& env);
 
 /// Instantiates a catalog dataset through an on-disk binary cache
-/// (PATHENUM_BENCH_CACHE_DIR, default "bench_cache/") so the 19 bench
-/// binaries generate each multi-million-edge graph only once.
+/// (PATHENUM_BENCH_CACHE_DIR, default "build/bench_cache/") so the 19
+/// bench binaries generate each multi-million-edge graph only once.
 Graph CachedDataset(const std::string& name, double scale);
 
 /// Generates the default (s, t in V', dist <= 3) query set at hop count `k`.

@@ -1,7 +1,9 @@
 #include "core/index.h"
 
 #include <algorithm>
+#include <type_traits>
 
+#include "graph/view.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
@@ -47,7 +49,8 @@ size_t LightweightIndex::MemoryBytes() const {
          VectorBytes(level_count_) + VectorBytes(slot_lookup_);
 }
 
-LightweightIndex IndexBuilder::Build(const Graph& g, const Query& q,
+template <typename GraphT>
+LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
                                      const Options& opts) {
   ValidateQuery(g, q);
   LightweightIndex idx;
@@ -169,7 +172,14 @@ LightweightIndex IndexBuilder::Build(const Graph& g, const Query& q,
         if (w == q.source) continue;  // s is never a tuple destination
         const uint32_t dt_w = field_t_.Distance(w);
         if (dt_w == kInfDistance || ds + dt_w + 1 > k) continue;
-        const EdgeId e = g.OutEdgeId(v, j);
+        // Edge ids feed only the constraint extensions, which require a
+        // plain Graph (overlay views have no stable ids and constrained
+        // runs are gated on overlay-free snapshots) — skip the per-edge id
+        // lookup for view builds.
+        EdgeId e = kInvalidEdge;
+        if constexpr (std::is_same_v<GraphT, Graph>) {
+          e = g.OutEdgeId(v, j);
+        }
         if (opts.filter != nullptr && !(*opts.filter)(v, w, e)) continue;
         const uint32_t w_slot = idx.SlotOf(w);
         // Reachability arithmetic guarantees w is in X (see DESIGN.md).
@@ -262,5 +272,15 @@ LightweightIndex IndexBuilder::Build(const Graph& g, const Query& q,
   idx.build_stats_.total_ms = total_timer.ElapsedMs();
   return idx;
 }
+
+// The two graph types an index is ever built over: the immutable CSR Graph
+// and the live subsystem's versioned overlay snapshot. Each instantiation
+// inlines its own adjacency access into the BFS and adjacency-scan loops.
+template LightweightIndex IndexBuilder::Build<Graph>(const Graph&,
+                                                     const Query&,
+                                                     const Options&);
+template LightweightIndex IndexBuilder::Build<GraphView>(const GraphView&,
+                                                         const Query&,
+                                                         const Options&);
 
 }  // namespace pathenum

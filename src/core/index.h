@@ -202,8 +202,12 @@ class IndexBuilder {
 
   IndexBuilder() = default;
 
-  /// Builds the index for `q` over `g`. The query must be valid.
-  LightweightIndex Build(const Graph& g, const Query& q,
+  /// Builds the index for `q` over `g`. The query must be valid. Templated
+  /// over the graph type (the immutable `Graph` or the live subsystem's
+  /// `GraphView`); the definition lives in index.cpp with explicit
+  /// instantiations for both.
+  template <typename GraphT>
+  LightweightIndex Build(const GraphT& g, const Query& q,
                          const Options& opts = {});
 
  private:

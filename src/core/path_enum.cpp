@@ -43,7 +43,7 @@ IndexBuilder::Options PathEnumerator::BuildOptionsFor(const Query& q,
 
 QueryStats PathEnumerator::Run(const Query& q, PathSink& sink,
                                const EnumOptions& opts) {
-  ValidateQuery(graph_, q);
+  ValidateQuery(view_, q);
   arena_.Reset();  // previous query's arena tables die here
   QueryStats stats;
   Timer total;
@@ -53,7 +53,7 @@ QueryStats PathEnumerator::Run(const Query& q, PathSink& sink,
     return stats;
   }
 
-  LightweightIndex index = builder_.Build(graph_, q, BuildOptionsFor(q, opts));
+  LightweightIndex index = BuildIndex(q, BuildOptionsFor(q, opts));
   stats.bfs_ms = index.build_stats().bfs_ms;
   stats.index_ms = index.build_stats().total_ms;
   ExecuteOnIndex(index, stats, sink, opts, total);
@@ -64,7 +64,7 @@ QueryStats PathEnumerator::RunWithIndex(const LightweightIndex& index,
                                         PathSink& sink,
                                         const EnumOptions& opts) {
   const Query& q = index.query();
-  ValidateQuery(graph_, q);
+  ValidateQuery(view_, q);
   const IndexBuilder::Options need = BuildOptionsFor(q, opts);
   PATHENUM_CHECK_MSG(!need.build_in_direction || index.has_in_direction(),
                      "cached index lacks the in-direction this method needs");
@@ -136,7 +136,12 @@ QueryStats PathEnumerator::RunConstrained(const Query& q,
                                           const PathConstraints& constraints,
                                           PathSink& sink,
                                           const EnumOptions& opts) {
-  ValidateQuery(graph_, q);
+  ValidateQuery(view_, q);
+  // Constraints read edge weights/labels through stable edge ids, which an
+  // overlay view cannot provide — constrained traffic needs a compacted
+  // snapshot (see graph/view.h).
+  PATHENUM_CHECK_MSG(!view_.has_overlay(),
+                     "constrained queries require an overlay-free snapshot");
   arena_.Reset();
   QueryStats stats;
   Timer total;
@@ -156,7 +161,8 @@ QueryStats PathEnumerator::RunConstrained(const Query& q,
   build_opts.filter = constraints.edge_filter;
   build_opts.build_in_direction = use_join;
   build_opts.collect_level_stats = false;
-  LightweightIndex index = builder_.Build(graph_, q, build_opts);
+  // Overlay-free is asserted above, so this is always Build<Graph>.
+  LightweightIndex index = BuildIndex(q, build_opts);
   stats.bfs_ms = index.build_stats().bfs_ms;
   stats.index_ms = index.build_stats().total_ms;
   stats.index_vertices = index.num_vertices();
@@ -175,10 +181,10 @@ QueryStats PathEnumerator::RunConstrained(const Query& q,
     stats.cut_position =
         plan.cut == 0 ? std::max<uint32_t>(1, q.hops / 2) : plan.cut;
     enum_timer.Reset();
-    ConstrainedJoinEnumerator join(graph_, index, constraints);
+    ConstrainedJoinEnumerator join(view_.base(), index, constraints);
     counters = join.Run(stats.cut_position, sink, opts);
   } else if (constraints.HasSearchState()) {
-    ConstrainedDfsEnumerator dfs(graph_, index, constraints);
+    ConstrainedDfsEnumerator dfs(view_.base(), index, constraints);
     counters = dfs.Run(sink, opts);
   } else {
     // Predicate-only: plain DFS on the filtered index, pooled scratch.

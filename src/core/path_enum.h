@@ -18,6 +18,7 @@
 #include "core/join_enumerator.h"
 #include "core/options.h"
 #include "core/sink.h"
+#include "graph/view.h"
 #include "util/memory.h"
 
 namespace pathenum {
@@ -37,11 +38,46 @@ class PathEnumerator {
   /// index: when provided, queries with d(s,t) > k are rejected in
   /// O(|label|) before any per-query work. It must describe the same graph
   /// snapshot (a stale oracle may wrongly reject; never wrongly accept
-  /// results — acceptance still runs the exact pipeline).
-  explicit PathEnumerator(const Graph& g,
+  /// results — acceptance still runs the exact pipeline). Accepts a plain
+  /// `Graph` (implicit borrowing view, version 0) or a live `GraphView`
+  /// snapshot; an oracle may only accompany an overlay-free view.
+  explicit PathEnumerator(const GraphView& view,
                           const PrunedLandmarkIndex* oracle = nullptr)
-      : graph_(g), oracle_(oracle) {
+      : view_(view), oracle_(oracle) {
+    PATHENUM_CHECK_MSG(oracle == nullptr || !view.has_overlay(),
+                       "a distance oracle cannot describe an overlay view");
     join_.SetArena(&arena_);
+  }
+
+  /// True when an oracle valid for `bound` still describes `next`: the
+  /// same base graph object with no overlay on top. The single source of
+  /// the stale-oracle rule — every rebind path (here and in the engine)
+  /// must use it, or a stale oracle could wrongly reject newly connected
+  /// pairs.
+  static bool OracleSurvivesRebind(const GraphView& bound,
+                                   const GraphView& next) {
+    return &next.base() == &bound.base() && !next.has_overlay();
+  }
+
+  /// Points the enumerator at a different snapshot. Cheap: the epoch-stamped
+  /// scratch survives (buffers resize lazily if |V| changed). The oracle is
+  /// dropped unless it survives per OracleSurvivesRebind.
+  void Rebind(const GraphView& view) {
+    if (oracle_ != nullptr && !OracleSurvivesRebind(view_, view)) {
+      oracle_ = nullptr;
+    }
+    view_ = view;
+  }
+
+  /// Rebind with an explicit oracle decision — the engine uses this to
+  /// restore an oracle when a later batch returns to the base graph the
+  /// oracle describes. `oracle` must describe exactly `view`'s topology
+  /// (hence: overlay-free), or be null.
+  void Rebind(const GraphView& view, const PrunedLandmarkIndex* oracle) {
+    PATHENUM_CHECK_MSG(oracle == nullptr || !view.has_overlay(),
+                       "a distance oracle cannot describe an overlay view");
+    view_ = view;
+    oracle_ = oracle;
   }
 
   /// Runs q and streams every hop-constrained s-t path into `sink`.
@@ -72,12 +108,21 @@ class PathEnumerator {
   QueryStats RunConstrained(const Query& q, const PathConstraints& constraints,
                             PathSink& sink, const EnumOptions& opts = {});
 
-  const Graph& graph() const { return graph_; }
+  /// The base graph of the bound snapshot (identical to the full topology
+  /// only when the view is overlay-free).
+  const Graph& graph() const { return view_.base(); }
 
-  /// Builds and returns just the index (tooling/benchmark hook).
+  /// The bound snapshot.
+  const GraphView& view() const { return view_; }
+
+  /// Builds and returns just the index (tooling/benchmark hook). Overlay-
+  /// free views dispatch to the Build<Graph> instantiation so the static
+  /// hot path keeps its branch-free adjacency loops (overlay views pay one
+  /// predictable overlay check per access).
   LightweightIndex BuildIndex(const Query& q,
                               const IndexBuilder::Options& opts = {}) {
-    return builder_.Build(graph_, q, opts);
+    return view_.has_overlay() ? builder_.Build(view_, q, opts)
+                               : builder_.Build(view_.base(), q, opts);
   }
 
   /// Bytes of reusable scratch currently held (enumerator marks/buffers plus
@@ -96,7 +141,7 @@ class PathEnumerator {
   void ExecuteOnIndex(const LightweightIndex& index, QueryStats& stats,
                       PathSink& sink, const EnumOptions& opts, Timer& total);
 
-  const Graph& graph_;
+  GraphView view_;
   const PrunedLandmarkIndex* oracle_;
   IndexBuilder builder_;
   DfsEnumerator dfs_;

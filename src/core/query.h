@@ -15,9 +15,11 @@ struct Query {
   uint32_t hops = 2;
 };
 
-/// Validates a query against a graph: endpoints in range and distinct,
-/// 1 <= hops <= kMaxHops. Throws std::logic_error on violation.
-inline void ValidateQuery(const Graph& g, const Query& q) {
+/// Validates a query against a graph (or live GraphView snapshot):
+/// endpoints in range and distinct, 1 <= hops <= kMaxHops. Throws
+/// std::logic_error on violation.
+template <typename GraphT>
+inline void ValidateQuery(const GraphT& g, const Query& q) {
   PATHENUM_CHECK_MSG(q.source < g.num_vertices(), "source out of range");
   PATHENUM_CHECK_MSG(q.target < g.num_vertices(), "target out of range");
   PATHENUM_CHECK_MSG(q.source != q.target, "source and target must differ");

@@ -1,6 +1,7 @@
 #include "engine/index_cache.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/timer.h"
 
@@ -47,17 +48,24 @@ struct IndexCache::Shard {
     CacheKey key;
     std::shared_ptr<const LightweightIndex> index;
     size_t bytes = 0;
+    /// Snapshot version the entry was published at: valid for every version
+    /// in [first_version, cache version] (surviving an epoch proves the
+    /// epoch's updates do not affect the key).
+    uint64_t first_version = 0;
   };
   struct ResultEntry {
     CacheKey key;
     std::shared_ptr<const CachedResultSet> result;
     size_t bytes = 0;
+    uint64_t first_version = 0;
+    std::chrono::steady_clock::time_point inserted_at;
   };
   /// One in-flight build; waiters block on the shard cv until `done`.
   struct Inflight {
     bool done = false;
     bool failed = false;
     uint64_t generation = 0;
+    uint64_t view_version = 0;  // the builder's snapshot
     std::shared_ptr<const LightweightIndex> index;
   };
 
@@ -74,6 +82,13 @@ struct IndexCache::Shard {
   std::unordered_map<CacheKey, std::list<ResultEntry>::iterator, CacheKeyHash>
       result_map;
   size_t result_bytes = 0;
+
+  /// Admission counter: misses per key since the last Clear(). Coarsely
+  /// bounded — when it outgrows kSeenCap it resets, which at worst delays
+  /// an admission by one extra miss.
+  std::unordered_map<CacheKey, uint32_t, CacheKeyHash> seen;
+
+  static constexpr size_t kSeenCap = 1u << 16;
 };
 
 IndexCache::IndexCache(const IndexCacheOptions& opts) : opts_(opts) {
@@ -93,14 +108,17 @@ IndexCache::Shard& IndexCache::ShardFor(const CacheKey& key) const {
 
 std::shared_ptr<const LightweightIndex> IndexCache::GetOrBuild(
     const CacheKey& key, const std::function<LightweightIndex()>& build,
-    bool* was_hit) {
+    bool* was_hit, uint64_t view_version) {
   Shard& shard = ShardFor(key);
   std::shared_ptr<Shard::Inflight> inflight;
   {
     std::unique_lock<std::mutex> lock(shard.mutex);
     while (true) {
       const auto it = shard.map.find(key);
-      if (it != shard.map.end()) {
+      if (it != shard.map.end() &&
+          it->second->first_version <= view_version) {
+        // Published at or before this caller's snapshot and survived every
+        // epoch since: valid for the caller's version.
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         index_hits_.fetch_add(1, std::memory_order_relaxed);
         if (was_hit != nullptr) *was_hit = true;
@@ -109,11 +127,12 @@ std::shared_ptr<const LightweightIndex> IndexCache::GetOrBuild(
       const auto bit = shard.building.find(key);
       if (bit == shard.building.end()) break;  // this thread builds
       const std::shared_ptr<Shard::Inflight> pending = bit->second;
-      if (pending->generation !=
-          generation_.load(std::memory_order_relaxed)) {
-        // The in-flight build predates a Clear(): its index describes the
-        // swapped-away graph. Don't join it — take over the slot and build
-        // fresh (the stale builder only erases its own registration).
+      if (pending->generation != generation_.load(std::memory_order_relaxed) ||
+          pending->view_version != view_version) {
+        // The in-flight build predates a Clear() or describes a different
+        // snapshot than this caller's. Don't join it — take over the slot
+        // and build fresh (the displaced builder only erases its own
+        // registration and never publishes past an epoch).
         break;
       }
       coalesced_builds_.fetch_add(1, std::memory_order_relaxed);
@@ -124,10 +143,24 @@ std::shared_ptr<const LightweightIndex> IndexCache::GetOrBuild(
       }
       // The build this thread piggybacked on threw; retry from scratch.
     }
+    index_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.admission_min_uses > 1) {
+      // Admission policy: keys below the use threshold build for the caller
+      // without registering or publishing — a one-shot key costs neither
+      // budget nor an eviction of a hotter entry.
+      if (shard.seen.size() >= Shard::kSeenCap) shard.seen.clear();
+      const uint32_t uses = ++shard.seen[key];
+      if (uses < opts_.admission_min_uses) {
+        admission_bypasses_.fetch_add(1, std::memory_order_relaxed);
+        lock.unlock();
+        if (was_hit != nullptr) *was_hit = false;
+        return std::make_shared<const LightweightIndex>(build());
+      }
+    }
     inflight = std::make_shared<Shard::Inflight>();
     inflight->generation = generation_.load(std::memory_order_relaxed);
+    inflight->view_version = view_version;
     shard.building[key] = inflight;  // insert, or displace a stale in-flight
-    index_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   if (was_hit != nullptr) *was_hit = false;
 
@@ -160,11 +193,16 @@ std::shared_ptr<const LightweightIndex> IndexCache::GetOrBuild(
     inflight->index = index;
     inflight->done = true;
     // Skip publication when Clear() ran mid-build (the index describes a
-    // graph that may have been swapped away) — waiters still get the index.
+    // graph that may have been swapped away), when an epoch advanced past
+    // the builder's snapshot (BeginEpoch stores the new version before
+    // sweeping, so a stale build can never slip in behind the sweep), or
+    // when a newer entry already occupies the slot — waiters still get the
+    // index.
     if (inflight->generation == generation_.load(std::memory_order_relaxed) &&
+        view_version == version_.load(std::memory_order_acquire) &&
         shard.map.find(key) == shard.map.end()) {
       const size_t bytes = index->MemoryBytes() + kEntryOverheadBytes;
-      shard.lru.push_front({key, index, bytes});
+      shard.lru.push_front({key, index, bytes, view_version});
       shard.map.emplace(key, shard.lru.begin());
       shard.bytes += bytes;
       index_bytes_.fetch_add(bytes, std::memory_order_relaxed);
@@ -186,19 +224,39 @@ std::shared_ptr<const LightweightIndex> IndexCache::GetOrBuild(
 }
 
 std::shared_ptr<const LightweightIndex> IndexCache::PeekIndex(
-    const CacheKey& key) const {
+    const CacheKey& key, uint64_t view_version) const {
   const Shard& shard = ShardFor(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.map.find(key);
-  return it != shard.map.end() ? it->second->index : nullptr;
+  return it != shard.map.end() && it->second->first_version <= view_version
+             ? it->second->index
+             : nullptr;
+}
+
+bool IndexCache::ResultExpired(
+    const std::chrono::steady_clock::time_point& inserted_at) const {
+  if (opts_.result_ttl_ms <= 0.0) return false;
+  const auto age = std::chrono::steady_clock::now() - inserted_at;
+  return std::chrono::duration<double, std::milli>(age).count() >
+         opts_.result_ttl_ms;
 }
 
 std::shared_ptr<const CachedResultSet> IndexCache::GetResult(
-    const CacheKey& key) {
+    const CacheKey& key, uint64_t view_version) {
   Shard& shard = ShardFor(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.result_map.find(key);
-  if (it == shard.result_map.end()) {
+  if (it == shard.result_map.end() ||
+      it->second->first_version > view_version) {
+    result_misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (ResultExpired(it->second->inserted_at)) {
+    shard.result_bytes -= it->second->bytes;
+    result_bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+    shard.result_lru.erase(it->second);
+    shard.result_map.erase(it);
+    result_ttl_evictions_.fetch_add(1, std::memory_order_relaxed);
     result_misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
@@ -208,14 +266,18 @@ std::shared_ptr<const CachedResultSet> IndexCache::GetResult(
   return it->second->result;
 }
 
-bool IndexCache::HasResult(const CacheKey& key) const {
+bool IndexCache::HasResult(const CacheKey& key, uint64_t view_version) const {
   const Shard& shard = ShardFor(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.result_map.find(key) != shard.result_map.end();
+  const auto it = shard.result_map.find(key);
+  return it != shard.result_map.end() &&
+         it->second->first_version <= view_version &&
+         !ResultExpired(it->second->inserted_at);
 }
 
 bool IndexCache::PutResult(const CacheKey& key,
-                           std::shared_ptr<const CachedResultSet> result) {
+                           std::shared_ptr<const CachedResultSet> result,
+                           uint64_t view_version) {
   const size_t bytes = result->MemoryBytes() + kEntryOverheadBytes;
   if (opts_.max_result_bytes == 0 || bytes > opts_.max_result_entry_bytes) {
     result_rejects_.fetch_add(1, std::memory_order_relaxed);
@@ -223,10 +285,17 @@ bool IndexCache::PutResult(const CacheKey& key,
   }
   Shard& shard = ShardFor(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (view_version != version_.load(std::memory_order_acquire)) {
+    // The run enumerated a snapshot an epoch has since retired; its result
+    // set may already be stale for the current version.
+    result_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   if (shard.result_map.find(key) != shard.result_map.end()) {
     return true;  // a concurrent worker already recorded this key
   }
-  shard.result_lru.push_front({key, std::move(result), bytes});
+  shard.result_lru.push_front({key, std::move(result), bytes, view_version,
+                               std::chrono::steady_clock::now()});
   shard.result_map.emplace(key, shard.result_lru.begin());
   shard.result_bytes += bytes;
   result_bytes_.fetch_add(bytes, std::memory_order_relaxed);
@@ -245,9 +314,13 @@ bool IndexCache::PutResult(const CacheKey& key,
   return true;
 }
 
-void IndexCache::Clear() {
-  // Bump first so any in-flight build publishes nowhere.
+void IndexCache::Clear(uint64_t new_version) {
+  // Bump first so any in-flight build publishes nowhere; the version reset
+  // realigns publication checks with the caller's next snapshot (without
+  // it, a RebindGraph after any BeginEpoch would leave version_ ahead of
+  // every future view and silently reject all publications).
   generation_.fetch_add(1, std::memory_order_relaxed);
+  version_.store(new_version, std::memory_order_release);
   for (uint32_t s = 0; s <= shard_mask_; ++s) {
     Shard& shard = shards_[s];
     const std::lock_guard<std::mutex> lock(shard.mutex);
@@ -259,7 +332,49 @@ void IndexCache::Clear() {
     shard.result_map.clear();
     shard.result_lru.clear();
     shard.result_bytes = 0;
+    // A full clear accompanies a graph swap: admission history describes
+    // keys of the retired topology.
+    shard.seen.clear();
   }
+}
+
+size_t IndexCache::BeginEpoch(
+    const uint64_t new_version,
+    const std::function<bool(VertexId, VertexId, uint32_t)>& affects) {
+  // Store the version before sweeping: from this point no build or result
+  // of an older snapshot can publish (GetOrBuild/PutResult check the
+  // version under the shard lock), so an entry that survives the sweep is
+  // provably unaffected by this epoch and valid for the new version.
+  version_.store(new_version, std::memory_order_release);
+  size_t evicted = 0;
+  for (uint32_t s = 0; s <= shard_mask_; ++s) {
+    Shard& shard = shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (affects(it->key.source, it->key.target, it->key.hops)) {
+        shard.bytes -= it->bytes;
+        index_bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+        shard.map.erase(it->key);
+        it = shard.lru.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = shard.result_lru.begin(); it != shard.result_lru.end();) {
+      if (affects(it->key.source, it->key.target, it->key.hops)) {
+        shard.result_bytes -= it->bytes;
+        result_bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+        shard.result_map.erase(it->key);
+        it = shard.result_lru.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  invalidation_evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
 }
 
 IndexCacheStats IndexCache::Stats() const {
@@ -273,6 +388,11 @@ IndexCacheStats IndexCache::Stats() const {
   s.result_evictions = result_evictions_.load(std::memory_order_relaxed);
   s.result_inserts = result_inserts_.load(std::memory_order_relaxed);
   s.result_rejects = result_rejects_.load(std::memory_order_relaxed);
+  s.admission_bypasses = admission_bypasses_.load(std::memory_order_relaxed);
+  s.invalidation_evictions =
+      invalidation_evictions_.load(std::memory_order_relaxed);
+  s.result_ttl_evictions =
+      result_ttl_evictions_.load(std::memory_order_relaxed);
   s.index_bytes = index_bytes_.load(std::memory_order_relaxed);
   s.result_bytes = result_bytes_.load(std::memory_order_relaxed);
   return s;

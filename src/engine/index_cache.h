@@ -17,10 +17,23 @@
 // Invalidation is generation-stamped: Clear() (e.g. on graph rebind) bumps
 // the generation, so an index whose build straddles the swap is handed to
 // its waiters but never published into the cache.
+//
+// For the live-graph subsystem (DESIGN.md §7) entries are additionally
+// *snapshot-versioned*: every entry records the snapshot version it was
+// built at, lookups pass the querying view's version, and `BeginEpoch`
+// advances the cache to a new version while selectively evicting only the
+// entries an update could affect — so hot keys survive graph updates that
+// happen elsewhere in the graph. An entry that survives an epoch is valid
+// for every version from its build to the current one (surviving means the
+// intervening updates provably do not affect its key); a query on an older
+// snapshot therefore hits surviving entries but never entries built after
+// its own version, and an in-flight build whose snapshot is no longer
+// current completes for its caller without being published.
 #ifndef PATHENUM_ENGINE_INDEX_CACHE_H_
 #define PATHENUM_ENGINE_INDEX_CACHE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -84,6 +97,14 @@ struct IndexCacheOptions {
   size_t max_result_entry_bytes = size_t{4} << 20;
   /// Rounded up to a power of two.
   uint32_t shards = 8;
+  /// Admission policy (ROADMAP): only build-and-publish an index once its
+  /// key has missed this many times — one-shot keys bypass the cache and
+  /// never consume budget. 1 admits everything (the pre-policy behavior).
+  uint32_t admission_min_uses = 1;
+  /// Result-cache TTL in milliseconds; an entry older than this is evicted
+  /// on lookup. 0 disables aging. Complements BeginEpoch invalidation for
+  /// deployments that prefer bounded staleness over precise tracking.
+  double result_ttl_ms = 0.0;
 };
 
 /// Counter snapshot (monotonic except the byte gauges).
@@ -98,8 +119,17 @@ struct IndexCacheStats {
   uint64_t result_misses = 0;
   uint64_t result_evictions = 0;
   uint64_t result_inserts = 0;
-  /// Insert attempts refused by the per-entry cap / disabled result cache.
+  /// Insert attempts refused by the per-entry cap / disabled result cache
+  /// or by a snapshot-version mismatch (stale run completing after an
+  /// epoch).
   uint64_t result_rejects = 0;
+  /// Misses whose key had not met admission_min_uses yet: the index was
+  /// built for the caller but not published.
+  uint64_t admission_bypasses = 0;
+  /// Entries (index + result) dropped selectively by BeginEpoch.
+  uint64_t invalidation_evictions = 0;
+  /// Result entries dropped because they outlived result_ttl_ms.
+  uint64_t result_ttl_evictions = 0;
   size_t index_bytes = 0;   // gauge: bytes currently cached
   size_t result_bytes = 0;  // gauge
 
@@ -115,6 +145,9 @@ struct IndexCacheStats {
     d.result_evictions -= o.result_evictions;
     d.result_inserts -= o.result_inserts;
     d.result_rejects -= o.result_rejects;
+    d.admission_bypasses -= o.admission_bypasses;
+    d.invalidation_evictions -= o.invalidation_evictions;
+    d.result_ttl_evictions -= o.result_ttl_evictions;
     return d;
   }
 };
@@ -149,34 +182,68 @@ class IndexCache {
   IndexCache(const IndexCache&) = delete;
   IndexCache& operator=(const IndexCache&) = delete;
 
-  /// Returns the cached index for `key`, or runs `build` (outside any lock)
-  /// and publishes the result. Concurrent callers on the same missing key
-  /// coalesce onto one build. A throwing build propagates to the builder
-  /// and wakes the waiters, which retry (one becomes the next builder).
-  /// `was_hit` (optional) reports whether an already-built index was
-  /// returned (including coalesced waits).
+  /// Returns the cached index for `key` valid at snapshot `view_version`,
+  /// or runs `build` (outside any lock) and publishes the result.
+  /// Concurrent same-version callers on the same missing key coalesce onto
+  /// one build. A throwing build propagates to the builder and wakes the
+  /// waiters, which retry (one becomes the next builder). `was_hit`
+  /// (optional) reports whether an already-built index was returned
+  /// (including coalesced waits). An entry hits only when it was first
+  /// published at a version <= `view_version` (and survived every epoch
+  /// since); a build by a caller whose snapshot is no longer current
+  /// completes for that caller but is never published. Static-graph users
+  /// leave `view_version` at 0 (the cache starts at version 0).
   std::shared_ptr<const LightweightIndex> GetOrBuild(
       const CacheKey& key, const std::function<LightweightIndex()>& build,
-      bool* was_hit = nullptr);
+      bool* was_hit = nullptr, uint64_t view_version = 0);
 
   /// Non-mutating probe (no LRU touch, no stats): scheduling uses it to
   /// order cache hits first within a batch.
-  std::shared_ptr<const LightweightIndex> PeekIndex(const CacheKey& key) const;
+  std::shared_ptr<const LightweightIndex> PeekIndex(
+      const CacheKey& key, uint64_t view_version = 0) const;
 
-  /// Result-cache lookup; counts a hit/miss and touches the LRU.
-  std::shared_ptr<const CachedResultSet> GetResult(const CacheKey& key);
+  /// Result-cache lookup; counts a hit/miss, touches the LRU and expires
+  /// entries older than result_ttl_ms.
+  std::shared_ptr<const CachedResultSet> GetResult(const CacheKey& key,
+                                                   uint64_t view_version = 0);
 
   /// Non-mutating result probe for scheduling.
-  bool HasResult(const CacheKey& key) const;
+  bool HasResult(const CacheKey& key, uint64_t view_version = 0) const;
 
   /// Inserts a completed result set; returns false when rejected (result
-  /// cache disabled or entry above the per-entry cap).
+  /// cache disabled, entry above the per-entry cap, or `view_version` no
+  /// longer current — a stale run must not publish results).
   bool PutResult(const CacheKey& key,
-                 std::shared_ptr<const CachedResultSet> result);
+                 std::shared_ptr<const CachedResultSet> result,
+                 uint64_t view_version = 0);
 
-  /// Drops every cached entry and bumps the generation, so in-flight builds
-  /// finish for their waiters but are not published. Call on graph swap.
-  void Clear();
+  /// Drops every cached entry (and the admission counters) and bumps the
+  /// generation, so in-flight builds finish for their waiters but are not
+  /// published. Call on full graph swap (RebindGraph). `new_version` resets
+  /// the snapshot version to whatever the caller is about to serve — 0
+  /// matches a freshly bound graph; a live engine passes its current view
+  /// version so post-clear publications are not rejected as stale.
+  void Clear(uint64_t new_version = 0);
+
+  /// Incremental invalidation (DESIGN.md §7): advances the cache to
+  /// snapshot `new_version` and evicts exactly the entries whose key the
+  /// update epoch could affect — `affects(s, t, k)` must return true when
+  /// a changed edge could lie on some <=k-hop s-t path in the old or new
+  /// snapshot (live/impact.h computes a sound such predicate). Everything
+  /// else survives and is valid for the new version. In-flight builds of
+  /// pre-epoch snapshots finish for their callers but are not published.
+  /// Passing an always-true predicate degrades to a versioned full clear
+  /// (the baseline the update-heavy bench compares against). Returns the
+  /// number of evicted entries. `new_version` must be greater than every
+  /// previously seen version; the caller serializes epochs.
+  size_t BeginEpoch(uint64_t new_version,
+                    const std::function<bool(VertexId source, VertexId target,
+                                             uint32_t hops)>& affects);
+
+  /// Snapshot version the cache currently serves (see BeginEpoch).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   IndexCacheStats Stats() const;
   const IndexCacheOptions& options() const { return opts_; }
@@ -186,12 +253,17 @@ class IndexCache {
 
   Shard& ShardFor(const CacheKey& key) const;
 
+  /// True when a result entry inserted at `inserted_at` outlived the TTL.
+  bool ResultExpired(
+      const std::chrono::steady_clock::time_point& inserted_at) const;
+
   IndexCacheOptions opts_;
   uint32_t shard_mask_ = 0;
   size_t index_budget_per_shard_ = 0;
   size_t result_budget_per_shard_ = 0;
   std::unique_ptr<Shard[]> shards_;
   std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t> version_{0};
 
   mutable std::atomic<uint64_t> index_hits_{0};
   mutable std::atomic<uint64_t> index_misses_{0};
@@ -202,6 +274,9 @@ class IndexCache {
   mutable std::atomic<uint64_t> result_evictions_{0};
   mutable std::atomic<uint64_t> result_inserts_{0};
   mutable std::atomic<uint64_t> result_rejects_{0};
+  mutable std::atomic<uint64_t> admission_bypasses_{0};
+  mutable std::atomic<uint64_t> invalidation_evictions_{0};
+  mutable std::atomic<uint64_t> result_ttl_evictions_{0};
   std::atomic<size_t> index_bytes_{0};
   std::atomic<size_t> result_bytes_{0};
 };

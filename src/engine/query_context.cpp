@@ -18,13 +18,17 @@ QueryStats QueryContext::RunCached(const Query& q, PathSink& sink,
                                    IndexCache* cache) {
   if (cache == nullptr) return Run(q, sink, opts);
   // Validation throws before any cache interaction, exactly like Run.
-  ValidateQuery(enumerator_.graph(), q);
+  ValidateQuery(enumerator_.view(), q);
 
+  // Cache interactions carry this context's snapshot version: a hit must be
+  // valid for exactly the snapshot this query observes, and a build/record
+  // of a retired snapshot must not publish (DESIGN.md §7).
+  const uint64_t view_version = enumerator_.view().version();
   const bool result_cache_on = cache->options().max_result_bytes > 0;
   const CacheKey result_key{q.source, q.target, q.hops,
                             ResultOptionsFingerprint(opts)};
   if (result_cache_on) {
-    if (const auto cached = cache->GetResult(result_key)) {
+    if (const auto cached = cache->GetResult(result_key, view_version)) {
       const QueryStats stats = ReplayCachedResult(*cached, sink, opts);
       ++queries_run_;
       return stats;
@@ -47,7 +51,7 @@ QueryStats QueryContext::RunCached(const Query& q, PathSink& sink,
   bool index_hit = false;
   const std::shared_ptr<const LightweightIndex> index = cache->GetOrBuild(
       index_key, [&] { return enumerator_.BuildIndex(q, build_opts); },
-      &index_hit);
+      &index_hit, view_version);
 
   QueryStats stats;
   if (result_cache_on) {
@@ -56,7 +60,7 @@ QueryStats QueryContext::RunCached(const Query& q, PathSink& sink,
     // Only complete runs enter the result cache: a truncated path set
     // (limit, deadline, sink stop) must never be replayed as the answer.
     if (stats.counters.completed() && recorder.recording()) {
-      cache->PutResult(result_key, recorder.Finish(stats));
+      cache->PutResult(result_key, recorder.Finish(stats), view_version);
     }
   } else {
     stats = enumerator_.RunWithIndex(*index, sink, opts);

@@ -170,12 +170,16 @@ struct TaskGroup {
 
 }  // namespace
 
-QueryEngine::QueryEngine(const Graph& g, const EngineOptions& opts,
+QueryEngine::QueryEngine(const GraphView& view, const EngineOptions& opts,
                          const PrunedLandmarkIndex* oracle)
-    : graph_(&g), oracle_(oracle), pool_(opts.num_workers) {
+    : view_(view),
+      oracle_(oracle),
+      bound_oracle_(oracle),
+      oracle_base_(&view_.base()),
+      pool_(opts.num_workers) {
   contexts_.reserve(pool_.num_workers());
   for (uint32_t w = 0; w < pool_.num_workers(); ++w) {
-    contexts_.push_back(std::make_unique<QueryContext>(g, oracle));
+    contexts_.push_back(std::make_unique<QueryContext>(view_, oracle));
   }
   if (opts.enable_cache) {
     cache_ = std::make_unique<IndexCache>(opts.cache);
@@ -185,17 +189,21 @@ QueryEngine::QueryEngine(const Graph& g, const EngineOptions& opts,
 QueryEngine::~QueryEngine() = default;
 
 void QueryEngine::InvalidateCaches() {
-  if (cache_ != nullptr) cache_->Clear();
+  // Align the cache's version with the bound view so publications resume
+  // immediately after the clear.
+  if (cache_ != nullptr) cache_->Clear(view_.version());
 }
 
 void QueryEngine::RebindGraph(const Graph& g,
                               const PrunedLandmarkIndex* oracle) {
-  graph_ = &g;
+  view_ = GraphView(g);
   oracle_ = oracle;
+  bound_oracle_ = oracle;
+  oracle_base_ = &view_.base();
   // Contexts hold graph references (BFS fields sized to |V|); rebuild them.
   contexts_.clear();
   for (uint32_t w = 0; w < pool_.num_workers(); ++w) {
-    contexts_.push_back(std::make_unique<QueryContext>(g, oracle));
+    contexts_.push_back(std::make_unique<QueryContext>(view_, oracle));
   }
   InvalidateCaches();
 }
@@ -206,6 +214,33 @@ uint32_t QueryEngine::ClampedWorkers(size_t tasks) const {
   uint64_t cap = std::min<uint64_t>(pool_.num_workers(), hw);
   cap = std::min<uint64_t>(cap, std::max<size_t>(tasks, 1));
   return static_cast<uint32_t>(std::max<uint64_t>(cap, 1));
+}
+
+BatchResult QueryEngine::RunBatch(const GraphView& view,
+                                  std::span<const Query> queries,
+                                  std::span<PathSink* const> sinks,
+                                  const BatchOptions& opts) {
+  if (!view.SameSnapshotAs(view_)) {
+    // A base-graph change without a version advance is a swap to an
+    // unrelated graph (a forward move within one snapshot lineage — e.g.
+    // a compaction epoch — always advances the version): the cached
+    // entries describe the old graph, so drop them all. Forward moves are
+    // governed by the version guards in RunBatch proper.
+    if (cache_ != nullptr && &view.base() != &view_.base() &&
+        view.version() <= view_.version()) {
+      cache_->Clear(view.version());
+    }
+    // The oracle (consulted directly by RunSplit and by every context) is
+    // only valid for the exact base it was bound against with no overlay on
+    // top; it is restored when a later batch returns to that base.
+    oracle_ = (bound_oracle_ != nullptr && &view.base() == oracle_base_ &&
+               !view.has_overlay())
+                  ? bound_oracle_
+                  : nullptr;
+    view_ = view;
+    for (const auto& ctx : contexts_) ctx->Rebind(view_, oracle_);
+  }
+  return RunBatch(queries, sinks, opts);
 }
 
 BatchResult QueryEngine::RunBatch(std::span<const Query> queries,
@@ -219,6 +254,13 @@ BatchResult QueryEngine::RunBatch(std::span<const Query> queries,
   ++batches_run_;
   IndexCache* cache =
       (opts.use_cache && cache_ != nullptr) ? cache_.get() : nullptr;
+  if (cache != nullptr && view_.version() > cache->version()) {
+    // The snapshot advanced past the cache without an epoch invalidation
+    // (IndexCache::BeginEpoch) — an epoch-unaware caller. Degrade to a
+    // versioned full clear rather than risk replaying entries the skipped
+    // update(s) may have staled.
+    cache->Clear(view_.version());
+  }
   const IndexCacheStats before =
       cache != nullptr ? cache->Stats() : IndexCacheStats{};
   Timer wall;
@@ -276,7 +318,8 @@ void QueryEngine::RunStealing(std::span<const Query> queries,
       const Query& q = queries[g.rep];
       const CacheKey rkey{q.source, q.target, q.hops,
                           ResultOptionsFingerprint(opts.query)};
-      if (cache->options().max_result_bytes > 0 && cache->HasResult(rkey)) {
+      if (cache->options().max_result_bytes > 0 &&
+          cache->HasResult(rkey, view_.version())) {
         g.priority = 0;
         continue;
       }
@@ -284,7 +327,7 @@ void QueryEngine::RunStealing(std::span<const Query> queries,
           q.source, q.target, q.hops,
           IndexOptionsFingerprint(
               PathEnumerator::BuildOptionsFor(q, opts.query))};
-      if (cache->PeekIndex(ikey) != nullptr) g.priority = 1;
+      if (cache->PeekIndex(ikey, view_.version()) != nullptr) g.priority = 1;
     }
     std::stable_sort(groups.begin(), groups.end(),
                      [](const TaskGroup& a, const TaskGroup& b) {
@@ -351,7 +394,7 @@ BatchResult QueryEngine::CountBatch(std::span<const Query> queries,
 QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
                                  const EnumOptions& opts, IndexCache* cache,
                                  uint32_t active_workers) {
-  ValidateQuery(*graph_, q);
+  ValidateQuery(view_, q);
   QueryStats stats;
   stats.method = Method::kDfs;  // splitting implies IDX-DFS
   Timer total;
@@ -376,7 +419,8 @@ QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
                        IndexOptionsFingerprint(build_opts)};
     bool hit = false;
     shared_index = cache->GetOrBuild(
-        key, [&] { return lead.BuildIndex(q, build_opts); }, &hit);
+        key, [&] { return lead.BuildIndex(q, build_opts); }, &hit,
+        view_.version());
     index = shared_index.get();
     stats.index_cache_hit = hit;
     if (!hit) {

@@ -24,6 +24,7 @@
 #include "core/query.h"
 #include "core/sink.h"
 #include "engine/index_cache.h"
+#include "graph/view.h"
 #include "engine/query_context.h"
 #include "engine/thread_pool.h"
 
@@ -102,16 +103,20 @@ struct BatchResult {
 };
 
 /// Thread-pooled batch query engine. One instance per graph/session; the
-/// graph (and optional oracle) must outlive it. RunBatch may be called any
-/// number of times, from one thread at a time.
+/// bound graph/view (and optional oracle) must outlive it. RunBatch may be
+/// called any number of times, from one thread at a time.
 class QueryEngine {
  public:
-  explicit QueryEngine(const Graph& g, const EngineOptions& opts = {},
+  /// Accepts a plain `Graph` (implicit borrowing view, version 0) or a live
+  /// `GraphView` snapshot. An oracle may only accompany an overlay-free
+  /// view.
+  explicit QueryEngine(const GraphView& view, const EngineOptions& opts = {},
                        const PrunedLandmarkIndex* oracle = nullptr);
   ~QueryEngine();
 
   uint32_t num_workers() const { return pool_.num_workers(); }
-  const Graph& graph() const { return *graph_; }
+  const Graph& graph() const { return view_.base(); }
+  const GraphView& view() const { return view_; }
 
   /// Runs the batch; `sinks[i]` receives exactly the paths of `queries[i]`.
   /// With split_branches each sink must tolerate calls from pool threads
@@ -120,6 +125,21 @@ class QueryEngine {
   /// With dedup_identical, the sinks of identical queries are all fed from
   /// one run on one worker.
   BatchResult RunBatch(std::span<const Query> queries,
+                       std::span<PathSink* const> sinks,
+                       const BatchOptions& opts = {});
+
+  /// Live-graph form: runs the whole batch against `view` (every query
+  /// observes exactly that snapshot), rebinding the worker contexts when
+  /// the snapshot differs from the currently bound one — cheap, scratch
+  /// survives, and within one snapshot lineage the caches are NOT cleared:
+  /// cache entries carry snapshot versions and epochs invalidate them
+  /// incrementally (see IndexCache::BeginEpoch / DESIGN.md §7). Safety
+  /// nets for callers outside that discipline: a version advance the cache
+  /// never saw an epoch for, and a base-graph swap without a version
+  /// advance, each degrade to a full clear. Successive views should come
+  /// from one SnapshotManager (monotone versions); use RebindGraph for an
+  /// unrelated graph.
+  BatchResult RunBatch(const GraphView& view, std::span<const Query> queries,
                        std::span<PathSink* const> sinks,
                        const BatchOptions& opts = {});
 
@@ -137,7 +157,9 @@ class QueryEngine {
   /// Points the engine at a different graph snapshot: recreates every
   /// worker context and invalidates the caches (a cached index describes
   /// the old topology). Must not race RunBatch. The new graph/oracle must
-  /// outlive the engine.
+  /// outlive the engine. For incremental updates prefer
+  /// RunBatch(view, ...) + IndexCache::BeginEpoch, which keep unaffected
+  /// cache entries alive.
   void RebindGraph(const Graph& g, const PrunedLandmarkIndex* oracle = nullptr);
 
   /// Aggregate footprint/usage over all worker contexts.
@@ -162,8 +184,10 @@ class QueryEngine {
   /// min(pool, tasks, hardware cores), at least 1.
   uint32_t ClampedWorkers(size_t tasks) const;
 
-  const Graph* graph_;
-  const PrunedLandmarkIndex* oracle_;
+  GraphView view_;
+  const PrunedLandmarkIndex* oracle_;  // active for view_ (null when stale)
+  const PrunedLandmarkIndex* bound_oracle_;  // as bound at ctor/RebindGraph
+  const Graph* oracle_base_;  // the base bound_oracle_ describes
   ThreadPool pool_;
   std::vector<std::unique_ptr<QueryContext>> contexts_;  // one per worker
   std::unique_ptr<IndexCache> cache_;  // null unless opts.enable_cache

@@ -12,30 +12,6 @@ void DistanceField::EnsureSize(size_t n) {
   }
 }
 
-void DistanceField::Compute(const Graph& g, Direction dir, VertexId source,
-                            const Options& opts) {
-  // Dispatch once per traversal: each combination instantiates ComputeWith
-  // with the std::function indirection confined to the branches that need
-  // it, so the common unfiltered case runs the branch-free instantiation.
-  const EdgeFilter* filter = opts.filter;
-  const VertexAdmission* admit = opts.admit;
-  const auto call_filter = [filter](VertexId u, VertexId v, EdgeId e) {
-    return (*filter)(u, v, e);
-  };
-  const auto call_admit = [admit](VertexId v, uint32_t dist) {
-    return (*admit)(v, dist);
-  };
-  if (filter != nullptr && admit != nullptr) {
-    ComputeWith(g, dir, source, opts, call_filter, call_admit);
-  } else if (filter != nullptr) {
-    ComputeWith(g, dir, source, opts, call_filter, AdmitAllVertices{});
-  } else if (admit != nullptr) {
-    ComputeWith(g, dir, source, opts, AcceptAllEdges{}, call_admit);
-  } else {
-    ComputeWith(g, dir, source, opts, AcceptAllEdges{}, AdmitAllVertices{});
-  }
-}
-
 bool WithinDistance(const Graph& g, VertexId from, VertexId to,
                     uint32_t max_depth) {
   if (from == to) return true;

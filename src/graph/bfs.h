@@ -72,6 +72,12 @@ struct BfsOptions {
 };
 
 /// Reusable BFS distance field.
+///
+/// Traversals are templated over the graph type: anything exposing the
+/// Graph accessor contract (`num_vertices`, sorted `OutNeighbors` /
+/// `InNeighbors` spans, `OutEdgeId`, `FindEdge`) works — in practice the
+/// immutable `Graph` and the live subsystem's `GraphView` overlay snapshots
+/// (graph/view.h), each instantiating its own inlined relaxation loop.
 class DistanceField {
  public:
   using Options = BfsOptions;
@@ -82,16 +88,35 @@ class DistanceField {
   /// result of any previous Compute on this object. Dispatches once on the
   /// presence of `opts.filter`/`opts.admit`, so the std::function cost is
   /// only paid when a filter is actually installed.
-  void Compute(const Graph& g, Direction dir, VertexId source,
-               const Options& opts = {});
+  template <typename GraphT>
+  void Compute(const GraphT& g, Direction dir, VertexId source,
+               const Options& opts = {}) {
+    const EdgeFilter* filter = opts.filter;
+    const VertexAdmission* admit = opts.admit;
+    const auto call_filter = [filter](VertexId u, VertexId v, EdgeId e) {
+      return (*filter)(u, v, e);
+    };
+    const auto call_admit = [admit](VertexId v, uint32_t dist) {
+      return (*admit)(v, dist);
+    };
+    if (filter != nullptr && admit != nullptr) {
+      ComputeWith(g, dir, source, opts, call_filter, call_admit);
+    } else if (filter != nullptr) {
+      ComputeWith(g, dir, source, opts, call_filter, AdmitAllVertices{});
+    } else if (admit != nullptr) {
+      ComputeWith(g, dir, source, opts, AcceptAllEdges{}, call_admit);
+    } else {
+      ComputeWith(g, dir, source, opts, AcceptAllEdges{}, AdmitAllVertices{});
+    }
+  }
 
   /// Devirtualized traversal: `filter` and `admit` are concrete callables
   /// (same signatures as EdgeFilter/VertexAdmission) inlined into the
   /// relaxation loop. `opts.filter`/`opts.admit` are ignored here — the
   /// parameters replace them; pass AcceptAllEdges/AdmitAllVertices for the
   /// unrestricted branch-free path.
-  template <typename FilterFn, typename AdmitFn>
-  void ComputeWith(const Graph& g, Direction dir, VertexId source,
+  template <typename GraphT, typename FilterFn, typename AdmitFn>
+  void ComputeWith(const GraphT& g, Direction dir, VertexId source,
                    const Options& opts, FilterFn&& filter, AdmitFn&& admit) {
     PATHENUM_CHECK(source < g.num_vertices());
     EnsureSize(g.num_vertices());

@@ -1,0 +1,140 @@
+#include "graph/view.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+
+namespace pathenum {
+
+namespace {
+
+/// Sorted-vector insert; returns true if the edge was actually added.
+bool SortedInsert(std::vector<VertexId>& adj, VertexId v) {
+  const auto it = std::lower_bound(adj.begin(), adj.end(), v);
+  if (it != adj.end() && *it == v) return false;
+  adj.insert(it, v);
+  return true;
+}
+
+/// Sorted-vector erase; returns true if the edge was actually removed.
+bool SortedErase(std::vector<VertexId>& adj, VertexId v) {
+  const auto it = std::lower_bound(adj.begin(), adj.end(), v);
+  if (it == adj.end() || *it != v) return false;
+  adj.erase(it);
+  return true;
+}
+
+}  // namespace
+
+size_t EdgeOverlay::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  constexpr size_t kMapEntryOverhead =
+      sizeof(void*) * 2 + sizeof(VertexId) + sizeof(std::vector<VertexId>);
+  for (const auto& [v, adj] : out_) {
+    bytes += kMapEntryOverhead + adj.capacity() * sizeof(VertexId);
+  }
+  for (const auto& [v, adj] : in_) {
+    bytes += kMapEntryOverhead + adj.capacity() * sizeof(VertexId);
+  }
+  return bytes;
+}
+
+bool GraphView::HasEdge(VertexId u, VertexId v) const {
+  if (overlay_ != nullptr) {
+    if (const std::vector<VertexId>* adj = overlay_->OutOf(u)) {
+      return std::binary_search(adj->begin(), adj->end(), v);
+    }
+  }
+  return base_->HasEdge(u, v);
+}
+
+GraphView GraphView::Apply(const GraphDelta& delta,
+                           uint64_t new_version) const {
+  PATHENUM_CHECK_MSG(base_ != nullptr, "cannot apply a delta to an empty view");
+  const VertexId n = num_vertices();
+  auto overlay = std::make_shared<EdgeOverlay>();
+  if (overlay_ != nullptr) {
+    // Overlays compose by copying the previous touched-vertex tables: cost
+    // proportional to the touched set, bounded by the compaction budget.
+    overlay->out_ = overlay_->out_;
+    overlay->in_ = overlay_->in_;
+    overlay->edge_delta_ = overlay_->edge_delta_;
+  }
+
+  // Copy-on-write per vertex: the first time a delta touches a vertex, its
+  // full adjacency is materialized from this view (base or prior overlay).
+  const auto out_of = [&](VertexId v) -> std::vector<VertexId>& {
+    const auto [it, inserted] = overlay->out_.try_emplace(v);
+    if (inserted) {
+      const auto span = OutNeighbors(v);
+      it->second.assign(span.begin(), span.end());
+    }
+    return it->second;
+  };
+  const auto in_of = [&](VertexId v) -> std::vector<VertexId>& {
+    const auto [it, inserted] = overlay->in_.try_emplace(v);
+    if (inserted) {
+      const auto span = InNeighbors(v);
+      it->second.assign(span.begin(), span.end());
+    }
+    return it->second;
+  };
+
+  for (const auto& [u, v] : delta.insertions) {
+    PATHENUM_CHECK_MSG(u < n && v < n, "delta endpoint out of range");
+    if (u == v) continue;  // self-loops are dropped, like GraphBuilder
+    if (SortedInsert(out_of(u), v)) {
+      SortedInsert(in_of(v), u);
+      ++overlay->edge_delta_;
+    }
+  }
+  for (const auto& [u, v] : delta.deletions) {
+    PATHENUM_CHECK_MSG(u < n && v < n, "delta endpoint out of range");
+    if (u == v) continue;
+    if (SortedErase(out_of(u), v)) {
+      SortedErase(in_of(v), u);
+      --overlay->edge_delta_;
+    }
+  }
+
+  GraphView next;
+  next.base_ = base_;
+  next.base_owner_ = base_owner_;
+  next.overlay_ = std::move(overlay);
+  next.version_ = new_version;
+  next.num_edges_ = static_cast<uint64_t>(
+      static_cast<int64_t>(base_->num_edges()) + next.overlay_->edge_delta());
+  return next;
+}
+
+Graph GraphView::Materialize() const {
+  PATHENUM_CHECK_MSG(base_ != nullptr, "cannot materialize an empty view");
+  if (overlay_ == nullptr) return *base_;  // copy of the CSR arrays
+  const VertexId n = num_vertices();
+  GraphBuilder b(n);
+  const bool attributed = base_->has_weights() || base_->has_labels();
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = OutNeighbors(v);
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      const VertexId w = nbrs[j];
+      if (!attributed) {
+        b.AddEdge(v, w);
+        continue;
+      }
+      // Surviving base edges keep their weight/label (found by id for
+      // untouched vertices, by lookup for overlay ones); edges the overlay
+      // inserted get the defaults (weight 1.0, label 0).
+      const EdgeId e = overlay_->OutOf(v) != nullptr ? base_->FindEdge(v, w)
+                                                     : base_->OutEdgeId(v, j);
+      if (e == kInvalidEdge) {
+        b.AddEdge(v, w, 1.0, 0);
+      } else {
+        b.AddEdge(v, w, base_->has_weights() ? base_->EdgeWeight(e) : 1.0,
+                  base_->has_labels() ? base_->EdgeLabel(e) : 0);
+      }
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace pathenum

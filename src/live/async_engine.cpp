@@ -1,0 +1,215 @@
+#include "live/async_engine.h"
+
+#include <exception>
+#include <utility>
+
+namespace pathenum {
+
+// ---------------------------------------------------------------------------
+// QueryTicket
+// ---------------------------------------------------------------------------
+
+const QueryStats& QueryTicket::Wait() const {
+  PATHENUM_CHECK_MSG(state_ != nullptr, "waiting on an invalid ticket");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->stats;
+}
+
+bool QueryTicket::Done() const {
+  if (state_ == nullptr) return false;
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+const std::string& QueryTicket::error() const {
+  PATHENUM_CHECK_MSG(state_ != nullptr, "querying an invalid ticket");
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->error;
+}
+
+uint64_t QueryTicket::snapshot_version() const {
+  PATHENUM_CHECK_MSG(state_ != nullptr, "querying an invalid ticket");
+  return state_->snapshot_version;
+}
+
+// ---------------------------------------------------------------------------
+// AsyncEngine
+// ---------------------------------------------------------------------------
+
+AsyncEngine::AsyncEngine(Graph base, const AsyncEngineOptions& opts)
+    : opts_(opts),
+      snapshots_(std::move(base), opts.snapshot),
+      pool_(opts.num_workers) {
+  if (opts_.max_queue == 0) opts_.max_queue = 1;
+  if (opts_.enable_cache) {
+    cache_ = std::make_unique<IndexCache>(opts_.cache);
+  }
+  const std::shared_ptr<const GraphView> snapshot = snapshots_.Current();
+  contexts_.reserve(pool_.num_workers());
+  for (uint32_t w = 0; w < pool_.num_workers(); ++w) {
+    contexts_.push_back(std::make_unique<QueryContext>(*snapshot));
+  }
+  // One long-running parallel region hosts every worker loop; the runner
+  // thread exists only to own the blocking RunOnAllWorkers call.
+  runner_ = std::thread(
+      [this] { pool_.RunOnAllWorkers([this](uint32_t w) { WorkerLoop(w); }); });
+}
+
+AsyncEngine::~AsyncEngine() { Shutdown(); }
+
+QueryTicket AsyncEngine::Submit(const Query& q, PathSink& sink,
+                                const EnumOptions& opts) {
+  auto state = std::make_shared<QueryTicket::State>();
+  Submission task;
+  task.query = q;
+  task.sink = &sink;
+  task.opts = opts;
+  task.state = state;
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_not_full_.wait(lock, [&] {
+      return shutdown_ || queue_.size() < opts_.max_queue;
+    });
+    if (shutdown_) {
+      Complete(*state, QueryStats{}, "engine is shut down");
+      return QueryTicket(std::move(state));
+    }
+    // The snapshot is captured while holding the queue lock so ticket
+    // version order is consistent with admission order; SubmitUpdate
+    // publishes outside this lock, so a submission observes either the old
+    // or the new snapshot — never a half-published one.
+    task.snapshot = snapshots_.Current();
+    state->snapshot_version = task.snapshot->version();
+    queue_.push_back(std::move(task));
+    ++submitted_;
+  }
+  queue_not_empty_.notify_one();
+  return QueryTicket(std::move(state));
+}
+
+QueryTicket AsyncEngine::TrySubmit(const Query& q, PathSink& sink,
+                                   const EnumOptions& opts) {
+  auto state = std::make_shared<QueryTicket::State>();
+  Submission task;
+  task.query = q;
+  task.sink = &sink;
+  task.opts = opts;
+  task.state = state;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (shutdown_ || queue_.size() >= opts_.max_queue) {
+      ++queue_rejects_;
+      return QueryTicket();
+    }
+    task.snapshot = snapshots_.Current();
+    state->snapshot_version = task.snapshot->version();
+    queue_.push_back(std::move(task));
+    ++submitted_;
+  }
+  queue_not_empty_.notify_one();
+  return QueryTicket(std::move(state));
+}
+
+uint64_t AsyncEngine::SubmitUpdate(const GraphDelta& delta) {
+  // One epoch at a time: prepare the next snapshot, advance the cache to
+  // its version (evicting exactly the affected keys) and only then publish.
+  // A query admitted mid-epoch therefore either observes the old snapshot
+  // (its cache interactions stay valid for the old version) or the fully
+  // invalidated new one — never a snapshot the cache has not caught up to.
+  const std::lock_guard<std::mutex> lock(update_mutex_);
+  const SnapshotManager::Epoch epoch = snapshots_.Prepare(delta);
+  if (cache_ != nullptr) {
+    const UpdateImpact& impact = epoch.impact;
+    cache_->BeginEpoch(epoch.snapshot->version(),
+                       [&impact](VertexId s, VertexId t, uint32_t k) {
+                         return impact.AffectsQuery(s, t, k);
+                       });
+  }
+  snapshots_.Publish(epoch);
+  return epoch.snapshot->version();
+}
+
+void AsyncEngine::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void AsyncEngine::Shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    shutdown_ = true;
+  }
+  // Workers drain the remaining queue (every ticket completes), then exit.
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  const std::lock_guard<std::mutex> join_lock(shutdown_mutex_);
+  if (runner_.joinable()) runner_.join();
+}
+
+void AsyncEngine::WorkerLoop(uint32_t worker) {
+  QueryContext& ctx = *contexts_[worker];
+  for (;;) {
+    Submission task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_not_empty_.wait(lock,
+                            [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    queue_not_full_.notify_one();
+    Execute(ctx, task);
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      --in_flight_;
+      ++executed_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void AsyncEngine::Execute(QueryContext& ctx, Submission& task) {
+  try {
+    // The context runs on exactly the submission's snapshot; the rebind is
+    // a view copy (scratch survives), free when the snapshot is unchanged.
+    ctx.Rebind(*task.snapshot);
+    const QueryStats stats =
+        ctx.RunCached(task.query, *task.sink, task.opts, cache_.get());
+    Complete(*task.state, stats, "");
+  } catch (const std::exception& e) {
+    Complete(*task.state, QueryStats{}, e.what());
+  }
+}
+
+void AsyncEngine::Complete(QueryTicket::State& state, const QueryStats& stats,
+                           std::string error) {
+  {
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    state.stats = stats;
+    state.error = std::move(error);
+    state.done = true;
+  }
+  state.cv.notify_all();
+}
+
+AsyncEngine::Stats AsyncEngine::stats() const {
+  Stats s;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    s.submitted = submitted_;
+    s.executed = executed_;
+    s.queue_rejects = queue_rejects_;
+    s.queue_depth = queue_.size();
+  }
+  const SnapshotManager::Stats snap = snapshots_.stats();
+  s.updates = snap.updates;
+  s.compactions = snap.compactions;
+  s.version = snapshots_.version();
+  if (cache_ != nullptr) s.cache = cache_->Stats();
+  return s;
+}
+
+}  // namespace pathenum

@@ -1,0 +1,188 @@
+// Asynchronous streaming front-end over the live-graph subsystem
+// (DESIGN.md §7): Submit(query, sink) -> QueryTicket enqueues work onto the
+// persistent ThreadPool and returns immediately; paths stream into the
+// caller's PathSink from a worker thread as they are found (the standard
+// sink contract — return false to stop early). SubmitUpdate(delta) applies
+// an update epoch: it prepares the next snapshot, incrementally invalidates
+// the shared cache for the new version (IndexCache::BeginEpoch with the
+// epoch's UpdateImpact), and only then publishes — so every query observes
+// exactly the snapshot that was current when it was submitted, updates
+// never corrupt in-flight enumerations, and unaffected hot keys keep their
+// cached indexes across updates.
+//
+// Threading contract: Submit/TrySubmit and SubmitUpdate may be called from
+// any thread (updates serialize internally). A query's sink is invoked from
+// exactly one worker thread for the duration of that query; the ticket's
+// Wait() synchronizes with the query's completion. Shutdown drains the
+// admission queue before stopping the workers; the destructor shuts down.
+#ifndef PATHENUM_LIVE_ASYNC_ENGINE_H_
+#define PATHENUM_LIVE_ASYNC_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/options.h"
+#include "core/query.h"
+#include "core/sink.h"
+#include "engine/index_cache.h"
+#include "engine/query_context.h"
+#include "engine/thread_pool.h"
+#include "live/snapshot.h"
+
+namespace pathenum {
+
+struct AsyncEngineOptions {
+  /// Worker threads. 0 picks hardware_concurrency().
+  uint32_t num_workers = 0;
+  /// Bounded admission: Submit blocks (TrySubmit fails) when this many
+  /// queries are already queued.
+  size_t max_queue = 1024;
+  /// Shared cross-query cache (incrementally invalidated across updates).
+  bool enable_cache = true;
+  IndexCacheOptions cache;
+  /// Snapshot lifecycle knobs (compaction budget, impact radius).
+  SnapshotOptions snapshot;
+};
+
+/// Completion handle for one submitted query. Cheap to copy; all copies
+/// share the completion state.
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the query finished (or was rejected); returns its stats.
+  /// A rejected/failed query returns default stats — check ok()/error().
+  const QueryStats& Wait() const;
+
+  /// Non-blocking completion probe.
+  bool Done() const;
+
+  /// After Wait: empty on success, else the rejection/failure message.
+  const std::string& error() const;
+  bool ok() const { return error().empty(); }
+
+  /// The snapshot version this query observes (assigned at Submit).
+  uint64_t snapshot_version() const;
+
+ private:
+  friend class AsyncEngine;
+
+  struct State {
+    mutable std::mutex mutex;
+    mutable std::condition_variable cv;
+    bool done = false;
+    QueryStats stats;
+    std::string error;
+    uint64_t snapshot_version = 0;
+  };
+
+  explicit QueryTicket(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+class AsyncEngine {
+ public:
+  /// Takes ownership of `base` as the version-0 snapshot.
+  explicit AsyncEngine(Graph base, const AsyncEngineOptions& opts = {});
+  ~AsyncEngine();
+
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+  /// Enqueues `q` against the current snapshot; `sink` receives the paths
+  /// from a worker thread and must outlive the query (use the ticket).
+  /// Blocks while the admission queue is full; returns an errored ticket
+  /// after Shutdown.
+  QueryTicket Submit(const Query& q, PathSink& sink,
+                     const EnumOptions& opts = {});
+
+  /// Non-blocking Submit: returns an invalid ticket (and counts a reject)
+  /// when the admission queue is full or the engine is shut down.
+  QueryTicket TrySubmit(const Query& q, PathSink& sink,
+                        const EnumOptions& opts = {});
+
+  /// Applies one update epoch and returns the new snapshot version.
+  /// Queries submitted before this call observe the old snapshot; queries
+  /// submitted after it observe the new one (or a newer).
+  uint64_t SubmitUpdate(const GraphDelta& delta);
+
+  /// The snapshot new submissions would observe right now.
+  std::shared_ptr<const GraphView> Snapshot() const {
+    return snapshots_.Current();
+  }
+
+  uint64_t version() const { return snapshots_.version(); }
+  uint32_t num_workers() const { return pool_.num_workers(); }
+
+  /// Blocks until every already-submitted query has completed.
+  void Drain();
+
+  /// Drains the queue, completes every ticket, and stops the workers.
+  /// Further Submits return errored tickets. Idempotent.
+  void Shutdown();
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t executed = 0;
+    uint64_t updates = 0;
+    uint64_t compactions = 0;
+    uint64_t queue_rejects = 0;   // TrySubmit refusals
+    uint64_t version = 0;
+    size_t queue_depth = 0;       // queued, not yet claimed
+    IndexCacheStats cache;        // zeros when the cache is disabled
+  };
+  Stats stats() const;
+
+  /// The shared cache, or null when disabled.
+  IndexCache* cache() { return cache_.get(); }
+
+ private:
+  struct Submission {
+    Query query;
+    PathSink* sink = nullptr;
+    EnumOptions opts;
+    std::shared_ptr<const GraphView> snapshot;
+    std::shared_ptr<QueryTicket::State> state;
+  };
+
+  void WorkerLoop(uint32_t worker);
+  void Execute(QueryContext& ctx, Submission& task);
+  static void Complete(QueryTicket::State& state, const QueryStats& stats,
+                       std::string error);
+
+  AsyncEngineOptions opts_;
+  SnapshotManager snapshots_;
+  std::unique_ptr<IndexCache> cache_;  // null unless enable_cache
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<QueryContext>> contexts_;  // one per worker
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable idle_;
+  std::deque<Submission> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  uint64_t submitted_ = 0;
+  uint64_t executed_ = 0;
+  uint64_t queue_rejects_ = 0;
+
+  std::mutex update_mutex_;  // serializes Prepare..BeginEpoch..Publish
+  std::mutex shutdown_mutex_;  // serializes the runner join
+
+  std::thread runner_;  // drives pool_.RunOnAllWorkers(WorkerLoop)
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_LIVE_ASYNC_ENGINE_H_

@@ -1,0 +1,78 @@
+#include "live/impact.h"
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "graph/bfs.h"
+
+namespace pathenum {
+
+namespace {
+
+/// Multi-source bounded BFS into the (empty) `ball` map. Plain BFS: every
+/// root enters at distance 0 and first-touch distances are already
+/// minimal, so no re-relaxation is ever needed.
+void GrowBall(const GraphView& view, Direction dir,
+              const std::vector<VertexId>& roots, uint32_t radius,
+              std::unordered_map<VertexId, uint32_t>& ball) {
+  std::deque<VertexId> queue;
+  for (const VertexId r : roots) {
+    if (ball.try_emplace(r, 0).second) queue.push_back(r);
+  }
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    const uint32_t du = ball[u];
+    if (du >= radius) continue;
+    const auto nbrs = dir == Direction::kForward ? view.OutNeighbors(u)
+                                                 : view.InNeighbors(u);
+    for (const VertexId v : nbrs) {
+      if (ball.try_emplace(v, du + 1).second) queue.push_back(v);
+    }
+  }
+}
+
+}  // namespace
+
+UpdateImpact UpdateImpact::Compute(const GraphView& before,
+                                   const GraphView& after,
+                                   const GraphDelta& delta,
+                                   uint32_t max_hops) {
+  UpdateImpact impact;
+  if (delta.empty()) return impact;
+  impact.any_change_ = true;
+  impact.radius_ = max_hops == 0 ? 0 : (max_hops - 1) / 2;
+
+  std::vector<VertexId> tails, heads;
+  tails.reserve(delta.size());
+  heads.reserve(delta.size());
+  for (const auto& [u, v] : delta.insertions) {
+    if (u == v) continue;
+    tails.push_back(u);
+    heads.push_back(v);
+  }
+  for (const auto& [u, v] : delta.deletions) {
+    if (u == v) continue;
+    tails.push_back(u);
+    heads.push_back(v);
+  }
+  if (tails.empty()) {
+    impact.any_change_ = false;  // the delta was all self-loops: a no-op
+    return impact;
+  }
+
+  // Backward ball: vertices that can reach a changed-edge tail (their role
+  // as a query *source* may be affected). Forward ball: vertices reachable
+  // from a changed-edge head (their role as a *target*). Growing over the
+  // *before* snapshot alone suffices — see the header's decomposition
+  // argument — so `after` is only consulted for sanity here.
+  (void)after;
+  GrowBall(before, Direction::kBackward, tails, impact.radius_,
+           impact.source_ball_);
+  GrowBall(before, Direction::kForward, heads, impact.radius_,
+           impact.target_ball_);
+  return impact;
+}
+
+}  // namespace pathenum

@@ -1,0 +1,82 @@
+// Affected-query analysis for one update epoch (DESIGN.md §7).
+//
+// A cached index or result set for q(s, t, k) is stale after an update iff
+// some changed edge (u, v) lies on an s-t path of at most k hops — in the
+// *old* snapshot for deletions (the path existed and is gone) or the *new*
+// one for insertions (the path is new). Testing that exactly per entry
+// would cost an index build per entry; instead `UpdateImpact` precomputes
+// two bounded distance balls once per epoch and answers each entry in O(1):
+//
+//   For any such path, s --a--> u -> v --b--> t with a + 1 + b <= k, so
+//   min(a, b) <= floor((k-1)/2). Hence either s reaches some changed-edge
+//   tail u within floor((k-1)/2) hops, or some changed-edge head v reaches
+//   t within floor((k-1)/2) hops.
+//
+// `Compute` grows a backward ball from every changed-edge tail and a
+// forward ball from every changed-edge head, to radius floor((max_hops-1)/2),
+// over the *pre-update* snapshot. That alone covers insertions too, by
+// decomposition: on an affected new path, the prefix strictly before the
+// FIRST inserted edge uses only edges that already existed (inserted edges
+// are not on it by choice, deleted edges are absent from the new snapshot
+// entirely), and it ends at an inserted-edge tail — itself a ball root —
+// so the old-snapshot distance from s to some root is <= the prefix
+// length; symmetrically for the suffix after the LAST changed edge on the
+// target side. `AffectsQuery(s, t, k)` is then sound for every
+// k <= max_hops and conservatively answers "affected" beyond that radius.
+// The balls use plain shortest distances, which lower-bound the index's
+// endpoint-avoiding distances — conservative in the safe direction.
+#ifndef PATHENUM_LIVE_IMPACT_H_
+#define PATHENUM_LIVE_IMPACT_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/view.h"
+
+namespace pathenum {
+
+class UpdateImpact {
+ public:
+  /// An empty impact affects nothing (the identity epoch).
+  UpdateImpact() = default;
+
+  /// Analyzes `delta` applied `before` -> `after` (both snapshots must
+  /// describe exactly that transition; only `before` is traversed — see
+  /// the decomposition argument above). `max_hops` bounds the hop
+  /// constraints the analysis certifies; queries with larger k report
+  /// affected. Cost: two bounded multi-source BFS of radius
+  /// floor((max_hops-1)/2).
+  static UpdateImpact Compute(const GraphView& before, const GraphView& after,
+                              const GraphDelta& delta, uint32_t max_hops);
+
+  /// True when the epoch could change the result set of q(s, t, hops) —
+  /// sound (never false for an actually affected query), conservative
+  /// (may be true for an unaffected one). Matches the eviction predicate
+  /// IndexCache::BeginEpoch expects.
+  bool AffectsQuery(VertexId source, VertexId target, uint32_t hops) const {
+    if (!any_change_) return false;
+    const uint32_t rk = hops == 0 ? 0 : (hops - 1) / 2;
+    if (rk > radius_) return true;  // beyond the certified radius
+    const auto s = source_ball_.find(source);
+    if (s != source_ball_.end() && s->second <= rk) return true;
+    const auto t = target_ball_.find(target);
+    return t != target_ball_.end() && t->second <= rk;
+  }
+
+  bool empty() const { return !any_change_; }
+  uint32_t radius() const { return radius_; }
+  size_t source_ball_size() const { return source_ball_.size(); }
+  size_t target_ball_size() const { return target_ball_.size(); }
+
+ private:
+  /// Min over changed-edge tails u of dist(x -> u), capped at radius_.
+  std::unordered_map<VertexId, uint32_t> source_ball_;
+  /// Min over changed-edge heads v of dist(v -> x), capped at radius_.
+  std::unordered_map<VertexId, uint32_t> target_ball_;
+  uint32_t radius_ = 0;
+  bool any_change_ = false;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_LIVE_IMPACT_H_

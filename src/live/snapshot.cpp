@@ -1,0 +1,83 @@
+#include "live/snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pathenum {
+
+SnapshotManager::SnapshotManager(Graph base, const SnapshotOptions& opts)
+    : SnapshotManager(std::make_shared<const Graph>(std::move(base)), opts) {}
+
+SnapshotManager::SnapshotManager(std::shared_ptr<const Graph> base,
+                                 const SnapshotOptions& opts)
+    : opts_(opts) {
+  PATHENUM_CHECK(base != nullptr);
+  current_ = std::make_shared<const GraphView>(std::move(base), nullptr,
+                                               /*version=*/0);
+}
+
+std::shared_ptr<const GraphView> SnapshotManager::Current() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+uint64_t SnapshotManager::version() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return current_->version();
+}
+
+SnapshotManager::Epoch SnapshotManager::Prepare(const GraphDelta& delta) {
+  std::shared_ptr<const GraphView> before;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    before = current_;
+  }
+  Epoch epoch;
+  const uint64_t next_version = before->version() + 1;
+  GraphView next = before->Apply(delta, next_version);
+  epoch.impact =
+      UpdateImpact::Compute(*before, next, delta, opts_.max_hops);
+
+  const size_t touched_budget = std::max<size_t>(
+      opts_.compact_min_touched,
+      static_cast<size_t>(opts_.compact_touched_fraction *
+                          static_cast<double>(next.num_vertices())));
+  if (next.has_overlay() && next.overlay()->num_touched() > touched_budget) {
+    // Fold base + overlay into a fresh standalone base. Same topology, same
+    // version — only the representation changes; older snapshots keep their
+    // own shared base alive.
+    epoch.snapshot = std::make_shared<const GraphView>(
+        std::make_shared<const Graph>(next.Materialize()), nullptr,
+        next_version);
+    epoch.compacted = true;
+  } else {
+    epoch.snapshot = std::make_shared<const GraphView>(std::move(next));
+  }
+  return epoch;
+}
+
+void SnapshotManager::Publish(const Epoch& epoch) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PATHENUM_CHECK_MSG(epoch.snapshot->version() == current_->version() + 1,
+                     "epochs must publish in order (serialize the updater)");
+  current_ = epoch.snapshot;
+  ++updates_;
+  if (epoch.compacted) ++compactions_;
+}
+
+SnapshotManager::Epoch SnapshotManager::Apply(const GraphDelta& delta) {
+  Epoch epoch = Prepare(delta);
+  Publish(epoch);
+  return epoch;
+}
+
+SnapshotManager::Stats SnapshotManager::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.updates = updates_;
+  s.compactions = compactions_;
+  s.overlay_bytes = current_->OverlayBytes();
+  return s;
+}
+
+}  // namespace pathenum

@@ -1,0 +1,93 @@
+// MVCC snapshot publication for the live-graph subsystem (DESIGN.md §7).
+//
+// A SnapshotManager owns the version counter and the chain of published
+// `GraphView`s over one base graph. Each update epoch produces a new
+// immutable snapshot (base + composed overlay) at version v+1; in-flight
+// queries keep the shared_ptr of the snapshot they started on and are never
+// disturbed. When the overlay outgrows its budget the epoch *compacts*:
+// the view is folded into a fresh standalone CSR base, so overlay lookups
+// stay O(1)-with-small-constants and memory stays proportional to one graph
+// plus the recent churn.
+//
+// `Prepare` computes an epoch without publishing it, so a caller can
+// invalidate caches for the new version *before* any query can observe it
+// (IndexCache::BeginEpoch), then `Publish`. `Apply` fuses both for callers
+// without caches. Epoch preparation must be serialized by the caller (one
+// updater at a time); `Current` is safe from any thread.
+#ifndef PATHENUM_LIVE_SNAPSHOT_H_
+#define PATHENUM_LIVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "graph/view.h"
+#include "live/impact.h"
+
+namespace pathenum {
+
+struct SnapshotOptions {
+  /// Compact when the overlay's touched-vertex tables exceed this fraction
+  /// of |V| ...
+  double compact_touched_fraction = 1.0 / 16;
+  /// ... but never below this absolute count (small graphs would otherwise
+  /// compact on every epoch).
+  size_t compact_min_touched = 1024;
+  /// Hop-constraint ceiling the per-epoch impact analysis certifies
+  /// (queries with larger k are conservatively treated as affected — see
+  /// live/impact.h). The paper's workloads use k in [3, 8].
+  uint32_t max_hops = 8;
+};
+
+class SnapshotManager {
+ public:
+  /// Takes ownership of `base` as the version-0 snapshot.
+  explicit SnapshotManager(Graph base, const SnapshotOptions& opts = {});
+  explicit SnapshotManager(std::shared_ptr<const Graph> base,
+                           const SnapshotOptions& opts = {});
+
+  /// The latest published snapshot. Callers hold the shared_ptr for as long
+  /// as they enumerate it (MVCC: later epochs never disturb it).
+  std::shared_ptr<const GraphView> Current() const;
+
+  uint64_t version() const;
+
+  /// One prepared-but-unpublished update epoch.
+  struct Epoch {
+    std::shared_ptr<const GraphView> snapshot;  // the version v+1 view
+    UpdateImpact impact;  // eviction predicate vs. the previous snapshot
+    bool compacted = false;
+  };
+
+  /// Computes the epoch for `delta` on top of Current() without publishing:
+  /// Current() still returns the old snapshot. The caller invalidates its
+  /// caches with `epoch.impact` and then calls Publish. Prepare/Publish
+  /// pairs must not interleave across threads.
+  Epoch Prepare(const GraphDelta& delta);
+
+  /// Makes `epoch.snapshot` the current snapshot.
+  void Publish(const Epoch& epoch);
+
+  /// Prepare + Publish, for callers without caches to invalidate.
+  Epoch Apply(const GraphDelta& delta);
+
+  struct Stats {
+    uint64_t updates = 0;
+    uint64_t compactions = 0;
+    size_t overlay_bytes = 0;  // current snapshot's overlay footprint
+  };
+  Stats stats() const;
+
+  const SnapshotOptions& options() const { return opts_; }
+
+ private:
+  SnapshotOptions opts_;
+  mutable std::mutex mutex_;  // guards current_ and the counters
+  std::shared_ptr<const GraphView> current_;
+  uint64_t updates_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_LIVE_SNAPSHOT_H_

@@ -1,0 +1,865 @@
+// Tests for the live-graph subsystem (DESIGN.md §7): GraphDelta/GraphView
+// overlays, SnapshotManager versioning and compaction, UpdateImpact
+// soundness, snapshot-versioned incremental cache invalidation, and the
+// AsyncEngine's epoch-ordering guarantees — including updates racing
+// in-flight queries.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/path_enum.h"
+#include "core/reference.h"
+#include "engine/query_engine.h"
+#include "graph/distance_oracle.h"
+#include "graph/generators.h"
+#include "graph/view.h"
+#include "live/async_engine.h"
+#include "live/impact.h"
+#include "live/snapshot.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace pathenum {
+namespace {
+
+using testing::PaperExampleGraph;
+using testing::PaperExampleQuery;
+using testing::PathSet;
+using testing::ToSet;
+
+PathSet EnumerateOnView(const GraphView& view, const Query& q) {
+  PathEnumerator pe(view);
+  CollectingSink sink;
+  pe.Run(q, sink);
+  return ToSet(sink.paths());
+}
+
+PathSet Reference(const Graph& g, const Query& q) {
+  return ToSet(BruteForcePaths(g, q));
+}
+
+// ---------------------------------------------------------------------------
+// GraphView / GraphDelta
+// ---------------------------------------------------------------------------
+
+TEST(GraphViewTest, BorrowingViewMatchesGraph) {
+  const Graph g = PaperExampleGraph();
+  const GraphView view(g);
+  EXPECT_EQ(view.num_vertices(), g.num_vertices());
+  EXPECT_EQ(view.num_edges(), g.num_edges());
+  EXPECT_EQ(view.version(), 0u);
+  EXPECT_FALSE(view.has_overlay());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.OutNeighbors(v);
+    const auto b = view.OutNeighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    const auto ai = g.InNeighbors(v);
+    const auto bi = view.InNeighbors(v);
+    ASSERT_TRUE(std::equal(ai.begin(), ai.end(), bi.begin(), bi.end()));
+  }
+}
+
+TEST(GraphViewTest, InsertAndDeleteKeepSortedContract) {
+  const Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {0, 4}});
+  GraphDelta delta;
+  delta.Insert(1, 5).Insert(1, 0).Delete(0, 4);
+  const GraphView v1 = GraphView(g).Apply(delta, 1);
+
+  EXPECT_EQ(v1.version(), 1u);
+  EXPECT_TRUE(v1.has_overlay());
+  EXPECT_EQ(v1.num_edges(), g.num_edges() + 2 - 1);
+  EXPECT_TRUE(v1.HasEdge(1, 5));
+  EXPECT_TRUE(v1.HasEdge(1, 0));
+  EXPECT_FALSE(v1.HasEdge(0, 4));
+  // Sorted ascending even after overlay edits, out and in.
+  const auto out1 = v1.OutNeighbors(1);
+  ASSERT_TRUE(std::is_sorted(out1.begin(), out1.end()));
+  EXPECT_EQ(std::vector<VertexId>(out1.begin(), out1.end()),
+            (std::vector<VertexId>{0, 2, 5}));
+  const auto in0 = v1.InNeighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(in0.begin(), in0.end()),
+            (std::vector<VertexId>{1}));
+  // The base graph and the version-0 view are untouched (MVCC).
+  EXPECT_TRUE(g.HasEdge(0, 4));
+  EXPECT_FALSE(g.HasEdge(1, 5));
+}
+
+TEST(GraphViewTest, NoOpAndDuplicateDeltasAreIgnored) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}});
+  GraphDelta delta;
+  delta.Insert(0, 1);  // already present
+  delta.Insert(2, 2);  // self-loop
+  delta.Insert(3, 1).Insert(3, 1);  // duplicate insert
+  delta.Delete(0, 3);  // absent
+  const GraphView v1 = GraphView(g).Apply(delta, 1);
+  EXPECT_EQ(v1.num_edges(), g.num_edges() + 1);
+  EXPECT_TRUE(v1.HasEdge(3, 1));
+}
+
+TEST(GraphViewTest, DeltaIsASetDeletionsWin) {
+  // Within one delta, order of Insert/Delete calls is irrelevant:
+  // insertions apply first, deletions win on conflicts (documented batch
+  // semantics; order-dependent streams split across epochs).
+  const Graph g = Graph::FromEdges(3, {{0, 1}});
+  const GraphView a =
+      GraphView(g).Apply(GraphDelta{}.Delete(1, 2).Insert(1, 2), 1);
+  const GraphView b =
+      GraphView(g).Apply(GraphDelta{}.Insert(1, 2).Delete(1, 2), 1);
+  EXPECT_FALSE(a.HasEdge(1, 2));
+  EXPECT_FALSE(b.HasEdge(1, 2));
+}
+
+TEST(GraphViewTest, MaterializePreservesEdgeAttributes) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 2.5, 7);
+  b.AddEdge(1, 2, 0.5, 3);
+  b.AddEdge(2, 3, 4.0, 1);
+  const Graph g = b.Build();
+
+  // Touch vertex 1's adjacency and insert a fresh edge; survivors keep
+  // their weight/label, the inserted edge gets the defaults.
+  const GraphView v1 =
+      GraphView(g).Apply(GraphDelta{}.Insert(1, 3).Delete(2, 3), 1);
+  const Graph folded = v1.Materialize();
+  ASSERT_TRUE(folded.has_weights());
+  ASSERT_TRUE(folded.has_labels());
+  const EdgeId e01 = folded.FindEdge(0, 1);
+  const EdgeId e12 = folded.FindEdge(1, 2);
+  const EdgeId e13 = folded.FindEdge(1, 3);
+  ASSERT_NE(e01, kInvalidEdge);
+  ASSERT_NE(e12, kInvalidEdge);
+  ASSERT_NE(e13, kInvalidEdge);
+  EXPECT_EQ(folded.FindEdge(2, 3), kInvalidEdge);
+  EXPECT_DOUBLE_EQ(folded.EdgeWeight(e01), 2.5);
+  EXPECT_EQ(folded.EdgeLabel(e01), 7u);
+  EXPECT_DOUBLE_EQ(folded.EdgeWeight(e12), 0.5);
+  EXPECT_EQ(folded.EdgeLabel(e12), 3u);
+  EXPECT_DOUBLE_EQ(folded.EdgeWeight(e13), 1.0);  // inserted: defaults
+  EXPECT_EQ(folded.EdgeLabel(e13), 0u);
+}
+
+TEST(EngineViewTest, OracleDroppedOnRebindToDifferentBase) {
+  // An engine bound with an oracle must not consult it after rebinding to
+  // a snapshot with a different base (e.g. a compacted live snapshot):
+  // a stale oracle would silently reject newly connected pairs.
+  const Graph g1 = Graph::FromEdges(4, {{0, 1}, {2, 3}});  // 0 /-> 3
+  const PrunedLandmarkIndex oracle = PrunedLandmarkIndex::Build(g1);
+  QueryEngine engine(g1, {.num_workers = 1}, &oracle);
+
+  // New base where 0 -> 3 is connected (as a compaction would produce).
+  const Graph g2 =
+      GraphView(g1).Apply(GraphDelta{}.Insert(1, 2), 1).Materialize();
+  const GraphView compacted(std::make_shared<const Graph>(g2), nullptr, 1);
+
+  const std::vector<Query> queries{Query{0, 3, 3}};
+  std::vector<CountingSink> sinks(1);
+  std::vector<PathSink*> sink_ptrs{&sinks[0]};
+  BatchOptions split;
+  split.split_branches = true;  // the split path consults the engine oracle
+  const BatchResult r = engine.RunBatch(compacted, queries, sink_ptrs, split);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.stats[0].counters.num_results, 1u);
+}
+
+TEST(GraphViewTest, OverlaysComposeAcrossEpochs) {
+  const Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const GraphView v0(g);
+  const GraphView v1 = v0.Apply(GraphDelta{}.Insert(0, 2), 1);
+  const GraphView v2 = v1.Apply(GraphDelta{}.Insert(2, 4).Delete(0, 1), 2);
+
+  // Each snapshot sees exactly its own epoch's state.
+  EXPECT_FALSE(v0.HasEdge(0, 2));
+  EXPECT_TRUE(v1.HasEdge(0, 2));
+  EXPECT_TRUE(v1.HasEdge(0, 1));
+  EXPECT_FALSE(v1.HasEdge(2, 4));
+  EXPECT_TRUE(v2.HasEdge(0, 2));
+  EXPECT_FALSE(v2.HasEdge(0, 1));
+  EXPECT_TRUE(v2.HasEdge(2, 4));
+  EXPECT_EQ(v2.num_edges(), 4u + 2u - 1u);
+}
+
+TEST(GraphViewTest, MaterializeFoldsOverlayExactly) {
+  Rng rng(42);
+  const Graph g = ErdosRenyi(40, 160, /*seed=*/7);
+  GraphView view(g);
+  GraphDelta delta;
+  for (int i = 0; i < 30; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(40));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(40));
+    if (i % 3 == 0) {
+      delta.Delete(u, v);
+    } else {
+      delta.Insert(u, v);
+    }
+  }
+  const GraphView v1 = view.Apply(delta, 1);
+  const Graph folded = v1.Materialize();
+  ASSERT_EQ(folded.num_vertices(), v1.num_vertices());
+  ASSERT_EQ(folded.num_edges(), v1.num_edges());
+  for (VertexId v = 0; v < folded.num_vertices(); ++v) {
+    const auto a = folded.OutNeighbors(v);
+    const auto b = v1.OutNeighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "out-adjacency mismatch at " << v;
+    const auto ai = folded.InNeighbors(v);
+    const auto bi = v1.InNeighbors(v);
+    ASSERT_TRUE(std::equal(ai.begin(), ai.end(), bi.begin(), bi.end()))
+        << "in-adjacency mismatch at " << v;
+  }
+}
+
+TEST(GraphViewTest, OutOfRangeEndpointThrows) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}});
+  EXPECT_THROW(GraphView(g).Apply(GraphDelta{}.Insert(0, 3), 1),
+               std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Enumeration on views
+// ---------------------------------------------------------------------------
+
+TEST(LiveEnumerationTest, PaperExampleGainsAndLosesPaths) {
+  const Graph g = PaperExampleGraph();
+  const Query q = PaperExampleQuery();
+  const GraphView v0(g);
+  const PathSet base_paths = EnumerateOnView(v0, q);
+  EXPECT_EQ(base_paths, Reference(g, q));
+
+  // Inserting s -> v5 opens new paths through v5; deleting v0 -> t closes
+  // every path using that edge.
+  const GraphView v1 = v0.Apply(
+      GraphDelta{}.Insert(testing::kS, testing::kV5).Delete(testing::kV0,
+                                                            testing::kT),
+      1);
+  const PathSet updated_paths = EnumerateOnView(v1, q);
+  EXPECT_EQ(updated_paths, Reference(v1.Materialize(), q));
+  EXPECT_NE(updated_paths, base_paths);
+}
+
+TEST(LiveEnumerationTest, RandomizedViewMatchesMaterialized) {
+  Rng rng(1234);
+  for (int round = 0; round < 12; ++round) {
+    const VertexId n = 24;
+    const Graph g = ErdosRenyi(n, 72, /*seed=*/100 + round);
+    GraphView view(g);
+    // Several epochs of random churn, enumerating after each.
+    for (uint64_t epoch = 1; epoch <= 3; ++epoch) {
+      GraphDelta delta;
+      for (int i = 0; i < 10; ++i) {
+        const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+        const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+        if (rng.NextBounded(2) == 0) {
+          delta.Insert(u, v);
+        } else {
+          delta.Delete(u, v);
+        }
+      }
+      view = view.Apply(delta, epoch);
+      const Graph folded = view.Materialize();
+      const Query q{0, n - 1, 5};
+      ASSERT_EQ(EnumerateOnView(view, q), Reference(folded, q))
+          << "round " << round << " epoch " << epoch;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotManager
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotManagerTest, VersionsAdvanceAndOldSnapshotsSurvive) {
+  SnapshotManager mgr(PaperExampleGraph());
+  const auto s0 = mgr.Current();
+  EXPECT_EQ(s0->version(), 0u);
+
+  const auto epoch = mgr.Apply(GraphDelta{}.Insert(testing::kV7, testing::kT));
+  EXPECT_EQ(epoch.snapshot->version(), 1u);
+  EXPECT_EQ(mgr.version(), 1u);
+  EXPECT_TRUE(mgr.Current()->HasEdge(testing::kV7, testing::kT));
+  // The retired snapshot still answers for its own version.
+  EXPECT_FALSE(s0->HasEdge(testing::kV7, testing::kT));
+  EXPECT_EQ(mgr.stats().updates, 1u);
+}
+
+TEST(SnapshotManagerTest, CompactionFoldsOverlayAtBudget) {
+  SnapshotOptions opts;
+  opts.compact_min_touched = 4;
+  opts.compact_touched_fraction = 0.0;
+  SnapshotManager mgr(PathGraph(64), opts);
+
+  GraphDelta big;
+  for (VertexId v = 0; v + 8 < 64; v += 8) big.Insert(v, v + 8);
+  const auto epoch = mgr.Apply(big);
+  EXPECT_TRUE(epoch.compacted);
+  EXPECT_FALSE(epoch.snapshot->has_overlay());
+  EXPECT_EQ(epoch.snapshot->version(), 1u);
+  EXPECT_TRUE(epoch.snapshot->HasEdge(0, 8));
+  EXPECT_EQ(mgr.stats().compactions, 1u);
+
+  // A tiny follow-up epoch stays an overlay.
+  const auto epoch2 = mgr.Apply(GraphDelta{}.Insert(1, 3));
+  EXPECT_FALSE(epoch2.compacted);
+  EXPECT_TRUE(epoch2.snapshot->has_overlay());
+}
+
+TEST(SnapshotManagerTest, PrepareDoesNotPublish) {
+  SnapshotManager mgr(PaperExampleGraph());
+  const auto epoch = mgr.Prepare(GraphDelta{}.Insert(testing::kV7, testing::kT));
+  EXPECT_EQ(mgr.version(), 0u);  // still the old snapshot
+  mgr.Publish(epoch);
+  EXPECT_EQ(mgr.version(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// UpdateImpact
+// ---------------------------------------------------------------------------
+
+TEST(UpdateImpactTest, FarAwayUpdateDoesNotAffectLocalQuery) {
+  // Two disconnected path components: updates in one cannot affect
+  // queries inside the other.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v < 9; ++v) edges.push_back({v, v + 1});
+  for (VertexId v = 10; v < 19; ++v) edges.push_back({v, v + 1});
+  const Graph g = Graph::FromEdges(20, edges);
+  const GraphView before(g);
+  const GraphDelta delta = GraphDelta{}.Insert(12, 14);
+  const GraphView after = before.Apply(delta, 1);
+  const UpdateImpact impact = UpdateImpact::Compute(before, after, delta, 8);
+
+  EXPECT_FALSE(impact.AffectsQuery(0, 5, 5));
+  EXPECT_TRUE(impact.AffectsQuery(10, 15, 5));
+  // Beyond the certified radius everything reports affected (conservative).
+  EXPECT_TRUE(impact.AffectsQuery(0, 5, 30));
+}
+
+TEST(UpdateImpactTest, InsertionCreatingFirstPathIsDetected) {
+  // s -> a -> u   and   v -> b -> t are disconnected until (u, v) appears;
+  // neither endpoint of the new edge lies in the old (empty) index X set,
+  // so a naive X-intersection rule would miss this — the endpoint-ball rule
+  // must not.
+  const Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const GraphView before(g);
+  const GraphDelta delta = GraphDelta{}.Insert(2, 3);
+  const GraphView after = before.Apply(delta, 1);
+  const UpdateImpact impact = UpdateImpact::Compute(before, after, delta, 8);
+  EXPECT_TRUE(impact.AffectsQuery(0, 5, 5));
+}
+
+TEST(UpdateImpactTest, RandomizedSoundness) {
+  // Whenever an epoch changes a query's result set, AffectsQuery must say
+  // so. (The converse — precision — is not required.)
+  Rng rng(777);
+  int changed_and_flagged = 0;
+  for (int round = 0; round < 20; ++round) {
+    const VertexId n = 18;
+    const Graph g = ErdosRenyi(n, 45, /*seed=*/500 + round);
+    const GraphView before(g);
+    GraphDelta delta;
+    for (int i = 0; i < 4; ++i) {
+      const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      if (rng.NextBounded(2) == 0) {
+        delta.Insert(u, v);
+      } else {
+        delta.Delete(u, v);
+      }
+    }
+    const GraphView after = before.Apply(delta, 1);
+    const Graph after_g = after.Materialize();
+    const UpdateImpact impact =
+        UpdateImpact::Compute(before, after, delta, /*max_hops=*/6);
+    for (VertexId s = 0; s < n; ++s) {
+      for (VertexId t = 0; t < n; ++t) {
+        if (s == t) continue;
+        const Query q{s, t, 4};
+        const PathSet old_paths = Reference(g, q);
+        const PathSet new_paths = Reference(after_g, q);
+        if (old_paths != new_paths) {
+          ASSERT_TRUE(impact.AffectsQuery(s, t, q.hops))
+              << "round " << round << " unsound for q(" << s << ", " << t
+              << ", " << q.hops << ")";
+          ++changed_and_flagged;
+        }
+      }
+    }
+  }
+  // The check must have exercised real changes to mean anything.
+  EXPECT_GT(changed_and_flagged, 50);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot-versioned cache
+// ---------------------------------------------------------------------------
+
+CacheKey KeyFor(const Query& q) {
+  return CacheKey{q.source, q.target, q.hops, 0};
+}
+
+LightweightIndex BuildFor(const GraphView& view, const Query& q) {
+  IndexBuilder builder;
+  return builder.Build(view, q, {});
+}
+
+TEST(CacheEpochTest, BeginEpochEvictsSelectively) {
+  const Graph g = PathGraph(40);
+  const GraphView v0(g);
+  IndexCache cache{IndexCacheOptions{}};
+  const Query near{0, 4, 6};    // close to the update below
+  const Query far{30, 36, 6};   // far from it
+  cache.GetOrBuild(KeyFor(near), [&] { return BuildFor(v0, near); });
+  cache.GetOrBuild(KeyFor(far), [&] { return BuildFor(v0, far); });
+
+  const GraphDelta delta = GraphDelta{}.Insert(2, 4);
+  const GraphView v1 = v0.Apply(delta, 1);
+  const UpdateImpact impact = UpdateImpact::Compute(v0, v1, delta, 8);
+  const size_t evicted =
+      cache.BeginEpoch(1, [&](VertexId s, VertexId t, uint32_t k) {
+        return impact.AffectsQuery(s, t, k);
+      });
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(cache.version(), 1u);
+
+  // The far entry survived and serves the new version; the near one is gone.
+  EXPECT_NE(cache.PeekIndex(KeyFor(far), 1), nullptr);
+  EXPECT_EQ(cache.PeekIndex(KeyFor(near), 1), nullptr);
+  EXPECT_EQ(cache.Stats().invalidation_evictions, 1u);
+}
+
+TEST(CacheEpochTest, OldSnapshotNeverSeesNewerEntries) {
+  const Graph g = PathGraph(10);
+  const GraphView v0(g);
+  IndexCache cache{IndexCacheOptions{}};
+  cache.BeginEpoch(1, [](VertexId, VertexId, uint32_t) { return true; });
+
+  // Published at version 1.
+  const Query q{0, 5, 6};
+  const GraphView v1 = v0.Apply(GraphDelta{}, 1);
+  cache.GetOrBuild(KeyFor(q), [&] { return BuildFor(v1, q); }, nullptr, 1);
+  EXPECT_NE(cache.PeekIndex(KeyFor(q), 1), nullptr);
+
+  // A version-0 straggler must miss it (the entry may describe topology
+  // the old snapshot does not have) and must not publish its own build.
+  bool hit = true;
+  const auto idx = cache.GetOrBuild(
+      KeyFor(q), [&] { return BuildFor(v0, q); }, &hit, 0);
+  EXPECT_FALSE(hit);
+  ASSERT_NE(idx, nullptr);
+  // The version-1 entry is still the published one.
+  EXPECT_NE(cache.PeekIndex(KeyFor(q), 1), nullptr);
+}
+
+TEST(CacheEpochTest, StaleResultPublicationRejected) {
+  IndexCache cache{IndexCacheOptions{}};
+  auto result = std::make_shared<CachedResultSet>();
+  result->offsets.push_back(0);
+  cache.BeginEpoch(3, [](VertexId, VertexId, uint32_t) { return false; });
+  // A run that enumerated version 2 finishes after the epoch: rejected.
+  EXPECT_FALSE(cache.PutResult(CacheKey{0, 1, 2, 0}, result, 2));
+  EXPECT_TRUE(cache.PutResult(CacheKey{0, 1, 2, 0}, result, 3));
+  EXPECT_NE(cache.GetResult(CacheKey{0, 1, 2, 0}, 3), nullptr);
+  // And an older-version reader does not see the version-3 result.
+  EXPECT_EQ(cache.GetResult(CacheKey{0, 1, 2, 0}, 2), nullptr);
+}
+
+TEST(CacheEpochTest, ClearAfterEpochRealignsVersionSoPublicationResumes) {
+  // Regression: a full Clear() (RebindGraph) after BeginEpoch(N) must reset
+  // the cache's version, or every later version-0 publication is rejected
+  // as stale and the cache silently never fills again.
+  const Graph g = PathGraph(10);
+  const GraphView v0(g);
+  IndexCache cache{IndexCacheOptions{}};
+  cache.BeginEpoch(5, [](VertexId, VertexId, uint32_t) { return true; });
+  cache.Clear();  // back to a freshly bound graph at version 0
+  const Query q{0, 5, 6};
+  bool hit = true;
+  cache.GetOrBuild(KeyFor(q), [&] { return BuildFor(v0, q); }, &hit, 0);
+  EXPECT_FALSE(hit);
+  cache.GetOrBuild(KeyFor(q), [&] { return BuildFor(v0, q); }, &hit, 0);
+  EXPECT_TRUE(hit);  // the first build published despite the earlier epoch
+
+  // The live-engine form: InvalidateCaches keeps the current view version.
+  QueryEngine engine(v0, {.num_workers = 1, .enable_cache = true});
+  engine.cache()->BeginEpoch(7,
+                             [](VertexId, VertexId, uint32_t) { return true; });
+  const GraphView v7 = v0.Apply(GraphDelta{}, 7);
+  const std::vector<Query> queries{q};
+  std::vector<CountingSink> sinks(1);
+  std::vector<PathSink*> sink_ptrs{&sinks[0]};
+  engine.RunBatch(v7, queries, sink_ptrs, {});
+  engine.InvalidateCaches();  // Clear at view version 7, not 0
+  const IndexCacheStats before = engine.cache()->Stats();
+  std::vector<CountingSink> sinks2(1);
+  std::vector<PathSink*> sink_ptrs2{&sinks2[0]};
+  engine.RunBatch(v7, queries, sink_ptrs2, {});  // publishes at version 7
+  std::vector<CountingSink> sinks3(1);
+  std::vector<PathSink*> sink_ptrs3{&sinks3[0]};
+  engine.RunBatch(v7, queries, sink_ptrs3, {});
+  const IndexCacheStats delta = engine.cache()->Stats() - before;
+  EXPECT_GE(delta.result_hits + delta.index_hits, 1u);
+}
+
+TEST(CacheAdmissionTest, OneShotKeysBypassUntilSecondUse) {
+  const Graph g = PathGraph(12);
+  const GraphView v0(g);
+  IndexCacheOptions opts;
+  opts.admission_min_uses = 2;
+  IndexCache cache(opts);
+  const Query q{0, 6, 6};
+  int builds = 0;
+  const auto build = [&] {
+    ++builds;
+    return BuildFor(v0, q);
+  };
+
+  bool hit = true;
+  cache.GetOrBuild(KeyFor(q), build, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.Stats().admission_bypasses, 1u);
+  EXPECT_EQ(cache.PeekIndex(KeyFor(q)), nullptr);  // not published
+
+  cache.GetOrBuild(KeyFor(q), build, &hit);  // second use: admitted
+  EXPECT_FALSE(hit);
+  EXPECT_NE(cache.PeekIndex(KeyFor(q)), nullptr);
+
+  cache.GetOrBuild(KeyFor(q), build, &hit);  // third use: a hit
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.Stats().index_hits, 1u);
+}
+
+TEST(CacheTtlTest, ResultEntriesExpire) {
+  IndexCacheOptions opts;
+  opts.result_ttl_ms = 1.0;  // expire almost immediately
+  IndexCache cache(opts);
+  auto result = std::make_shared<CachedResultSet>();
+  result->offsets.push_back(0);
+  const CacheKey key{0, 1, 2, 0};
+  ASSERT_TRUE(cache.PutResult(key, result));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(cache.HasResult(key));
+  EXPECT_EQ(cache.GetResult(key), nullptr);
+  EXPECT_EQ(cache.Stats().result_ttl_evictions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine on views + invalidation racing RunBatch
+// ---------------------------------------------------------------------------
+
+TEST(EngineViewTest, RunBatchOnViewObservesExactlyThatSnapshot) {
+  const Graph g = PaperExampleGraph();
+  const Query q = PaperExampleQuery();
+  QueryEngine engine(g, {.num_workers = 2, .enable_cache = true});
+
+  const GraphView v0(g);
+  const std::vector<Query> queries{q};
+  const BatchResult r0 = engine.CountBatch(queries, {});
+  const uint64_t base_count = r0.stats[0].counters.num_results;
+
+  const GraphView v1 =
+      v0.Apply(GraphDelta{}.Delete(testing::kV0, testing::kT), 1);
+  engine.cache()->BeginEpoch(1,
+                             [](VertexId, VertexId, uint32_t) { return true; });
+  std::vector<CountingSink> sinks1(1);
+  std::vector<PathSink*> sink_ptrs1{&sinks1[0]};
+  const BatchResult r1 = engine.RunBatch(v1, queries, sink_ptrs1, {});
+  EXPECT_EQ(r1.stats[0].counters.num_results,
+            BruteForcePaths(v1.Materialize(), q).size());
+  EXPECT_LT(r1.stats[0].counters.num_results, base_count);
+
+  // Running the old snapshot again returns the old answer (its cache
+  // entries are gone, but correctness never depended on them).
+  std::vector<CountingSink> sinks0(1);
+  std::vector<PathSink*> sink_ptrs0{&sinks0[0]};
+  const BatchResult r2 = engine.RunBatch(v0, queries, sink_ptrs0, {});
+  EXPECT_EQ(r2.stats[0].counters.num_results, base_count);
+}
+
+TEST(EngineViewTest, EpochUnawareViewAdvanceNeverReplaysStaleResults) {
+  // A caller that advances the snapshot WITHOUT running BeginEpoch must
+  // not be served stale cached results: the engine degrades to a versioned
+  // full clear when the view's version is ahead of the cache's.
+  const Graph g = PaperExampleGraph();
+  const Query q = PaperExampleQuery();
+  QueryEngine engine(g, {.num_workers = 1, .enable_cache = true});
+  const std::vector<Query> queries{q};
+  engine.CountBatch(queries, {});  // warms the result cache at version 0
+
+  const GraphView v1 =
+      GraphView(g).Apply(GraphDelta{}.Delete(testing::kV0, testing::kT), 1);
+  std::vector<CountingSink> sinks(1);
+  std::vector<PathSink*> sink_ptrs{&sinks[0]};
+  // No BeginEpoch on purpose.
+  const BatchResult r = engine.RunBatch(v1, queries, sink_ptrs, {});
+  EXPECT_EQ(r.stats[0].counters.num_results,
+            BruteForcePaths(v1.Materialize(), q).size());
+  EXPECT_FALSE(r.stats[0].result_cache_hit);
+}
+
+TEST(EngineViewTest, InvalidationRacingRunBatchKeepsAnswersExact) {
+  // One thread hammers batches on a fixed snapshot while another clears and
+  // epoch-invalidates the shared cache: every batch must report exactly the
+  // snapshot's answer — a stale snapshot finishes on its own version, never
+  // a mix. (Run under TSan in CI.)
+  const Graph g = ErdosRenyi(60, 300, /*seed=*/9);
+  const GraphView v0(g);
+  QueryEngine engine(v0, {.num_workers = 2, .enable_cache = true});
+  const Query q{0, 59, 4};
+  const uint64_t expected = BruteForcePaths(g, q).size();
+  const std::vector<Query> queries{q, q, q, q};
+
+  std::atomic<bool> stop{false};
+  std::thread invalidator([&] {
+    uint64_t version = 0;
+    while (!stop.load()) {
+      engine.cache()->Clear();
+      engine.cache()->BeginEpoch(
+          ++version, [](VertexId, VertexId, uint32_t) { return true; });
+      std::this_thread::yield();
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    const BatchResult r = engine.CountBatch(queries, {});
+    ASSERT_TRUE(r.ok());
+    for (const QueryStats& s : r.stats) {
+      ASSERT_EQ(s.counters.num_results, expected) << "round " << round;
+    }
+  }
+  stop.store(true);
+  invalidator.join();
+}
+
+// ---------------------------------------------------------------------------
+// AsyncEngine
+// ---------------------------------------------------------------------------
+
+TEST(AsyncEngineTest, SubmitStreamsAndTicketsComplete) {
+  AsyncEngineOptions opts;
+  opts.num_workers = 2;
+  AsyncEngine engine(PaperExampleGraph(), opts);
+  const Query q = PaperExampleQuery();
+  const uint64_t expected = BruteForcePaths(PaperExampleGraph(), q).size();
+
+  std::vector<CountingSink> sinks(8);
+  std::vector<QueryTicket> tickets;
+  for (auto& sink : sinks) tickets.push_back(engine.Submit(q, sink));
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const QueryStats& stats = tickets[i].Wait();
+    EXPECT_TRUE(tickets[i].ok()) << tickets[i].error();
+    EXPECT_EQ(stats.counters.num_results, expected);
+    EXPECT_EQ(sinks[i].count(), expected);
+    EXPECT_EQ(tickets[i].snapshot_version(), 0u);
+  }
+  engine.Drain();  // ticket completion precedes the executed_ bookkeeping
+  EXPECT_EQ(engine.stats().executed, 8u);
+}
+
+TEST(AsyncEngineTest, InvalidQueryYieldsErroredTicket) {
+  AsyncEngine engine(PaperExampleGraph(), {.num_workers = 1});
+  CountingSink sink;
+  QueryTicket ticket = engine.Submit(Query{0, 0, 3}, sink);  // s == t
+  ticket.Wait();
+  EXPECT_FALSE(ticket.ok());
+  EXPECT_FALSE(ticket.error().empty());
+}
+
+TEST(AsyncEngineTest, SinkStopEndsStreamEarly) {
+  AsyncEngine engine(PaperExampleGraph(), {.num_workers = 1});
+  CollectingSink sink(/*max_paths=*/2);
+  QueryTicket ticket = engine.Submit(PaperExampleQuery(), sink);
+  ticket.Wait();
+  EXPECT_TRUE(ticket.ok());
+  EXPECT_EQ(sink.paths().size(), 2u);
+  EXPECT_TRUE(ticket.Wait().counters.stopped_by_sink);
+}
+
+TEST(AsyncEngineTest, QueriesStraddlingUpdateObserveExactlyOneSnapshot) {
+  const Graph base = PaperExampleGraph();
+  const Query q = PaperExampleQuery();
+  AsyncEngineOptions opts;
+  opts.num_workers = 2;
+  AsyncEngine engine(base, opts);
+
+  // Expected answer per version, computed on materialized snapshots.
+  const uint64_t count_v0 = BruteForcePaths(base, q).size();
+  const GraphDelta delta =
+      GraphDelta{}.Insert(testing::kV7, testing::kT);  // opens new paths
+  const uint64_t count_v1 =
+      BruteForcePaths(GraphView(base).Apply(delta, 1).Materialize(), q).size();
+  ASSERT_NE(count_v0, count_v1);
+
+  std::vector<CountingSink> sinks(32);
+  std::vector<QueryTicket> tickets;
+  for (int i = 0; i < 16; ++i) tickets.push_back(engine.Submit(q, sinks[i]));
+  const uint64_t v1 = engine.SubmitUpdate(delta);
+  EXPECT_EQ(v1, 1u);
+  for (int i = 16; i < 32; ++i) tickets.push_back(engine.Submit(q, sinks[i]));
+
+  for (QueryTicket& t : tickets) {
+    const QueryStats& stats = t.Wait();
+    ASSERT_TRUE(t.ok()) << t.error();
+    const uint64_t expected =
+        t.snapshot_version() == 0 ? count_v0 : count_v1;
+    ASSERT_EQ(stats.counters.num_results, expected)
+        << "ticket on version " << t.snapshot_version()
+        << " returned a result set of another version";
+  }
+  // Everything submitted after the update observed the new version.
+  for (size_t i = 16; i < tickets.size(); ++i) {
+    EXPECT_EQ(tickets[i].snapshot_version(), 1u);
+  }
+}
+
+TEST(AsyncEngineTest, UpdateStormRacingQueriesStaysConsistent) {
+  // Concurrent submitters and an updater thread: every ticket's result must
+  // match the brute-force answer for exactly its snapshot version. This is
+  // the live-graph analogue of "RebindGraph racing RunBatch" — snapshots
+  // make the race benign. (Run under TSan in CI.)
+  const VertexId n = 30;
+  const Graph base = ErdosRenyi(n, 110, /*seed=*/31);
+  const Query q{0, n - 1, 4};
+  AsyncEngineOptions opts;
+  opts.num_workers = 3;
+  AsyncEngine engine(base, opts);
+
+  // Deterministic delta chain; expected counts per version precomputed.
+  constexpr int kEpochs = 10;
+  std::vector<GraphDelta> deltas;
+  std::vector<uint64_t> expected;  // expected[v] = answer at version v
+  {
+    Rng rng(55);
+    GraphView view(base);
+    expected.push_back(BruteForcePaths(base, q).size());
+    for (int e = 0; e < kEpochs; ++e) {
+      GraphDelta d;
+      for (int i = 0; i < 6; ++i) {
+        const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+        const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+        if (rng.NextBounded(2) == 0) {
+          d.Insert(u, v);
+        } else {
+          d.Delete(u, v);
+        }
+      }
+      deltas.push_back(d);
+      view = view.Apply(d, e + 1);
+      expected.push_back(BruteForcePaths(view.Materialize(), q).size());
+    }
+  }
+
+  std::vector<CountingSink> sinks(200);
+  std::vector<QueryTicket> tickets(sinks.size());
+  std::atomic<size_t> next{0};
+  std::thread submitter([&] {
+    for (size_t i = 0; i < sinks.size() / 2; ++i) {
+      const size_t slot = next.fetch_add(1);
+      tickets[slot] = engine.Submit(q, sinks[slot]);
+    }
+  });
+  for (const GraphDelta& d : deltas) {
+    for (int i = 0; i < 10; ++i) {
+      const size_t slot = next.fetch_add(1);
+      tickets[slot] = engine.Submit(q, sinks[slot]);
+    }
+    engine.SubmitUpdate(d);
+  }
+  submitter.join();
+
+  const size_t used = next.load();
+  for (size_t i = 0; i < used; ++i) {
+    const QueryStats& stats = tickets[i].Wait();
+    ASSERT_TRUE(tickets[i].ok()) << tickets[i].error();
+    const uint64_t version = tickets[i].snapshot_version();
+    ASSERT_LT(version, expected.size());
+    ASSERT_EQ(stats.counters.num_results, expected[version])
+        << "ticket " << i << " on version " << version;
+  }
+  EXPECT_EQ(engine.stats().updates, static_cast<uint64_t>(kEpochs));
+}
+
+TEST(AsyncEngineTest, BoundedQueueRejectsTrySubmitWhenFull) {
+  // A sink that blocks its worker until released, so the queue backs up
+  // deterministically.
+  class GateSink : public PathSink {
+   public:
+    bool OnPath(std::span<const VertexId>) override {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return open; });
+      return true;
+    }
+    void Open() {
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        open = true;
+      }
+      cv.notify_all();
+    }
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool open = false;
+  };
+
+  AsyncEngineOptions opts;
+  opts.num_workers = 1;
+  opts.max_queue = 2;
+  AsyncEngine engine(PaperExampleGraph(), opts);
+
+  GateSink gate;
+  QueryTicket running = engine.Submit(PaperExampleQuery(), gate);
+  // Wait until the worker actually claimed it (queue empties).
+  while (engine.stats().queue_depth > 0) std::this_thread::yield();
+
+  CountingSink s1, s2, s3;
+  const QueryTicket q1 = engine.TrySubmit(PaperExampleQuery(), s1);
+  const QueryTicket q2 = engine.TrySubmit(PaperExampleQuery(), s2);
+  ASSERT_TRUE(q1.valid());
+  ASSERT_TRUE(q2.valid());
+  const QueryTicket q3 = engine.TrySubmit(PaperExampleQuery(), s3);
+  EXPECT_FALSE(q3.valid());  // queue full
+  EXPECT_EQ(engine.stats().queue_rejects, 1u);
+
+  gate.Open();
+  running.Wait();
+  q1.Wait();
+  q2.Wait();
+  engine.Drain();
+}
+
+TEST(AsyncEngineTest, UnaffectedKeysKeepCacheHitsAcrossUpdates) {
+  // Hot query far from the churn: after warming, updates elsewhere must not
+  // cost its cached index (the whole point of incremental invalidation).
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v < 19; ++v) edges.push_back({v, v + 1});
+  for (VertexId v = 20; v < 39; ++v) edges.push_back({v, v + 1});
+  Graph g = Graph::FromEdges(40, edges);
+
+  AsyncEngineOptions opts;
+  opts.num_workers = 1;
+  AsyncEngine engine(std::move(g), opts);
+  const Query hot{0, 6, 6};  // in the first component
+
+  CountingSink warm1, warm2;
+  engine.Submit(hot, warm1).Wait();
+  engine.Submit(hot, warm2).Wait();  // now cached (admission default is 1)
+
+  for (int e = 0; e < 5; ++e) {
+    // Churn strictly inside the second component.
+    engine.SubmitUpdate(GraphDelta{}
+                            .Insert(25, static_cast<VertexId>(30 + e))
+                            .Delete(24, 25));
+    CountingSink sink;
+    const QueryTicket t = engine.Submit(hot, sink);
+    t.Wait();
+    ASSERT_TRUE(t.ok());
+  }
+  const IndexCacheStats cache = engine.stats().cache;
+  // Every post-warm-up query of the hot key replayed from cache.
+  EXPECT_GE(cache.result_hits + cache.index_hits, 5u);
+  EXPECT_EQ(cache.invalidation_evictions, 0u);
+}
+
+}  // namespace
+}  // namespace pathenum
