@@ -23,6 +23,10 @@
 //                                 (default 10000000: effectively complete)
 //   PATHENUM_BENCH_UPDATE_ROUNDS  update-heavy epochs               (default 6)
 //   PATHENUM_BENCH_UPDATE_EDGES   edge churn per epoch              (default 8)
+//   PATHENUM_BENCH_HEAVY_QUERIES  split_heavy batch size            (default 3)
+//   PATHENUM_BENCH_HEAVY_HOPS     split_heavy hop bound             (default 6)
+//   PATHENUM_BENCH_HEAVY_LIMIT    split_heavy per-query result limit
+//                                 (default 200000)
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -366,6 +370,64 @@ int main() {
   measurements.push_back(run_update_config(/*incremental=*/false));
   measurements.push_back(run_update_config(/*incremental=*/true));
 
+  // --- Intra-query splitting on heavy queries (DESIGN.md §8). ------------
+  // A few heavy queries (larger hop bound, generous limit) run through the
+  // engine once per query per worker (split_off) and once ganging the
+  // whole pool per query (split_on). On a multi-core host split_on should
+  // cut the heavy-query latency by roughly the core count's share; on a
+  // single-core host the two should tie (the JSON records
+  // hardware_concurrency for exactly this reason).
+  const size_t heavy_count = EnvU64("PATHENUM_BENCH_HEAVY_QUERIES", 3);
+  const uint32_t heavy_hops =
+      static_cast<uint32_t>(EnvU64("PATHENUM_BENCH_HEAVY_HOPS", 6));
+  const uint64_t heavy_limit = EnvU64("PATHENUM_BENCH_HEAVY_LIMIT", 200000);
+  const uint32_t split_workers = worker_counts.back();
+  double split_off_ms = 0.0, split_on_ms = 0.0;
+  {
+    bench::BenchEnv heavy_env = env;
+    heavy_env.num_queries = heavy_count;
+    std::vector<Query> heavy =
+        bench::MakeQueries(g, heavy_env, heavy_hops, /*seed=*/7);
+    if (heavy.empty()) heavy = queries;
+    EnumOptions heavy_opts = opts;
+    heavy_opts.result_limit = heavy_limit;
+
+    // split_off is the single-query latency baseline: one warm enumerator,
+    // one query at a time (a heavy query's latency, not batch throughput —
+    // inter-query parallelism cannot help the user waiting on one query).
+    QueryEngine engine(g, {.num_workers = split_workers});
+    BatchOptions batch;
+    batch.query = heavy_opts;
+    engine.CountBatch(heavy, batch);  // warm scratch
+    PathEnumerator warm(g);
+    for (const Query& q : heavy) {  // warm the sequential scratch too
+      CountingSink sink;
+      warm.Run(q, sink, heavy_opts);
+    }
+    double off_sum = 0.0, on_sum = 0.0;
+    uint64_t off_results = 0, on_results = 0;
+    for (int r = 0; r < reps; ++r) {
+      Timer off_timer;
+      off_results = 0;
+      for (const Query& q : heavy) {
+        CountingSink sink;
+        warm.Run(q, sink, heavy_opts);
+        off_results += sink.count();
+      }
+      off_sum += off_timer.ElapsedMs();
+      batch.split_branches = true;
+      const BatchResult on = engine.CountBatch(heavy, batch);
+      on_sum += on.wall_ms;
+      on_results = on.TotalResults();
+    }
+    split_off_ms = off_sum / reps;
+    split_on_ms = on_sum / reps;
+    measurements.push_back(Measure("split_heavy_off", 1, true, heavy.size(),
+                                   split_off_ms, off_results));
+    measurements.push_back(Measure("split_heavy_on", split_workers, true,
+                                   heavy.size(), split_on_ms, on_results));
+  }
+
   const double naive_qps = measurements[0].qps;
   std::printf("\n%-18s %-8s %-6s %12s %12s %14s\n", "config", "workers",
               "warm", "wall ms", "queries/s", "vs naive");
@@ -414,6 +476,14 @@ int main() {
               (update_incr_rate - update_full_rate) * 100.0, update_rounds,
               update_edges);
 
+  const double split_speedup =
+      split_on_ms > 0.0 ? split_off_ms / split_on_ms : 0.0;
+  std::printf("  [split_heavy] per-query latency %.2f ms serial vs %.2f ms "
+              "split at %u workers (%.2fx; 1.0x expected on a single core)\n",
+              split_off_ms / std::max<size_t>(heavy_count, 1),
+              split_on_ms / std::max<size_t>(heavy_count, 1), split_workers,
+              split_speedup);
+
   const char* json_env = std::getenv("PATHENUM_BENCH_JSON");
   const std::string json_path =
       json_env != nullptr ? json_env : "BENCH_throughput.json";
@@ -439,6 +509,12 @@ int main() {
         << ", \"fullclear_hit_rate\": " << update_full_rate
         << ", \"hit_rate_delta\": " << update_incr_rate - update_full_rate
         << "},\n"
+        << "  \"split_heavy\": {\"queries\": " << heavy_count
+        << ", \"hops\": " << heavy_hops << ", \"limit\": " << heavy_limit
+        << ", \"workers\": " << split_workers
+        << ", \"serial_ms\": " << split_off_ms
+        << ", \"split_ms\": " << split_on_ms
+        << ", \"latency_speedup\": " << split_speedup << "},\n"
         << "  \"measurements\": [\n";
     for (size_t i = 0; i < measurements.size(); ++i) {
       const Measurement& m = measurements[i];
@@ -472,6 +548,8 @@ int main() {
       ">= 2x once warm, and uniform_cache_on should sit within ~5% of "
       "engine_warm at the same worker count. update_incremental should "
       "retain a far higher hit rate than update_fullclear (which starts "
-      "cold every epoch) at equal-or-better throughput.");
+      "cold every epoch) at equal-or-better throughput. split_heavy_on "
+      "should cut the serial heavy-query latency by roughly the core "
+      "count's share on a multi-core host (ties on a single core).");
   return 0;
 }

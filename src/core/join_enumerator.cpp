@@ -15,12 +15,9 @@ EnumCounters JoinEnumerator::Run(uint32_t cut, PathSink& sink,
   return Run(*index_, cut, sink, opts);
 }
 
-EnumCounters JoinEnumerator::Run(const LightweightIndex& index, uint32_t cut,
-                                 PathSink& sink, const EnumOptions& opts) {
+void JoinEnumerator::Prepare(const LightweightIndex& index,
+                             const EnumOptions& opts) {
   index_ = &index;
-  const uint32_t k = index.hops();
-  PATHENUM_CHECK_MSG(cut >= 1 && cut < k, "cut position out of range");
-  sink_ = &sink;
   counters_ = EnumCounters{};
   timer_.Reset();
   deadline_ = Deadline::AfterMs(opts.time_limit_ms);
@@ -28,13 +25,25 @@ EnumCounters JoinEnumerator::Run(const LightweightIndex& index, uint32_t cut,
   response_target_ = opts.response_target;
   // Each half may use half the budget (tuples are uint32 slots).
   tuple_limit_ = opts.partial_memory_limit_bytes / (2 * sizeof(uint32_t));
+  shared_used_ = nullptr;
+  shared_cap_ = 0;
   check_countdown_ = kCheckInterval;
   stop_ = false;
+  if (on_path_.size() < index.num_vertices()) {
+    on_path_.resize(index.num_vertices(), 0);
+  }
+}
+
+EnumCounters JoinEnumerator::Run(const LightweightIndex& index, uint32_t cut,
+                                 PathSink& sink, const EnumOptions& opts) {
+  const uint32_t k = index.hops();
+  PATHENUM_CHECK_MSG(cut >= 1 && cut < k, "cut position out of range");
+  Prepare(index, opts);
+  sink_ = &sink;
 
   const uint32_t n = index.num_vertices();
   left_.clear();
   right_.clear();
-  if (on_path_.size() < n) on_path_.resize(n, 0);
   if (arena_ != nullptr) {
     is_key_ = arena_->AllocateSpan<uint8_t>(n);
     group_ = arena_->AllocateSpan<GroupRange>(n);
@@ -48,7 +57,6 @@ EnumCounters JoinEnumerator::Run(const LightweightIndex& index, uint32_t cut,
   std::fill(group_.begin(), group_.end(), GroupRange{});
 
   const uint32_t s_slot = index.source_slot();
-  const uint32_t t_slot = index.target_slot();
   if (s_slot == kInvalidSlot) return counters_;
 
   // --- Evaluate Q[0:cut]: tuples of cut+1 slots starting at s (line 2). --
@@ -83,37 +91,82 @@ EnumCounters JoinEnumerator::Run(const LightweightIndex& index, uint32_t cut,
   if (stop_) return counters_;
 
   // --- Hash join R_a ⋈ R_b and validate (lines 6-8). ---------------------
-  uint32_t joined[kMaxHops + 1];
   for (size_t l = 0; l < left_.size() && !stop_; l += left_width) {
     const uint32_t key = left_[l + cut];
     const auto [gb, ge] = group_[key];
     for (uint64_t r = gb; r < ge; ++r) {
       if (ShouldStop()) break;
-      const uint32_t* rt = right_.data() + r * right_width;
-      // Compose the padded walk: left tuple + right tuple minus join key.
-      for (uint32_t i = 0; i <= cut; ++i) joined[i] = left_[l + i];
-      for (uint32_t i = 1; i < right_width; ++i) joined[cut + i] = rt[i];
-      // De-pad: everything after the first t is padding by construction.
-      uint32_t end = 0;
-      while (joined[end] != t_slot) ++end;
-      // Validity: a simple path has pairwise-distinct vertices.
-      bool valid = true;
-      for (uint32_t i = 1; i <= end && valid; ++i) {
-        for (uint32_t j = 0; j < i; ++j) {
-          if (joined[i] == joined[j]) {
-            valid = false;
-            break;
-          }
-        }
-      }
-      if (!valid) {
+      JoinPair(left_.data() + l, cut, right_.data() + r * right_width,
+               right_width);
+    }
+  }
+  return counters_;
+}
+
+void JoinEnumerator::JoinPair(const uint32_t* left_tuple, uint32_t cut,
+                              const uint32_t* right_tuple,
+                              uint32_t right_width) {
+  const uint32_t t_slot = index_->target_slot();
+  uint32_t joined[kMaxHops + 1];
+  // Compose the padded walk: left tuple + right tuple minus join key.
+  for (uint32_t i = 0; i <= cut; ++i) joined[i] = left_tuple[i];
+  for (uint32_t i = 1; i < right_width; ++i) joined[cut + i] = right_tuple[i];
+  // De-pad: everything after the first t is padding by construction.
+  uint32_t end = 0;
+  while (joined[end] != t_slot) ++end;
+  // Validity: a simple path has pairwise-distinct vertices.
+  for (uint32_t i = 1; i <= end; ++i) {
+    for (uint32_t j = 0; j < i; ++j) {
+      if (joined[i] == joined[j]) {
         counters_.invalid_partials++;
-        continue;
+        return;
       }
-      for (uint32_t i = 0; i <= end; ++i) {
-        path_buf_[i] = index_->VertexAt(joined[i]);
-      }
-      Emit({path_buf_, end + 1});
+    }
+  }
+  for (uint32_t i = 0; i <= end; ++i) {
+    path_buf_[i] = index_->VertexAt(joined[i]);
+  }
+  Emit({path_buf_, end + 1});
+}
+
+EnumCounters JoinEnumerator::MaterializeUnit(const LightweightIndex& index,
+                                             uint32_t start, uint32_t base,
+                                             uint32_t len,
+                                             std::vector<uint32_t>& out,
+                                             const EnumOptions& opts,
+                                             std::atomic<size_t>* shared_used,
+                                             size_t shared_cap) {
+  Prepare(index, opts);
+  sink_ = nullptr;  // materialization never emits
+  shared_used_ = shared_used;
+  shared_cap_ = shared_cap;
+  const size_t before = out.size();
+  Materialize(start, base, len, out);
+  shared_used_ = nullptr;
+  counters_.partials += (out.size() - before) / len;
+  counters_.peak_partial_bytes = (out.size() - before) * sizeof(uint32_t);
+  return counters_;
+}
+
+EnumCounters JoinEnumerator::ProbeUnit(const LightweightIndex& index,
+                                       uint32_t cut,
+                                       std::span<const uint32_t> left,
+                                       size_t tuple_begin, size_t tuple_end,
+                                       std::span<const JoinGroup> groups,
+                                       PathSink& sink,
+                                       const EnumOptions& opts) {
+  const uint32_t k = index.hops();
+  PATHENUM_CHECK_MSG(cut >= 1 && cut < k, "cut position out of range");
+  Prepare(index, opts);
+  sink_ = &sink;
+  const uint32_t left_width = cut + 1;
+  const uint32_t right_width = k - cut + 1;
+  for (size_t l = tuple_begin; l < tuple_end && !stop_; ++l) {
+    const uint32_t* lt = left.data() + l * left_width;
+    const JoinGroup& group = groups[lt[cut]];
+    for (uint64_t r = 0; r < group.count; ++r) {
+      if (ShouldStop()) break;
+      JoinPair(lt, cut, group.tuples + r * right_width, right_width);
     }
   }
   return counters_;
@@ -168,7 +221,10 @@ void JoinEnumerator::MaterializeStep(uint32_t depth, uint32_t base,
                                      std::vector<uint32_t>& out) {
   // Line 10 of Alg. 6: a full-width tuple is materialized.
   if (depth + 1 == len) {
-    if (out.size() >= tuple_limit_) {
+    if (out.size() >= tuple_limit_ ||
+        (shared_used_ != nullptr &&
+         shared_used_->fetch_add(len, std::memory_order_relaxed) + len >
+             shared_cap_)) {
       counters_.out_of_memory = true;
       stop_ = true;
       return;

@@ -1,60 +1,13 @@
 #include "core/parallel_dfs.h"
 
 #include <algorithm>
-#include <atomic>
 #include <limits>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "core/dfs_enumerator.h"
 #include "util/timer.h"
 
 namespace pathenum {
-
-namespace {
-
-/// Per-worker sink adapter enforcing the cross-thread result limit and
-/// response-time target with a shared atomic counter.
-class SharedLimitSink : public PathSink {
- public:
-  SharedLimitSink(PathSink& inner, std::atomic<uint64_t>& emitted,
-                  uint64_t limit, uint64_t response_target,
-                  const Timer& timer, std::atomic<bool>& response_recorded,
-                  double& response_ms, std::mutex& response_mutex)
-      : inner_(inner),
-        emitted_(emitted),
-        limit_(limit),
-        response_target_(response_target),
-        timer_(timer),
-        response_recorded_(response_recorded),
-        response_ms_(response_ms),
-        response_mutex_(response_mutex) {}
-
-  bool OnPath(std::span<const VertexId> path) override {
-    const uint64_t n = emitted_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (n > limit_) return false;  // reservation failed: stop this worker
-    if (n == response_target_ &&
-        !response_recorded_.exchange(true, std::memory_order_relaxed)) {
-      const std::lock_guard<std::mutex> lock(response_mutex_);
-      response_ms_ = timer_.ElapsedMs();
-    }
-    if (!inner_.OnPath(path)) return false;
-    return n < limit_;
-  }
-
- private:
-  PathSink& inner_;
-  std::atomic<uint64_t>& emitted_;
-  const uint64_t limit_;
-  const uint64_t response_target_;
-  const Timer& timer_;
-  std::atomic<bool>& response_recorded_;
-  double& response_ms_;
-  std::mutex& response_mutex_;
-};
-
-}  // namespace
 
 namespace internal {
 
@@ -77,11 +30,14 @@ bool AccumulateBranch(EnumCounters& total, const EnumCounters& branch) {
   total.invalid_partials += branch.invalid_partials;
   total.timed_out |= branch.timed_out;
   total.stopped_by_sink |= branch.stopped_by_sink;
-  return !branch.stopped_by_sink && !branch.timed_out;
+  total.out_of_memory |= branch.out_of_memory;
+  return !branch.stopped_by_sink && !branch.timed_out &&
+         !branch.out_of_memory;
 }
 
 void FinishFanout(EnumCounters& out, std::span<const EnumCounters> workers,
-                  size_t num_branches, uint64_t delivered, double response_ms,
+                  uint64_t root_partials, uint64_t root_edges,
+                  uint64_t delivered, double response_ms,
                   const EnumOptions& opts) {
   for (const EnumCounters& c : workers) {
     out.edges_accessed += c.edges_accessed;
@@ -89,10 +45,15 @@ void FinishFanout(EnumCounters& out, std::span<const EnumCounters> workers,
     out.invalid_partials += c.invalid_partials;
     out.timed_out |= c.timed_out;
     out.stopped_by_sink |= c.stopped_by_sink;
+    out.out_of_memory |= c.out_of_memory;
   }
-  // The root partial (s) and the per-branch edge scan are accounted once.
-  out.partials += 1;
-  out.edges_accessed += num_branches;
+  // The driver's own work (e.g. the root partial (s) and the per-branch
+  // edge scan of the DFS fan-out) is accounted exactly once.
+  out.partials += root_partials;
+  out.edges_accessed += root_edges;
+  // `delivered` is the gate's count of paths actually handed to inner
+  // sinks; the gate caps it at the limit structurally, the min() below is
+  // only a belt against future drivers feeding raw reservation counts.
   out.num_results = std::min(delivered, opts.result_limit);
   if (out.num_results >= opts.result_limit) {
     out.hit_result_limit = true;
@@ -101,16 +62,47 @@ void FinishFanout(EnumCounters& out, std::span<const EnumCounters> workers,
   out.response_ms = response_ms;
 }
 
+EnumCounters DrainBranches(DfsEnumerator& dfs, const LightweightIndex& index,
+                           std::span<const uint32_t> branches,
+                           std::atomic<uint32_t>& cursor, PathSink& sink,
+                           const EnumOptions& opts, const Timer& since_start,
+                           std::atomic<bool>* stop_claims) {
+  EnumCounters total;
+  // Per-branch options: the shared gate handles the cross-thread result
+  // limit; the deadline is absolute, so re-deriving it per branch from the
+  // remaining wall budget keeps it globally correct.
+  while (stop_claims == nullptr ||
+         !stop_claims->load(std::memory_order_relaxed)) {
+    const uint32_t b = cursor.fetch_add(1, std::memory_order_relaxed);
+    if (b >= branches.size()) break;
+    // The immediate target-arrival and the duplicate check for s are the
+    // root frame's job in the sequential code; handled by RunBranch.
+    const EnumCounters c = dfs.RunBranch(index, branches[b], sink,
+                                         BranchOptions(opts, since_start));
+    // Stop claiming work once the limit was reached or time ran out — and
+    // tell the other participants, whose remaining units can only discover
+    // the same.
+    if (!AccumulateBranch(total, c)) {
+      if (stop_claims != nullptr) {
+        stop_claims->store(true, std::memory_order_relaxed);
+      }
+      break;
+    }
+  }
+  return total;
+}
+
 }  // namespace internal
 
 ParallelDfsEnumerator::ParallelDfsEnumerator(const LightweightIndex& index,
                                              uint32_t num_threads)
     : index_(index),
-      num_threads_(num_threads != 0 ? num_threads
-                                    : std::max(1u,
-                                               std::thread::
-                                                   hardware_concurrency())) {
-}
+      owned_pool_(std::make_unique<ThreadPool>(num_threads)),
+      pool_(owned_pool_.get()) {}
+
+ParallelDfsEnumerator::ParallelDfsEnumerator(const LightweightIndex& index,
+                                             ThreadPool& pool)
+    : index_(index), pool_(&pool) {}
 
 ParallelEnumResult ParallelDfsEnumerator::Run(
     const std::function<std::unique_ptr<PathSink>()>& sink_factory,
@@ -123,50 +115,29 @@ ParallelEnumResult ParallelDfsEnumerator::Run(
   const uint32_t k = index_.hops();
   const auto branches = index_.OutSlotsWithin(s_slot, k - 1);
   const uint32_t workers = static_cast<uint32_t>(std::min<size_t>(
-      num_threads_, std::max<size_t>(branches.size(), 1)));
+      pool_->num_workers(), std::max<size_t>(branches.size(), 1)));
   result.threads_used = workers;
 
-  std::atomic<uint64_t> emitted{0};
-  std::atomic<bool> response_recorded{false};
+  BranchGate gate(opts.result_limit, opts.response_target, wall);
   std::atomic<uint32_t> cursor{0};
-  double response_ms = -1.0;
-  std::mutex response_mutex;
   std::vector<EnumCounters> worker_counters(workers);
 
-  auto worker_fn = [&](uint32_t worker_id) {
+  pool_->RunOnWorkers(workers, [&](uint32_t worker) {
     std::unique_ptr<PathSink> sink = sink_factory();
-    SharedLimitSink limited(*sink, emitted, opts.result_limit,
-                            opts.response_target, wall, response_recorded,
-                            response_ms, response_mutex);
-    DfsEnumerator dfs(index_);
-    EnumCounters& total = worker_counters[worker_id];
-    // Per-branch options: the shared sink handles the cross-thread result
-    // limit; the deadline is absolute, so re-deriving it per branch from
-    // the remaining wall budget keeps it globally correct.
-    while (true) {
-      const uint32_t b =
-          cursor.fetch_add(1, std::memory_order_relaxed);
-      if (b >= branches.size()) break;
-      const uint32_t branch = branches[b];
-      // The immediate target-arrival and the duplicate check for s are the
-      // root frame's job in the sequential code; handled by RunBranch.
-      const EnumCounters c = dfs.RunBranch(
-          branch, limited, internal::BranchOptions(opts, wall));
-      // Stop claiming work once the limit was reached or time ran out.
-      if (!internal::AccumulateBranch(total, c)) break;
-    }
-  };
+    BranchSink limited(gate, *sink, BranchSink::Mode::kPerWorker);
+    DfsEnumerator dfs;
+    // No shared stop flag here: in per-worker mode an inner sink refusing
+    // stops only its own worker (the class contract) — the other workers
+    // must keep draining their branches.
+    worker_counters[worker] = internal::DrainBranches(
+        dfs, index_, branches, cursor, limited, opts, wall,
+        /*stop_claims=*/nullptr);
+  });
 
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (uint32_t w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
-  for (auto& t : threads) t.join();
-
-  // Delivered results: the shared counter, capped by the limit (attempts
-  // beyond the reservation were dropped by the adapter).
-  internal::FinishFanout(result.counters, worker_counters, branches.size(),
-                         emitted.load(std::memory_order_relaxed), response_ms,
-                         opts);
+  internal::FinishFanout(result.counters, worker_counters,
+                         /*root_partials=*/1,
+                         /*root_edges=*/branches.size(), gate.delivered(),
+                         gate.response_ms(), opts);
   result.wall_ms = wall.ElapsedMs();
   return result;
 }

@@ -4,9 +4,16 @@
 // sequential enumerator inside each. An extension of the paper's system:
 // the per-query index is immutable after construction, so the enumeration
 // parallelizes without any synchronization beyond result accounting.
+//
+// Since the pool migration (DESIGN.md §8) the enumerator spawns no threads
+// of its own: branch units run on a ThreadPool — an external one shared
+// with the caller, or a private pool spawned once per enumerator and
+// reused across Run calls — and deliveries flow through the unified
+// BranchGate/BranchSink fan-out adapter of core/sink.h.
 #ifndef PATHENUM_CORE_PARALLEL_DFS_H_
 #define PATHENUM_CORE_PARALLEL_DFS_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <span>
@@ -14,16 +21,19 @@
 #include "core/index.h"
 #include "core/options.h"
 #include "core/sink.h"
+#include "core/thread_pool.h"
 #include "util/timer.h"
 
 namespace pathenum {
 
+class DfsEnumerator;
+
 namespace internal {
 
 // Accounting helpers shared by every branch-parallel DFS driver (the
-// thread-spawning ParallelDfsEnumerator below and the pooled
-// QueryEngine::RunSplit). Branch-level limit bookkeeping is subtle enough
-// that it must live in exactly one place.
+// pooled ParallelDfsEnumerator below, QueryEngine::RunSplit and the
+// AsyncEngine's cooperative split tickets). Branch-level limit bookkeeping
+// is subtle enough that it must live in exactly one place.
 
 /// Options for one branch of a fanned-out enumeration: result limit and
 /// response target are delegated to the shared sink; the absolute deadline
@@ -36,12 +46,30 @@ EnumOptions BranchOptions(const EnumOptions& opts, const Timer& since_start);
 bool AccumulateBranch(EnumCounters& total, const EnumCounters& branch);
 
 /// Merges per-worker totals into `out` and applies the shared accounting:
-/// the root partial and the per-branch edge scan are charged once, and
+/// `root_partials`/`root_edges` charge the fan-out driver's own work once
+/// (the DFS drivers pass the root partial (s) and the per-branch edge scan;
+/// the split join passes zeros — its units carry all of its work), and
 /// `delivered` results against `opts.result_limit` decide hit_result_limit
-/// vs stopped_by_sink.
+/// vs stopped_by_sink. `delivered` must come from the fan-out's BranchGate,
+/// which structurally caps it at the limit — never limit + 1, even when a
+/// branch hits the limit exactly at a merge barrier.
 void FinishFanout(EnumCounters& out, std::span<const EnumCounters> workers,
-                  size_t num_branches, uint64_t delivered, double response_ms,
+                  uint64_t root_partials, uint64_t root_edges,
+                  uint64_t delivered, double response_ms,
                   const EnumOptions& opts);
+
+/// The one branch-claiming loop every split driver runs (per participating
+/// worker): claims first-level branch units off the shared `cursor`, runs
+/// them through `dfs` into `sink` (a BranchSink, normally), and accumulates
+/// their counters until the units are drained or this participant's
+/// accumulated counters say stop. When a participant stops early it trips
+/// `stop_claims` (if given) so the other participants stop claiming new
+/// units too — the query-wide limit makes their remaining work moot.
+EnumCounters DrainBranches(DfsEnumerator& dfs, const LightweightIndex& index,
+                           std::span<const uint32_t> branches,
+                           std::atomic<uint32_t>& cursor, PathSink& sink,
+                           const EnumOptions& opts, const Timer& since_start,
+                           std::atomic<bool>* stop_claims = nullptr);
 
 }  // namespace internal
 
@@ -55,16 +83,23 @@ struct ParallelEnumResult {
 
 /// Parallel index-based DFS enumerator.
 ///
-/// Sinks are created per worker thread through `sink_factory`, so user
-/// code needs no locking: each worker owns its sink exclusively, and
-/// cross-thread limits (result_limit, response_target) are enforced by the
-/// enumerator with atomics. Results are exact: the union of the per-sink
-/// path sets equals the sequential result set.
+/// Sinks are created per worker through `sink_factory`, so user code needs
+/// no locking: each worker owns its sink exclusively (BranchSink's
+/// kPerWorker mode), and cross-thread limits (result_limit,
+/// response_target) are enforced by the shared BranchGate. Results are
+/// exact: the union of the per-sink path sets equals the sequential result
+/// set.
 class ParallelDfsEnumerator {
  public:
-  /// `num_threads` 0 picks std::thread::hardware_concurrency().
+  /// Private-pool form: spawns a pool of `num_threads` workers once (0
+  /// picks std::thread::hardware_concurrency()) and reuses it across Run
+  /// calls.
   explicit ParallelDfsEnumerator(const LightweightIndex& index,
                                  uint32_t num_threads = 0);
+
+  /// Shared-pool form: fans out over `pool` (not owned; must outlive the
+  /// enumerator, and the caller owns its one-job-at-a-time contract).
+  ParallelDfsEnumerator(const LightweightIndex& index, ThreadPool& pool);
 
   /// Runs the enumeration. `sink_factory` is invoked once per worker (from
   /// that worker's thread); the returned sinks receive disjoint subsets of
@@ -78,7 +113,8 @@ class ParallelDfsEnumerator {
 
  private:
   const LightweightIndex& index_;
-  uint32_t num_threads_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // null in the shared-pool form
+  ThreadPool* pool_;
 };
 
 }  // namespace pathenum

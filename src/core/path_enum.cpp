@@ -77,16 +77,12 @@ QueryStats PathEnumerator::RunWithIndex(const LightweightIndex& index,
   return stats;
 }
 
-void PathEnumerator::ExecuteOnIndex(const LightweightIndex& index,
-                                    QueryStats& stats, PathSink& sink,
-                                    const EnumOptions& opts, Timer& total) {
+PathEnumerator::ExecutionPlan PathEnumerator::PlanExecution(
+    const LightweightIndex& index, const EnumOptions& opts,
+    QueryStats& stats) {
   const Query& q = index.query();
-  stats.index_vertices = index.num_vertices();
-  stats.index_edges = index.num_edges();
-  stats.index_bytes = index.MemoryBytes();
-
+  ExecutionPlan plan;
   Method chosen = opts.method;
-  uint32_t cut = 0;
   if (q.hops < 2) chosen = Method::kDfs;  // no proper cut exists
 
   if (chosen == Method::kAuto) {
@@ -98,13 +94,13 @@ void PathEnumerator::ExecuteOnIndex(const LightweightIndex& index,
       chosen = Method::kDfs;
     } else {
       Timer opt_timer;
-      const JoinPlan plan = OptimizeJoinOrder(index);
+      const JoinPlan join_plan = OptimizeJoinOrder(index);
       stats.optimize_ms = opt_timer.ElapsedMs();
-      stats.t_dfs_cost = plan.t_dfs;
-      stats.t_join_cost = plan.t_join;
-      if (plan.PreferJoin()) {
+      stats.t_dfs_cost = join_plan.t_dfs;
+      stats.t_join_cost = join_plan.t_join;
+      if (join_plan.PreferJoin()) {
         chosen = Method::kJoin;
-        cut = plan.cut;
+        plan.cut = join_plan.cut;
       } else {
         chosen = Method::kDfs;
       }
@@ -112,20 +108,32 @@ void PathEnumerator::ExecuteOnIndex(const LightweightIndex& index,
   } else if (chosen == Method::kJoin) {
     // Forced IDX-JOIN still needs Alg. 5 for the cut position.
     Timer opt_timer;
-    const JoinPlan plan = OptimizeJoinOrder(index);
+    const JoinPlan join_plan = OptimizeJoinOrder(index);
     stats.optimize_ms = opt_timer.ElapsedMs();
-    stats.t_dfs_cost = plan.t_dfs;
-    stats.t_join_cost = plan.t_join;
-    cut = plan.cut == 0 ? std::max<uint32_t>(1, q.hops / 2) : plan.cut;
+    stats.t_dfs_cost = join_plan.t_dfs;
+    stats.t_join_cost = join_plan.t_join;
+    plan.cut =
+        join_plan.cut == 0 ? std::max<uint32_t>(1, q.hops / 2) : join_plan.cut;
   }
+  plan.method = chosen;
+  return plan;
+}
 
-  stats.method = chosen;
-  stats.cut_position = cut;
+void PathEnumerator::ExecuteOnIndex(const LightweightIndex& index,
+                                    QueryStats& stats, PathSink& sink,
+                                    const EnumOptions& opts, Timer& total) {
+  stats.index_vertices = index.num_vertices();
+  stats.index_edges = index.num_edges();
+  stats.index_bytes = index.MemoryBytes();
+
+  const ExecutionPlan plan = PlanExecution(index, opts, stats);
+  stats.method = plan.method;
+  stats.cut_position = plan.cut;
 
   Timer enum_timer;
   EnumCounters counters;
-  if (chosen == Method::kJoin) {
-    counters = join_.Run(index, cut, sink, opts);
+  if (plan.method == Method::kJoin) {
+    counters = join_.Run(index, plan.cut, sink, opts);
   } else {
     counters = dfs_.Run(index, sink, opts);
   }

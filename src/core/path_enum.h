@@ -90,6 +90,20 @@ class PathEnumerator {
   static IndexBuilder::Options BuildOptionsFor(const Query& q,
                                                const EnumOptions& opts);
 
+  /// The method/cut decision of the Figure-2 pipeline for an already-built
+  /// index. The single planning path shared by Run/RunWithIndex and the
+  /// engine's intra-query split mode (DESIGN.md §8) — split and serial
+  /// executions of one query must agree on the method, or the split/serial
+  /// differential guarantees break. Fills the estimator/optimizer fields
+  /// of `stats`. The index must satisfy BuildOptionsFor(query, opts).
+  struct ExecutionPlan {
+    Method method = Method::kDfs;
+    uint32_t cut = 0;  // i* (join only)
+  };
+  static ExecutionPlan PlanExecution(const LightweightIndex& index,
+                                     const EnumOptions& opts,
+                                     QueryStats& stats);
+
   /// Runs the post-construction pipeline (estimate, optimize, enumerate) on
   /// an externally provided index for `index.query()`, skipping the build —
   /// the engine's index cache executes hits through this. `index` must have
@@ -135,7 +149,9 @@ class PathEnumerator {
   const BumpArena& arena() const { return arena_; }
 
  private:
-  friend class QueryEngine;  // intra-query splitting reuses dfs_/builder_
+  // Intra-query splitting (DESIGN.md §8) reuses dfs_/join_ per worker
+  // through QueryContext's split accessors.
+  friend class QueryContext;
 
   /// Shared tail of Run/RunWithIndex: method choice and enumeration.
   void ExecuteOnIndex(const LightweightIndex& index, QueryStats& stats,

@@ -17,4 +17,35 @@ bool CollectingSink::OnPath(std::span<const VertexId> path) {
   return paths_.size() < max_paths_;
 }
 
+bool BranchSink::OnPath(std::span<const VertexId> path) {
+  BranchGate& g = gate_;
+  if (g.stopped_.load(std::memory_order_relaxed)) return false;
+  const uint64_t n = g.emitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n > g.limit_) return false;  // reservation failed: stop this worker
+  if (n == g.response_target_ &&
+      !g.response_recorded_.exchange(true, std::memory_order_relaxed)) {
+    g.response_ms_.store(g.timer_.ElapsedMs(), std::memory_order_relaxed);
+  }
+  if (mode_ == Mode::kSerialized) {
+    bool keep_going;
+    {
+      const std::lock_guard<std::mutex> lock(g.mutex_);
+      // The latch is re-checked under the serialization mutex: once the
+      // inner sink returns false it must never be called again (it may
+      // have torn down its state on that contract).
+      if (g.stopped_.load(std::memory_order_relaxed)) return false;
+      g.delivered_.fetch_add(1, std::memory_order_relaxed);
+      keep_going = inner_.OnPath(path);
+      if (!keep_going) g.stopped_.store(true, std::memory_order_relaxed);
+    }
+    if (!keep_going) return false;
+  } else {
+    g.delivered_.fetch_add(1, std::memory_order_relaxed);
+    // A private sink refusing stops only this worker; the other workers'
+    // sinks keep receiving their disjoint shares.
+    if (!inner_.OnPath(path)) return false;
+  }
+  return n < g.limit_;
+}
+
 }  // namespace pathenum

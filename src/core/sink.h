@@ -3,12 +3,15 @@
 #ifndef PATHENUM_CORE_SINK_H_
 #define PATHENUM_CORE_SINK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "util/common.h"
+#include "util/timer.h"
 
 namespace pathenum {
 
@@ -65,6 +68,97 @@ class CallbackSink : public PathSink {
 
  private:
   std::function<bool(std::span<const VertexId>)> fn_;
+};
+
+/// Cross-thread accounting shared by every branch unit of one fanned-out
+/// enumeration (DESIGN.md §8). The gate owns the query-wide state the
+/// branch drivers must agree on: the result-limit reservation counter, the
+/// response-target record, the count of paths actually handed to inner
+/// sinks, and the stop latch. Exactly one gate exists per fanned-out query;
+/// the BranchSink adapters below share it.
+///
+/// Delivery is reservation-based, so `delivered()` is structurally capped
+/// at `result_limit`: a path is only handed to an inner sink after winning
+/// a reservation `n <= result_limit`, and each reservation is delivered at
+/// most once. A caller merging several fan-out phases (e.g. the split
+/// IDX-JOIN's halves meeting at their barrier) therefore can never observe
+/// limit + 1 — the double-count regression pinned by sink_test.
+class BranchGate {
+ public:
+  /// `timer` is the enumeration stopwatch response_ms is measured against;
+  /// it must outlive the gate.
+  BranchGate(uint64_t result_limit, uint64_t response_target,
+             const Timer& timer)
+      : limit_(result_limit),
+        response_target_(response_target),
+        timer_(timer) {}
+
+  BranchGate(const BranchGate&) = delete;
+  BranchGate& operator=(const BranchGate&) = delete;
+
+  /// Paths handed to inner sinks so far (never exceeds result_limit).
+  uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+
+  /// Elapsed ms at the response_target-th reservation; negative if the
+  /// target was never reached.
+  double response_ms() const {
+    return response_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// True once the latch tripped: a serialized inner sink refused a path,
+  /// or Stop() was called.
+  bool stopped() const { return stopped_.load(std::memory_order_relaxed); }
+
+  /// External cancel (the per-ticket stop latch of the async engine): no
+  /// further path passes through any adapter on this gate.
+  void Stop() { stopped_.store(true, std::memory_order_relaxed); }
+
+ private:
+  friend class BranchSink;
+
+  const uint64_t limit_;
+  const uint64_t response_target_;
+  const Timer& timer_;
+  std::mutex mutex_;  // serializes a kSerialized inner sink
+  std::atomic<uint64_t> emitted_{0};    // reservations attempted
+  std::atomic<uint64_t> delivered_{0};  // inner OnPath calls
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> response_recorded_{false};
+  std::atomic<double> response_ms_{-1.0};
+};
+
+/// The single branch fan-out sink adapter (DESIGN.md §8) — every
+/// branch-parallel driver funnels its deliveries through one of its two
+/// modes:
+///
+///  - kPerWorker: each worker wraps its *own* private inner sink
+///    (ParallelDfsEnumerator's per-worker fan-in contract). Deliveries are
+///    lock-free; an inner sink returning false stops only that worker, and
+///    the union of the per-sink path sets is the result.
+///  - kSerialized: every worker shares *one* adapter over one caller-owned
+///    sink (the engines' contract). Deliveries serialize under the gate's
+///    mutex, and the stop latch guarantees the inner sink is never called
+///    again after it returns false (it may tear down on that signal).
+///
+/// In both modes OnPath returns false once the shared result limit is
+/// reached, which the enumerators report as a sink stop; the fan-out
+/// drivers rebuild the exact hit_result_limit/stopped_by_sink flags from
+/// the gate in internal::FinishFanout.
+class BranchSink : public PathSink {
+ public:
+  enum class Mode { kPerWorker, kSerialized };
+
+  BranchSink(BranchGate& gate, PathSink& inner, Mode mode)
+      : gate_(gate), inner_(inner), mode_(mode) {}
+
+  bool OnPath(std::span<const VertexId> path) override;
+
+ private:
+  BranchGate& gate_;
+  PathSink& inner_;
+  const Mode mode_;
 };
 
 }  // namespace pathenum

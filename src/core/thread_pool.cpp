@@ -1,4 +1,4 @@
-#include "engine/thread_pool.h"
+#include "core/thread_pool.h"
 
 #include <algorithm>
 

@@ -2,8 +2,10 @@
 // parked on a condition variable between jobs, so issuing a batch costs a
 // wake-up instead of thread creation — the per-query thread spawn of the
 // original ParallelDfsEnumerator is exactly what this amortizes away.
-#ifndef PATHENUM_ENGINE_THREAD_POOL_H_
-#define PATHENUM_ENGINE_THREAD_POOL_H_
+// Lives in core/ (not engine/) because every branch-parallel driver —
+// ParallelDfsEnumerator included — fans out through it (DESIGN.md §8).
+#ifndef PATHENUM_CORE_THREAD_POOL_H_
+#define PATHENUM_CORE_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstdint>
@@ -70,4 +72,4 @@ class ThreadPool {
 
 }  // namespace pathenum
 
-#endif  // PATHENUM_ENGINE_THREAD_POOL_H_
+#endif  // PATHENUM_CORE_THREAD_POOL_H_

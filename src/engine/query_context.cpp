@@ -77,6 +77,34 @@ QueryStats QueryContext::RunCached(const Query& q, PathSink& sink,
   return stats;
 }
 
+std::shared_ptr<const LightweightIndex> QueryContext::AcquireIndex(
+    const Query& q, const IndexBuilder::Options& build_opts, IndexCache* cache,
+    QueryStats& stats) {
+  std::shared_ptr<const LightweightIndex> index;
+  if (cache != nullptr) {
+    const CacheKey key{q.source, q.target, q.hops,
+                       IndexOptionsFingerprint(build_opts)};
+    bool hit = false;
+    index = cache->GetOrBuild(
+        key, [&] { return enumerator_.BuildIndex(q, build_opts); }, &hit,
+        enumerator_.view().version());
+    stats.index_cache_hit = hit;
+    if (!hit) {
+      stats.bfs_ms = index->build_stats().bfs_ms;
+      stats.index_ms = index->build_stats().total_ms;
+    }
+  } else {
+    index = std::make_shared<const LightweightIndex>(
+        enumerator_.BuildIndex(q, build_opts));
+    stats.bfs_ms = index->build_stats().bfs_ms;
+    stats.index_ms = index->build_stats().total_ms;
+  }
+  stats.index_vertices = index->num_vertices();
+  stats.index_edges = index->num_edges();
+  stats.index_bytes = index->MemoryBytes();
+  return index;
+}
+
 QueryStats QueryContext::RunConstrained(const Query& q,
                                         const PathConstraints& constraints,
                                         PathSink& sink,

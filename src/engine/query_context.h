@@ -55,6 +55,22 @@ class QueryContext {
   /// dedup): each duplicate counts as a served query.
   void NoteFanout(uint64_t extra_served) { queries_run_ += extra_served; }
 
+  /// Builds — or fetches from `cache`, when one is given — the per-query
+  /// index a split driver fans out over (DESIGN.md §8). `build_opts` must
+  /// come from PathEnumerator::BuildOptionsFor so split and serial
+  /// executions share cache fingerprints. Charges build stats to `stats`
+  /// on a miss and flags `stats.index_cache_hit` on a hit; always fills
+  /// the index size fields.
+  std::shared_ptr<const LightweightIndex> AcquireIndex(
+      const Query& q, const IndexBuilder::Options& build_opts,
+      IndexCache* cache, QueryStats& stats);
+
+  /// Per-worker enumerator handles for intra-query splitting (DESIGN.md
+  /// §8): each branch/materialization/probe unit runs on the scratch of
+  /// the worker that claimed it. Single-owner like everything else here.
+  DfsEnumerator& split_dfs() { return enumerator_.dfs_; }
+  JoinEnumerator& split_join() { return enumerator_.join_; }
+
   PathEnumerator& enumerator() { return enumerator_; }
 
   /// Queries executed through this context since construction.

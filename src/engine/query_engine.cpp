@@ -62,68 +62,6 @@ class WorkStealingQueues {
   std::vector<Queue> queues_;
 };
 
-/// Sink shared by every worker of one split query: enforces the query-wide
-/// result limit and response target with an atomic reservation counter and
-/// serializes calls into the (single, caller-owned) inner sink.
-///
-/// Near-duplicate of parallel_dfs's SharedLimitSink in spirit, but the
-/// contracts differ (per-worker sinks there vs. one serialized sink + stop
-/// latch here); unify once ParallelDfsEnumerator migrates onto the engine's
-/// pool — see ROADMAP consolidation debt.
-class SharedQuerySink : public PathSink {
- public:
-  SharedQuerySink(PathSink& inner, uint64_t limit, uint64_t response_target,
-                  const Timer& timer)
-      : inner_(inner),
-        limit_(limit),
-        response_target_(response_target),
-        timer_(timer) {}
-
-  bool OnPath(std::span<const VertexId> path) override {
-    if (stopped_.load(std::memory_order_relaxed)) return false;
-    const uint64_t n = emitted_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (n > limit_) return false;  // reservation failed: stop this worker
-    if (n == response_target_ &&
-        !response_recorded_.exchange(true, std::memory_order_relaxed)) {
-      response_ms_.store(timer_.ElapsedMs(), std::memory_order_relaxed);
-    }
-    bool keep_going;
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      // The stop latch is re-checked under the serialization mutex: once
-      // the inner sink returns false it must never be called again (it may
-      // have torn down its state on that contract).
-      if (stopped_.load(std::memory_order_relaxed)) return false;
-      delivered_.fetch_add(1, std::memory_order_relaxed);
-      keep_going = inner_.OnPath(path);
-      if (!keep_going) stopped_.store(true, std::memory_order_relaxed);
-    }
-    if (!keep_going) return false;
-    return n < limit_;
-  }
-
-  /// Paths actually handed to the inner sink — reservations refused by the
-  /// limit or the stop latch are not counted.
-  uint64_t delivered() const {
-    return delivered_.load(std::memory_order_relaxed);
-  }
-  double response_ms() const {
-    return response_ms_.load(std::memory_order_relaxed);
-  }
-
- private:
-  PathSink& inner_;
-  const uint64_t limit_;
-  const uint64_t response_target_;
-  const Timer& timer_;
-  std::mutex mutex_;
-  std::atomic<uint64_t> emitted_{0};
-  std::atomic<uint64_t> delivered_{0};
-  std::atomic<bool> stopped_{false};
-  std::atomic<bool> response_recorded_{false};
-  std::atomic<double> response_ms_{-1.0};
-};
-
 /// Delivers one run's paths to every sink of a deduplicated query group.
 /// Each sink may stop independently (and is then never called again, per
 /// the PathSink contract); the enumeration continues while any sink wants
@@ -396,71 +334,54 @@ QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
                                  uint32_t active_workers) {
   ValidateQuery(view_, q);
   QueryStats stats;
-  stats.method = Method::kDfs;  // splitting implies IDX-DFS
   Timer total;
 
-  PathEnumerator& lead = contexts_[0]->enumerator();
   if (oracle_ != nullptr && !oracle_->Within(q.source, q.target, q.hops)) {
     stats.total_ms = total.ElapsedMs();
     stats.response_ms = stats.total_ms;
     return stats;
   }
 
-  IndexBuilder::Options build_opts;
-  build_opts.build_in_direction = false;
-  build_opts.collect_level_stats = false;
+  // Split mode builds with the same BuildOptionsFor-derived fingerprint
+  // and plans with the same PlanExecution pipeline as the serial path, so
+  // a split query shares cache entries with — and picks the same method
+  // as — its serial equivalent. It shares the index cache but not the
+  // result cache (its sink interleaving is nondeterministic, so replay
+  // order would be, too).
+  const std::shared_ptr<const LightweightIndex> index =
+      contexts_[0]->AcquireIndex(q, PathEnumerator::BuildOptionsFor(q, opts),
+                                 cache, stats);
 
-  // Split mode shares the index cache but not the result cache (its sink
-  // interleaving is nondeterministic, so replay order would be, too).
-  std::shared_ptr<const LightweightIndex> shared_index;
-  const LightweightIndex* index = nullptr;
-  if (cache != nullptr) {
-    const CacheKey key{q.source, q.target, q.hops,
-                       IndexOptionsFingerprint(build_opts)};
-    bool hit = false;
-    shared_index = cache->GetOrBuild(
-        key, [&] { return lead.BuildIndex(q, build_opts); }, &hit,
-        view_.version());
-    index = shared_index.get();
-    stats.index_cache_hit = hit;
-    if (!hit) {
-      stats.bfs_ms = index->build_stats().bfs_ms;
-      stats.index_ms = index->build_stats().total_ms;
-    }
-  } else {
-    shared_index = std::make_shared<const LightweightIndex>(
-        lead.BuildIndex(q, build_opts));
-    index = shared_index.get();
-    stats.bfs_ms = index->build_stats().bfs_ms;
-    stats.index_ms = index->build_stats().total_ms;
-  }
-  stats.index_vertices = index->num_vertices();
-  stats.index_edges = index->num_edges();
-  stats.index_bytes = index->MemoryBytes();
+  const PathEnumerator::ExecutionPlan plan =
+      PathEnumerator::PlanExecution(*index, opts, stats);
+  stats.method = plan.method;
+  stats.cut_position = plan.cut;
 
   Timer enum_timer;
   EnumCounters counters;
   const uint32_t s_slot = index->source_slot();
   if (s_slot != kInvalidSlot) {
-    const auto branches = index->OutSlotsWithin(s_slot, index->hops() - 1);
-    SharedQuerySink shared(sink, opts.result_limit, opts.response_target,
-                           enum_timer);
-    std::atomic<uint32_t> cursor{0};
-    std::vector<EnumCounters> per_worker(active_workers);
-    pool_.RunOnWorkers(active_workers, [&](uint32_t worker) {
-      DfsEnumerator& dfs = contexts_[worker]->enumerator().dfs_;
-      EnumCounters& mine = per_worker[worker];
-      while (true) {
-        const uint32_t b = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (b >= branches.size()) break;
-        const EnumCounters c =
-            dfs.RunBranch(*index, branches[b], shared,
-                          internal::BranchOptions(opts, enum_timer));
-        if (!internal::AccumulateBranch(mine, c)) break;
-      }
-    });
-    internal::FinishFanout(counters, per_worker, branches.size(),
-                           shared.delivered(), shared.response_ms(), opts);
+    // One gate per split query: the shared result-limit/response
+    // accounting plus the per-query stop latch over the caller's sink.
+    BranchGate gate(opts.result_limit, opts.response_target, enum_timer);
+    BranchSink shared(gate, sink, BranchSink::Mode::kSerialized);
+    if (plan.method == Method::kJoin) {
+      RunSplitJoin(*index, plan.cut, gate, shared, opts, enum_timer,
+                   active_workers, counters);
+    } else {
+      const auto branches = index->OutSlotsWithin(s_slot, index->hops() - 1);
+      std::atomic<uint32_t> cursor{0};
+      std::atomic<bool> stop_claims{false};
+      std::vector<EnumCounters> per_worker(active_workers);
+      pool_.RunOnWorkers(active_workers, [&](uint32_t worker) {
+        per_worker[worker] = internal::DrainBranches(
+            contexts_[worker]->split_dfs(), *index, branches, cursor, shared,
+            opts, enum_timer, &stop_claims);
+      });
+      internal::FinishFanout(counters, per_worker, /*root_partials=*/1,
+                             /*root_edges=*/branches.size(), gate.delivered(),
+                             gate.response_ms(), opts);
+    }
   }
 
   stats.counters = counters;
@@ -472,6 +393,146 @@ QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
                           : stats.total_ms;
   ++split_queries_run_;
   return stats;
+}
+
+void QueryEngine::RunSplitJoin(const LightweightIndex& index, uint32_t cut,
+                               BranchGate& gate, BranchSink& shared,
+                               const EnumOptions& opts,
+                               const Timer& enum_timer,
+                               uint32_t active_workers, EnumCounters& out) {
+  const uint32_t k = index.hops();
+  const uint32_t left_width = cut + 1;
+  const uint32_t right_width = k - cut + 1;
+
+  // The dependence-disjoint unit decomposition: the left half (one unit)
+  // and each right-half start (one unit per vertex of the cut level set
+  // C_cut) are mutually independent — level membership needs nothing from
+  // the left half, and C_cut is a superset of the join keys, so the extra
+  // starts only cost work that the key filter below discards. All units
+  // meet at the merge barrier before the probe.
+  std::vector<uint32_t>& starts = split_starts_;
+  starts.clear();
+  index.ForEachSlotInLevel(cut, [&](uint32_t slot) { starts.push_back(slot); });
+
+  // All tables below are engine-owned grow-only scratch: one split query
+  // runs at a time, so reuse is single-threaded and the steady state
+  // allocates nothing.
+  std::vector<uint32_t>& left = split_left_;
+  left.clear();
+  if (split_right_.size() < active_workers) split_right_.resize(active_workers);
+  std::vector<std::vector<uint32_t>>& right = split_right_;
+  for (uint32_t w = 0; w < active_workers; ++w) right[w].clear();
+  std::vector<std::pair<size_t, size_t>>& ranges = split_ranges_;
+  ranges.assign(starts.size(), {0, 0});
+  std::vector<uint32_t>& range_worker = split_range_worker_;
+  range_worker.assign(starts.size(), 0);
+  // The serial join caps each half at half the memory budget; the split
+  // right half meters one shared budget across its per-worker buffers.
+  // Because C_cut is a superset of the keys, a tight budget can trip here
+  // on speculative tuples the serial path never materializes — the
+  // documented cost of the dependence-disjoint decomposition (DESIGN.md
+  // §8). The key filter below bounds it: once the left half has finished,
+  // its published key set lets later right units skip non-key starts.
+  std::atomic<size_t> right_used{0};
+  const size_t half_cap =
+      opts.partial_memory_limit_bytes / (2 * sizeof(uint32_t));
+  std::vector<uint8_t>& is_key = split_is_key_;
+  is_key.assign(index.num_vertices(), 0);
+  std::atomic<bool> keys_ready{false};
+
+  std::atomic<uint32_t> cursor{0};  // unit 0 = left half, 1 + i = starts[i]
+  std::atomic<bool> stop_claims{false};
+  std::vector<EnumCounters> unit_counters(active_workers + active_workers);
+  pool_.RunOnWorkers(active_workers, [&](uint32_t worker) {
+    JoinEnumerator& join = contexts_[worker]->split_join();
+    EnumCounters& mine = unit_counters[worker];
+    while (!stop_claims.load(std::memory_order_relaxed)) {
+      const uint32_t u = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (u > starts.size()) break;
+      const EnumOptions unit_opts = internal::BranchOptions(opts, enum_timer);
+      EnumCounters c;
+      if (u == 0) {
+        c = join.MaterializeUnit(index, index.source_slot(), /*base=*/0,
+                                 left_width, left, unit_opts);
+        if (!c.timed_out && !c.out_of_memory) {
+          for (size_t off = cut; off < left.size(); off += left_width) {
+            is_key[left[off]] = 1;
+          }
+          keys_ready.store(true, std::memory_order_release);
+        }
+      } else {
+        if (keys_ready.load(std::memory_order_acquire) &&
+            !is_key[starts[u - 1]]) {
+          continue;  // provably not a join key: skip the speculative unit
+        }
+        std::vector<uint32_t>& buf = right[worker];
+        const size_t begin = buf.size();
+        c = join.MaterializeUnit(index, starts[u - 1], /*base=*/cut,
+                                 right_width, buf, unit_opts, &right_used,
+                                 half_cap);
+        ranges[u - 1] = {begin, buf.size()};
+        range_worker[u - 1] = worker;
+      }
+      if (!internal::AccumulateBranch(mine, c)) {
+        stop_claims.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  });
+
+  // --- Merge barrier: key-filter the per-start ranges into groups. -------
+  size_t right_total = 0;
+  for (const auto& buf : right) right_total += buf.size();
+  bool halves_truncated = false;
+  for (uint32_t w = 0; w < active_workers; ++w) {
+    halves_truncated |= unit_counters[w].timed_out ||
+                        unit_counters[w].out_of_memory;
+  }
+  if (!halves_truncated) {
+    // The left unit completed (or halves_truncated would be set), so the
+    // key set is published.
+    std::vector<JoinGroup>& groups = split_groups_;
+    groups.assign(index.num_vertices(), JoinGroup{});
+    for (size_t i = 0; i < starts.size(); ++i) {
+      if (!is_key[starts[i]]) continue;
+      const auto [begin, end] = ranges[i];
+      groups[starts[i]] = {right[range_worker[i]].data() + begin,
+                          (end - begin) / right_width};
+    }
+
+    // --- Probe: left-tuple chunks fan out into the serialized sink. ------
+    const size_t num_left = left.size() / left_width;
+    constexpr size_t kProbeChunk = 64;
+    const size_t num_chunks = (num_left + kProbeChunk - 1) / kProbeChunk;
+    std::atomic<uint32_t> probe_cursor{0};
+    std::atomic<bool> probe_stop{false};
+    pool_.RunOnWorkers(active_workers, [&](uint32_t worker) {
+      JoinEnumerator& join = contexts_[worker]->split_join();
+      EnumCounters& mine = unit_counters[active_workers + worker];
+      while (!probe_stop.load(std::memory_order_relaxed)) {
+        const uint32_t chunk =
+            probe_cursor.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= num_chunks) break;
+        const size_t begin = static_cast<size_t>(chunk) * kProbeChunk;
+        const EnumCounters c = join.ProbeUnit(
+            index, cut, left, begin, std::min(begin + kProbeChunk, num_left),
+            groups, shared, internal::BranchOptions(opts, enum_timer));
+        if (!internal::AccumulateBranch(mine, c)) {
+          probe_stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+    });
+  }
+
+  internal::FinishFanout(out, unit_counters, /*root_partials=*/0,
+                         /*root_edges=*/0, gate.delivered(),
+                         gate.response_ms(), opts);
+  // This query's footprint is the materialized sizes plus the key/group
+  // tables, not the pooled buffers' retained capacity.
+  out.peak_partial_bytes =
+      (left.size() + right_total) * sizeof(uint32_t) +
+      index.num_vertices() * (sizeof(uint8_t) + sizeof(JoinGroup));
 }
 
 QueryEngine::EngineStats QueryEngine::Stats() const {

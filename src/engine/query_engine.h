@@ -3,9 +3,10 @@
 // the calling thread, the engine keeps N workers alive across batches, each
 // with a reusable QueryContext, and schedules a batch of queries over them
 // with work stealing. Optionally a batch runs with intra-query parallelism:
-// each query's first-level DFS branches fan out across the whole pool
-// (DfsEnumerator::RunBranch), which is the right shape for a few heavy
-// queries rather than many small ones. See DESIGN.md §Engine.
+// each query's units — first-level DFS branches, or the split IDX-JOIN's
+// half/probe units — fan out across the whole pool, which is the right
+// shape for a few heavy queries rather than many small ones. See DESIGN.md
+// §5/§8.
 //
 // With `EngineOptions::enable_cache` the engine additionally keeps a
 // cross-query IndexCache shared by all workers (DESIGN.md §6): batches
@@ -26,7 +27,7 @@
 #include "engine/index_cache.h"
 #include "graph/view.h"
 #include "engine/query_context.h"
-#include "engine/thread_pool.h"
+#include "core/thread_pool.h"
 
 namespace pathenum {
 
@@ -51,10 +52,13 @@ struct BatchOptions {
   /// Applied to every query of the batch.
   EnumOptions query;
 
-  /// When true, queries execute one at a time with their first-level DFS
-  /// branches spread across the whole pool (forces IDX-DFS and serializes
-  /// sink calls per query). When false (default), each query runs entirely
-  /// on one worker and workers steal whole queries from each other.
+  /// When true, queries execute one at a time with their work spread
+  /// across the whole pool (serializing sink calls per query): the planned
+  /// method — the same PlanExecution decision the serial path makes — runs
+  /// either as fanned-out first-level DFS branches or as the split
+  /// IDX-JOIN's independent half/probe units (DESIGN.md §8). When false
+  /// (default), each query runs entirely on one worker and workers steal
+  /// whole queries from each other.
   bool split_branches = false;
 
   /// Consult/populate the engine's cross-query cache (no-op when the
@@ -177,12 +181,34 @@ class QueryEngine {
                    std::span<PathSink* const> sinks, const BatchOptions& opts,
                    IndexCache* cache, BatchResult& result);
 
-  /// Intra-query mode: one query at a time, branches across the pool.
+  /// Intra-query mode: one query at a time, its units across the pool.
   QueryStats RunSplit(const Query& q, PathSink& sink, const EnumOptions& opts,
                       IndexCache* cache, uint32_t active_workers);
 
+  /// The split IDX-JOIN (DESIGN.md §8): the left half and every right-half
+  /// start of the cut level set run as independent materialization units,
+  /// meet at a merge barrier where the key/group tables are assembled, and
+  /// the probe fans out over left-tuple chunks into the serialized
+  /// `shared` sink. Merged counters land in `out`.
+  void RunSplitJoin(const LightweightIndex& index, uint32_t cut,
+                    BranchGate& gate, BranchSink& shared,
+                    const EnumOptions& opts, const Timer& enum_timer,
+                    uint32_t active_workers, EnumCounters& out);
+
   /// min(pool, tasks, hardware cores), at least 1.
   uint32_t ClampedWorkers(size_t tasks) const;
+
+  /// Reusable split-join scratch (DESIGN.md §8): split queries run one at
+  /// a time on the RunBatch caller thread, so these grow-only buffers
+  /// follow the §5 no-steady-state-allocation discipline the serial join's
+  /// member/arena tables keep.
+  std::vector<uint32_t> split_starts_;
+  std::vector<uint32_t> split_left_;
+  std::vector<std::vector<uint32_t>> split_right_;
+  std::vector<std::pair<size_t, size_t>> split_ranges_;
+  std::vector<uint32_t> split_range_worker_;
+  std::vector<uint8_t> split_is_key_;
+  std::vector<JoinGroup> split_groups_;
 
   GraphView view_;
   const PrunedLandmarkIndex* oracle_;  // active for view_ (null when stale)

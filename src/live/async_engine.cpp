@@ -3,6 +3,8 @@
 #include <exception>
 #include <utility>
 
+#include "core/parallel_dfs.h"
+
 namespace pathenum {
 
 // ---------------------------------------------------------------------------
@@ -60,11 +62,22 @@ AsyncEngine::~AsyncEngine() { Shutdown(); }
 
 QueryTicket AsyncEngine::Submit(const Query& q, PathSink& sink,
                                 const EnumOptions& opts) {
+  return Submit(q, sink, SubmitOptions{.query = opts});
+}
+
+QueryTicket AsyncEngine::TrySubmit(const Query& q, PathSink& sink,
+                                   const EnumOptions& opts) {
+  return TrySubmit(q, sink, SubmitOptions{.query = opts});
+}
+
+QueryTicket AsyncEngine::Submit(const Query& q, PathSink& sink,
+                                const SubmitOptions& opts) {
   auto state = std::make_shared<QueryTicket::State>();
   Submission task;
   task.query = q;
   task.sink = &sink;
-  task.opts = opts;
+  task.opts = opts.query;
+  task.split = opts.split_branches;
   task.state = state;
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
@@ -89,12 +102,13 @@ QueryTicket AsyncEngine::Submit(const Query& q, PathSink& sink,
 }
 
 QueryTicket AsyncEngine::TrySubmit(const Query& q, PathSink& sink,
-                                   const EnumOptions& opts) {
+                                   const SubmitOptions& opts) {
   auto state = std::make_shared<QueryTicket::State>();
   Submission task;
   task.query = q;
   task.sink = &sink;
-  task.opts = opts;
+  task.opts = opts.query;
+  task.split = opts.split_branches;
   task.state = state;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -151,14 +165,36 @@ void AsyncEngine::WorkerLoop(uint32_t worker) {
   QueryContext& ctx = *contexts_[worker];
   for (;;) {
     Submission task;
+    std::shared_ptr<SplitJob> help;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_not_empty_.wait(lock,
-                            [&] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) break;  // shutdown with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
+      queue_not_empty_.wait(lock, [&] {
+        return shutdown_ || !queue_.empty() || HasSplitWorkLocked();
+      });
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++in_flight_;
+      } else if ((help = ClaimSplitWorkLocked()) != nullptr) {
+        // Idle with queued split units: help the heavy ticket instead of
+        // parking. New submissions take priority again on the next loop.
+      } else if (shutdown_) {
+        break;  // shutdown with a drained queue and no split work
+      } else {
+        // The split work that woke us evaporated between the predicate and
+        // the claim (cursor/stop_claims advance lock-free under the
+        // draining participants) — go back to sleep, don't die.
+        continue;
+      }
+    }
+    if (help != nullptr) {
+      DrainSplitUnits(*help, ctx);
+      {
+        const std::lock_guard<std::mutex> lock(help->mutex);
+        --help->active_helpers;
+      }
+      help->helpers_done.notify_all();
+      continue;
     }
     queue_not_full_.notify_one();
     Execute(ctx, task);
@@ -171,13 +207,146 @@ void AsyncEngine::WorkerLoop(uint32_t worker) {
   }
 }
 
+bool AsyncEngine::HasSplitWorkLocked() const {
+  for (const auto& job : split_jobs_) {
+    if (!job->stop_claims.load(std::memory_order_relaxed) &&
+        job->cursor.load(std::memory_order_relaxed) < job->branches.size()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::shared_ptr<AsyncEngine::SplitJob> AsyncEngine::ClaimSplitWorkLocked() {
+  for (const auto& job : split_jobs_) {
+    if (!job->stop_claims.load(std::memory_order_relaxed) &&
+        job->cursor.load(std::memory_order_relaxed) < job->branches.size()) {
+      // Registered under queue_mutex_, so the leader retiring the job
+      // cannot miss this helper: retirement happens under the same lock,
+      // and the leader's wait counts active_helpers afterwards.
+      const std::lock_guard<std::mutex> lock(job->mutex);
+      ++job->active_helpers;
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+void AsyncEngine::DrainSplitUnits(SplitJob& job, QueryContext& ctx) {
+  // Never lets an exception escape: a helper throwing would kill its pool
+  // worker for the engine's lifetime and strand the leader's barrier.
+  EnumCounters mine;
+  try {
+    mine = internal::DrainBranches(ctx.split_dfs(), *job.index, job.branches,
+                                   job.cursor, job.sink, job.opts, job.timer,
+                                   &job.stop_claims);
+  } catch (const std::exception& e) {
+    // A failing participant (a throwing sink, typically) fails the whole
+    // ticket: stop the claiming loops and trip the per-ticket stop latch
+    // so no other participant delivers into the broken sink.
+    job.stop_claims.store(true, std::memory_order_relaxed);
+    job.gate.Stop();
+    const std::lock_guard<std::mutex> lock(job.mutex);
+    if (job.error.empty()) job.error = e.what();
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(job.mutex);
+  job.worker_counters.push_back(mine);
+}
+
 void AsyncEngine::Execute(QueryContext& ctx, Submission& task) {
+  if (task.split) {
+    ExecuteSplit(ctx, task);
+    return;
+  }
   try {
     // The context runs on exactly the submission's snapshot; the rebind is
     // a view copy (scratch survives), free when the snapshot is unchanged.
     ctx.Rebind(*task.snapshot);
     const QueryStats stats =
         ctx.RunCached(task.query, *task.sink, task.opts, cache_.get());
+    Complete(*task.state, stats, "");
+  } catch (const std::exception& e) {
+    Complete(*task.state, QueryStats{}, e.what());
+  }
+}
+
+void AsyncEngine::ExecuteSplit(QueryContext& ctx, Submission& task) {
+  try {
+    ctx.Rebind(*task.snapshot);
+    ValidateQuery(*task.snapshot, task.query);
+    QueryStats stats;
+    stats.method = Method::kDfs;  // async splitting fans out DFS branches
+    Timer total;
+
+    // The index is built once on the submission's snapshot (through the
+    // shared cache when possible) and is immutable from here on — every
+    // branch unit, whichever worker runs it and however many updates
+    // publish meanwhile, observes exactly this snapshot.
+    EnumOptions build_shape = task.opts;
+    build_shape.method = Method::kDfs;
+    const std::shared_ptr<const LightweightIndex> index = ctx.AcquireIndex(
+        task.query, PathEnumerator::BuildOptionsFor(task.query, build_shape),
+        cache_.get(), stats);
+
+    EnumCounters counters;
+    double enumerate_ms = 0.0;
+    const uint32_t s_slot = index->source_slot();
+    if (s_slot != kInvalidSlot) {
+      const auto branches =
+          index->OutSlotsWithin(s_slot, index->hops() - 1);
+      auto job = std::make_shared<SplitJob>(index, branches, *task.sink,
+                                            task.opts);
+      // Publish, then wake parked workers: any worker idle between queue
+      // pops joins the fan-out until the units run dry.
+      {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        split_jobs_.push_back(job);
+      }
+      queue_not_empty_.notify_all();
+
+      // The leader is participant zero.
+      DrainSplitUnits(*job, ctx);
+
+      // Retire the job so no further helper registers, then wait out the
+      // ones already inside — the merge barrier of this ticket.
+      {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        for (auto it = split_jobs_.begin(); it != split_jobs_.end(); ++it) {
+          if (it->get() == job.get()) {
+            split_jobs_.erase(it);
+            break;
+          }
+        }
+      }
+      std::string split_error;
+      {
+        std::unique_lock<std::mutex> lock(job->mutex);
+        job->helpers_done.wait(lock, [&] { return job->active_helpers == 0; });
+        split_error = job->error;
+        internal::FinishFanout(counters, job->worker_counters,
+                               /*root_partials=*/1,
+                               /*root_edges=*/job->branches.size(),
+                               job->gate.delivered(), job->gate.response_ms(),
+                               task.opts);
+      }
+      if (!split_error.empty()) {
+        // A participant failed: the job was retired and every helper has
+        // left (the barrier above), so the caller's sink is safe to
+        // abandon — fail the ticket like the plain path would.
+        Complete(*task.state, QueryStats{}, std::move(split_error));
+        return;
+      }
+      enumerate_ms = job->timer.ElapsedMs();
+    }
+
+    stats.counters = counters;
+    stats.enumerate_ms = enumerate_ms;
+    stats.total_ms = total.ElapsedMs();
+    const double preprocessing = stats.total_ms - stats.enumerate_ms;
+    stats.response_ms = counters.response_ms >= 0.0
+                            ? preprocessing + counters.response_ms
+                            : stats.total_ms;
     Complete(*task.state, stats, "");
   } catch (const std::exception& e) {
     Complete(*task.state, QueryStats{}, e.what());

@@ -11,18 +11,24 @@
 // cached indexes across updates.
 //
 // Threading contract: Submit/TrySubmit and SubmitUpdate may be called from
-// any thread (updates serialize internally). A query's sink is invoked from
-// exactly one worker thread for the duration of that query; the ticket's
-// Wait() synchronizes with the query's completion. Shutdown drains the
-// admission queue before stopping the workers; the destructor shuts down.
+// any thread (updates serialize internally). A plain query's sink is
+// invoked from exactly one worker thread for the duration of that query; a
+// split query's sink (SubmitOptions::split_branches) may be invoked from
+// several workers but calls are serialized through the shared BranchSink
+// with its per-ticket stop latch (DESIGN.md §8), so plain sinks stay safe.
+// The ticket's Wait() synchronizes with the query's completion. Shutdown
+// drains the admission queue before stopping the workers; the destructor
+// shuts down.
 #ifndef PATHENUM_LIVE_ASYNC_ENGINE_H_
 #define PATHENUM_LIVE_ASYNC_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,7 +38,7 @@
 #include "core/sink.h"
 #include "engine/index_cache.h"
 #include "engine/query_context.h"
-#include "engine/thread_pool.h"
+#include "core/thread_pool.h"
 #include "live/snapshot.h"
 
 namespace pathenum {
@@ -48,6 +54,22 @@ struct AsyncEngineOptions {
   IndexCacheOptions cache;
   /// Snapshot lifecycle knobs (compaction budget, impact radius).
   SnapshotOptions snapshot;
+};
+
+/// Per-submission knobs.
+struct SubmitOptions {
+  /// Applied to the query's enumeration.
+  EnumOptions query;
+
+  /// Heavy-ticket mode (DESIGN.md §8): the claiming worker builds the
+  /// index on the submission's snapshot, then fans the first-level DFS
+  /// branches out as units that *idle* workers cooperatively drain between
+  /// queue pops — one straggler query no longer serializes behind the
+  /// update stream, and every branch unit observes exactly the ticket's
+  /// snapshot (the units run on the immutable per-query index). Limit and
+  /// truncation semantics are identical to the serial path via the shared
+  /// BranchGate's per-ticket stop latch. Forces IDX-DFS.
+  bool split_branches = false;
 };
 
 /// Completion handle for one submitted query. Cheap to copy; all copies
@@ -105,11 +127,15 @@ class AsyncEngine {
   /// after Shutdown.
   QueryTicket Submit(const Query& q, PathSink& sink,
                      const EnumOptions& opts = {});
+  QueryTicket Submit(const Query& q, PathSink& sink,
+                     const SubmitOptions& opts);
 
   /// Non-blocking Submit: returns an invalid ticket (and counts a reject)
   /// when the admission queue is full or the engine is shut down.
   QueryTicket TrySubmit(const Query& q, PathSink& sink,
                         const EnumOptions& opts = {});
+  QueryTicket TrySubmit(const Query& q, PathSink& sink,
+                        const SubmitOptions& opts);
 
   /// Applies one update epoch and returns the new snapshot version.
   /// Queries submitted before this call observe the old snapshot; queries
@@ -151,12 +177,60 @@ class AsyncEngine {
     Query query;
     PathSink* sink = nullptr;
     EnumOptions opts;
+    bool split = false;
     std::shared_ptr<const GraphView> snapshot;
     std::shared_ptr<QueryTicket::State> state;
   };
 
+  /// One split ticket's shared fan-out state (DESIGN.md §8). The leader —
+  /// the worker that claimed the submission — owns the job's lifetime: it
+  /// publishes the job, drains units itself, retires the job from the
+  /// registry, and waits for the helpers that joined before merging. The
+  /// index shared_ptr keeps the enumeration's snapshot-consistent input
+  /// alive however long helpers run.
+  struct SplitJob {
+    SplitJob(std::shared_ptr<const LightweightIndex> idx,
+             std::span<const uint32_t> branch_units, PathSink& inner,
+             const EnumOptions& query_opts)
+        : index(std::move(idx)),
+          branches(branch_units),
+          opts(query_opts),
+          gate(query_opts.result_limit, query_opts.response_target, timer),
+          sink(gate, inner, BranchSink::Mode::kSerialized) {}
+
+    std::shared_ptr<const LightweightIndex> index;
+    std::span<const uint32_t> branches;  // into *index, kept alive above
+    const EnumOptions opts;
+    Timer timer;  // enumeration stopwatch; BranchOptions re-derives budgets
+    BranchGate gate;
+    BranchSink sink;
+    std::atomic<uint32_t> cursor{0};
+    std::atomic<bool> stop_claims{false};
+
+    std::mutex mutex;  // guards the fields below
+    std::condition_variable helpers_done;
+    uint32_t active_helpers = 0;
+    std::vector<EnumCounters> worker_counters;
+    /// First participant failure (a throwing sink, typically). Set with
+    /// stop_claims + gate.Stop() so the other participants wind down; the
+    /// leader turns it into the ticket's error after the merge barrier.
+    std::string error;
+  };
+
   void WorkerLoop(uint32_t worker);
   void Execute(QueryContext& ctx, Submission& task);
+  void ExecuteSplit(QueryContext& ctx, Submission& task);
+
+  /// True when some registered split job still has unclaimed units —
+  /// part of the worker wait predicate; queue_mutex_ must be held.
+  bool HasSplitWorkLocked() const;
+  /// Registers this worker as a helper on a job with remaining units, or
+  /// returns null; queue_mutex_ must be held.
+  std::shared_ptr<SplitJob> ClaimSplitWorkLocked();
+  /// Drains units of `job` on this worker's context and folds the
+  /// counters in (leader and helpers share this path).
+  static void DrainSplitUnits(SplitJob& job, QueryContext& ctx);
+
   static void Complete(QueryTicket::State& state, const QueryStats& stats,
                        std::string error);
 
@@ -171,6 +245,9 @@ class AsyncEngine {
   std::condition_variable queue_not_full_;
   std::condition_variable idle_;
   std::deque<Submission> queue_;
+  /// Split jobs idle workers may help with (guarded by queue_mutex_; the
+  /// jobs' own state is synchronized by their atomics/mutex).
+  std::deque<std::shared_ptr<SplitJob>> split_jobs_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
   uint64_t submitted_ = 0;

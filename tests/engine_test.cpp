@@ -11,7 +11,7 @@
 
 #include "core/path_enum.h"
 #include "engine/query_engine.h"
-#include "engine/thread_pool.h"
+#include "core/thread_pool.h"
 #include "graph/generators.h"
 #include "test_util.h"
 #include "util/memory.h"
@@ -158,6 +158,105 @@ TEST(QueryEngineTest, SplitBranchesMatchesSequentialPathSets) {
     EXPECT_EQ(ToSet(collected[i].paths()), ToSet(expected.paths()))
         << "split query " << i;
     EXPECT_EQ(result.stats[i].counters.num_results, expected.paths().size());
+  }
+}
+
+TEST(QueryEngineTest, SplitJoinMatchesSequentialPathSets) {
+  // Forced IDX-JOIN through split mode: the two halves materialize as
+  // independent units, meet at the merge barrier, and the parallel probe
+  // must produce exactly the serial join's path set.
+  const Graph g = ErdosRenyi(50, 500, 11);
+  const std::vector<Query> queries = {{0, 20, 5}, {3, 40, 4}, {7, 13, 6}};
+
+  PathEnumerator sequential(g);
+  for (const uint32_t workers : {1u, 3u}) {
+    QueryEngine engine(g, {.num_workers = workers});
+    std::vector<CollectingSink> collected(queries.size());
+    std::vector<PathSink*> sinks;
+    for (auto& c : collected) sinks.push_back(&c);
+    BatchOptions opts;
+    opts.split_branches = true;
+    opts.query.method = Method::kJoin;
+    const BatchResult result = engine.RunBatch(queries, sinks, opts);
+    ASSERT_TRUE(result.ok());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      CollectingSink expected;
+      EnumOptions seq_opts;
+      seq_opts.method = Method::kJoin;
+      sequential.Run(queries[i], expected, seq_opts);
+      EXPECT_EQ(ToSet(collected[i].paths()), ToSet(expected.paths()))
+          << "split join query " << i << " at " << workers << " workers";
+      EXPECT_EQ(result.stats[i].counters.num_results,
+                expected.paths().size());
+      EXPECT_EQ(result.stats[i].method, Method::kJoin);
+    }
+  }
+}
+
+TEST(QueryEngineTest, SplitModePlansLikeTheSerialPipeline) {
+  // kAuto through split mode must pick the same method the serial pipeline
+  // picks (the shared PlanExecution path) and return the same answers.
+  const Graph g = ErdosRenyi(60, 700, 5);
+  const std::vector<Query> queries = {{0, 30, 6}, {1, 45, 5}, {9, 50, 4}};
+
+  PathEnumerator sequential(g);
+  QueryEngine engine(g, {.num_workers = 3});
+  std::vector<CollectingSink> collected(queries.size());
+  std::vector<PathSink*> sinks;
+  for (auto& c : collected) sinks.push_back(&c);
+  BatchOptions opts;
+  opts.split_branches = true;
+  const BatchResult result = engine.RunBatch(queries, sinks, opts);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    CollectingSink expected;
+    const QueryStats seq = sequential.Run(queries[i], expected);
+    EXPECT_EQ(result.stats[i].method, seq.method) << "query " << i;
+    EXPECT_EQ(ToSet(collected[i].paths()), ToSet(expected.paths()))
+        << "query " << i;
+  }
+}
+
+TEST(QueryEngineTest, SplitModeExactLimitNeverDeliversLimitPlusOne) {
+  // The merge-barrier double-count regression, end to end: with the result
+  // limit exactly at / one under the full count, the caller's sink must
+  // see exactly `limit` paths — never limit + 1 — for both the DFS branch
+  // fan-out and the split join's barrier, and the truncation flags must
+  // match the serial run's.
+  const Graph g = ErdosRenyi(50, 500, 11);
+  const Query q{0, 20, 5};
+  PathEnumerator sequential(g);
+  CountingSink full;
+  sequential.Run(q, full);
+  ASSERT_GT(full.count(), 3u);
+
+  for (const Method method : {Method::kDfs, Method::kJoin}) {
+    for (uint64_t limit : {full.count(), full.count() - 1, uint64_t{1}}) {
+      QueryEngine engine(g, {.num_workers = 4});
+      CountingSink sink;
+      PathSink* sinks[] = {&sink};
+      BatchOptions opts;
+      opts.split_branches = true;
+      opts.query.method = method;
+      opts.query.result_limit = limit;
+      const BatchResult result =
+          engine.RunBatch(std::span<const Query>{&q, 1}, sinks, opts);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(sink.count(), limit)
+          << MethodName(method) << " limit=" << limit;
+      EXPECT_EQ(result.stats[0].counters.num_results, limit);
+      CountingSink seq_sink;
+      EnumOptions seq_opts;
+      seq_opts.method = method;
+      seq_opts.result_limit = limit;
+      const QueryStats seq = sequential.Run(q, seq_sink, seq_opts);
+      EXPECT_EQ(result.stats[0].counters.hit_result_limit,
+                seq.counters.hit_result_limit)
+          << MethodName(method) << " limit=" << limit;
+      EXPECT_EQ(result.stats[0].counters.stopped_by_sink,
+                seq.counters.stopped_by_sink)
+          << MethodName(method) << " limit=" << limit;
+    }
   }
 }
 

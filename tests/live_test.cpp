@@ -828,6 +828,195 @@ TEST(AsyncEngineTest, BoundedQueueRejectsTrySubmitWhenFull) {
   engine.Drain();
 }
 
+TEST(AsyncEngineTest, SplitSubmitMatchesSerialAnswer) {
+  // A split ticket must deliver exactly the serial result set's count, with
+  // sink calls serialized (a plain CollectingSink is safe), across worker
+  // counts including the degenerate single-worker pool (leader-only).
+  const VertexId n = 40;
+  const Graph base = ErdosRenyi(n, 260, /*seed=*/9);
+  const Query heavy{0, n - 1, 5};
+  const PathSet expected = Reference(base, heavy);
+  for (const uint32_t workers : {1u, 3u}) {
+    AsyncEngineOptions opts;
+    opts.num_workers = workers;
+    AsyncEngine engine(base, opts);
+    CollectingSink sink;
+    QueryTicket ticket =
+        engine.Submit(heavy, sink, SubmitOptions{.split_branches = true});
+    const QueryStats& stats = ticket.Wait();
+    ASSERT_TRUE(ticket.ok()) << ticket.error();
+    EXPECT_EQ(ToSet(sink.paths()), expected) << workers << " workers";
+    EXPECT_EQ(stats.counters.num_results, expected.size());
+    EXPECT_EQ(stats.method, Method::kDfs);
+  }
+}
+
+TEST(AsyncEngineTest, SplitTicketExactLimitNeverDeliversLimitPlusOne) {
+  // The per-ticket stop latch at the merge barrier: delivered == limit,
+  // never limit + 1, and the flags match the serial path's semantics.
+  const VertexId n = 40;
+  const Graph base = ErdosRenyi(n, 260, /*seed=*/9);
+  const Query heavy{0, n - 1, 5};
+  const uint64_t full = Reference(base, heavy).size();
+  ASSERT_GT(full, 2u);
+  AsyncEngineOptions opts;
+  opts.num_workers = 3;
+  AsyncEngine engine(base, opts);
+  for (const uint64_t limit : {full, full - 1, uint64_t{1}}) {
+    CountingSink sink;
+    EnumOptions query_opts;
+    query_opts.result_limit = limit;
+    QueryTicket ticket = engine.Submit(
+        heavy, sink,
+        SubmitOptions{.query = query_opts, .split_branches = true});
+    const QueryStats& stats = ticket.Wait();
+    ASSERT_TRUE(ticket.ok()) << ticket.error();
+    EXPECT_EQ(sink.count(), limit) << "limit=" << limit;
+    EXPECT_EQ(stats.counters.num_results, limit);
+    EXPECT_TRUE(stats.counters.hit_result_limit);
+    EXPECT_FALSE(stats.counters.stopped_by_sink);
+  }
+  // And the sink-stop side of the latch: a quitting sink ends the whole
+  // fan-out without further deliveries.
+  CollectingSink quitter(/*max_paths=*/2);
+  QueryTicket ticket =
+      engine.Submit(heavy, quitter, SubmitOptions{.split_branches = true});
+  const QueryStats& stats = ticket.Wait();
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_EQ(quitter.paths().size(), 2u);
+  EXPECT_TRUE(stats.counters.stopped_by_sink);
+}
+
+TEST(AsyncEngineTest, HeavySplitQueryRacingUpdateStormStaysConsistent) {
+  // One heavy split ticket races an update storm: every branch unit must
+  // observe exactly one snapshot version — the ticket's — so the delivered
+  // count must equal the serial answer of exactly that version. The
+  // versions are built so that each one has a distinct answer; a fan-out
+  // mixing two snapshots would produce a count belonging to no version.
+  // (Runs under TSan in CI via the `parallel` ctest label.)
+  const VertexId n = 26;
+  const Graph base = ErdosRenyi(n, 120, /*seed=*/41);
+  const Query heavy{0, n - 1, 5};
+
+  constexpr int kEpochs = 8;
+  std::vector<GraphDelta> deltas;
+  std::vector<uint64_t> expected;  // expected[v] = serial answer at version v
+  {
+    GraphView view(base);
+    expected.push_back(BruteForcePaths(base, heavy).size());
+    Rng rng(77);
+    for (int e = 0; e < kEpochs; ++e) {
+      GraphDelta d;
+      // Insert-only churn biased toward the query's neighborhood keeps the
+      // per-version answers strictly increasing => pairwise distinct.
+      for (int i = 0; i < 3; ++i) {
+        const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+        const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+        d.Insert(u, v);
+      }
+      d.Insert(static_cast<VertexId>(rng.NextBounded(n)), n - 1);
+      deltas.push_back(d);
+      view = view.Apply(d, e + 1);
+      expected.push_back(BruteForcePaths(view.Materialize(), heavy).size());
+    }
+  }
+
+  AsyncEngineOptions opts;
+  opts.num_workers = 3;
+  AsyncEngine engine(base, opts);
+
+  std::vector<CountingSink> sinks(kEpochs + 1);
+  std::vector<QueryTicket> tickets;
+  tickets.push_back(engine.Submit(
+      heavy, sinks[0], SubmitOptions{.split_branches = true}));
+  for (int e = 0; e < kEpochs; ++e) {
+    engine.SubmitUpdate(deltas[e]);
+    tickets.push_back(engine.Submit(
+        heavy, sinks[e + 1], SubmitOptions{.split_branches = true}));
+  }
+
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const QueryStats& stats = tickets[i].Wait();
+    ASSERT_TRUE(tickets[i].ok()) << tickets[i].error();
+    const uint64_t version = tickets[i].snapshot_version();
+    ASSERT_LT(version, expected.size());
+    ASSERT_EQ(stats.counters.num_results, expected[version])
+        << "split ticket " << i << " mixed snapshots (version " << version
+        << ")";
+    ASSERT_EQ(sinks[i].count(), expected[version]);
+  }
+  EXPECT_EQ(engine.stats().updates, static_cast<uint64_t>(kEpochs));
+}
+
+TEST(AsyncEngineTest, ThrowingSinkFailsSplitTicketWithoutKillingWorkers) {
+  // A sink throwing mid-fan-out must fail just that ticket (like the plain
+  // path does), leave no helper stranded at the merge barrier, and keep
+  // every pool worker alive for later traffic.
+  class ThrowingSink : public PathSink {
+   public:
+    bool OnPath(std::span<const VertexId>) override {
+      throw std::runtime_error("sink exploded");
+    }
+  };
+  const VertexId n = 30;
+  const Graph base = ErdosRenyi(n, 160, /*seed=*/3);
+  const Query heavy{0, n - 1, 5};
+  const uint64_t expected = BruteForcePaths(base, heavy).size();
+  ASSERT_GT(expected, 0u);
+
+  AsyncEngineOptions opts;
+  opts.num_workers = 3;
+  AsyncEngine engine(base, opts);
+  for (int round = 0; round < 3; ++round) {
+    ThrowingSink bad;
+    QueryTicket broken =
+        engine.Submit(heavy, bad, SubmitOptions{.split_branches = true});
+    broken.Wait();
+    EXPECT_FALSE(broken.ok());
+    EXPECT_NE(broken.error().find("sink exploded"), std::string::npos);
+    // The engine must still serve split and plain tickets afterwards.
+    CountingSink good_split, good_plain;
+    QueryTicket t1 =
+        engine.Submit(heavy, good_split, SubmitOptions{.split_branches = true});
+    QueryTicket t2 = engine.Submit(heavy, good_plain);
+    EXPECT_EQ(t1.Wait().counters.num_results, expected);
+    EXPECT_EQ(t2.Wait().counters.num_results, expected);
+  }
+  engine.Drain();
+}
+
+TEST(AsyncEngineTest, SplitAndPlainTicketsInterleaveSafely) {
+  // Split tickets recruiting idle workers must not wedge or corrupt the
+  // plain traffic sharing the queue.
+  const VertexId n = 30;
+  const Graph base = ErdosRenyi(n, 140, /*seed=*/23);
+  const Query heavy{0, n - 1, 5};
+  const Query light{1, n - 2, 3};
+  const uint64_t heavy_expected = BruteForcePaths(base, heavy).size();
+  const uint64_t light_expected = BruteForcePaths(base, light).size();
+
+  AsyncEngineOptions opts;
+  opts.num_workers = 3;
+  AsyncEngine engine(base, opts);
+  std::vector<CountingSink> sinks(24);
+  std::vector<QueryTicket> tickets;
+  for (size_t i = 0; i < sinks.size(); ++i) {
+    const bool split = i % 3 == 0;
+    tickets.push_back(engine.Submit(
+        split ? heavy : light, sinks[i],
+        SubmitOptions{.split_branches = split}));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const QueryStats& stats = tickets[i].Wait();
+    ASSERT_TRUE(tickets[i].ok()) << tickets[i].error();
+    EXPECT_EQ(stats.counters.num_results,
+              i % 3 == 0 ? heavy_expected : light_expected)
+        << "ticket " << i;
+  }
+  engine.Drain();
+  EXPECT_EQ(engine.stats().executed, tickets.size());
+}
+
 TEST(AsyncEngineTest, UnaffectedKeysKeepCacheHitsAcrossUpdates) {
   // Hot query far from the churn: after warming, updates elsewhere must not
   // cost its cached index (the whole point of incremental invalidation).

@@ -1,6 +1,7 @@
 // Tests for the parallel IDX-DFS enumerator and the triggered-cycle API.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -109,6 +110,94 @@ TEST(ParallelDfsTest, ResultLimitIsExactAcrossThreads) {
   const PathSet got = ParallelCollect(idx, 4, &result, opts);
   EXPECT_EQ(got.size(), 40u);
   EXPECT_TRUE(result.counters.hit_result_limit);
+}
+
+TEST(ParallelDfsTest, ExactLimitBoundaryNeverOvershoots) {
+  // The merge-barrier regression: at limits exactly at / one under the
+  // full result count, delivered must equal the limit — never limit + 1 —
+  // and the truncation flags must match the sequential enumerator's.
+  const Graph g = LayeredGraph(3, 5);  // 125 paths
+  const Query q{0, static_cast<VertexId>(g.num_vertices() - 1), 4};
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, q);
+  for (const uint64_t limit : {125u, 124u, 1u}) {
+    EnumOptions opts;
+    opts.result_limit = limit;
+    DfsEnumerator sequential(idx);
+    CountingSink seq_sink;
+    const EnumCounters seq = sequential.Run(seq_sink, opts);
+    ParallelEnumResult result;
+    const PathSet got = ParallelCollect(idx, 4, &result, opts);
+    EXPECT_EQ(got.size(), limit) << "limit=" << limit;
+    EXPECT_EQ(result.counters.num_results, seq.num_results);
+    EXPECT_EQ(result.counters.hit_result_limit, seq.hit_result_limit)
+        << "limit=" << limit;
+    EXPECT_EQ(result.counters.stopped_by_sink, seq.stopped_by_sink)
+        << "limit=" << limit;
+  }
+}
+
+TEST(ParallelDfsTest, OneSinkRefusingStopsOnlyItsOwnWorker) {
+  // Per-worker fan-in contract: a private sink returning false stops that
+  // worker alone. With 2 workers on 5 first-level branches (25 paths
+  // each), the refusing worker abandons at most its single claimed branch
+  // — the steady worker must still drain the remaining >= 4 branches.
+  const Graph g = LayeredGraph(3, 5);  // 5 branches x 25 paths
+  const Query q{0, static_cast<VertexId>(g.num_vertices() - 1), 4};
+  IndexBuilder builder;
+  const LightweightIndex idx = builder.Build(g, q);
+  ParallelDfsEnumerator parallel(idx, 2);
+  std::atomic<uint64_t> steady_total{0};
+  std::atomic<int> nth{0};
+  const ParallelEnumResult result = parallel.Run([&] {
+    const bool refuser = nth.fetch_add(1) == 0;
+    return std::make_unique<CallbackSink>(
+        [&steady_total, refuser](std::span<const VertexId>) {
+          if (refuser) return false;
+          steady_total.fetch_add(1);
+          return true;
+        });
+  });
+  // In every interleaving the refuser consumes at most one branch (its
+  // first emission aborts it), so the steady worker's share is >= 4
+  // branches; whether the refuser got to refuse at all is scheduling-
+  // dependent, so only the lower bound is asserted.
+  EXPECT_GE(steady_total.load(), 100u)
+      << "a refusing sink must not halt the other worker's claiming";
+  EXPECT_LE(result.counters.num_results, 125u);
+}
+
+TEST(ParallelDfsTest, SharedPoolFormReusesTheCallersPool) {
+  // Post-migration contract: no private threads — several enumerations can
+  // ride one pool, and results stay exact.
+  const Graph g = RMat(6, 300, 17);
+  ThreadPool pool(4);
+  for (const Query q : {Query{0, 30, 5}, Query{2, 40, 4}}) {
+    IndexBuilder builder;
+    const LightweightIndex idx = builder.Build(g, q);
+    DfsEnumerator sequential(idx);
+    CollectingSink seq_sink;
+    sequential.Run(seq_sink, {});
+    ParallelDfsEnumerator parallel(idx, pool);
+    std::mutex mutex;
+    std::vector<std::vector<std::vector<VertexId>>> shards;
+    shards.reserve(8);
+    parallel.Run([&]() -> std::unique_ptr<PathSink> {
+      const std::lock_guard<std::mutex> lock(mutex);
+      shards.emplace_back();
+      auto* shard = &shards.back();
+      return std::make_unique<CallbackSink>(
+          [shard](std::span<const VertexId> p) {
+            shard->emplace_back(p.begin(), p.end());
+            return true;
+          });
+    });
+    PathSet merged;
+    for (const auto& shard : shards) {
+      for (const auto& p : shard) merged.insert(p);
+    }
+    EXPECT_EQ(merged, ToSet(seq_sink.paths()));
+  }
 }
 
 TEST(ParallelDfsTest, ResponseTargetRecordedOnce) {

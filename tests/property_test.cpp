@@ -5,14 +5,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
+#include <span>
 
 #include "baselines/algorithm.h"
 #include "core/dfs_enumerator.h"
 #include "core/estimator.h"
 #include "core/index.h"
 #include "core/join_enumerator.h"
+#include "core/parallel_dfs.h"
 #include "core/path_enum.h"
 #include "core/reference.h"
+#include "engine/query_engine.h"
 #include "graph/builder.h"
 #include "graph/generators.h"
 #include "test_util.h"
@@ -170,6 +175,133 @@ TEST(DynamicUpdateTest, DeletionInvalidatesExactlyTheAffectedPaths) {
       {testing::kS, testing::kV3, testing::kV4, testing::kV5, testing::kT},
   };
   EXPECT_EQ(ToSet(sink.paths()), expected);
+}
+
+// --- Intra-query splitting differentials (DESIGN.md §8) ----------------------
+
+/// Runs q through RunBatch with the given split setting and returns the
+/// collected paths plus stats.
+QueryStats RunOne(QueryEngine& engine, const Query& q, bool split,
+                  const EnumOptions& query_opts, CollectingSink& sink) {
+  PathSink* sinks[] = {&sink};
+  BatchOptions opts;
+  opts.split_branches = split;
+  opts.query = query_opts;
+  const BatchResult result =
+      engine.RunBatch(std::span<const Query>{&q, 1}, sinks, opts);
+  EXPECT_TRUE(result.ok()) << result.errors[0];
+  return result.stats[0];
+}
+
+TEST(SplitDifferentialTest, RunBatchSplitOnOffAgreeOnRandomGraphs) {
+  // The split/serial differential: identical path sets (unordered) and
+  // identical num_results on randomized graphs, across the methods the
+  // planner can pick.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = RMat(6, 320, seed * 13);
+    QueryEngine engine(g, {.num_workers = 4});
+    for (uint32_t k = 4; k <= 6; ++k) {
+      const Query q{static_cast<VertexId>((seed * 11) % 64),
+                    static_cast<VertexId>((seed * 31 + 7) % 64), k};
+      if (q.source == q.target) continue;
+      CollectingSink serial, split;
+      const QueryStats serial_stats = RunOne(engine, q, false, {}, serial);
+      const QueryStats split_stats = RunOne(engine, q, true, {}, split);
+      EXPECT_EQ(ToSet(split.paths()), ToSet(serial.paths()))
+          << "seed=" << seed << " k=" << k;
+      EXPECT_EQ(split_stats.counters.num_results,
+                serial_stats.counters.num_results);
+      EXPECT_EQ(split_stats.method, serial_stats.method)
+          << "split must plan like the serial pipeline";
+    }
+  }
+}
+
+TEST(SplitDifferentialTest, TruncationFlagsAgreeAtTightLimits) {
+  // At limits right at / under the full result count the split path must
+  // report exactly the serial truncation outcome: delivered == limit (the
+  // merge-barrier regression — never limit + 1), hit_result_limit and
+  // stopped_by_sink bit-identical.
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const Graph g = ErdosRenyi(48, 430, seed * 7 + 1);
+    QueryEngine engine(g, {.num_workers = 4});
+    const Query q{static_cast<VertexId>(seed % 48),
+                  static_cast<VertexId>((seed * 19 + 3) % 48), 5};
+    if (q.source == q.target) continue;
+    CollectingSink full;
+    RunOne(engine, q, false, {}, full);
+    const uint64_t count = full.paths().size();
+    if (count < 2) continue;
+    for (const uint64_t limit :
+         {count, count - 1, (count + 1) / 2, uint64_t{1}}) {
+      EnumOptions opts;
+      opts.result_limit = limit;
+      CollectingSink serial, split;
+      const QueryStats serial_stats = RunOne(engine, q, false, opts, serial);
+      const QueryStats split_stats = RunOne(engine, q, true, opts, split);
+      ASSERT_EQ(split.paths().size(), limit)
+          << "seed=" << seed << " limit=" << limit << " (never limit + 1)";
+      EXPECT_EQ(split_stats.counters.num_results,
+                serial_stats.counters.num_results);
+      EXPECT_EQ(split_stats.counters.hit_result_limit,
+                serial_stats.counters.hit_result_limit)
+          << "seed=" << seed << " limit=" << limit;
+      EXPECT_EQ(split_stats.counters.stopped_by_sink,
+                serial_stats.counters.stopped_by_sink)
+          << "seed=" << seed << " limit=" << limit;
+      // Whatever subset the nondeterministic interleaving delivered, it is
+      // a subset of the true result set.
+      const PathSet full_set = ToSet(full.paths());
+      for (const auto& p : split.paths()) {
+        EXPECT_TRUE(full_set.count(p) > 0);
+      }
+    }
+  }
+}
+
+TEST(SplitDifferentialTest, ParallelDfsMatchesSequentialOnRandomGraphs) {
+  // Post-migration guarantee for the standalone parallel enumerator:
+  // identical path sets without limits, identical counts and truncation
+  // flags at tight limits.
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const Graph g = RMat(6, 300, seed * 29 + 5);
+    const Query q{static_cast<VertexId>(seed % 64),
+                  static_cast<VertexId>((seed * 41 + 3) % 64), 5};
+    if (q.source == q.target) continue;
+    IndexBuilder builder;
+    const LightweightIndex idx = builder.Build(g, q);
+    DfsEnumerator sequential(idx);
+    CollectingSink seq_sink;
+    const EnumCounters seq_full = sequential.Run(seq_sink, {});
+
+    ParallelDfsEnumerator parallel(idx, 4);
+    std::vector<std::vector<VertexId>> merged;
+    std::mutex mutex;
+    const ParallelEnumResult par_full = parallel.Run([&] {
+      return std::make_unique<CallbackSink>(
+          [&](std::span<const VertexId> p) {
+            const std::lock_guard<std::mutex> lock(mutex);
+            merged.emplace_back(p.begin(), p.end());
+            return true;
+          });
+    });
+    EXPECT_EQ(ToSet(merged), ToSet(seq_sink.paths())) << "seed=" << seed;
+    EXPECT_EQ(par_full.counters.num_results, seq_full.num_results);
+
+    const uint64_t count = seq_full.num_results;
+    if (count < 2) continue;
+    for (const uint64_t limit : {count, count - 1, uint64_t{1}}) {
+      EnumOptions opts;
+      opts.result_limit = limit;
+      CountingSink seq_ltd;
+      const EnumCounters seq = sequential.Run(seq_ltd, opts);
+      const ParallelEnumResult par = parallel.CountAll(opts);
+      EXPECT_EQ(par.counters.num_results, seq.num_results)
+          << "seed=" << seed << " limit=" << limit;
+      EXPECT_EQ(par.counters.hit_result_limit, seq.hit_result_limit);
+      EXPECT_EQ(par.counters.stopped_by_sink, seq.stopped_by_sink);
+    }
+  }
 }
 
 // --- Determinism -------------------------------------------------------------
