@@ -50,10 +50,17 @@ using namespace pathenum;
 
 struct Measurement {
   std::string name;
-  uint32_t workers = 0;
+  uint32_t workers = 0;         // requested pool size
+  uint32_t active_workers = 0;  // workers that actually ran (engine clamp)
   bool warm = false;
   double wall_ms = 0.0;
-  double qps = 0.0;
+  double qps = 0.0;             // from this config's own query count
+  size_t num_queries = 0;       // the qps divisor, recorded per row
+  /// True when this row ran naive_sequential's exact workload (same query
+  /// set, same limits): only those rows get a speedup_vs_naive — dividing
+  /// qps across different workloads (skew/update/split run different query
+  /// sets with different limits) is meaningless.
+  bool comparable_to_naive = false;
   uint64_t total_results = 0;
   bool has_cache = false;
   IndexCacheStats cache;  // last measured rep's batch delta
@@ -65,8 +72,10 @@ Measurement Measure(const std::string& name, uint32_t workers, bool warm,
   Measurement m;
   m.name = name;
   m.workers = workers;
+  m.active_workers = workers;
   m.warm = warm;
   m.wall_ms = wall_ms;
+  m.num_queries = num_queries;
   m.qps = wall_ms > 0.0 ? static_cast<double>(num_queries) / (wall_ms / 1e3)
                         : 0.0;
   m.total_results = total_results;
@@ -85,8 +94,10 @@ Measurement RunNaive(const Graph& g, const std::vector<Query>& queries,
     pe.Run(q, sink, opts);
     results += sink.count();
   }
-  return Measure("naive_sequential", 1, false, queries.size(),
-                 wall.ElapsedMs(), results);
+  Measurement m = Measure("naive_sequential", 1, false, queries.size(),
+                          wall.ElapsedMs(), results);
+  m.comparable_to_naive = true;
+  return m;
 }
 
 /// One reused PathEnumerator, sequential loop (scratch warm, no pool).
@@ -105,8 +116,10 @@ Measurement RunWarmSequential(const Graph& g,
     pe.Run(q, sink, opts);
     results += sink.count();
   }
-  return Measure("warm_sequential", 1, true, queries.size(), wall.ElapsedMs(),
-                 results);
+  Measurement m = Measure("warm_sequential", 1, true, queries.size(),
+                          wall.ElapsedMs(), results);
+  m.comparable_to_naive = true;
+  return m;
 }
 
 uint64_t EnvU64(const char* name, uint64_t fallback) {
@@ -200,20 +213,28 @@ int main() {
 
     // Cold: the engine's very first batch (contexts at initial capacity).
     const BatchResult cold = engine.CountBatch(queries, batch);
-    measurements.push_back(Measure("engine_cold", workers, false,
-                                   queries.size(), cold.wall_ms,
-                                   cold.TotalResults()));
+    Measurement cold_m = Measure("engine_cold", workers, false,
+                                 queries.size(), cold.wall_ms,
+                                 cold.TotalResults());
+    cold_m.active_workers = cold.workers;  // post-clamp: what actually ran
+    cold_m.comparable_to_naive = true;
+    measurements.push_back(cold_m);
 
     // Warm: steady state, averaged over reps.
     double wall_sum = 0.0;
     uint64_t results = 0;
+    uint32_t active = cold.workers;
     for (int r = 0; r < reps; ++r) {
       const BatchResult warm = engine.CountBatch(queries, batch);
       wall_sum += warm.wall_ms;
       results = warm.TotalResults();
+      active = warm.workers;
     }
-    measurements.push_back(Measure("engine_warm", workers, true,
-                                   queries.size(), wall_sum / reps, results));
+    Measurement warm_m = Measure("engine_warm", workers, true, queries.size(),
+                                 wall_sum / reps, results);
+    warm_m.active_workers = active;
+    warm_m.comparable_to_naive = true;
+    measurements.push_back(warm_m);
     const auto stats = engine.Stats();
     std::printf("  [workers=%u] scratch %.1f KiB across contexts, %llu "
                 "queries served\n",
@@ -235,15 +256,19 @@ int main() {
     double wall_sum = 0.0;
     uint64_t results = 0;
     IndexCacheStats last{};
+    uint32_t active = cw;
     for (int r = 0; r < reps; ++r) {
       engine.InvalidateCaches();
       const BatchResult b = engine.CountBatch(queries, batch);
       wall_sum += b.wall_ms;
       results = b.TotalResults();
       last = b.cache;
+      active = b.workers;
     }
     Measurement m = Measure("uniform_cache_on", cw, true, queries.size(),
                             wall_sum / reps, results);
+    m.active_workers = active;
+    m.comparable_to_naive = true;
     m.has_cache = true;
     m.cache = last;
     measurements.push_back(m);
@@ -268,13 +293,17 @@ int main() {
     engine.CountBatch(skewed, batch);  // warm scratch
     double wall_sum = 0.0;
     uint64_t results = 0;
+    uint32_t active = cw;
     for (int r = 0; r < reps; ++r) {
       const BatchResult b = engine.CountBatch(skewed, batch);
       wall_sum += b.wall_ms;
       results = b.TotalResults();
+      active = b.workers;
     }
-    measurements.push_back(Measure("skew_cache_off", cw, true, skewed.size(),
-                                   wall_sum / reps, results));
+    Measurement m = Measure("skew_cache_off", cw, true, skewed.size(),
+                            wall_sum / reps, results);
+    m.active_workers = active;
+    measurements.push_back(m);
   }
   {
     QueryEngine engine(g, {.num_workers = cw, .enable_cache = true});
@@ -284,14 +313,17 @@ int main() {
     double wall_sum = 0.0;
     uint64_t results = 0;
     IndexCacheStats last{};
+    uint32_t active = cw;
     for (int r = 0; r < reps; ++r) {
       const BatchResult b = engine.CountBatch(skewed, batch);
       wall_sum += b.wall_ms;
       results = b.TotalResults();
       last = b.cache;
+      active = b.workers;
     }
     Measurement m = Measure("skew_cache_on", cw, true, skewed.size(),
                             wall_sum / reps, results);
+    m.active_workers = active;
     m.has_cache = true;
     m.cache = last;
     measurements.push_back(m);
@@ -330,6 +362,7 @@ int main() {
     std::vector<std::pair<VertexId, VertexId>> churn;  // for later deletion
     double wall_sum = 0.0;
     uint64_t results = 0;
+    uint32_t active = cw;
     for (int round = 0; round < update_rounds; ++round) {
       GraphDelta delta;
       for (int e = 0; e < update_edges; ++e) {
@@ -359,10 +392,12 @@ int main() {
           engine.RunBatch(*epoch.snapshot, skewed, sink_ptrs, batch);
       wall_sum += b.wall_ms;
       results += b.TotalResults();
+      active = b.workers;
     }
     Measurement m = Measure(
         incremental ? "update_incremental" : "update_fullclear", cw, true,
         skewed.size() * static_cast<size_t>(update_rounds), wall_sum, results);
+    m.active_workers = active;
     m.has_cache = true;
     m.cache = engine.cache()->Stats() - before;
     return m;
@@ -406,6 +441,7 @@ int main() {
     }
     double off_sum = 0.0, on_sum = 0.0;
     uint64_t off_results = 0, on_results = 0;
+    uint32_t on_active = split_workers;
     for (int r = 0; r < reps; ++r) {
       Timer off_timer;
       off_results = 0;
@@ -419,22 +455,36 @@ int main() {
       const BatchResult on = engine.CountBatch(heavy, batch);
       on_sum += on.wall_ms;
       on_results = on.TotalResults();
+      on_active = on.workers;
     }
     split_off_ms = off_sum / reps;
     split_on_ms = on_sum / reps;
     measurements.push_back(Measure("split_heavy_off", 1, true, heavy.size(),
                                    split_off_ms, off_results));
-    measurements.push_back(Measure("split_heavy_on", split_workers, true,
-                                   heavy.size(), split_on_ms, on_results));
+    Measurement on_m = Measure("split_heavy_on", split_workers, true,
+                               heavy.size(), split_on_ms, on_results);
+    on_m.active_workers = on_active;
+    measurements.push_back(on_m);
   }
 
   const double naive_qps = measurements[0].qps;
-  std::printf("\n%-18s %-8s %-6s %12s %12s %14s\n", "config", "workers",
-              "warm", "wall ms", "queries/s", "vs naive");
+  std::printf("\n%-18s %-10s %-8s %-6s %12s %12s %14s\n", "config",
+              "workers", "queries", "warm", "wall ms", "queries/s",
+              "vs naive");
   for (const Measurement& m : measurements) {
-    std::printf("%-18s %-8u %-6s %12.2f %12.1f %13.2fx\n", m.name.c_str(),
-                m.workers, m.warm ? "yes" : "no", m.wall_ms, m.qps,
-                naive_qps > 0.0 ? m.qps / naive_qps : 0.0);
+    char workers_buf[32];
+    std::snprintf(workers_buf, sizeof(workers_buf), "%u(%u)", m.workers,
+                  m.active_workers);
+    // The speedup column only means something against the same workload;
+    // skew/update/split rows run different query sets and print "-".
+    char speedup_buf[32] = "-";
+    if (m.comparable_to_naive && naive_qps > 0.0) {
+      std::snprintf(speedup_buf, sizeof(speedup_buf), "%.2fx",
+                    m.qps / naive_qps);
+    }
+    std::printf("%-18s %-10s %-8zu %-6s %12.2f %12.1f %14s\n", m.name.c_str(),
+                workers_buf, m.num_queries, m.warm ? "yes" : "no", m.wall_ms,
+                m.qps, speedup_buf);
   }
 
   double skew_off_qps = 0.0, skew_on_qps = 0.0;
@@ -520,12 +570,15 @@ int main() {
       const Measurement& m = measurements[i];
       out << "    {\"config\": \"" << JsonEscape(m.name) << "\", "
           << "\"workers\": " << m.workers << ", "
+          << "\"active_workers\": " << m.active_workers << ", "
+          << "\"num_queries\": " << m.num_queries << ", "
           << "\"warm\": " << (m.warm ? "true" : "false") << ", "
           << "\"wall_ms\": " << m.wall_ms << ", "
           << "\"queries_per_sec\": " << m.qps << ", "
-          << "\"total_results\": " << m.total_results << ", "
-          << "\"speedup_vs_naive\": "
-          << (naive_qps > 0.0 ? m.qps / naive_qps : 0.0);
+          << "\"total_results\": " << m.total_results;
+      if (m.comparable_to_naive && naive_qps > 0.0) {
+        out << ", \"speedup_vs_naive\": " << m.qps / naive_qps;
+      }
       if (m.has_cache) {
         out << ", \"index_hits\": " << m.cache.index_hits
             << ", \"index_misses\": " << m.cache.index_misses

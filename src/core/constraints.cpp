@@ -60,6 +60,8 @@ ConstrainedJoinEnumerator::ConstrainedJoinEnumerator(
     const Graph& g, const LightweightIndex& index,
     const PathConstraints& constraints)
     : graph_(g), index_(index), constraints_(constraints) {
+  PATHENUM_CHECK_MSG(index.has_edge_ids(),
+                     "constrained enumeration needs an edge-id index build");
   if (constraints_.accumulative != nullptr) {
     PATHENUM_CHECK_MSG(g.has_weights(),
                        "accumulative constraint needs edge weights");
@@ -261,6 +263,8 @@ ConstrainedDfsEnumerator::ConstrainedDfsEnumerator(
     const Graph& g, const LightweightIndex& index,
     const PathConstraints& constraints)
     : graph_(g), index_(index), constraints_(constraints) {
+  PATHENUM_CHECK_MSG(index.has_edge_ids(),
+                     "constrained enumeration needs an edge-id index build");
   if (constraints_.accumulative != nullptr) {
     PATHENUM_CHECK_MSG(g.has_weights(),
                        "accumulative constraint needs edge weights");

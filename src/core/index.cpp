@@ -1,6 +1,7 @@
 #include "core/index.h"
 
 #include <algorithm>
+#include <cstring>
 #include <type_traits>
 
 #include "graph/view.h"
@@ -39,14 +40,107 @@ uint64_t LightweightIndex::LevelSize(uint32_t i) const {
   return total;
 }
 
-size_t LightweightIndex::MemoryBytes() const {
-  return VectorBytes(x_vertices_) + VectorBytes(cell_offsets_) +
-         VectorBytes(slot_ds_) + VectorBytes(slot_dt_) +
-         VectorBytes(out_begin_) + VectorBytes(out_slots_) +
-         VectorBytes(out_edge_ids_) + VectorBytes(out_ends_) +
-         VectorBytes(in_begin_) + VectorBytes(in_slots_) +
-         VectorBytes(in_ends_) + VectorBytes(level_it_sum_) +
-         VectorBytes(level_count_) + VectorBytes(slot_lookup_);
+namespace {
+
+/// Copies `src` into the slab at `offset` (which must be suitably aligned
+/// — the layout orders arrays by descending alignment) and returns the
+/// aliasing span.
+template <typename T>
+std::span<const T> PlacePart(std::byte* slab, size_t& offset,
+                             const std::vector<T>& src) {
+  T* dst = reinterpret_cast<T*>(slab + offset);
+  if (!src.empty()) std::memcpy(dst, src.data(), src.size() * sizeof(T));
+  offset += src.size() * sizeof(T);
+  return {dst, src.size()};
+}
+
+/// Narrowing u32 -> u16 variant for the ends tables.
+std::span<const uint16_t> PlacePart16(std::byte* slab, size_t& offset,
+                                      const std::vector<uint32_t>& src) {
+  uint16_t* dst = reinterpret_cast<uint16_t*>(slab + offset);
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<uint16_t>(src[i]);
+  }
+  offset += src.size() * sizeof(uint16_t);
+  return {dst, src.size()};
+}
+
+bool FitsU16(const std::vector<uint32_t>& v) {
+  for (const uint32_t x : v) {
+    if (x > 0xffffu) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void IndexBuilder::Fuse(LightweightIndex& idx, bool edge_ids,
+                        bool in_direction, bool level_stats) {
+  // The cumulative ends are bounded by the slot's (index) degree; narrow
+  // the whole table to u16 when every count fits.
+  const bool out_narrow = FitsU16(out_ends_);
+  const bool in_narrow = in_direction && FitsU16(in_ends_);
+
+  // Element sizes come from the staged vectors' own types (sizeof, exactly
+  // what PlacePart copies), so the budget and the copy cannot diverge.
+  // Arrays are laid out in descending alignment order (8 -> 4 -> 2 -> 1),
+  // so no padding is ever needed between them.
+  const auto bytes_of = [](const auto& v) {
+    return v.size() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  size_t total = 0;
+  total += bytes_of(out_begin_);
+  if (in_direction) total += bytes_of(in_begin_);
+  if (edge_ids) total += bytes_of(out_edge_ids_);
+  if (level_stats) {
+    total += bytes_of(level_it_sum_);
+    total += bytes_of(level_count_);
+  }
+  total += bytes_of(x_vertices_);
+  total += bytes_of(cell_offsets_);
+  total += bytes_of(slot_lookup_);
+  total += bytes_of(out_slots_);
+  if (in_direction) total += bytes_of(in_slots_);
+  total += out_ends_.size() * (out_narrow ? sizeof(uint16_t) : sizeof(uint32_t));
+  if (in_direction) {
+    total += in_ends_.size() * (in_narrow ? sizeof(uint16_t) : sizeof(uint32_t));
+  }
+  total += bytes_of(slot_ds_);
+  total += bytes_of(slot_dt_);
+
+  idx.slab_ = std::make_unique<std::byte[]>(total);
+  idx.slab_bytes_ = total;
+  std::byte* slab = idx.slab_.get();
+  size_t off = 0;
+
+  // 8-byte-aligned parts.
+  idx.out_begin_ = PlacePart(slab, off, out_begin_);
+  if (in_direction) idx.in_begin_ = PlacePart(slab, off, in_begin_);
+  idx.edge_ids_built_ = edge_ids;
+  if (edge_ids) idx.out_edge_ids_ = PlacePart(slab, off, out_edge_ids_);
+  if (level_stats) {
+    idx.level_it_sum_ = PlacePart(slab, off, level_it_sum_);
+    idx.level_count_ = PlacePart(slab, off, level_count_);
+  }
+  // 4-byte.
+  idx.x_vertices_ = PlacePart(slab, off, x_vertices_);
+  idx.cell_offsets_ = PlacePart(slab, off, cell_offsets_);
+  idx.slot_lookup_ = PlacePart(slab, off, slot_lookup_);
+  idx.out_slots_ = PlacePart(slab, off, out_slots_);
+  if (in_direction) idx.in_slots_ = PlacePart(slab, off, in_slots_);
+  if (!out_narrow) idx.out_ends32_ = PlacePart(slab, off, out_ends_);
+  if (in_direction && !in_narrow) {
+    idx.in_ends32_ = PlacePart(slab, off, in_ends_);
+  }
+  // 2-byte.
+  if (out_narrow) idx.out_ends16_ = PlacePart16(slab, off, out_ends_);
+  if (in_direction && in_narrow) {
+    idx.in_ends16_ = PlacePart16(slab, off, in_ends_);
+  }
+  // 1-byte.
+  idx.slot_ds_ = PlacePart(slab, off, slot_ds_);
+  idx.slot_dt_ = PlacePart(slab, off, slot_dt_);
+  PATHENUM_CHECK_MSG(off == total, "slab layout mismatch");
 }
 
 template <typename GraphT>
@@ -108,59 +202,64 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
           : field_t_.Reached();
 
   const size_t num_cells = static_cast<size_t>(k + 1) * (k + 1);
-  idx.cell_offsets_.assign(num_cells + 1, 0);
+  cell_offsets_.assign(num_cells + 1, 0);
   for (const VertexId v : cand) {
     const uint32_t ds = field_s_.Distance(v);
     const uint32_t dt = field_t_.Distance(v);
     if (ds == kInfDistance || dt == kInfDistance || ds + dt > k) continue;
-    idx.cell_offsets_[static_cast<size_t>(ds) * (k + 1) + dt + 1]++;
+    cell_offsets_[static_cast<size_t>(ds) * (k + 1) + dt + 1]++;
   }
   for (size_t c = 0; c < num_cells; ++c) {
-    idx.cell_offsets_[c + 1] += idx.cell_offsets_[c];
+    cell_offsets_[c + 1] += cell_offsets_[c];
   }
-  const uint32_t num_x = idx.cell_offsets_[num_cells];
-  idx.x_vertices_.resize(num_x);
-  idx.slot_ds_.resize(num_x);
-  idx.slot_dt_.resize(num_x);
+  const uint32_t num_x = cell_offsets_[num_cells];
+  x_vertices_.resize(num_x);
+  slot_ds_.resize(num_x);
+  slot_dt_.resize(num_x);
   {
-    std::vector<uint32_t> cursor(idx.cell_offsets_.begin(),
-                                 idx.cell_offsets_.end() - 1);
+    cell_cursor_.assign(cell_offsets_.begin(), cell_offsets_.end() - 1);
     for (const VertexId v : cand) {
       const uint32_t ds = field_s_.Distance(v);
       const uint32_t dt = field_t_.Distance(v);
       if (ds == kInfDistance || dt == kInfDistance || ds + dt > k) continue;
       const uint32_t slot =
-          cursor[static_cast<size_t>(ds) * (k + 1) + dt]++;
-      idx.x_vertices_[slot] = v;
-      idx.slot_ds_[slot] = static_cast<uint8_t>(ds);
-      idx.slot_dt_[slot] = static_cast<uint8_t>(dt);
+          cell_cursor_[static_cast<size_t>(ds) * (k + 1) + dt]++;
+      x_vertices_[slot] = v;
+      slot_ds_[slot] = static_cast<uint8_t>(ds);
+      slot_dt_[slot] = static_cast<uint8_t>(dt);
     }
   }
-  idx.slot_lookup_.assign(g.num_vertices(), kInvalidSlot);
+  slot_lookup_.assign(g.num_vertices(), kInvalidSlot);
   for (uint32_t slot = 0; slot < num_x; ++slot) {
-    idx.slot_lookup_[idx.x_vertices_[slot]] = slot;
+    slot_lookup_[x_vertices_[slot]] = slot;
   }
-  idx.source_slot_ = idx.SlotOf(q.source);
-  idx.target_slot_ = idx.SlotOf(q.target);
+  const auto slot_of = [&](VertexId v) { return slot_lookup_[v]; };
+  idx.source_slot_ =
+      q.source < slot_lookup_.size() ? slot_lookup_[q.source] : kInvalidSlot;
+  idx.target_slot_ =
+      q.target < slot_lookup_.size() ? slot_lookup_[q.target] : kInvalidSlot;
 
   // If s (equivalently t) fell out of X there is no result within k hops;
   // leave the adjacency empty but well-formed.
-  idx.out_begin_.assign(num_x + 1, 0);
-  idx.out_ends_.assign(static_cast<size_t>(num_x) * (k + 1), 0);
+  out_begin_.assign(num_x + 1, 0);
+  out_ends_.assign(static_cast<size_t>(num_x) * (k + 1), 0);
+  out_slots_.clear();
+  out_edge_ids_.clear();
+  in_slots_.clear();
   if (opts.build_in_direction) {
-    idx.in_begin_.assign(num_x + 1, 0);
-    idx.in_ends_.assign(static_cast<size_t>(num_x) * (k + 1), 0);
+    in_begin_.assign(num_x + 1, 0);
+    in_ends_.assign(static_cast<size_t>(num_x) * (k + 1), 0);
   }
   if (opts.collect_level_stats) {
-    idx.level_it_sum_.assign(k, 0.0);
-    idx.level_count_.assign(k, 0);
+    level_it_sum_.assign(k, 0.0);
+    level_count_.assign(k, 0);
   }
 
   // --- Lines 5-11: out-direction adjacency H_t, sorted by v'.t. ---------
   uint32_t key_counts[kMaxHops + 2];
   for (uint32_t slot = 0; slot < num_x; ++slot) {
-    const VertexId v = idx.x_vertices_[slot];
-    const uint32_t ds = idx.slot_ds_[slot];
+    const VertexId v = x_vertices_[slot];
+    const uint32_t ds = slot_ds_[slot];
     scratch_.clear();
     if (slot == idx.target_slot_) {
       // The (t,t) padding self-entry: H[t] = {t} with distance key 0.
@@ -175,13 +274,16 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
         // Edge ids feed only the constraint extensions, which require a
         // plain Graph (overlay views have no stable ids and constrained
         // runs are gated on overlay-free snapshots) — skip the per-edge id
-        // lookup for view builds.
+        // lookup for view builds and for edge-id-free builds (unless the
+        // push-down filter needs the id to evaluate).
         EdgeId e = kInvalidEdge;
         if constexpr (std::is_same_v<GraphT, Graph>) {
-          e = g.OutEdgeId(v, j);
+          if (opts.build_edge_ids || opts.filter != nullptr) {
+            e = g.OutEdgeId(v, j);
+          }
         }
         if (opts.filter != nullptr && !(*opts.filter)(v, w, e)) continue;
-        const uint32_t w_slot = idx.SlotOf(w);
+        const uint32_t w_slot = slot_of(w);
         // Reachability arithmetic guarantees w is in X (see DESIGN.md).
         scratch_.push_back({dt_w, w_slot, e});
       }
@@ -190,21 +292,21 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
     std::fill(key_counts, key_counts + k + 2, 0u);
     for (const ScratchEntry& e : scratch_) key_counts[e.key + 1]++;
     for (uint32_t b = 0; b <= k; ++b) key_counts[b + 1] += key_counts[b];
-    const uint64_t begin = idx.out_slots_.size();
-    idx.out_slots_.resize(begin + scratch_.size());
-    idx.out_edge_ids_.resize(begin + scratch_.size());
+    const uint64_t begin = out_slots_.size();
+    out_slots_.resize(begin + scratch_.size());
+    if (opts.build_edge_ids) out_edge_ids_.resize(begin + scratch_.size());
     {
       uint32_t place[kMaxHops + 2];
       std::copy(key_counts, key_counts + k + 2, place);
       for (const ScratchEntry& e : scratch_) {
         const uint32_t pos = place[e.key]++;
-        idx.out_slots_[begin + pos] = e.slot;
-        idx.out_edge_ids_[begin + pos] = e.edge;
+        out_slots_[begin + pos] = e.slot;
+        if (opts.build_edge_ids) out_edge_ids_[begin + pos] = e.edge;
       }
     }
-    idx.out_begin_[slot + 1] = idx.out_slots_.size();
+    out_begin_[slot + 1] = out_slots_.size();
     // ends[b] = #neighbors with key <= b = key_counts[b + 1].
-    uint32_t* ends = &idx.out_ends_[static_cast<size_t>(slot) * (k + 1)];
+    uint32_t* ends = &out_ends_[static_cast<size_t>(slot) * (k + 1)];
     for (uint32_t b = 0; b <= k; ++b) ends[b] = key_counts[b + 1];
     if (slot != idx.target_slot_) {
       idx.num_out_edges_ += scratch_.size();
@@ -214,8 +316,8 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
   // --- Symmetric in-direction adjacency H_s, sorted by v'.s. ------------
   if (opts.build_in_direction) {
     for (uint32_t slot = 0; slot < num_x; ++slot) {
-      const VertexId v = idx.x_vertices_[slot];
-      const uint32_t dt = idx.slot_dt_[slot];
+      const VertexId v = x_vertices_[slot];
+      const uint32_t dt = slot_dt_[slot];
       scratch_.clear();
       if (slot != idx.source_slot_) {  // H_s[s] is empty
         const auto nbrs = g.InNeighbors(v);
@@ -228,28 +330,27 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
             const EdgeId e = g.FindEdge(w, v);
             if (!(*opts.filter)(w, v, e)) continue;
           }
-          scratch_.push_back({ds_w, idx.SlotOf(w), kInvalidEdge});
+          scratch_.push_back({ds_w, slot_of(w), kInvalidEdge});
         }
         if (slot == idx.target_slot_) {
           // ... except the (t,t) padding self-entry, keyed by t.s.
-          scratch_.push_back(
-              {idx.slot_ds_[slot], slot, kInvalidEdge});
+          scratch_.push_back({slot_ds_[slot], slot, kInvalidEdge});
         }
       }
       std::fill(key_counts, key_counts + k + 2, 0u);
       for (const ScratchEntry& e : scratch_) key_counts[e.key + 1]++;
       for (uint32_t b = 0; b <= k; ++b) key_counts[b + 1] += key_counts[b];
-      const uint64_t begin = idx.in_slots_.size();
-      idx.in_slots_.resize(begin + scratch_.size());
+      const uint64_t begin = in_slots_.size();
+      in_slots_.resize(begin + scratch_.size());
       {
         uint32_t place[kMaxHops + 2];
         std::copy(key_counts, key_counts + k + 2, place);
         for (const ScratchEntry& e : scratch_) {
-          idx.in_slots_[begin + place[e.key]++] = e.slot;
+          in_slots_[begin + place[e.key]++] = e.slot;
         }
       }
-      idx.in_begin_[slot + 1] = idx.in_slots_.size();
-      uint32_t* ends = &idx.in_ends_[static_cast<size_t>(slot) * (k + 1)];
+      in_begin_[slot + 1] = in_slots_.size();
+      uint32_t* ends = &in_ends_[static_cast<size_t>(slot) * (k + 1)];
       for (uint32_t b = 0; b <= k; ++b) ends[b] = key_counts[b + 1];
     }
   }
@@ -257,17 +358,20 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
   // --- Preliminary-estimator statistics (paper §6.2). -------------------
   if (opts.collect_level_stats) {
     for (uint32_t slot = 0; slot < num_x; ++slot) {
-      const uint32_t ds = idx.slot_ds_[slot];
-      const uint32_t dt = idx.slot_dt_[slot];
+      const uint32_t ds = slot_ds_[slot];
+      const uint32_t dt = slot_dt_[slot];
       const uint32_t j_hi = std::min(k - 1, k - dt);
-      const uint32_t* ends =
-          &idx.out_ends_[static_cast<size_t>(slot) * (k + 1)];
+      const uint32_t* ends = &out_ends_[static_cast<size_t>(slot) * (k + 1)];
       for (uint32_t j = ds; j <= j_hi; ++j) {
-        idx.level_count_[j]++;
-        idx.level_it_sum_[j] += ends[k - j - 1];
+        level_count_[j]++;
+        level_it_sum_[j] += ends[k - j - 1];
       }
     }
   }
+
+  // --- Fuse the staged parts into the one-allocation slab (§9). ---------
+  Fuse(idx, opts.build_edge_ids, opts.build_in_direction,
+       opts.collect_level_stats);
 
   idx.build_stats_.total_ms = total_timer.ElapsedMs();
   return idx;

@@ -18,9 +18,17 @@
 // Internally vertices are remapped to dense *slots* (positions in the
 // bucketed X order); all enumerators and the estimator work in slot space
 // and only translate back to vertex ids when emitting results.
+//
+// Storage is arena-fused (DESIGN.md §9): every per-index array lives in one
+// contiguous slab — a single allocation per build, a one-shot free, an
+// exact O(1) MemoryBytes() for the engine cache's byte accounting, and the
+// enumeration hot loop's arrays packed together. The per-slot cumulative
+// neighbor counts (`ends`) narrow to u16 whenever every slot degree fits,
+// halving the largest offset table.
 #ifndef PATHENUM_CORE_INDEX_H_
 #define PATHENUM_CORE_INDEX_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -35,7 +43,8 @@ inline constexpr uint32_t kInvalidSlot = 0xffffffffu;
 
 class IndexBuilder;
 
-/// Immutable per-query index. Build via IndexBuilder.
+/// Immutable per-query index. Build via IndexBuilder. Move-only: the spans
+/// below alias the owned slab.
 class LightweightIndex {
  public:
   struct BuildStats {
@@ -44,6 +53,8 @@ class LightweightIndex {
   };
 
   LightweightIndex() = default;
+  LightweightIndex(LightweightIndex&&) = default;
+  LightweightIndex& operator=(LightweightIndex&&) = default;
 
   const Query& query() const { return query_; }
   uint32_t hops() const { return query_.hops; }
@@ -68,6 +79,10 @@ class LightweightIndex {
 
   VertexId VertexAt(uint32_t slot) const { return x_vertices_[slot]; }
 
+  /// Raw slot -> vertex-id translation array (size num_vertices()); the
+  /// block-emitting enumerators translate suffixes through it directly.
+  const VertexId* slot_to_vertex() const { return x_vertices_.data(); }
+
   /// v.s of the slot's vertex.
   uint32_t DistFromSource(uint32_t slot) const { return slot_ds_[slot]; }
 
@@ -80,28 +95,49 @@ class LightweightIndex {
   /// I_t(v, b) in slot space: out-neighbor slots whose distance to t is at
   /// most b, sorted ascending by that distance. O(1).
   std::span<const uint32_t> OutSlotsWithin(uint32_t slot, uint32_t b) const {
-    const uint32_t k = query_.hops;
-    const uint64_t begin = out_begin_[slot];
-    const uint32_t count = out_ends_[slot * (k + 1) + std::min(b, k)];
-    return {out_slots_.data() + begin, count};
+    return {out_slots_.data() + out_begin_[slot], OutEnd(slot, b)};
   }
 
   /// Graph edge ids aligned with OutSlotsWithin (kInvalidEdge for the
-  /// padding entry). Used by the constraint extensions.
+  /// padding entry). Used by the constraint extensions; requires a build
+  /// with `build_edge_ids` (see has_edge_ids()).
   std::span<const EdgeId> OutEdgeIdsWithin(uint32_t slot, uint32_t b) const {
-    const uint32_t k = query_.hops;
-    const uint64_t begin = out_begin_[slot];
-    const uint32_t count = out_ends_[slot * (k + 1) + std::min(b, k)];
-    return {out_edge_ids_.data() + begin, count};
+    return {out_edge_ids_.data() + out_begin_[slot], OutEnd(slot, b)};
   }
+
+  /// True when the edge-id adjacency was built (IndexBuildOptions::
+  /// build_edge_ids) — a precondition of the constrained enumerators.
+  bool has_edge_ids() const { return edge_ids_built_; }
 
   /// I_s(v, b) in slot space: in-neighbor slots whose distance from s is at
   /// most b, sorted ascending by that distance. O(1).
   std::span<const uint32_t> InSlotsWithin(uint32_t slot, uint32_t b) const {
     const uint32_t k = query_.hops;
-    const uint64_t begin = in_begin_[slot];
-    const uint32_t count = in_ends_[slot * (k + 1) + std::min(b, k)];
-    return {in_slots_.data() + begin, count};
+    const size_t i = static_cast<size_t>(slot) * (k + 1) + std::min(b, k);
+    const uint32_t count = in_ends16_.empty() ? in_ends32_[i] : in_ends16_[i];
+    return {in_slots_.data() + in_begin_[slot], count};
+  }
+
+  /// Raw out-adjacency arrays for the iterative DFS hot loop: `begin[slot]`
+  /// indexes `slots`; neighbor counts live in a `stride`-strided cumulative
+  /// ends table — u16 when every slot degree fits, u32 otherwise (exactly
+  /// one pointer is set). The budget argument b = k - depth - 1 of the DFS
+  /// is always < stride, so hot-loop callers index the ends unclamped.
+  struct OutAdjacency {
+    const uint64_t* begin = nullptr;
+    const uint32_t* slots = nullptr;
+    const uint16_t* ends16 = nullptr;
+    const uint32_t* ends32 = nullptr;
+    uint32_t stride = 0;  // k + 1
+  };
+  OutAdjacency out_adjacency() const {
+    OutAdjacency a;
+    a.begin = out_begin_.data();
+    a.slots = out_slots_.data();
+    a.ends16 = out_ends16_.empty() ? nullptr : out_ends16_.data();
+    a.ends32 = out_ends32_.empty() ? nullptr : out_ends32_.data();
+    a.stride = query_.hops + 1;
+    return a;
   }
 
   /// Vertex-id convenience wrappers (allocate; meant for tests/tools).
@@ -144,37 +180,59 @@ class LightweightIndex {
   /// required by kAuto execution.
   bool has_level_stats() const { return !level_count_.empty(); }
 
-  /// Approximate heap footprint (Table 7's "Index" row).
-  size_t MemoryBytes() const;
+  /// True when the cumulative neighbor-count tables narrowed to u16 (every
+  /// slot degree fit); exposed for the memory-accounting tests.
+  bool out_ends_narrow() const { return !out_ends16_.empty(); }
+
+  /// Exact heap footprint (Table 7's "Index" row): the object plus its one
+  /// slab. O(1) — the engine cache charges/evicts by this number.
+  size_t MemoryBytes() const { return sizeof(*this) + slab_bytes_; }
+
+  /// Bytes of the fused slab alone (the single allocation behind every
+  /// array above).
+  size_t slab_bytes() const { return slab_bytes_; }
 
   const BuildStats& build_stats() const { return build_stats_; }
 
  private:
   friend class IndexBuilder;
 
+  uint32_t OutEnd(uint32_t slot, uint32_t b) const {
+    const uint32_t k = query_.hops;
+    const size_t i = static_cast<size_t>(slot) * (k + 1) + std::min(b, k);
+    return out_ends16_.empty() ? out_ends32_[i] : out_ends16_[i];
+  }
+
   Query query_;
   BuildStats build_stats_;
 
-  std::vector<VertexId> x_vertices_;      // bucketed by (v.s, v.t) cell
-  std::vector<uint32_t> cell_offsets_;    // (k+1)^2 + 1 entries
-  std::vector<uint32_t> slot_lookup_;     // vertex -> slot, kInvalidSlot
-  std::vector<uint8_t> slot_ds_;          // v.s per slot
-  std::vector<uint8_t> slot_dt_;          // v.t per slot
+  // One contiguous allocation backing every span below (DESIGN.md §9).
+  std::unique_ptr<std::byte[]> slab_;
+  size_t slab_bytes_ = 0;
+
+  std::span<const VertexId> x_vertices_;   // bucketed by (v.s, v.t) cell
+  std::span<const uint32_t> cell_offsets_; // (k+1)^2 + 1 entries
+  std::span<const uint32_t> slot_lookup_;  // vertex -> slot, kInvalidSlot
+  std::span<const uint8_t> slot_ds_;       // v.s per slot
+  std::span<const uint8_t> slot_dt_;       // v.t per slot
   uint32_t source_slot_ = kInvalidSlot;
   uint32_t target_slot_ = kInvalidSlot;
 
-  std::vector<uint64_t> out_begin_;       // per slot, into out_slots_
-  std::vector<uint32_t> out_slots_;       // neighbors, ascending by v'.t
-  std::vector<EdgeId> out_edge_ids_;      // aligned with out_slots_
-  std::vector<uint32_t> out_ends_;        // (k+1) cumulative counts per slot
-  uint64_t num_out_edges_ = 0;            // excludes t's padding entry
+  bool edge_ids_built_ = false;
+  std::span<const uint64_t> out_begin_;    // per slot, into out_slots_
+  std::span<const uint32_t> out_slots_;    // neighbors, ascending by v'.t
+  std::span<const EdgeId> out_edge_ids_;   // aligned with out_slots_
+  std::span<const uint16_t> out_ends16_;   // (k+1) cumulative counts per
+  std::span<const uint32_t> out_ends32_;   //   slot; exactly one is set
+  uint64_t num_out_edges_ = 0;             // excludes t's padding entry
 
-  std::vector<uint64_t> in_begin_;
-  std::vector<uint32_t> in_slots_;        // neighbors, ascending by v'.s
-  std::vector<uint32_t> in_ends_;
+  std::span<const uint64_t> in_begin_;
+  std::span<const uint32_t> in_slots_;     // neighbors, ascending by v'.s
+  std::span<const uint16_t> in_ends16_;
+  std::span<const uint32_t> in_ends32_;
 
-  std::vector<double> level_it_sum_;      // size k (levels 0..k-1)
-  std::vector<uint64_t> level_count_;
+  std::span<const double> level_it_sum_;   // size k (levels 0..k-1)
+  std::span<const uint64_t> level_count_;
 };
 
 /// Options for IndexBuilder::Build.
@@ -182,6 +240,12 @@ struct IndexBuildOptions {
   /// Predicate push-down (Appendix E): edges failing the filter are
   /// invisible to the BFS and to the index adjacency.
   const EdgeFilter* filter = nullptr;
+  /// Graph edge ids aligned with the out-adjacency — the slab's largest
+  /// array (8 bytes/edge), consumed only by the Appendix-E constraint
+  /// extensions. The unconstrained pipeline builds without them
+  /// (PathEnumerator::BuildOptionsFor); defaults to true so a bare Build
+  /// keeps the full documented surface.
+  bool build_edge_ids = true;
   /// The in-direction (H_s) is only needed by the join-order optimizer;
   /// IDX-DFS-only users can skip it.
   bool build_in_direction = true;
@@ -193,9 +257,12 @@ struct IndexBuildOptions {
   bool prune_forward_bfs = true;
 };
 
-/// Builds LightweightIndex instances. Owns the epoch-stamped BFS buffers so
-/// that thousands of per-query builds avoid O(|V|) re-initialisation — keep
-/// one builder per graph/session.
+/// Builds LightweightIndex instances. Owns the epoch-stamped BFS buffers
+/// and the staging arrays the index parts are assembled in before being
+/// fused into the slab, so that thousands of per-query builds avoid both
+/// the O(|V|) re-initialisation and all staging allocations — keep one
+/// builder per graph/session; the steady-state build allocates exactly the
+/// result slab.
 class IndexBuilder {
  public:
   using Options = IndexBuildOptions;
@@ -211,6 +278,12 @@ class IndexBuilder {
                          const Options& opts = {});
 
  private:
+  /// Copies the staged parts into one exactly-sized slab and points the
+  /// index's spans at it, narrowing the ends tables to u16 when the counts
+  /// permit.
+  void Fuse(LightweightIndex& idx, bool edge_ids, bool in_direction,
+            bool level_stats);
+
   DistanceField field_s_;  // forward from s, t blocked
   DistanceField field_t_;  // backward from t, s blocked
   struct ScratchEntry {
@@ -219,6 +292,23 @@ class IndexBuilder {
     EdgeId edge;
   };
   std::vector<ScratchEntry> scratch_;
+
+  // Staging arrays (reused across builds; Fuse copies them into the slab).
+  std::vector<VertexId> x_vertices_;
+  std::vector<uint32_t> cell_offsets_;
+  std::vector<uint32_t> slot_lookup_;
+  std::vector<uint8_t> slot_ds_;
+  std::vector<uint8_t> slot_dt_;
+  std::vector<uint64_t> out_begin_;
+  std::vector<uint32_t> out_slots_;
+  std::vector<EdgeId> out_edge_ids_;
+  std::vector<uint32_t> out_ends_;
+  std::vector<uint64_t> in_begin_;
+  std::vector<uint32_t> in_slots_;
+  std::vector<uint32_t> in_ends_;
+  std::vector<double> level_it_sum_;
+  std::vector<uint64_t> level_count_;
+  std::vector<uint32_t> cell_cursor_;
 };
 
 }  // namespace pathenum

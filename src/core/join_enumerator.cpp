@@ -1,6 +1,7 @@
 #include "core/join_enumerator.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 namespace pathenum {
@@ -17,12 +18,14 @@ EnumCounters JoinEnumerator::Run(uint32_t cut, PathSink& sink,
 
 void JoinEnumerator::Prepare(const LightweightIndex& index,
                              const EnumOptions& opts) {
+  // stack_ holds one slot per tuple position; a full-width tuple has at
+  // most k + 1 of them.
+  static_assert(sizeof(stack_) / sizeof(stack_[0]) == kMaxHops + 1);
+  assert(index.hops() <= kMaxHops);
   index_ = &index;
   counters_ = EnumCounters{};
   timer_.Reset();
   deadline_ = Deadline::AfterMs(opts.time_limit_ms);
-  result_limit_ = opts.result_limit;
-  response_target_ = opts.response_target;
   // Each half may use half the budget (tuples are uint32 slots).
   tuple_limit_ = opts.partial_memory_limit_bytes / (2 * sizeof(uint32_t));
   shared_used_ = nullptr;
@@ -39,7 +42,8 @@ EnumCounters JoinEnumerator::Run(const LightweightIndex& index, uint32_t cut,
   const uint32_t k = index.hops();
   PATHENUM_CHECK_MSG(cut >= 1 && cut < k, "cut position out of range");
   Prepare(index, opts);
-  sink_ = &sink;
+  emitter_.Arm(&sink, &counters_, &timer_, opts.result_limit,
+               opts.response_target);
 
   const uint32_t n = index.num_vertices();
   left_.clear();
@@ -100,6 +104,9 @@ EnumCounters JoinEnumerator::Run(const LightweightIndex& index, uint32_t cut,
                right_width);
     }
   }
+  // Deliver the pending tail block (covers the timeout path, too: every
+  // joined path found before the deadline still reaches the sink).
+  emitter_.Flush();
   return counters_;
 }
 
@@ -123,10 +130,7 @@ void JoinEnumerator::JoinPair(const uint32_t* left_tuple, uint32_t cut,
       }
     }
   }
-  for (uint32_t i = 0; i <= end; ++i) {
-    path_buf_[i] = index_->VertexAt(joined[i]);
-  }
-  Emit({path_buf_, end + 1});
+  Emit({joined, end + 1});
 }
 
 EnumCounters JoinEnumerator::MaterializeUnit(const LightweightIndex& index,
@@ -136,8 +140,7 @@ EnumCounters JoinEnumerator::MaterializeUnit(const LightweightIndex& index,
                                              const EnumOptions& opts,
                                              std::atomic<size_t>* shared_used,
                                              size_t shared_cap) {
-  Prepare(index, opts);
-  sink_ = nullptr;  // materialization never emits
+  Prepare(index, opts);  // materialization never emits (emitter stays unarmed)
   shared_used_ = shared_used;
   shared_cap_ = shared_cap;
   const size_t before = out.size();
@@ -158,7 +161,8 @@ EnumCounters JoinEnumerator::ProbeUnit(const LightweightIndex& index,
   const uint32_t k = index.hops();
   PATHENUM_CHECK_MSG(cut >= 1 && cut < k, "cut position out of range");
   Prepare(index, opts);
-  sink_ = &sink;
+  emitter_.Arm(&sink, &counters_, &timer_, opts.result_limit,
+               opts.response_target);
   const uint32_t left_width = cut + 1;
   const uint32_t right_width = k - cut + 1;
   for (size_t l = tuple_begin; l < tuple_end && !stop_; ++l) {
@@ -169,6 +173,7 @@ EnumCounters JoinEnumerator::ProbeUnit(const LightweightIndex& index,
       JoinPair(lt, cut, group.tuples + r * right_width, right_width);
     }
   }
+  emitter_.Flush();
   return counters_;
 }
 
@@ -189,16 +194,17 @@ bool JoinEnumerator::ShouldStop() {
   return stop_;
 }
 
-void JoinEnumerator::Emit(std::span<const VertexId> path) {
-  counters_.num_results++;
-  if (counters_.num_results == response_target_) {
-    counters_.response_ms = timer_.ElapsedMs();
+void JoinEnumerator::Emit(std::span<const uint32_t> slot_path) {
+  PathBlock& block = emitter_.block();
+  if (!block.HasRoomFor(static_cast<uint32_t>(slot_path.size()))) {
+    if (!emitter_.Flush()) {
+      stop_ = true;  // sink stop / limit at block granularity: drop & stop
+      return;
+    }
   }
-  if (!sink_->OnPath(path)) {
-    counters_.stopped_by_sink = true;
-    stop_ = true;
-  } else if (counters_.num_results >= result_limit_) {
-    counters_.hit_result_limit = true;
+  block.Append(slot_path, index_->slot_to_vertex());
+  if (emitter_.AtResultLimit()) {
+    emitter_.Flush();  // sets hit_result_limit (or stopped_by_sink first)
     stop_ = true;
   }
 }

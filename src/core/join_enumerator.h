@@ -112,7 +112,12 @@ class JoinEnumerator {
                 const uint32_t* right_tuple, uint32_t right_width);
 
   bool ShouldStop();
-  void Emit(std::span<const VertexId> path);
+
+  /// Appends the validated slot path to the pending block (DESIGN.md §9) —
+  /// the block computes the shared prefix against the previous joined path
+  /// and translates slots to vertex ids as the suffix is copied — flushing
+  /// to the sink as blocks fill; sets stop_ on sink stop / result limit.
+  void Emit(std::span<const uint32_t> slot_path);
 
   const LightweightIndex* index_ = nullptr;
   BumpArena* arena_ = nullptr;
@@ -133,18 +138,15 @@ class JoinEnumerator {
 
   // Per-run state.
   EnumCounters counters_;
-  PathSink* sink_ = nullptr;
   Timer timer_;
   Deadline deadline_;
-  uint64_t result_limit_ = 0;
-  uint64_t response_target_ = 0;
   size_t tuple_limit_ = 0;  // per half, in uint32 units
   std::atomic<size_t>* shared_used_ = nullptr;  // split units only
   size_t shared_cap_ = 0;
   uint64_t check_countdown_ = 0;
   bool stop_ = false;
+  BlockEmitter emitter_;
   uint32_t stack_[kMaxHops + 1];
-  VertexId path_buf_[kMaxHops + 1];
 };
 
 }  // namespace pathenum

@@ -77,8 +77,14 @@ EnumCounters DrainBranches(DfsEnumerator& dfs, const LightweightIndex& index,
     if (b >= branches.size()) break;
     // The immediate target-arrival and the duplicate check for s are the
     // root frame's job in the sequential code; handled by RunBranch.
-    const EnumCounters c = dfs.RunBranch(index, branches[b], sink,
-                                         BranchOptions(opts, since_start));
+    EnumCounters c = dfs.RunBranch(index, branches[b], sink,
+                                   BranchOptions(opts, since_start));
+    // RunBranch charges both partials of its chain — (s) and (s, branch) —
+    // so a standalone call is self-consistent. Within a fan-out the root
+    // (s) is shared by every branch and charged exactly once via
+    // FinishFanout's root_partials; deduct the per-branch copy here so the
+    // merged totals equal the sequential enumeration's.
+    c.partials -= 1;
     // Stop claiming work once the limit was reached or time ran out — and
     // tell the other participants, whose remaining units can only discover
     // the same.

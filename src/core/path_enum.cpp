@@ -38,6 +38,9 @@ IndexBuilder::Options PathEnumerator::BuildOptionsFor(const Query& q,
   // IDX-DFS never consults the in-direction; skip it when forced to DFS.
   build_opts.build_in_direction = opts.method != Method::kDfs && q.hops >= 2;
   build_opts.collect_level_stats = opts.method == Method::kAuto;
+  // Only the constraint extensions read edge ids; dropping the slab's
+  // largest array keeps the unconstrained build lean (DESIGN.md §9).
+  build_opts.build_edge_ids = false;
   return build_opts;
 }
 
@@ -169,6 +172,7 @@ QueryStats PathEnumerator::RunConstrained(const Query& q,
   build_opts.filter = constraints.edge_filter;
   build_opts.build_in_direction = use_join;
   build_opts.collect_level_stats = false;
+  build_opts.build_edge_ids = true;  // the constrained enumerators read them
   // Overlay-free is asserted above, so this is always Build<Graph>.
   LightweightIndex index = BuildIndex(q, build_opts);
   stats.bfs_ms = index.build_stats().bfs_ms;

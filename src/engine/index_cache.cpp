@@ -25,7 +25,8 @@ uint64_t IndexOptionsFingerprint(const IndexBuildOptions& opts) {
                      "predicate-filtered index builds are not cacheable");
   return (opts.build_in_direction ? 1u : 0u) |
          (opts.collect_level_stats ? 2u : 0u) |
-         (opts.prune_forward_bfs ? 4u : 0u);
+         (opts.prune_forward_bfs ? 4u : 0u) |
+         (opts.build_edge_ids ? 8u : 0u);
 }
 
 uint64_t ResultOptionsFingerprint(const EnumOptions& opts) {
@@ -420,6 +421,22 @@ bool RecordingSink::OnPath(std::span<const VertexId> path) {
     }
   }
   return inner_.OnPath(path);
+}
+
+PathSink::BlockResult RecordingSink::OnBlock(const PathBlockView& block) {
+  if (recording_) {
+    std::vector<VertexId>& v = set_->vertices;
+    ForEachPathInBlock(block, [&](std::span<const VertexId> path) {
+      v.insert(v.end(), path.begin(), path.end());
+      set_->offsets.push_back(static_cast<uint32_t>(v.size()));
+      return true;
+    });
+    if (set_->MemoryBytes() > max_bytes_) {
+      recording_ = false;
+      set_.reset();
+    }
+  }
+  return inner_.OnBlock(block);
 }
 
 std::shared_ptr<const CachedResultSet> RecordingSink::Finish(

@@ -291,6 +291,12 @@ class RecordingSink : public PathSink {
 
   bool OnPath(std::span<const VertexId> path) override;
 
+  /// Records the decoded block (flat append, one pass) and forwards it to
+  /// the inner sink as a block. A partially consumed block can leave extra
+  /// recorded paths, but such a run is truncated and never enters the
+  /// result cache (only completed runs are Finish()ed).
+  BlockResult OnBlock(const PathBlockView& block) override;
+
   bool recording() const { return recording_; }
 
   /// Finalizes and hands the recorded set over (call once, only when the

@@ -88,6 +88,28 @@ class FanoutSink : public PathSink {
     return any;
   }
 
+  /// Block delivery: each still-active duplicate consumes the block
+  /// through its own OnBlock (order per sink preserved). The fanned-out
+  /// run continues while any sink wants more, so the outer consumed count
+  /// is the maximum share any sink took — exactly where per-path emission
+  /// would have stopped (the path on which the last active sink refused).
+  BlockResult OnBlock(const PathBlockView& block) override {
+    uint64_t consumed = 0;
+    bool any = false;
+    for (size_t i = 0; i < sinks_.size(); ++i) {
+      if (!active_[i]) continue;
+      const BlockResult r = sinks_[i]->OnBlock(block);
+      delivered_[i] += r.consumed;
+      consumed = std::max(consumed, r.consumed);
+      if (r.stop || r.consumed < block.count) {
+        active_[i] = 0;
+      } else {
+        any = true;
+      }
+    }
+    return {consumed, !any};
+  }
+
   /// Paths handed to sink `i` (counts the delivery it declined on).
   uint64_t delivered(size_t i) const { return delivered_[i]; }
   bool stopped(size_t i) const { return active_[i] == 0; }

@@ -16,6 +16,10 @@
 // split query's sink (SubmitOptions::split_branches) may be invoked from
 // several workers but calls are serialized through the shared BranchSink
 // with its per-ticket stop latch (DESIGN.md §8), so plain sinks stay safe.
+// Paths stream as delta-encoded blocks (DESIGN.md §9): a sink overriding
+// OnBlock consumes whole blocks — one serialized delivery per ~256 paths
+// on a split ticket — while OnPath-only sinks transparently receive the
+// decoded per-path sequence.
 // The ticket's Wait() synchronizes with the query's completion. Shutdown
 // drains the admission queue before stopping the workers; the destructor
 // shuts down.
