@@ -1,0 +1,286 @@
+// Robustness-layer overhead and overload-shedding bench (DESIGN.md §10).
+//
+// Two sections:
+//
+//  1. Cancellation-check overhead on the *unstopped* hot path: the same
+//     canned layered-DAG enumeration as bench_hotpath, run plain vs. with
+//     the full control bundle armed but never firing (a cancellable token,
+//     a far-future deadline, a huge work budget). The guarded/plain
+//     paths/sec ratio is the price every production query pays for
+//     cancellability; the acceptance bar is <= 2% regression.
+//
+//  2. Deadline-miss/shed behavior under overload: an AsyncEngine sized to
+//     be overrun (few workers, short admission queue) takes a burst of
+//     TrySubmit queries with tight per-query deadlines, under each shed
+//     policy. Reported: admission shed rate, deadline-miss rate among the
+//     queries that ran, and terminal-state counts — the service-level
+//     picture of graceful degradation.
+//
+// Environment:
+//   PATHENUM_ROBUST_WIDTH      vertices per inner layer      (default 32)
+//   PATHENUM_ROBUST_LAYERS     inner layers                  (default 4)
+//   PATHENUM_ROBUST_REPS       measured repetitions          (default 5)
+//   PATHENUM_ROBUST_BURST      overload burst size           (default 64)
+//   PATHENUM_ROBUST_TOLERANCE  max allowed overhead fraction (default 0.02)
+//   PATHENUM_BENCH_JSON        output path ("" disables;
+//                              default "BENCH_robustness.json")
+//   PATHENUM_BENCH_MERGE       existing BENCH_throughput.json to splice the
+//                              "robustness" object into (optional)
+//
+// Exit status is nonzero when the overhead exceeds the tolerance — the
+// regression gate the perf trajectory tracks.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/control.h"
+#include "core/dfs_enumerator.h"
+#include "core/index.h"
+#include "core/sink.h"
+#include "graph/builder.h"
+#include "live/async_engine.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace pathenum;
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<uint64_t>(std::atoll(v)) : fallback;
+}
+
+double EnvF64(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+/// s -> W x L complete-bipartite inner grid -> t (same canned instance as
+/// bench_hotpath: the index walk is in cache, emission+checks dominate).
+Graph LayeredDag(uint32_t width, uint32_t layers) {
+  const VertexId n = 2 + width * layers;
+  GraphBuilder builder(n);
+  const auto lv = [&](uint32_t l, uint32_t i) {
+    return static_cast<VertexId>(1 + l * width + i);
+  };
+  for (uint32_t i = 0; i < width; ++i) builder.AddEdge(0, lv(0, i));
+  for (uint32_t l = 0; l + 1 < layers; ++l) {
+    for (uint32_t i = 0; i < width; ++i) {
+      for (uint32_t j = 0; j < width; ++j) {
+        builder.AddEdge(lv(l, i), lv(l + 1, j));
+      }
+    }
+  }
+  for (uint32_t i = 0; i < width; ++i) {
+    builder.AddEdge(lv(layers - 1, i), n - 1);
+  }
+  return builder.Build();
+}
+
+/// Best-of-reps paths/sec for one options configuration — best-of, not
+/// mean, so scheduler noise cannot fake a regression.
+double MeasurePathsPerSec(DfsEnumerator& dfs, const LightweightIndex& index,
+                          const EnumOptions& opts, int reps,
+                          uint64_t* results_out) {
+  CountingSink warm;
+  dfs.Run(index, warm, opts);  // scratch reaches steady state
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    CountingSink sink;
+    Timer t;
+    dfs.Run(index, sink, opts);
+    const double ms = t.ElapsedMs();
+    if (results_out != nullptr) *results_out = sink.count();
+    if (ms > 0.0) best = std::max(best, sink.count() / (ms / 1e3));
+  }
+  return best;
+}
+
+struct OverloadRow {
+  std::string policy;
+  uint64_t attempts = 0;
+  uint64_t admission_sheds = 0;  // rejected or cancel-oldest evictions
+  uint64_t ran = 0;
+  uint64_t deadline_missed = 0;  // ran but tripped its deadline
+  uint64_t ok = 0;
+  double wall_ms = 0.0;
+};
+
+OverloadRow RunOverload(const Graph& g, AsyncEngineOptions::ShedPolicy policy,
+                        const char* name, uint32_t burst) {
+  AsyncEngineOptions eopts;
+  eopts.num_workers = 2;
+  eopts.max_queue = 8;
+  eopts.shed_policy = policy;
+  AsyncEngine engine(Graph(g), eopts);
+
+  const Query q{0, g.num_vertices() - 1,
+                static_cast<uint32_t>(
+                    std::min<uint64_t>(kMaxHops, 8))};
+  EnumOptions qopts;
+  qopts.time_limit_ms = 2.0;  // tight: heavy queries will miss it
+
+  OverloadRow row;
+  row.policy = name;
+  row.attempts = burst;
+  std::vector<QueryTicket> tickets;
+  std::vector<CountingSink> sinks(burst);
+  tickets.reserve(burst);
+  Timer wall;
+  for (uint32_t i = 0; i < burst; ++i) {
+    QueryTicket t = engine.TrySubmit(q, sinks[i], qopts);
+    if (t.valid()) tickets.push_back(std::move(t));
+  }
+  for (const QueryTicket& t : tickets) t.Wait();
+  row.wall_ms = wall.ElapsedMs();
+  engine.Drain();
+
+  const AsyncEngine::Stats stats = engine.stats();
+  row.admission_sheds = stats.queue_rejects + stats.sheds;
+  for (const QueryTicket& t : tickets) {
+    switch (t.state()) {
+      case QueryState::kDeadlineExceeded:
+        ++row.ran;
+        ++row.deadline_missed;
+        break;
+      case QueryState::kCancelled:
+        break;  // shed while queued (kCancelOldest): never ran
+      default:
+        ++row.ran;
+        ++row.ok;
+        break;
+    }
+  }
+  return row;
+}
+
+/// Splices `"robustness": obj` into the top level of an existing JSON file
+/// (replacing a previous "robustness" object when present). Same
+/// conservative text-level edit as bench_hotpath's merge.
+bool MergeIntoJson(const std::string& path, const std::string& obj) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  const std::string key = "\"robustness\":";
+  const size_t at = text.find(key);
+  if (at != std::string::npos) {
+    const size_t open = text.find('{', at);
+    if (open == std::string::npos) return false;
+    int depth = 0;
+    size_t end = open;
+    for (; end < text.size(); ++end) {
+      if (text[end] == '{') ++depth;
+      if (text[end] == '}' && --depth == 0) break;
+    }
+    if (end >= text.size()) return false;
+    text.replace(at, end - at + 1, key + " " + obj);
+  } else {
+    const size_t brace = text.find('{');
+    if (brace == std::string::npos) return false;
+    text.insert(brace + 1, "\n  " + key + " " + obj + ",");
+  }
+  std::ofstream out(path);
+  out << text;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t width =
+      static_cast<uint32_t>(EnvU64("PATHENUM_ROBUST_WIDTH", 32));
+  const uint32_t layers =
+      static_cast<uint32_t>(EnvU64("PATHENUM_ROBUST_LAYERS", 4));
+  const int reps = static_cast<int>(EnvU64("PATHENUM_ROBUST_REPS", 5));
+  const uint32_t burst =
+      static_cast<uint32_t>(EnvU64("PATHENUM_ROBUST_BURST", 64));
+  const double tolerance = EnvF64("PATHENUM_ROBUST_TOLERANCE", 0.02);
+
+  std::printf("== Robustness layer: control-check overhead + overload ==\n");
+
+  // -- Section 1: armed-but-idle control bundle on the hot path. ----------
+  const Graph g = LayeredDag(width, layers);
+  const Query q{0, g.num_vertices() - 1, layers + 1};
+  IndexBuilder index_builder;
+  const LightweightIndex index = index_builder.Build(g, q);
+
+  DfsEnumerator dfs;
+  EnumOptions plain;
+  uint64_t plain_results = 0;
+  const double plain_pps =
+      MeasurePathsPerSec(dfs, index, plain, reps, &plain_results);
+
+  EnumOptions guarded;
+  guarded.cancel = CancelToken::Cancellable();  // armed, never fired
+  guarded.time_limit_ms = 1e9;                  // real deadline, far away
+  guarded.work_budget_edges = uint64_t{1} << 62;
+  uint64_t guarded_results = 0;
+  const double guarded_pps =
+      MeasurePathsPerSec(dfs, index, guarded, reps, &guarded_results);
+
+  const double ratio = plain_pps > 0.0 ? guarded_pps / plain_pps : 0.0;
+  const double overhead = 1.0 - ratio;
+  const bool pass = guarded_results == plain_results && overhead <= tolerance;
+  std::printf("  [checks] plain %.3fM paths/s, guarded %.3fM paths/s "
+              "(ratio %.4f, overhead %.2f%%) -> %s\n",
+              plain_pps / 1e6, guarded_pps / 1e6, ratio, overhead * 100.0,
+              pass ? "PASS" : "FAIL");
+
+  // -- Section 2: overload shedding under each policy. --------------------
+  std::vector<OverloadRow> rows;
+  rows.push_back(RunOverload(g, AsyncEngineOptions::ShedPolicy::kRejectNewest,
+                             "reject_newest", burst));
+  rows.push_back(RunOverload(g, AsyncEngineOptions::ShedPolicy::kCancelOldest,
+                             "cancel_oldest", burst));
+  for (const OverloadRow& r : rows) {
+    std::printf("  [overload/%s] %llu submitted: %llu shed at admission, "
+                "%llu ran (%llu deadline-missed, %llu ok) in %.0f ms\n",
+                r.policy.c_str(),
+                static_cast<unsigned long long>(r.attempts),
+                static_cast<unsigned long long>(r.admission_sheds),
+                static_cast<unsigned long long>(r.ran),
+                static_cast<unsigned long long>(r.deadline_missed),
+                static_cast<unsigned long long>(r.ok), r.wall_ms);
+  }
+
+  std::ostringstream obj;
+  obj << "{\"width\": " << width << ", \"layers\": " << layers
+      << ", \"plain_paths_per_sec\": " << plain_pps
+      << ", \"guarded_paths_per_sec\": " << guarded_pps
+      << ", \"guarded_over_plain\": " << ratio
+      << ", \"tolerance\": " << tolerance
+      << ", \"pass\": " << (pass ? "true" : "false") << ", \"overload\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const OverloadRow& r = rows[i];
+    obj << (i > 0 ? ", " : "") << "{\"policy\": \"" << r.policy
+        << "\", \"attempts\": " << r.attempts
+        << ", \"admission_sheds\": " << r.admission_sheds
+        << ", \"ran\": " << r.ran
+        << ", \"deadline_missed\": " << r.deadline_missed
+        << ", \"ok\": " << r.ok << ", \"wall_ms\": " << r.wall_ms << "}";
+  }
+  obj << "]}";
+
+  const char* json_env = std::getenv("PATHENUM_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_robustness.json";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"bench_robustness\",\n  \"robustness\": "
+        << obj.str() << "\n}\n";
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+  if (const char* merge = std::getenv("PATHENUM_BENCH_MERGE")) {
+    if (MergeIntoJson(merge, obj.str())) {
+      std::printf("  merged \"robustness\" into %s\n", merge);
+    }
+  }
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+// Query-lifecycle control primitives (DESIGN.md §10): the cooperative
+// CancelToken, the QueryControl bundle (deadline + cancellation + work
+// budget) threaded from submission to sink, and the terminal states every
+// front-end reports per query.
+//
+// Cancellation is cooperative: enumerators poll the token at block-emission
+// and cursor-refill granularity (every ~256 emitted paths / ~8192 search
+// steps), the index builder's BFS polls once per wave, and split/async
+// fan-outs poll per drained unit — so a trip stops every in-flight unit of
+// a query within a bounded amount of work, with whatever was already found
+// delivered as a well-formed partial result. A null (default) token costs
+// one pointer test per poll.
+#ifndef PATHENUM_CORE_CONTROL_H_
+#define PATHENUM_CORE_CONTROL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string_view>
+
+#include "util/timer.h"
+
+namespace pathenum {
+
+/// Terminal state of one query's lifecycle, as reported by BatchResult /
+/// QueryTicket. Everything except kRejected/kError delivers a well-formed
+/// (possibly empty, possibly partial) result set to the sink.
+enum class QueryState : uint8_t {
+  kOk = 0,            // ran to exhaustion: the result set is complete
+  kTruncated,         // stopped by result limit / sink / memory or work budget
+  kDeadlineExceeded,  // wall-clock deadline tripped mid-run (or mid-build)
+  kCancelled,         // CancelToken tripped mid-run (or mid-build)
+  kRejected,          // never ran: validation failure or admission shed
+  kError,             // internal failure (throwing sink, ...); see the message
+};
+
+inline std::string_view QueryStateName(QueryState s) {
+  switch (s) {
+    case QueryState::kOk: return "Ok";
+    case QueryState::kTruncated: return "Truncated";
+    case QueryState::kDeadlineExceeded: return "DeadlineExceeded";
+    case QueryState::kCancelled: return "Cancelled";
+    case QueryState::kRejected: return "Rejected";
+    case QueryState::kError: return "Error";
+  }
+  return "?";
+}
+
+/// True when the state guarantees the sink saw a well-formed result stream
+/// (every path delivered before the stop is a real path; no partial blocks).
+inline bool DeliveredResults(QueryState s) {
+  return s == QueryState::kOk || s == QueryState::kTruncated ||
+         s == QueryState::kDeadlineExceeded || s == QueryState::kCancelled;
+}
+
+/// Cooperative cancellation latch. Cheap to copy; all copies share the
+/// flag. The default-constructed token is *null*: it can never fire and
+/// checking it is a single pointer test, so unconcerned callers pay
+/// nothing. Cancel() is sticky and idempotent; it may race the query
+/// arbitrarily (including firing before the query starts, which rejects
+/// the run at the first poll).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A token that can actually fire. Hand copies to the query (via
+  /// EnumOptions::cancel) and keep one to Cancel() from any thread.
+  static CancelToken Cancellable() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  /// False for the null token (Cancel would be a no-op).
+  bool can_cancel() const { return flag_ != nullptr; }
+
+  /// Signals every copy of this token. Thread-safe, idempotent.
+  void Cancel() const {
+    if (flag_ != nullptr) flag_->store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+  /// The raw flag for hot loops (null for the null token): holders poll
+  /// with one relaxed load, no shared_ptr traffic. Valid while any copy of
+  /// the token is alive.
+  const std::atomic<bool>* flag() const { return flag_.get(); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The per-query control bundle: one of these (conceptually) travels with
+/// the query from submission to sink. EnumOptions carries the ingredients
+/// (time_limit_ms, cancel, work_budget_edges); enumerators materialize the
+/// deadline at Run start and poll all three together.
+struct QueryControl {
+  Deadline deadline = Deadline::Unlimited();
+  CancelToken cancel;
+  /// Cap on neighbor entries examined (edges_accessed). A deterministic,
+  /// clock-free budget — the same query tripping it always stops at the
+  /// same point. Exceeding it truncates the run (QueryState::kTruncated).
+  uint64_t work_budget_edges = std::numeric_limits<uint64_t>::max();
+
+  /// What tripped, checked in precedence order (cancel beats deadline
+  /// beats work budget, matching EnumCounters::TerminalState).
+  enum class Trip : uint8_t { kNone, kCancelled, kDeadline, kWorkBudget };
+
+  Trip Check(uint64_t work_done) const {
+    if (cancel.cancelled()) return Trip::kCancelled;
+    if (deadline.Expired()) return Trip::kDeadline;
+    if (work_done >= work_budget_edges) return Trip::kWorkBudget;
+    return Trip::kNone;
+  }
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_CORE_CONTROL_H_

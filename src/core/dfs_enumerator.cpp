@@ -26,6 +26,8 @@ void DfsEnumerator::Prepare(const LightweightIndex& index,
   counters_ = EnumCounters{};
   timer_.Reset();
   deadline_ = Deadline::AfterMs(opts.time_limit_ms);
+  cancel_ = opts.cancel.flag();
+  work_budget_ = opts.work_budget_edges;
   check_countdown_ = kCheckInterval;
   stop_ = false;
   found_ = 0;
@@ -102,12 +104,24 @@ bool DfsEnumerator::ShouldStop() {
   if (stop_) return true;
   if (check_countdown_-- == 0) {
     check_countdown_ = kCheckInterval;
-    if (deadline_.Expired()) {
-      counters_.timed_out = true;
-      stop_ = true;
-    }
+    CheckControl();
   }
   return stop_;
+}
+
+void DfsEnumerator::CheckControl(uint64_t pending_edges) {
+  // Precedence mirrors EnumCounters::TerminalState: an explicit cancel
+  // wins over a deadline racing it, and both win over the work budget.
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    counters_.cancelled = true;
+    stop_ = true;
+  } else if (deadline_.Expired()) {
+    counters_.timed_out = true;
+    stop_ = true;
+  } else if (counters_.edges_accessed + pending_edges >= work_budget_) {
+    counters_.work_exceeded = true;
+    stop_ = true;
+  }
 }
 
 void DfsEnumerator::AppendPath(uint32_t depth) {
@@ -122,6 +136,14 @@ void DfsEnumerator::AppendPath(uint32_t depth) {
       return;
     }
     divergence_ = 0;  // blocks are self-contained: restart the delta chain
+    // Block-emission-granularity cancellation poll: a cancel lands within
+    // one block (~256 paths) of firing even when the countdown-gated
+    // ShouldStop poll is far away.
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      counters_.cancelled = true;
+      stop_ = true;
+      return;
+    }
   }
   const uint32_t prefix = divergence_;
   block.AppendDelta(prefix, stack_ + prefix, len - prefix, translate_);
@@ -205,11 +227,8 @@ void DfsEnumerator::SearchFromImpl(uint32_t start_depth, const EndT* ends) {
       while (i < size) {
         if (countdown-- == 0) {
           countdown = kCheckInterval;
-          if (deadline_.Expired()) {
-            counters_.timed_out = true;
-            stop_ = true;
-            break;
-          }
+          CheckControl(edges);
+          if (stop_) break;
         }
         const uint32_t nx = nbrs[i++];
         if (marks[nx] == epoch) continue;

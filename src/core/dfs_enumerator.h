@@ -14,6 +14,7 @@
 #ifndef PATHENUM_CORE_DFS_ENUMERATOR_H_
 #define PATHENUM_CORE_DFS_ENUMERATOR_H_
 
+#include <atomic>
 #include <vector>
 
 #include "core/index.h"
@@ -88,6 +89,12 @@ class DfsEnumerator {
 
   bool ShouldStop();
 
+  /// Cold path of ShouldStop: polls cancel/deadline/work budget (in that
+  /// precedence), setting the matching counter flag and stop_ on a trip.
+  /// `pending_edges` is work accrued in the caller's registers but not yet
+  /// folded into counters_.edges_accessed.
+  void CheckControl(uint64_t pending_edges = 0);
+
   const LightweightIndex* index_ = nullptr;
 
   // Reusable scratch: epoch-stamped "slot is on the current partial result"
@@ -100,6 +107,8 @@ class DfsEnumerator {
   EnumCounters counters_;
   Timer timer_;
   Deadline deadline_;
+  const std::atomic<bool>* cancel_ = nullptr;  // null: never cancels
+  uint64_t work_budget_ = 0;
   uint64_t check_countdown_ = 0;
   bool stop_ = false;
   uint64_t found_ = 0;       // paths appended this run (delivered + pending)

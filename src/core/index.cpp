@@ -143,6 +143,37 @@ void IndexBuilder::Fuse(LightweightIndex& idx, bool edge_ids,
   PATHENUM_CHECK_MSG(off == total, "slab layout mismatch");
 }
 
+void IndexBuilder::FinishInterrupted(LightweightIndex& idx, const Query& q,
+                                     const Options& opts, bool by_cancel) {
+  const uint32_t k = q.hops;
+  const size_t num_cells = static_cast<size_t>(k + 1) * (k + 1);
+  cell_offsets_.assign(num_cells + 1, 0);
+  x_vertices_.clear();
+  slot_ds_.clear();
+  slot_dt_.clear();
+  slot_lookup_.clear();  // SlotOf falls through to kInvalidSlot
+  out_begin_.assign(1, 0);
+  out_ends_.clear();
+  out_slots_.clear();
+  out_edge_ids_.clear();
+  in_slots_.clear();
+  if (opts.build_in_direction) {
+    in_begin_.assign(1, 0);
+    in_ends_.clear();
+  }
+  if (opts.collect_level_stats) {
+    level_it_sum_.assign(k, 0.0);
+    level_count_.assign(k, 0);
+  }
+  idx.source_slot_ = kInvalidSlot;
+  idx.target_slot_ = kInvalidSlot;
+  idx.num_out_edges_ = 0;
+  Fuse(idx, opts.build_edge_ids, opts.build_in_direction,
+       opts.collect_level_stats);
+  idx.build_stats_.interrupted = true;
+  idx.build_stats_.interrupted_by_cancel = by_cancel;
+}
+
 template <typename GraphT>
 LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
                                      const Options& opts) {
@@ -151,6 +182,17 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
   idx.query_ = q;
   const uint32_t k = q.hops;
   Timer total_timer;
+
+  // Cooperative control poll (0 = none, 1 = cancel, 2 = deadline) for the
+  // stretches between the BFS passes' own per-wave polls.
+  const auto control_trip = [&opts]() -> int {
+    if (opts.cancel != nullptr &&
+        opts.cancel->load(std::memory_order_relaxed)) {
+      return 1;
+    }
+    if (opts.deadline.Expired()) return 2;
+    return 0;
+  };
 
   // --- Line 1 of Alg. 3: the two bounded BFS. ---------------------------
   // The backward pass runs first; the forward pass then admits only
@@ -161,9 +203,13 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
     DistanceField::Options bwd;
     bwd.blocked = q.source;  // internal vertices avoid s
     bwd.max_depth = k;
+    bwd.cancel = opts.cancel;
+    bwd.deadline = opts.deadline;
     DistanceField::Options fwd;
     fwd.blocked = q.target;  // internal vertices avoid t
     fwd.max_depth = k;
+    fwd.cancel = opts.cancel;
+    fwd.deadline = opts.deadline;
     // The X-set admission check, inlined into the forward relaxation loop.
     const auto admit_x = [this, k](VertexId v, uint32_t dist) {
       const uint32_t dt = field_t_.Distance(v);
@@ -174,23 +220,41 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
       // callables, zero std::function calls in either inner loop.
       field_t_.ComputeWith(g, Direction::kBackward, q.target, bwd,
                            AcceptAllEdges{}, AdmitAllVertices{});
-      if (opts.prune_forward_bfs) {
-        field_s_.ComputeWith(g, Direction::kForward, q.source, fwd,
-                             AcceptAllEdges{}, admit_x);
-      } else {
-        field_s_.ComputeWith(g, Direction::kForward, q.source, fwd,
-                             AcceptAllEdges{}, AdmitAllVertices{});
+      if (field_t_.interrupted() == DistanceField::Interrupt::kNone) {
+        if (opts.prune_forward_bfs) {
+          field_s_.ComputeWith(g, Direction::kForward, q.source, fwd,
+                               AcceptAllEdges{}, admit_x);
+        } else {
+          field_s_.ComputeWith(g, Direction::kForward, q.source, fwd,
+                               AcceptAllEdges{}, AdmitAllVertices{});
+        }
       }
     } else {
       bwd.filter = opts.filter;
       field_t_.Compute(g, Direction::kBackward, q.target, bwd);
-      const VertexAdmission admit = admit_x;
-      fwd.filter = opts.filter;
-      if (opts.prune_forward_bfs) fwd.admit = &admit;
-      field_s_.Compute(g, Direction::kForward, q.source, fwd);
+      if (field_t_.interrupted() == DistanceField::Interrupt::kNone) {
+        const VertexAdmission admit = admit_x;
+        fwd.filter = opts.filter;
+        if (opts.prune_forward_bfs) fwd.admit = &admit;
+        field_s_.Compute(g, Direction::kForward, q.source, fwd);
+      }
     }
   }
   idx.build_stats_.bfs_ms = total_timer.ElapsedMs();
+  {
+    // An interrupted pass left incomplete distances — discard them and
+    // hand back the empty well-formed index.
+    const DistanceField::Interrupt trip =
+        field_t_.interrupted() != DistanceField::Interrupt::kNone
+            ? field_t_.interrupted()
+            : field_s_.interrupted();
+    if (trip != DistanceField::Interrupt::kNone) {
+      FinishInterrupted(idx, q, opts,
+                        trip == DistanceField::Interrupt::kCancelled);
+      idx.build_stats_.total_ms = total_timer.ElapsedMs();
+      return idx;
+    }
+  }
 
   // --- Lines 2-4: partition X by (v.s, v.t), v.s + v.t <= k. ------------
   // With pruning, the forward pass reached exactly the X candidates;
@@ -258,6 +322,14 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
   // --- Lines 5-11: out-direction adjacency H_t, sorted by v'.t. ---------
   uint32_t key_counts[kMaxHops + 2];
   for (uint32_t slot = 0; slot < num_x; ++slot) {
+    if ((slot & 4095u) == 0) {
+      fault::Hit(fault::Site::kIndexAdjacency);
+      if (const int trip = control_trip()) {
+        FinishInterrupted(idx, q, opts, trip == 1);
+        idx.build_stats_.total_ms = total_timer.ElapsedMs();
+        return idx;
+      }
+    }
     const VertexId v = x_vertices_[slot];
     const uint32_t ds = slot_ds_[slot];
     scratch_.clear();
@@ -316,6 +388,13 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
   // --- Symmetric in-direction adjacency H_s, sorted by v'.s. ------------
   if (opts.build_in_direction) {
     for (uint32_t slot = 0; slot < num_x; ++slot) {
+      if ((slot & 4095u) == 0) {
+        if (const int trip = control_trip()) {
+          FinishInterrupted(idx, q, opts, trip == 1);
+          idx.build_stats_.total_ms = total_timer.ElapsedMs();
+          return idx;
+        }
+      }
       const VertexId v = x_vertices_[slot];
       const uint32_t dt = slot_dt_[slot];
       scratch_.clear();

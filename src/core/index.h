@@ -50,6 +50,12 @@ class LightweightIndex {
   struct BuildStats {
     double bfs_ms = 0.0;    // the two bounded BFS (Alg. 3 line 1)
     double total_ms = 0.0;  // whole construction
+    /// The build was stopped by IndexBuildOptions::cancel/deadline. The
+    /// index is empty but well-formed (enumerating it yields zero paths);
+    /// callers map the trip to the query's terminal state, and the
+    /// IndexCache never publishes such an index.
+    bool interrupted = false;
+    bool interrupted_by_cancel = false;  // the trip was the cancel token
   };
 
   LightweightIndex() = default;
@@ -255,6 +261,12 @@ struct IndexBuildOptions {
   /// backward pass's distances (exact; see DESIGN.md). Off only for the
   /// ablation benchmark measuring what the optimization is worth.
   bool prune_forward_bfs = true;
+  /// Cooperative build control (DESIGN.md §10): polled once per BFS wave
+  /// and periodically during the adjacency scan. A tripped build returns
+  /// an empty-but-well-formed index with build_stats().interrupted set
+  /// instead of running to completion.
+  const std::atomic<bool>* cancel = nullptr;
+  Deadline deadline = Deadline::Unlimited();
 };
 
 /// Builds LightweightIndex instances. Owns the epoch-stamped BFS buffers
@@ -283,6 +295,12 @@ class IndexBuilder {
   /// permit.
   void Fuse(LightweightIndex& idx, bool edge_ids, bool in_direction,
             bool level_stats);
+
+  /// Replaces the staged parts with an empty-but-well-formed index (zero
+  /// slots, zero paths on enumeration) and stamps the interruption into
+  /// its build stats — the terminal path of a control-tripped Build.
+  void FinishInterrupted(LightweightIndex& idx, const Query& q,
+                         const Options& opts, bool by_cancel);
 
   DistanceField field_s_;  // forward from s, t blocked
   DistanceField field_t_;  // backward from t, s blocked

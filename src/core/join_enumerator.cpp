@@ -4,10 +4,16 @@
 #include <cassert>
 #include <cstring>
 
+#include "util/fault_injection.h"
+
 namespace pathenum {
 
 namespace {
 constexpr uint64_t kCheckInterval = 8192;
+/// Control poll cadence at full-tuple granularity (one tuple is far more
+/// work than one search step): a deadline or cancel lands within this many
+/// materialized tuples. One clock read per 64 tuples is noise.
+constexpr uint64_t kTupleCheckInterval = 64;
 }  // namespace
 
 EnumCounters JoinEnumerator::Run(uint32_t cut, PathSink& sink,
@@ -26,11 +32,14 @@ void JoinEnumerator::Prepare(const LightweightIndex& index,
   counters_ = EnumCounters{};
   timer_.Reset();
   deadline_ = Deadline::AfterMs(opts.time_limit_ms);
+  cancel_ = opts.cancel.flag();
+  work_budget_ = opts.work_budget_edges;
   // Each half may use half the budget (tuples are uint32 slots).
   tuple_limit_ = opts.partial_memory_limit_bytes / (2 * sizeof(uint32_t));
   shared_used_ = nullptr;
   shared_cap_ = 0;
   check_countdown_ = kCheckInterval;
+  tuple_check_countdown_ = kTupleCheckInterval;
   stop_ = false;
   if (on_path_.size() < index.num_vertices()) {
     on_path_.resize(index.num_vertices(), 0);
@@ -186,12 +195,24 @@ bool JoinEnumerator::ShouldStop() {
   if (stop_) return true;
   if (check_countdown_-- == 0) {
     check_countdown_ = kCheckInterval;
-    if (deadline_.Expired()) {
-      counters_.timed_out = true;
-      stop_ = true;
-    }
+    CheckControl();
   }
   return stop_;
+}
+
+void JoinEnumerator::CheckControl() {
+  // Precedence mirrors EnumCounters::TerminalState (cancel > deadline >
+  // work budget).
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    counters_.cancelled = true;
+    stop_ = true;
+  } else if (deadline_.Expired()) {
+    counters_.timed_out = true;
+    stop_ = true;
+  } else if (counters_.edges_accessed >= work_budget_) {
+    counters_.work_exceeded = true;
+    stop_ = true;
+  }
 }
 
 void JoinEnumerator::Emit(std::span<const uint32_t> slot_path) {
@@ -199,6 +220,12 @@ void JoinEnumerator::Emit(std::span<const uint32_t> slot_path) {
   if (!block.HasRoomFor(static_cast<uint32_t>(slot_path.size()))) {
     if (!emitter_.Flush()) {
       stop_ = true;  // sink stop / limit at block granularity: drop & stop
+      return;
+    }
+    // Block-emission-granularity cancellation poll (see DfsEnumerator).
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      counters_.cancelled = true;
+      stop_ = true;
       return;
     }
   }
@@ -227,6 +254,12 @@ void JoinEnumerator::MaterializeStep(uint32_t depth, uint32_t base,
                                      std::vector<uint32_t>& out) {
   // Line 10 of Alg. 6: a full-width tuple is materialized.
   if (depth + 1 == len) {
+    fault::Hit(fault::Site::kJoinMaterialize);
+    if (--tuple_check_countdown_ == 0) {
+      tuple_check_countdown_ = kTupleCheckInterval;
+      CheckControl();
+      if (stop_) return;
+    }
     if (out.size() >= tuple_limit_ ||
         (shared_used_ != nullptr &&
          shared_used_->fetch_add(len, std::memory_order_relaxed) + len >

@@ -113,6 +113,10 @@ class JoinEnumerator {
 
   bool ShouldStop();
 
+  /// Cold path of ShouldStop: polls cancel/deadline/work budget, setting
+  /// the matching counter flag and stop_ on a trip.
+  void CheckControl();
+
   /// Appends the validated slot path to the pending block (DESIGN.md §9) —
   /// the block computes the shared prefix against the previous joined path
   /// and translates slots to vertex ids as the suffix is copied — flushing
@@ -140,10 +144,16 @@ class JoinEnumerator {
   EnumCounters counters_;
   Timer timer_;
   Deadline deadline_;
+  const std::atomic<bool>* cancel_ = nullptr;  // null: never cancels
+  uint64_t work_budget_ = 0;
   size_t tuple_limit_ = 0;  // per half, in uint32 units
   std::atomic<size_t>* shared_used_ = nullptr;  // split units only
   size_t shared_cap_ = 0;
   uint64_t check_countdown_ = 0;
+  /// Separate, tighter countdown at full-tuple granularity: one materialized
+  /// tuple is far more work than one search step, so deadlines/cancels must
+  /// land within a bounded number of tuples, not 8192 steps (DESIGN.md §10).
+  uint64_t tuple_check_countdown_ = 0;
   bool stop_ = false;
   BlockEmitter emitter_;
   uint32_t stack_[kMaxHops + 1];

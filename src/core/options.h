@@ -6,6 +6,8 @@
 #include <limits>
 #include <string_view>
 
+#include "core/control.h"
+
 namespace pathenum {
 
 /// Which enumeration strategy the PathEnum driver uses.
@@ -43,6 +45,16 @@ struct EnumOptions {
   /// at k = 8.
   size_t partial_memory_limit_bytes = size_t{1} << 30;  // 1 GiB
 
+  /// Cooperative cancellation (core/control.h). The default token is null
+  /// and can never fire. Enumerators poll it at block-emission and
+  /// cursor-refill granularity; the index builder polls once per BFS wave.
+  CancelToken cancel;
+
+  /// Cap on neighbor entries examined (edges_accessed) — a deterministic,
+  /// clock-free work budget. Exceeding it truncates the run
+  /// (counters.work_exceeded, QueryState::kTruncated).
+  uint64_t work_budget_edges = std::numeric_limits<uint64_t>::max();
+
   /// Preliminary-estimator threshold τ (paper §6.2; 1e5 in their setup).
   double tau = 1e5;
 
@@ -72,10 +84,27 @@ struct EnumCounters {
   bool hit_result_limit = false;
   bool stopped_by_sink = false;
   bool out_of_memory = false;  // partial_memory_limit_bytes exceeded
+  bool cancelled = false;      // EnumOptions::cancel tripped
+  bool work_exceeded = false;  // EnumOptions::work_budget_edges exceeded
 
   bool completed() const {
     return !timed_out && !hit_result_limit && !stopped_by_sink &&
-           !out_of_memory;
+           !out_of_memory && !cancelled && !work_exceeded;
+  }
+
+  /// The terminal state this run reports (DESIGN.md §10). Precedence when
+  /// several flags are set (a cancel can race a deadline): cancelled >
+  /// timed_out > the truncation flags. kRejected/kError never originate
+  /// here — they are assigned by the front-ends for runs that never
+  /// started or died in a sink.
+  QueryState TerminalState() const {
+    if (cancelled) return QueryState::kCancelled;
+    if (timed_out) return QueryState::kDeadlineExceeded;
+    if (hit_result_limit || stopped_by_sink || out_of_memory ||
+        work_exceeded) {
+      return QueryState::kTruncated;
+    }
+    return QueryState::kOk;
   }
 };
 

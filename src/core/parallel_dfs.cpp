@@ -31,8 +31,10 @@ bool AccumulateBranch(EnumCounters& total, const EnumCounters& branch) {
   total.timed_out |= branch.timed_out;
   total.stopped_by_sink |= branch.stopped_by_sink;
   total.out_of_memory |= branch.out_of_memory;
+  total.cancelled |= branch.cancelled;
+  total.work_exceeded |= branch.work_exceeded;
   return !branch.stopped_by_sink && !branch.timed_out &&
-         !branch.out_of_memory;
+         !branch.out_of_memory && !branch.cancelled && !branch.work_exceeded;
 }
 
 void FinishFanout(EnumCounters& out, std::span<const EnumCounters> workers,
@@ -46,6 +48,8 @@ void FinishFanout(EnumCounters& out, std::span<const EnumCounters> workers,
     out.timed_out |= c.timed_out;
     out.stopped_by_sink |= c.stopped_by_sink;
     out.out_of_memory |= c.out_of_memory;
+    out.cancelled |= c.cancelled;
+    out.work_exceeded |= c.work_exceeded;
   }
   // The driver's own work (e.g. the root partial (s) and the per-branch
   // edge scan of the DFS fan-out) is accounted exactly once.

@@ -41,8 +41,30 @@ IndexBuilder::Options PathEnumerator::BuildOptionsFor(const Query& q,
   // Only the constraint extensions read edge ids; dropping the slab's
   // largest array keeps the unconstrained build lean (DESIGN.md §9).
   build_opts.build_edge_ids = false;
+  // Thread the query's control into the build: each phase gets the query's
+  // wall-clock budget from its own start (DESIGN.md §10), and the cancel
+  // token covers the build exactly like the enumeration.
+  build_opts.cancel = opts.cancel.flag();
+  build_opts.deadline = Deadline::AfterMs(opts.time_limit_ms);
   return build_opts;
 }
+
+namespace {
+
+/// Fills `stats` for a query whose index build was control-tripped: no
+/// enumeration ran, zero results, the matching terminal flag set.
+void FinalizeInterruptedBuild(QueryStats& stats,
+                              const LightweightIndex& index, Timer& total) {
+  EnumCounters counters;
+  if (index.build_stats().interrupted_by_cancel) {
+    counters.cancelled = true;
+  } else {
+    counters.timed_out = true;
+  }
+  Finalize(stats, counters, 0.0, total.ElapsedMs());
+}
+
+}  // namespace
 
 QueryStats PathEnumerator::Run(const Query& q, PathSink& sink,
                                const EnumOptions& opts) {
@@ -59,6 +81,10 @@ QueryStats PathEnumerator::Run(const Query& q, PathSink& sink,
   LightweightIndex index = BuildIndex(q, BuildOptionsFor(q, opts));
   stats.bfs_ms = index.build_stats().bfs_ms;
   stats.index_ms = index.build_stats().total_ms;
+  if (index.build_stats().interrupted) {
+    FinalizeInterruptedBuild(stats, index, total);
+    return stats;
+  }
   ExecuteOnIndex(index, stats, sink, opts, total);
   return stats;
 }
@@ -173,10 +199,16 @@ QueryStats PathEnumerator::RunConstrained(const Query& q,
   build_opts.build_in_direction = use_join;
   build_opts.collect_level_stats = false;
   build_opts.build_edge_ids = true;  // the constrained enumerators read them
+  build_opts.cancel = opts.cancel.flag();
+  build_opts.deadline = Deadline::AfterMs(opts.time_limit_ms);
   // Overlay-free is asserted above, so this is always Build<Graph>.
   LightweightIndex index = BuildIndex(q, build_opts);
   stats.bfs_ms = index.build_stats().bfs_ms;
   stats.index_ms = index.build_stats().total_ms;
+  if (index.build_stats().interrupted) {
+    FinalizeInterruptedBuild(stats, index, total);
+    return stats;
+  }
   stats.index_vertices = index.num_vertices();
   stats.index_edges = index.num_edges();
   stats.index_bytes = index.MemoryBytes();

@@ -2,8 +2,11 @@
 #ifndef PATHENUM_CORE_QUERY_H_
 #define PATHENUM_CORE_QUERY_H_
 
+#include <string>
+
 #include "graph/graph.h"
 #include "util/common.h"
+#include "util/status.h"
 
 namespace pathenum {
 
@@ -16,15 +19,41 @@ struct Query {
 };
 
 /// Validates a query against a graph (or live GraphView snapshot):
-/// endpoints in range and distinct, 1 <= hops <= kMaxHops. Throws
-/// std::logic_error on violation.
+/// endpoints in range and distinct, 1 <= hops <= kMaxHops. Queries are
+/// untrusted input, so the engines use this non-throwing form and map a
+/// failure to QueryState::kRejected.
+template <typename GraphT>
+inline Status CheckQuery(const GraphT& g, const Query& q) {
+  if (q.source >= g.num_vertices()) {
+    return Status::InvalidArgument("source vertex " +
+                                   std::to_string(q.source) +
+                                   " out of range");
+  }
+  if (q.target >= g.num_vertices()) {
+    return Status::InvalidArgument("target vertex " +
+                                   std::to_string(q.target) +
+                                   " out of range");
+  }
+  if (q.source == q.target) {
+    return Status::InvalidArgument("source and target must differ");
+  }
+  if (q.hops < 1) {
+    return Status::InvalidArgument("hop constraint must be at least 1");
+  }
+  if (q.hops > kMaxHops) {
+    return Status::InvalidArgument("hop constraint " +
+                                   std::to_string(q.hops) + " exceeds " +
+                                   std::to_string(kMaxHops));
+  }
+  return Status::Ok();
+}
+
+/// Throwing wrapper (std::logic_error) for call sites whose contract says
+/// "the query must be valid" — API misuse, not untrusted input.
 template <typename GraphT>
 inline void ValidateQuery(const GraphT& g, const Query& q) {
-  PATHENUM_CHECK_MSG(q.source < g.num_vertices(), "source out of range");
-  PATHENUM_CHECK_MSG(q.target < g.num_vertices(), "target out of range");
-  PATHENUM_CHECK_MSG(q.source != q.target, "source and target must differ");
-  PATHENUM_CHECK_MSG(q.hops >= 1, "hop constraint must be at least 1");
-  PATHENUM_CHECK_MSG(q.hops <= kMaxHops, "hop constraint too large");
+  const Status st = CheckQuery(g, q);
+  PATHENUM_CHECK_MSG(st.ok(), st.message());
 }
 
 }  // namespace pathenum

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault_injection.h"
+
 namespace pathenum {
 
 PathSink::BlockResult PathSink::OnBlock(const PathBlockView& block) {
@@ -43,6 +45,7 @@ PathSink::BlockResult CollectingSink::OnBlock(const PathBlockView& block) {
 
 bool BlockEmitter::Flush() {
   if (block_.empty()) return true;
+  fault::Hit(fault::Site::kBlockFlush);
   const PathBlockView view(block_);
   const uint64_t before = counters_->num_results;
   const PathSink::BlockResult r = sink_->OnBlock(view);

@@ -32,13 +32,17 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void ThreadPool::RunOnAllWorkers(const std::function<void(uint32_t)>& job) {
@@ -68,7 +72,11 @@ void ThreadPool::WorkerLoop(uint32_t worker_id) {
     start_cv_.wait(lock, [&] {
       return shutdown_ || generation_ != seen_generation;
     });
-    if (shutdown_) return;
+    // A posted generation is honored even when shutdown raced in behind
+    // it: skipping it here would leave active_ undecremented and deadlock
+    // the RunOnWorkers caller. Shutdown only takes effect once no
+    // generation is pending for this worker.
+    if (generation_ == seen_generation) return;  // woken by shutdown alone
     seen_generation = generation_;
     const auto* job = job_;
     const bool participates = worker_id < job_limit_;

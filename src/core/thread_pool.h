@@ -35,6 +35,13 @@ class ThreadPool {
   /// returned.
   ~ThreadPool();
 
+  /// Deterministic teardown, idempotent: a job generation posted before
+  /// (or racing) the shutdown still runs to completion — its RunOnWorkers
+  /// caller unblocks normally — and the workers exit only once no
+  /// generation is pending. After Shutdown, RunOnWorkers must not be
+  /// called again. The destructor calls this.
+  void Shutdown();
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 

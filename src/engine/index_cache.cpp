@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace pathenum {
@@ -176,6 +177,7 @@ std::shared_ptr<const LightweightIndex> IndexCache::GetOrBuild(
 
   std::shared_ptr<const LightweightIndex> index;
   try {
+    fault::Hit(fault::Site::kCacheBuild);
     index = std::make_shared<const LightweightIndex>(build());
   } catch (...) {
     {
@@ -186,6 +188,22 @@ std::shared_ptr<const LightweightIndex> IndexCache::GetOrBuild(
     }
     shard.cv.notify_all();
     throw;
+  }
+
+  if (index->build_stats().interrupted) {
+    // The builder's own deadline/cancel tripped mid-build. The empty index
+    // is correct *for this caller* (its query is over either way), but the
+    // coalesced waiters may have laxer deadlines — fail the latch exactly
+    // like a throwing build so one of them retries as the next builder, and
+    // never publish the stub.
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      erase_own_registration();
+      inflight->failed = true;
+      inflight->done = true;
+    }
+    shard.cv.notify_all();
+    return index;
   }
 
   {

@@ -186,7 +186,10 @@ class IndexCache {
   /// or runs `build` (outside any lock) and publishes the result.
   /// Concurrent same-version callers on the same missing key coalesce onto
   /// one build. A throwing build propagates to the builder and wakes the
-  /// waiters, which retry (one becomes the next builder). `was_hit`
+  /// waiters, which retry (one becomes the next builder); a build whose own
+  /// deadline/cancel tripped (build_stats().interrupted) is returned to its
+  /// caller but fails the latch the same way — waiters with laxer budgets
+  /// retry instead of inheriting the stub. `was_hit`
   /// (optional) reports whether an already-built index was returned
   /// (including coalesced waits). An entry hits only when it was first
   /// published at a version <= `view_version` (and survived every epoch

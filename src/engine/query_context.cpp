@@ -53,6 +53,23 @@ QueryStats QueryContext::RunCached(const Query& q, PathSink& sink,
       index_key, [&] { return enumerator_.BuildIndex(q, build_opts); },
       &index_hit, view_version);
 
+  if (index->build_stats().interrupted) {
+    // This query's own deadline/cancel tripped mid-build (an interrupted
+    // build is never published or handed to waiters, so it is always ours).
+    QueryStats stats;
+    if (index->build_stats().interrupted_by_cancel) {
+      stats.counters.cancelled = true;
+    } else {
+      stats.counters.timed_out = true;
+    }
+    stats.bfs_ms = index->build_stats().bfs_ms;
+    stats.index_ms = index->build_stats().total_ms;
+    stats.total_ms = stats.index_ms;
+    stats.response_ms = stats.total_ms;
+    ++queries_run_;
+    return stats;
+  }
+
   QueryStats stats;
   if (result_cache_on) {
     RecordingSink recorder(sink, cache->options().max_result_entry_bytes);

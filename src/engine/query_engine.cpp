@@ -211,6 +211,7 @@ BatchResult QueryEngine::RunBatch(std::span<const Query> queries,
   BatchResult result;
   result.stats.resize(queries.size());
   result.errors.resize(queries.size());
+  result.states.resize(queries.size(), QueryState::kOk);
   ++batches_run_;
   IndexCache* cache =
       (opts.use_cache && cache_ != nullptr) ? cache_.get() : nullptr;
@@ -230,11 +231,24 @@ BatchResult QueryEngine::RunBatch(std::span<const Query> queries,
     const uint32_t active = ClampedWorkers(pool_.num_workers());
     result.workers = active;
     for (size_t i = 0; i < queries.size(); ++i) {
+      // Queries are untrusted input: an invalid one is rejected with a
+      // message, it never reaches the enumerator and never aborts.
+      const Status st = CheckQuery(view_, queries[i]);
+      if (!st.ok()) {
+        result.errors[i] = std::string(st.message());
+        result.states[i] = QueryState::kRejected;
+        continue;
+      }
       try {
         result.stats[i] =
             RunSplit(queries[i], *sinks[i], opts.query, cache, active);
+        result.states[i] = result.stats[i].counters.TerminalState();
+      } catch (const std::logic_error& e) {
+        result.errors[i] = e.what();
+        result.states[i] = QueryState::kRejected;
       } catch (const std::exception& e) {
         result.errors[i] = e.what();
+        result.states[i] = QueryState::kError;
       }
     }
   } else {
@@ -306,12 +320,24 @@ void QueryEngine::RunStealing(std::span<const Query> queries,
     while (queues.Pop(worker, task)) {
       const TaskGroup& group = groups[task];
       const size_t rep = group.rep;
-      // Per-query fault isolation: a rejected query reports its error and
-      // the worker moves on; the context re-arms every limit per run.
+      // Per-query fault isolation: a rejected or failed query reports its
+      // error/state and the worker moves on; the context re-arms every
+      // limit per run.
+      const Status st = CheckQuery(view_, queries[rep]);
+      if (!st.ok()) {
+        result.errors[rep] = std::string(st.message());
+        result.states[rep] = QueryState::kRejected;
+        for (const size_t dup : group.extra) {
+          result.errors[dup] = result.errors[rep];
+          result.states[dup] = QueryState::kRejected;
+        }
+        continue;
+      }
       try {
         if (group.extra.empty()) {
           result.stats[rep] =
               ctx.RunCached(queries[rep], *sinks[rep], opts.query, cache);
+          result.states[rep] = result.stats[rep].counters.TerminalState();
         } else {
           std::vector<PathSink*> fan_sinks;
           fan_sinks.reserve(group.extra.size() + 1);
@@ -333,11 +359,23 @@ void QueryEngine::RunStealing(std::span<const Query> queries,
               mine.counters.hit_result_limit = false;
             }
             result.stats[qi] = mine;
+            result.states[qi] = mine.counters.TerminalState();
           }
+        }
+      } catch (const std::logic_error& e) {
+        result.errors[rep] = e.what();
+        result.states[rep] = QueryState::kRejected;
+        for (const size_t dup : group.extra) {
+          result.errors[dup] = e.what();
+          result.states[dup] = QueryState::kRejected;
         }
       } catch (const std::exception& e) {
         result.errors[rep] = e.what();
-        for (const size_t dup : group.extra) result.errors[dup] = e.what();
+        result.states[rep] = QueryState::kError;
+        for (const size_t dup : group.extra) {
+          result.errors[dup] = e.what();
+          result.states[dup] = QueryState::kError;
+        }
       }
     }
   });
@@ -373,6 +411,20 @@ QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
   const std::shared_ptr<const LightweightIndex> index =
       contexts_[0]->AcquireIndex(q, PathEnumerator::BuildOptionsFor(q, opts),
                                  cache, stats);
+
+  if (index->build_stats().interrupted) {
+    // Deadline/cancel tripped the build: no fan-out, zero paths, the
+    // matching terminal flag (the build stub has no usable slots anyway).
+    if (index->build_stats().interrupted_by_cancel) {
+      stats.counters.cancelled = true;
+    } else {
+      stats.counters.timed_out = true;
+    }
+    stats.total_ms = total.ElapsedMs();
+    stats.response_ms = stats.total_ms;
+    ++split_queries_run_;
+    return stats;
+  }
 
   const PathEnumerator::ExecutionPlan plan =
       PathEnumerator::PlanExecution(*index, opts, stats);
@@ -476,7 +528,8 @@ void QueryEngine::RunSplitJoin(const LightweightIndex& index, uint32_t cut,
       if (u == 0) {
         c = join.MaterializeUnit(index, index.source_slot(), /*base=*/0,
                                  left_width, left, unit_opts);
-        if (!c.timed_out && !c.out_of_memory) {
+        if (!c.timed_out && !c.out_of_memory && !c.cancelled &&
+            !c.work_exceeded) {
           for (size_t off = cut; off < left.size(); off += left_width) {
             is_key[left[off]] = 1;
           }
@@ -508,7 +561,9 @@ void QueryEngine::RunSplitJoin(const LightweightIndex& index, uint32_t cut,
   bool halves_truncated = false;
   for (uint32_t w = 0; w < active_workers; ++w) {
     halves_truncated |= unit_counters[w].timed_out ||
-                        unit_counters[w].out_of_memory;
+                        unit_counters[w].out_of_memory ||
+                        unit_counters[w].cancelled ||
+                        unit_counters[w].work_exceeded;
   }
   if (!halves_truncated) {
     // The left unit completed (or halves_truncated would be set), so the

@@ -71,12 +71,25 @@ struct BatchOptions {
   bool dedup_identical = true;
 };
 
-/// Outcome of RunBatch. `stats[i]`/`errors[i]` belong to `queries[i]`;
-/// a non-empty error string means the query was rejected (its stats are
-/// default) — other queries of the batch are unaffected.
+/// Outcome of RunBatch. `stats[i]`/`errors[i]`/`states[i]` belong to
+/// `queries[i]`; a non-empty error string means the query did not run
+/// (its stats are default) — other queries of the batch are unaffected.
+///
+/// `states[i]` is the query's terminal state (DESIGN.md §10):
+///  - kOk: complete result set delivered.
+///  - kTruncated: a well-formed prefix was delivered, cut short by the
+///    result limit, a sink stop, the memory budget, or the work budget.
+///  - kDeadlineExceeded / kCancelled: ditto, cut short by the deadline or
+///    the cancel token — possibly zero paths if the index build itself was
+///    interrupted. Everything delivered before the trip is valid.
+///  - kRejected: invalid input (CheckQuery failed); nothing ran and
+///    `errors[i]` says why.
+///  - kError: the run threw; delivered paths up to that point are valid
+///    but the set is not a guaranteed prefix of any complete enumeration.
 struct BatchResult {
   std::vector<QueryStats> stats;
   std::vector<std::string> errors;
+  std::vector<QueryState> states;
   double wall_ms = 0.0;
   /// Workers that actually executed the batch — clamped to
   /// min(pool, tasks, hardware cores), not the pool size.

@@ -18,12 +18,15 @@
 #define PATHENUM_GRAPH_BFS_H_
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <type_traits>
 #include <vector>
 
 #include "graph/graph.h"
 #include "util/common.h"
+#include "util/fault_injection.h"
+#include "util/timer.h"
 
 namespace pathenum {
 
@@ -69,6 +72,13 @@ struct BfsOptions {
   const EdgeFilter* filter = nullptr;
   /// Optional vertex admission filter; null admits everything.
   const VertexAdmission* admit = nullptr;
+  /// Cooperative controls, polled once per BFS wave (frontier depth): the
+  /// raw flag of a CancelToken (core/control.h) and a wall-clock deadline.
+  /// On a trip the traversal stops mid-wave and `interrupted()` reports
+  /// which control fired — distances computed so far are incomplete and
+  /// must not be used (the index builder discards them).
+  const std::atomic<bool>* cancel = nullptr;
+  Deadline deadline = Deadline::Unlimited();
 };
 
 /// Reusable BFS distance field.
@@ -81,6 +91,10 @@ struct BfsOptions {
 class DistanceField {
  public:
   using Options = BfsOptions;
+
+  /// Which BfsOptions control stopped the last Compute early (kNone: it
+  /// ran to exhaustion).
+  enum class Interrupt : uint8_t { kNone, kCancelled, kDeadline };
 
   DistanceField() = default;
 
@@ -125,6 +139,7 @@ class DistanceField {
       epoch_ = 1;
     }
     reached_.clear();
+    interrupted_ = Interrupt::kNone;
 
     stamp_[source] = epoch_;
     dist_[source] = 0;
@@ -138,9 +153,25 @@ class DistanceField {
 
     // `reached_` doubles as the FIFO queue: BFS order is non-decreasing in
     // distance, so scanning it front-to-back visits each frontier in turn.
+    uint32_t polled_depth = 0;
     for (size_t head = 0; head < reached_.size(); ++head) {
       const VertexId u = reached_[head];
       const uint32_t du = dist_[u];
+      if (du != polled_depth) {
+        // Per-wave control poll: distances are non-decreasing along
+        // `reached_`, so this fires exactly once per frontier.
+        polled_depth = du;
+        fault::Hit(fault::Site::kIndexBuildWave);
+        if (opts.cancel != nullptr &&
+            opts.cancel->load(std::memory_order_relaxed)) {
+          interrupted_ = Interrupt::kCancelled;
+          return;
+        }
+        if (opts.deadline.Expired()) {
+          interrupted_ = Interrupt::kDeadline;
+          return;
+        }
+      }
       if (du >= opts.max_depth) continue;  // children would exceed the cap
       if (u == opts.blocked && u != source) continue;  // reached, unexpanded
       const auto nbrs =
@@ -176,6 +207,8 @@ class DistanceField {
   /// Vertices reached by the last Compute, in BFS order (source first).
   const std::vector<VertexId>& Reached() const { return reached_; }
 
+  Interrupt interrupted() const { return interrupted_; }
+
  private:
   void EnsureSize(size_t n);
 
@@ -183,6 +216,7 @@ class DistanceField {
   std::vector<uint32_t> dist_;
   std::vector<VertexId> reached_;  // doubles as the BFS queue
   uint32_t epoch_ = 0;
+  Interrupt interrupted_ = Interrupt::kNone;
 };
 
 /// True iff a path from `from` to `to` of length <= `max_depth` exists.

@@ -5,9 +5,11 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/builder.h"
+#include "util/fault_injection.h"
 
 namespace pathenum {
 
@@ -22,8 +24,11 @@ struct ParsedEdge {
 
 }  // namespace
 
-Graph ReadEdgeList(std::istream& in, EdgeListFormat format) {
+StatusOr<Graph> TryReadEdgeList(std::istream& in,
+                                const EdgeListOptions& opts) {
+  fault::Hit(fault::Site::kIoRead);
   std::vector<ParsedEdge> edges;
+  std::unordered_set<uint64_t> seen;  // (u, v) packed; strict mode only
   VertexId max_vertex = 0;
   std::string line;
   size_t line_no = 0;
@@ -34,30 +39,47 @@ Graph ReadEdgeList(std::istream& in, EdgeListFormat format) {
     ParsedEdge e{0, 0, 1.0, 0};
     uint64_t u64 = 0, v64 = 0;
     if (!(ls >> u64 >> v64)) {
-      throw std::runtime_error("malformed edge list at line " +
-                               std::to_string(line_no));
+      return Status::InvalidArgument("malformed edge list at line " +
+                                     std::to_string(line_no));
     }
-    if (format == EdgeListFormat::kWeighted ||
-        format == EdgeListFormat::kWeightedLabeled) {
+    if (opts.format == EdgeListFormat::kWeighted ||
+        opts.format == EdgeListFormat::kWeightedLabeled) {
       if (!(ls >> e.weight)) {
-        throw std::runtime_error("missing weight at line " +
-                                 std::to_string(line_no));
+        return Status::InvalidArgument("missing weight at line " +
+                                       std::to_string(line_no));
       }
     }
-    if (format == EdgeListFormat::kWeightedLabeled) {
+    if (opts.format == EdgeListFormat::kWeightedLabeled) {
       if (!(ls >> e.label)) {
-        throw std::runtime_error("missing label at line " +
-                                 std::to_string(line_no));
+        return Status::InvalidArgument("missing label at line " +
+                                       std::to_string(line_no));
       }
     }
     if (u64 >= kInvalidVertex || v64 >= kInvalidVertex) {
-      throw std::runtime_error("vertex id out of range at line " +
-                               std::to_string(line_no));
+      return Status::InvalidArgument("vertex id out of range at line " +
+                                     std::to_string(line_no));
     }
     e.u = static_cast<VertexId>(u64);
     e.v = static_cast<VertexId>(v64);
+    if (opts.strict) {
+      if (e.u == e.v) {
+        return Status::InvalidArgument("self-loop at line " +
+                                       std::to_string(line_no));
+      }
+      const uint64_t key = (u64 << 32) | v64;
+      if (!seen.insert(key).second) {
+        return Status::InvalidArgument("duplicate edge (" +
+                                       std::to_string(u64) + ", " +
+                                       std::to_string(v64) + ") at line " +
+                                       std::to_string(line_no));
+      }
+    }
     max_vertex = std::max({max_vertex, e.u, e.v});
     edges.push_back(e);
+  }
+  if (in.bad()) {
+    return Status::DataLoss("read error after line " +
+                            std::to_string(line_no));
   }
   GraphBuilder builder(edges.empty() ? 0 : max_vertex + 1);
   for (const ParsedEdge& e : edges) {
@@ -66,10 +88,23 @@ Graph ReadEdgeList(std::istream& in, EdgeListFormat format) {
   return builder.Build();
 }
 
-Graph LoadEdgeList(const std::string& path, EdgeListFormat format) {
+StatusOr<Graph> TryLoadEdgeList(const std::string& path,
+                                const EdgeListOptions& opts) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open graph file: " + path);
-  return ReadEdgeList(in, format);
+  if (!in) return Status::NotFound("cannot open graph file: " + path);
+  return TryReadEdgeList(in, opts);
+}
+
+Graph ReadEdgeList(std::istream& in, EdgeListFormat format) {
+  StatusOr<Graph> g = TryReadEdgeList(in, {.format = format});
+  if (!g.ok()) throw std::runtime_error(g.status().message());
+  return std::move(g).value();
+}
+
+Graph LoadEdgeList(const std::string& path, EdgeListFormat format) {
+  StatusOr<Graph> g = TryLoadEdgeList(path, {.format = format});
+  if (!g.ok()) throw std::runtime_error(g.status().message());
+  return std::move(g).value();
 }
 
 void WriteEdgeList(const Graph& g, std::ostream& out) {
@@ -113,21 +148,26 @@ void WriteVec(std::ostream& out, const std::vector<T>& v) {
 }
 
 template <typename T>
-T ReadRaw(std::istream& in) {
-  T value{};
+bool ReadRawInto(std::istream& in, T& value) {
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("truncated binary graph");
-  return value;
+  return static_cast<bool>(in);
 }
 
+/// Reads a length-prefixed array. `bytes_left` is the remaining file size:
+/// a corrupt length field must fail cleanly (kDataLoss), not drive a
+/// multi-gigabyte allocation off a 40-byte file.
 template <typename T>
-std::vector<T> ReadVec(std::istream& in) {
-  const uint64_t n = ReadRaw<uint64_t>(in);
-  std::vector<T> v(n);
+bool ReadVecInto(std::istream& in, uint64_t bytes_left, std::vector<T>& v) {
+  uint64_t n = 0;
+  if (!ReadRawInto(in, n)) return false;
+  if (bytes_left < sizeof(uint64_t) ||
+      n > (bytes_left - sizeof(uint64_t)) / sizeof(T)) {
+    return false;  // claims more elements than the file holds
+  }
+  v.resize(n);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(n * sizeof(T)));
-  if (!in) throw std::runtime_error("truncated binary graph");
-  return v;
+  return static_cast<bool>(in);
 }
 
 }  // namespace
@@ -164,23 +204,61 @@ void SaveBinary(const Graph& g, const std::string& path) {
   if (!out) throw std::runtime_error("I/O error writing: " + path);
 }
 
-Graph LoadBinary(const std::string& path) {
+StatusOr<Graph> TryLoadBinary(const std::string& path) {
+  fault::Hit(fault::Site::kIoRead);
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open graph file: " + path);
-  if (ReadRaw<uint64_t>(in) != kBinaryMagic) {
-    throw std::runtime_error("not a pathenum binary graph: " + path);
+  if (!in) return Status::NotFound("cannot open graph file: " + path);
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  const auto truncated = [&path] {
+    return Status::DataLoss("truncated binary graph: " + path);
+  };
+  const auto bytes_left = [&in, file_size] {
+    const auto pos = in.tellg();
+    return pos < 0 ? uint64_t{0} : file_size - static_cast<uint64_t>(pos);
+  };
+
+  uint64_t magic = 0;
+  if (!ReadRawInto(in, magic)) return truncated();
+  if (magic != kBinaryMagic) {
+    return Status::InvalidArgument("not a pathenum binary graph: " + path);
   }
-  const uint64_t num_vertices = ReadRaw<uint64_t>(in);
-  const uint8_t flags = ReadRaw<uint8_t>(in);
-  const auto sources = ReadVec<VertexId>(in);
-  const auto targets = ReadVec<VertexId>(in);
+  uint64_t num_vertices = 0;
+  uint8_t flags = 0;
+  if (!ReadRawInto(in, num_vertices) || !ReadRawInto(in, flags)) {
+    return truncated();
+  }
+  if (num_vertices >= kInvalidVertex || (flags & ~uint8_t{3}) != 0) {
+    return Status::DataLoss("corrupt binary graph header: " + path);
+  }
+  std::vector<VertexId> sources, targets;
+  if (!ReadVecInto(in, bytes_left(), sources) ||
+      !ReadVecInto(in, bytes_left(), targets)) {
+    return truncated();
+  }
   if (sources.size() != targets.size()) {
-    throw std::runtime_error("corrupt binary graph: " + path);
+    return Status::DataLoss("corrupt binary graph: " + path);
   }
   std::vector<double> weights;
   std::vector<uint32_t> labels;
-  if (flags & 1) weights = ReadVec<double>(in);
-  if (flags & 2) labels = ReadVec<uint32_t>(in);
+  if ((flags & 1) && !ReadVecInto(in, bytes_left(), weights)) {
+    return truncated();
+  }
+  if ((flags & 2) && !ReadVecInto(in, bytes_left(), labels)) {
+    return truncated();
+  }
+  if (((flags & 1) && weights.size() != sources.size()) ||
+      ((flags & 2) && labels.size() != sources.size())) {
+    return Status::DataLoss("corrupt binary graph: " + path);
+  }
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i] >= num_vertices || targets[i] >= num_vertices) {
+      return Status::DataLoss("edge endpoint out of range in binary graph: " +
+                              path);
+    }
+  }
   GraphBuilder builder(static_cast<VertexId>(num_vertices));
   for (size_t i = 0; i < sources.size(); ++i) {
     builder.AddEdge(sources[i], targets[i],
@@ -188,6 +266,12 @@ Graph LoadBinary(const std::string& path) {
                     (flags & 2) ? labels[i] : 0);
   }
   return builder.Build();
+}
+
+Graph LoadBinary(const std::string& path) {
+  StatusOr<Graph> g = TryLoadBinary(path);
+  if (!g.ok()) throw std::runtime_error(g.status().message());
+  return std::move(g).value();
 }
 
 }  // namespace pathenum

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace pathenum {
 
@@ -19,9 +20,29 @@ enum class EdgeListFormat {
   kWeightedLabeled // u v weight label
 };
 
+/// Ingestion knobs for the Status-returning readers.
+struct EdgeListOptions {
+  EdgeListFormat format = EdgeListFormat::kPlain;
+  /// Strict ingestion: duplicate edges and self-loops — which GraphBuilder
+  /// otherwise silently drops — fail the read with kInvalidArgument. Right
+  /// for datasets whose producer promises a clean edge set; leave off for
+  /// raw SNAP files, where both occur legitimately.
+  bool strict = false;
+};
+
+/// Status-returning readers for untrusted files: a malformed line, an
+/// out-of-range vertex id, truncation, or (under `strict`) a duplicate
+/// edge/self-loop fails the read with a line-numbered message instead of
+/// throwing — nothing partially constructed escapes.
+StatusOr<Graph> TryReadEdgeList(std::istream& in,
+                                const EdgeListOptions& opts = {});
+StatusOr<Graph> TryLoadEdgeList(const std::string& path,
+                                const EdgeListOptions& opts = {});
+
 /// Parses an edge list from `in`. Vertex ids may be sparse; they are kept
 /// as-is and the vertex count is max id + 1 (SNAP convention). Throws
-/// std::runtime_error on malformed input.
+/// std::runtime_error on malformed input. (Wrapper over TryReadEdgeList
+/// for call sites that prefer exceptions.)
 Graph ReadEdgeList(std::istream& in,
                    EdgeListFormat format = EdgeListFormat::kPlain);
 
@@ -44,6 +65,11 @@ void SaveBinary(const Graph& g, const std::string& path);
 /// Loads a graph written by SaveBinary. Throws std::runtime_error on a
 /// missing file, bad magic, or truncation.
 Graph LoadBinary(const std::string& path);
+
+/// Status-returning LoadBinary: kNotFound for a missing file,
+/// kInvalidArgument for a foreign magic, kDataLoss for truncation or
+/// internal inconsistency.
+StatusOr<Graph> TryLoadBinary(const std::string& path);
 
 }  // namespace pathenum
 

@@ -24,12 +24,14 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 #include "util/common.h"
+#include "util/status.h"
 
 namespace pathenum {
 
@@ -56,6 +58,29 @@ struct GraphDelta {
   bool empty() const { return insertions.empty() && deletions.empty(); }
   size_t size() const { return insertions.size() + deletions.size(); }
 };
+
+/// Validates a delta against the base vertex space without applying it.
+/// Deltas arriving over the wire are untrusted input: the live engines call
+/// this up front and map a failure to a rejected update instead of letting
+/// GraphView::Apply throw mid-epoch.
+inline Status CheckDelta(const GraphDelta& delta, VertexId num_vertices) {
+  const auto check = [num_vertices](
+                         const std::vector<std::pair<VertexId, VertexId>>& ops,
+                         const char* kind) {
+    for (const auto& [u, v] : ops) {
+      if (u >= num_vertices || v >= num_vertices) {
+        return Status::InvalidArgument(
+            std::string(kind) + " (" + std::to_string(u) + ", " +
+            std::to_string(v) + ") outside the base vertex space of " +
+            std::to_string(num_vertices));
+      }
+    }
+    return Status::Ok();
+  };
+  const Status ins = check(delta.insertions, "insertion");
+  if (!ins.ok()) return ins;
+  return check(delta.deletions, "deletion");
+}
 
 /// Immutable per-view overlay: fully materialized sorted adjacency for the
 /// vertices any delta folded into this view touched. Built via

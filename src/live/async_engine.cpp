@@ -1,9 +1,12 @@
 #include "live/async_engine.h"
 
+#include <algorithm>
 #include <exception>
+#include <stdexcept>
 #include <utility>
 
 #include "core/parallel_dfs.h"
+#include "util/fault_injection.h"
 
 namespace pathenum {
 
@@ -28,6 +31,17 @@ const std::string& QueryTicket::error() const {
   PATHENUM_CHECK_MSG(state_ != nullptr, "querying an invalid ticket");
   const std::lock_guard<std::mutex> lock(state_->mutex);
   return state_->error;
+}
+
+QueryState QueryTicket::state() const {
+  PATHENUM_CHECK_MSG(state_ != nullptr, "querying an invalid ticket");
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->query_state;
+}
+
+void QueryTicket::Cancel() const {
+  PATHENUM_CHECK_MSG(state_ != nullptr, "cancelling an invalid ticket");
+  state_->cancel.Cancel();
 }
 
 uint64_t QueryTicket::snapshot_version() const {
@@ -70,6 +84,22 @@ QueryTicket AsyncEngine::TrySubmit(const Query& q, PathSink& sink,
   return TrySubmit(q, sink, SubmitOptions{.query = opts});
 }
 
+namespace {
+
+/// Wires a ticket's cancel token into its submission: the caller's token is
+/// shared when one was provided (ticket.Cancel() fires it), otherwise the
+/// ticket gets a private token the enumeration observes through opts.
+void WireCancel(CancelToken& ticket_cancel, EnumOptions& opts) {
+  if (opts.cancel.can_cancel()) {
+    ticket_cancel = opts.cancel;
+  } else {
+    ticket_cancel = CancelToken::Cancellable();
+    opts.cancel = ticket_cancel;
+  }
+}
+
+}  // namespace
+
 QueryTicket AsyncEngine::Submit(const Query& q, PathSink& sink,
                                 const SubmitOptions& opts) {
   auto state = std::make_shared<QueryTicket::State>();
@@ -79,13 +109,19 @@ QueryTicket AsyncEngine::Submit(const Query& q, PathSink& sink,
   task.opts = opts.query;
   task.split = opts.split_branches;
   task.state = state;
+  WireCancel(state->cancel, task.opts);
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
-    queue_not_full_.wait(lock, [&] {
-      return shutdown_ || queue_.size() < opts_.max_queue;
-    });
+    if (opts_.shed_policy == AsyncEngineOptions::ShedPolicy::kCancelOldest) {
+      if (!shutdown_ && queue_.size() >= opts_.max_queue) ShedOldestLocked();
+    } else {
+      queue_not_full_.wait(lock, [&] {
+        return shutdown_ || queue_.size() < opts_.max_queue;
+      });
+    }
     if (shutdown_) {
-      Complete(*state, QueryStats{}, "engine is shut down");
+      Complete(*state, QueryStats{}, "engine is shut down",
+               QueryState::kRejected);
       return QueryTicket(std::move(state));
     }
     // The snapshot is captured while holding the queue lock so ticket
@@ -102,7 +138,8 @@ QueryTicket AsyncEngine::Submit(const Query& q, PathSink& sink,
 }
 
 QueryTicket AsyncEngine::TrySubmit(const Query& q, PathSink& sink,
-                                   const SubmitOptions& opts) {
+                                   const SubmitOptions& opts,
+                                   double* retry_after_ms) {
   auto state = std::make_shared<QueryTicket::State>();
   Submission task;
   task.query = q;
@@ -110,11 +147,22 @@ QueryTicket AsyncEngine::TrySubmit(const Query& q, PathSink& sink,
   task.opts = opts.query;
   task.split = opts.split_branches;
   task.state = state;
+  WireCancel(state->cancel, task.opts);
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (shutdown_ || queue_.size() >= opts_.max_queue) {
+    if (shutdown_) {
       ++queue_rejects_;
       return QueryTicket();
+    }
+    if (queue_.size() >= opts_.max_queue) {
+      if (opts_.shed_policy ==
+          AsyncEngineOptions::ShedPolicy::kCancelOldest) {
+        ShedOldestLocked();  // make room; this submission is admitted
+      } else {
+        ++queue_rejects_;
+        if (retry_after_ms != nullptr) *retry_after_ms = RetryAfterLockedMs();
+        return QueryTicket();
+      }
     }
     task.snapshot = snapshots_.Current();
     state->snapshot_version = task.snapshot->version();
@@ -123,6 +171,24 @@ QueryTicket AsyncEngine::TrySubmit(const Query& q, PathSink& sink,
   }
   queue_not_empty_.notify_one();
   return QueryTicket(std::move(state));
+}
+
+void AsyncEngine::ShedOldestLocked() {
+  Submission victim = std::move(queue_.front());
+  queue_.pop_front();
+  ++sheds_;
+  QueryStats stats;
+  stats.counters.cancelled = true;
+  Complete(*victim.state, stats, "", QueryState::kCancelled);
+}
+
+double AsyncEngine::RetryAfterLockedMs() const {
+  // Backlog clears at roughly (queued + running) / workers times the
+  // typical query; before any query completed the hint is a nominal 1ms.
+  const double per_query = avg_exec_ms_ > 0.0 ? avg_exec_ms_ : 1.0;
+  const double backlog = static_cast<double>(queue_.size() + in_flight_);
+  return per_query * (backlog + 1.0) /
+         static_cast<double>(std::max(1u, pool_.num_workers()));
 }
 
 uint64_t AsyncEngine::SubmitUpdate(const GraphDelta& delta) {
@@ -144,19 +210,45 @@ uint64_t AsyncEngine::SubmitUpdate(const GraphDelta& delta) {
   return epoch.snapshot->version();
 }
 
+Status AsyncEngine::TrySubmitUpdate(const GraphDelta& delta,
+                                    uint64_t* new_version) {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (shutdown_) return Status::Unavailable("engine is shut down");
+  }
+  // Validate against the base vertex space before anything is applied: a
+  // malformed wire delta is rejected whole, the snapshot stream unharmed.
+  const Status st = CheckDelta(delta, snapshots_.Current()->num_vertices());
+  if (!st.ok()) return st;
+  const uint64_t v = SubmitUpdate(delta);
+  if (new_version != nullptr) *new_version = v;
+  return Status::Ok();
+}
+
 void AsyncEngine::Drain() {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
 }
 
-void AsyncEngine::Shutdown() {
+void AsyncEngine::Shutdown(bool cancel_pending) {
+  std::deque<Submission> orphans;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     shutdown_ = true;
+    // With cancel_pending the queued tickets never run: complete them as
+    // kCancelled (outside the lock) so no waiter hangs on a dead queue.
+    if (cancel_pending) orphans.swap(queue_);
   }
-  // Workers drain the remaining queue (every ticket completes), then exit.
+  for (Submission& task : orphans) {
+    QueryStats stats;
+    stats.counters.cancelled = true;
+    Complete(*task.state, stats, "", QueryState::kCancelled);
+  }
+  // Workers drain whatever remains queued (every ticket completes), then
+  // exit.
   queue_not_empty_.notify_all();
   queue_not_full_.notify_all();
+  idle_.notify_all();
   const std::lock_guard<std::mutex> join_lock(shutdown_mutex_);
   if (runner_.joinable()) runner_.join();
 }
@@ -197,11 +289,16 @@ void AsyncEngine::WorkerLoop(uint32_t worker) {
       continue;
     }
     queue_not_full_.notify_one();
+    Timer exec_timer;
     Execute(ctx, task);
+    const double exec_ms = exec_timer.ElapsedMs();
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
       --in_flight_;
       ++executed_;
+      // EWMA of query wall time, feeding the TrySubmit retry-after hint.
+      avg_exec_ms_ = avg_exec_ms_ == 0.0 ? exec_ms
+                                         : 0.8 * avg_exec_ms_ + 0.2 * exec_ms;
       if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
     }
   }
@@ -255,6 +352,17 @@ void AsyncEngine::DrainSplitUnits(SplitJob& job, QueryContext& ctx) {
 }
 
 void AsyncEngine::Execute(QueryContext& ctx, Submission& task) {
+  fault::Hit(fault::Site::kAsyncClaim);
+  if (task.state->cancel.cancelled()) {
+    // Cancelled while queued: complete without touching the sink at all.
+    QueryStats stats;
+    stats.counters.cancelled = true;
+    // Count before Complete: a waiter woken by the completion must already
+    // see this shed in stats().
+    cancelled_before_run_.fetch_add(1, std::memory_order_relaxed);
+    Complete(*task.state, stats, "", QueryState::kCancelled);
+    return;
+  }
   if (task.split) {
     ExecuteSplit(ctx, task);
     return;
@@ -265,9 +373,11 @@ void AsyncEngine::Execute(QueryContext& ctx, Submission& task) {
     ctx.Rebind(*task.snapshot);
     const QueryStats stats =
         ctx.RunCached(task.query, *task.sink, task.opts, cache_.get());
-    Complete(*task.state, stats, "");
+    Complete(*task.state, stats, "", stats.counters.TerminalState());
+  } catch (const std::logic_error& e) {
+    Complete(*task.state, QueryStats{}, e.what(), QueryState::kRejected);
   } catch (const std::exception& e) {
-    Complete(*task.state, QueryStats{}, e.what());
+    Complete(*task.state, QueryStats{}, e.what(), QueryState::kError);
   }
 }
 
@@ -288,6 +398,20 @@ void AsyncEngine::ExecuteSplit(QueryContext& ctx, Submission& task) {
     const std::shared_ptr<const LightweightIndex> index = ctx.AcquireIndex(
         task.query, PathEnumerator::BuildOptionsFor(task.query, build_shape),
         cache_.get(), stats);
+
+    if (index->build_stats().interrupted) {
+      // The ticket's deadline/cancel tripped the build: no fan-out, zero
+      // paths, the matching terminal state.
+      if (index->build_stats().interrupted_by_cancel) {
+        stats.counters.cancelled = true;
+      } else {
+        stats.counters.timed_out = true;
+      }
+      stats.total_ms = total.ElapsedMs();
+      stats.response_ms = stats.total_ms;
+      Complete(*task.state, stats, "", stats.counters.TerminalState());
+      return;
+    }
 
     EnumCounters counters;
     double enumerate_ms = 0.0;
@@ -334,7 +458,8 @@ void AsyncEngine::ExecuteSplit(QueryContext& ctx, Submission& task) {
         // A participant failed: the job was retired and every helper has
         // left (the barrier above), so the caller's sink is safe to
         // abandon — fail the ticket like the plain path would.
-        Complete(*task.state, QueryStats{}, std::move(split_error));
+        Complete(*task.state, QueryStats{}, std::move(split_error),
+                 QueryState::kError);
         return;
       }
       enumerate_ms = job->timer.ElapsedMs();
@@ -347,18 +472,21 @@ void AsyncEngine::ExecuteSplit(QueryContext& ctx, Submission& task) {
     stats.response_ms = counters.response_ms >= 0.0
                             ? preprocessing + counters.response_ms
                             : stats.total_ms;
-    Complete(*task.state, stats, "");
+    Complete(*task.state, stats, "", stats.counters.TerminalState());
+  } catch (const std::logic_error& e) {
+    Complete(*task.state, QueryStats{}, e.what(), QueryState::kRejected);
   } catch (const std::exception& e) {
-    Complete(*task.state, QueryStats{}, e.what());
+    Complete(*task.state, QueryStats{}, e.what(), QueryState::kError);
   }
 }
 
 void AsyncEngine::Complete(QueryTicket::State& state, const QueryStats& stats,
-                           std::string error) {
+                           std::string error, QueryState query_state) {
   {
     const std::lock_guard<std::mutex> lock(state.mutex);
     state.stats = stats;
     state.error = std::move(error);
+    state.query_state = query_state;
     state.done = true;
   }
   state.cv.notify_all();
@@ -371,8 +499,11 @@ AsyncEngine::Stats AsyncEngine::stats() const {
     s.submitted = submitted_;
     s.executed = executed_;
     s.queue_rejects = queue_rejects_;
+    s.sheds = sheds_;
     s.queue_depth = queue_.size();
   }
+  s.cancelled_before_run =
+      cancelled_before_run_.load(std::memory_order_relaxed);
   const SnapshotManager::Stats snap = snapshots_.stats();
   s.updates = snap.updates;
   s.compactions = snap.compactions;

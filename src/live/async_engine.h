@@ -48,11 +48,26 @@
 namespace pathenum {
 
 struct AsyncEngineOptions {
+  /// What happens when a submission finds the admission queue full.
+  enum class ShedPolicy : uint8_t {
+    /// Newest loses: Submit blocks until space frees; TrySubmit returns an
+    /// invalid ticket (counted in queue_rejects) with a retry-after hint.
+    kRejectNewest,
+    /// Oldest loses: the oldest *queued* (never an in-flight) submission
+    /// is completed as QueryState::kCancelled and the new one is admitted
+    /// immediately — Submit never blocks under this policy. Right for
+    /// freshness-sensitive traffic where a stale queued query has already
+    /// missed its purpose.
+    kCancelOldest,
+  };
+
   /// Worker threads. 0 picks hardware_concurrency().
   uint32_t num_workers = 0;
   /// Bounded admission: Submit blocks (TrySubmit fails) when this many
   /// queries are already queued.
   size_t max_queue = 1024;
+  /// Overload behavior at the admission boundary.
+  ShedPolicy shed_policy = ShedPolicy::kRejectNewest;
   /// Shared cross-query cache (incrementally invalidated across updates).
   bool enable_cache = true;
   IndexCacheOptions cache;
@@ -95,6 +110,20 @@ class QueryTicket {
   const std::string& error() const;
   bool ok() const { return error().empty(); }
 
+  /// The query's terminal state (DESIGN.md §10). kOk until Done(); after
+  /// completion: kOk / kTruncated / kDeadlineExceeded / kCancelled for runs
+  /// that delivered a (possibly empty) well-formed result, kRejected /
+  /// kError when nothing ran / the run failed.
+  QueryState state() const;
+
+  /// Requests cooperative cancellation of this query: a queued submission
+  /// completes as kCancelled without running; a running one winds down at
+  /// its next cancellation checkpoint, keeping everything delivered so far.
+  /// Idempotent; safe from any thread. When the submission carried a
+  /// caller-provided cancel token, this fires that token (cancelling
+  /// whatever else shares it).
+  void Cancel() const;
+
   /// The snapshot version this query observes (assigned at Submit).
   uint64_t snapshot_version() const;
 
@@ -107,6 +136,8 @@ class QueryTicket {
     bool done = false;
     QueryStats stats;
     std::string error;
+    QueryState query_state = QueryState::kOk;
+    CancelToken cancel;  // always cancellable; set at Submit
     uint64_t snapshot_version = 0;
   };
 
@@ -134,17 +165,30 @@ class AsyncEngine {
   QueryTicket Submit(const Query& q, PathSink& sink,
                      const SubmitOptions& opts);
 
-  /// Non-blocking Submit: returns an invalid ticket (and counts a reject)
-  /// when the admission queue is full or the engine is shut down.
+  /// Non-blocking Submit. Under kRejectNewest a full queue (or a shut-down
+  /// engine) yields an invalid ticket, counts a reject, and — when
+  /// `retry_after_ms` is non-null — writes a backlog-derived hint for when
+  /// to retry. Under kCancelOldest a full queue sheds the oldest queued
+  /// ticket instead and this submission is admitted.
   QueryTicket TrySubmit(const Query& q, PathSink& sink,
                         const EnumOptions& opts = {});
   QueryTicket TrySubmit(const Query& q, PathSink& sink,
-                        const SubmitOptions& opts);
+                        const SubmitOptions& opts,
+                        double* retry_after_ms = nullptr);
 
   /// Applies one update epoch and returns the new snapshot version.
   /// Queries submitted before this call observe the old snapshot; queries
-  /// submitted after it observe the new one (or a newer).
+  /// submitted after it observe the new one (or a newer). The delta must be
+  /// valid (endpoints inside the base vertex space) — Apply throws
+  /// otherwise; untrusted update streams go through TrySubmitUpdate.
   uint64_t SubmitUpdate(const GraphDelta& delta);
+
+  /// Status-returning SubmitUpdate for untrusted deltas: validates the
+  /// endpoints up front (kInvalidArgument, nothing applied) and refuses
+  /// after Shutdown (kUnavailable). On success writes the new snapshot
+  /// version to `new_version` (if non-null).
+  Status TrySubmitUpdate(const GraphDelta& delta,
+                         uint64_t* new_version = nullptr);
 
   /// The snapshot new submissions would observe right now.
   std::shared_ptr<const GraphView> Snapshot() const {
@@ -157,16 +201,24 @@ class AsyncEngine {
   /// Blocks until every already-submitted query has completed.
   void Drain();
 
-  /// Drains the queue, completes every ticket, and stops the workers.
-  /// Further Submits return errored tickets. Idempotent.
-  void Shutdown();
+  /// Stops the workers. By default the queue drains first (every queued
+  /// ticket runs to completion); with `cancel_pending` the queued tickets
+  /// are instead completed immediately as kCancelled without running —
+  /// bounded-time teardown under load. In-flight queries always finish
+  /// (cancel them through their tickets for a faster exit). Further
+  /// Submits return errored tickets. Idempotent.
+  void Shutdown(bool cancel_pending = false);
 
   struct Stats {
     uint64_t submitted = 0;
     uint64_t executed = 0;
     uint64_t updates = 0;
     uint64_t compactions = 0;
-    uint64_t queue_rejects = 0;   // TrySubmit refusals
+    uint64_t queue_rejects = 0;   // TrySubmit refusals (kRejectNewest)
+    uint64_t sheds = 0;           // queued tickets shed by kCancelOldest
+    /// Tickets whose cancel fired while still queued: completed as
+    /// kCancelled at claim time without running.
+    uint64_t cancelled_before_run = 0;
     uint64_t version = 0;
     size_t queue_depth = 0;       // queued, not yet claimed
     IndexCacheStats cache;        // zeros when the cache is disabled
@@ -236,7 +288,15 @@ class AsyncEngine {
   static void DrainSplitUnits(SplitJob& job, QueryContext& ctx);
 
   static void Complete(QueryTicket::State& state, const QueryStats& stats,
-                       std::string error);
+                       std::string error, QueryState query_state);
+
+  /// Completes the oldest queued submission as kCancelled (the
+  /// kCancelOldest shed); queue_mutex_ must be held and queue_ non-empty.
+  void ShedOldestLocked();
+
+  /// Backlog-derived retry hint for a rejected TrySubmit; queue_mutex_
+  /// must be held.
+  double RetryAfterLockedMs() const;
 
   AsyncEngineOptions opts_;
   SnapshotManager snapshots_;
@@ -257,6 +317,10 @@ class AsyncEngine {
   uint64_t submitted_ = 0;
   uint64_t executed_ = 0;
   uint64_t queue_rejects_ = 0;
+  uint64_t sheds_ = 0;
+  /// EWMA of per-query wall time, feeding the retry-after hint.
+  double avg_exec_ms_ = 0.0;
+  std::atomic<uint64_t> cancelled_before_run_{0};
 
   std::mutex update_mutex_;  // serializes Prepare..BeginEpoch..Publish
   std::mutex shutdown_mutex_;  // serializes the runner join

@@ -1,0 +1,78 @@
+#include "util/fault_injection.h"
+
+#include <mutex>
+#include <utility>
+
+namespace pathenum::fault {
+
+namespace {
+
+struct SiteState {
+  std::mutex mutex;  // guards hook/armed writes; Hit copies under it
+  Hook hook;
+  std::atomic<bool> armed{false};
+  std::atomic<uint64_t> skip{0};
+  std::atomic<uint64_t> hits{0};
+};
+
+SiteState& StateOf(Site site) {
+  static SiteState states[static_cast<size_t>(Site::kCount)];
+  return states[static_cast<size_t>(site)];
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int> g_armed_count{0};
+
+void HitSlow(Site site) {
+  SiteState& st = StateOf(site);
+  if (!st.armed.load(std::memory_order_acquire)) return;
+  const uint64_t n = st.hits.fetch_add(1, std::memory_order_relaxed);
+  if (n < st.skip.load(std::memory_order_relaxed)) return;
+  Hook hook;
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    if (!st.armed.load(std::memory_order_relaxed)) return;
+    hook = st.hook;  // copy: the hook may Disarm (or re-Arm) its own site
+  }
+  if (hook) hook();
+}
+
+}  // namespace internal
+
+void Arm(Site site, Hook hook, uint64_t skip_hits) {
+  SiteState& st = StateOf(site);
+  std::lock_guard<std::mutex> lock(st.mutex);
+  if (!st.armed.load(std::memory_order_relaxed)) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  st.hook = std::move(hook);
+  st.skip.store(skip_hits, std::memory_order_relaxed);
+  st.hits.store(0, std::memory_order_relaxed);
+  st.armed.store(true, std::memory_order_release);
+}
+
+void Disarm(Site site) {
+  SiteState& st = StateOf(site);
+  std::lock_guard<std::mutex> lock(st.mutex);
+  if (st.armed.load(std::memory_order_relaxed)) {
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  st.armed.store(false, std::memory_order_release);
+  st.hook = nullptr;
+  st.hits.store(0, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  for (uint32_t i = 0; i < static_cast<uint32_t>(Site::kCount); ++i) {
+    Disarm(static_cast<Site>(i));
+  }
+}
+
+uint64_t HitCount(Site site) {
+  return StateOf(site).hits.load(std::memory_order_relaxed);
+}
+
+}  // namespace pathenum::fault

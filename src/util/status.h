@@ -1,0 +1,128 @@
+// Status/StatusOr: error reporting for untrusted inputs (graph files,
+// query parameters, update deltas) where aborting or throwing is the wrong
+// tool — a malformed line in a 100M-edge upload must fail the request, not
+// the process. Internal invariant violations keep using PATHENUM_CHECK.
+#ifndef PATHENUM_UTIL_STATUS_H_
+#define PATHENUM_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pathenum {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,    // caller-supplied data is malformed
+  kNotFound,           // named resource (file, key) does not exist
+  kResourceExhausted,  // a budget (memory, queue, work) is exceeded
+  kFailedPrecondition, // operation illegal in the current state
+  kUnavailable,        // transient: retry may succeed (overload, shutdown)
+  kDataLoss,           // stored data is corrupt or truncated
+  kCancelled,
+  kDeadlineExceeded,
+  kInternal,
+};
+
+inline std::string_view StatusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kDataLoss: return "DataLoss";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "?";
+}
+
+/// A (code, message) pair; default-constructed means OK. Cheap to return
+/// by value (an OK status allocates nothing).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "Ok";
+    std::string s(StatusCodeName(code_));
+    s += ": ";
+    s += message_;
+    return s;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A Status or a value. Implicitly constructible from either, so parsing
+/// functions can `return Status::InvalidArgument(...)` and
+/// `return std::move(graph)` alike.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  StatusOr(T value)                                        // NOLINT
+      : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_UTIL_STATUS_H_

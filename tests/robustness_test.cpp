@@ -1,0 +1,751 @@
+// Query-lifecycle robustness tests (DESIGN.md §10): cooperative
+// cancellation and deadlines across the serial, split and async front-ends,
+// work budgets, terminal-state reporting, overload shedding, Status-based
+// ingestion of untrusted graphs/deltas, ThreadPool teardown under load, and
+// the deterministic fault-injection harness that drives the failure
+// scenarios (slow index builds, allocation failures, mid-block trips).
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/control.h"
+#include "core/path_enum.h"
+#include "core/reference.h"
+#include "core/thread_pool.h"
+#include "engine/query_engine.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/view.h"
+#include "live/async_engine.h"
+#include "test_util.h"
+#include "util/fault_injection.h"
+
+namespace pathenum {
+namespace {
+
+using testing::PaperExampleGraph;
+using testing::PaperExampleQuery;
+using testing::ToSet;
+
+// Every test must leave the global fault registry clean, or an armed hook
+// would leak into unrelated tests sharing the binary.
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+/// Every delivered path must be a well-formed answer to `q` — the partial-
+/// result guarantee: a cancelled/expired run may return fewer paths, never
+/// wrong ones and never duplicates.
+void ExpectValidPaths(const Graph& g,
+                      const std::vector<std::vector<VertexId>>& paths,
+                      const Query& q) {
+  std::set<std::vector<VertexId>> seen;
+  for (const auto& p : paths) {
+    ASSERT_GE(p.size(), 2u);
+    EXPECT_EQ(p.front(), q.source);
+    EXPECT_EQ(p.back(), q.target);
+    EXPECT_LE(p.size() - 1, q.hops);
+    const std::set<VertexId> distinct(p.begin(), p.end());
+    EXPECT_EQ(distinct.size(), p.size()) << "path is not simple";
+    for (size_t i = 0; i + 1 < p.size(); ++i) {
+      EXPECT_TRUE(g.HasEdge(p[i], p[i + 1]));
+    }
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate path delivered";
+  }
+}
+
+/// Records paths and fires a cancel token once `after` of them arrived,
+/// while continuing to accept — cancellation, not a sink stop, must end the
+/// run. Split tickets serialize sink calls, so no locking needed.
+class CancelAfterSink : public PathSink {
+ public:
+  CancelAfterSink(CancelToken token, uint64_t after)
+      : token_(std::move(token)), after_(after) {}
+
+  bool OnPath(std::span<const VertexId> path) override {
+    paths_.emplace_back(path.begin(), path.end());
+    if (paths_.size() >= after_) token_.Cancel();
+    return true;
+  }
+
+  const std::vector<std::vector<VertexId>>& paths() const { return paths_; }
+
+ private:
+  CancelToken token_;
+  uint64_t after_;
+  std::vector<std::vector<VertexId>> paths_;
+};
+
+/// Blocks inside OnPath until released — parks an AsyncEngine worker at a
+/// deterministic point so tests can fill the admission queue behind it.
+class GateSink : public PathSink {
+ public:
+  bool OnPath(std::span<const VertexId>) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    started_ = true;
+    started_cv_.notify_all();
+    release_cv_.wait(lock, [this] { return released_; });
+    return false;  // one path is enough; wind the query down
+  }
+
+  void WaitStarted() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    started_cv_.wait(lock, [this] { return started_; });
+  }
+
+  void Release() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable started_cv_;
+  std::condition_variable release_cv_;
+  bool started_ = false;
+  bool released_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Control primitives
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, NullCancelTokenNeverFires) {
+  const CancelToken token;
+  EXPECT_FALSE(token.can_cancel());
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();  // no-op, not a crash
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.flag(), nullptr);
+}
+
+TEST_F(RobustnessTest, CancellableTokenSharesFlagAcrossCopies) {
+  const CancelToken token = CancelToken::Cancellable();
+  const CancelToken copy = token;
+  EXPECT_TRUE(token.can_cancel());
+  EXPECT_FALSE(copy.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(copy.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST_F(RobustnessTest, QueryControlTripPrecedence) {
+  QueryControl control;
+  EXPECT_EQ(control.Check(0), QueryControl::Trip::kNone);
+  control.work_budget_edges = 10;
+  EXPECT_EQ(control.Check(10), QueryControl::Trip::kWorkBudget);
+  control.deadline = Deadline::AfterMs(0.0);
+  EXPECT_EQ(control.Check(10), QueryControl::Trip::kDeadline);
+  control.cancel = CancelToken::Cancellable();
+  control.cancel.Cancel();
+  EXPECT_EQ(control.Check(10), QueryControl::Trip::kCancelled);
+}
+
+TEST_F(RobustnessTest, FaultHooksSkipAndCount) {
+  int fired = 0;
+  fault::Arm(fault::Site::kIoRead, [&fired] { ++fired; },
+             /*skip_hits=*/2);
+  fault::Hit(fault::Site::kIoRead);
+  fault::Hit(fault::Site::kIoRead);
+  EXPECT_EQ(fired, 0);  // first two hits pass through
+  fault::Hit(fault::Site::kIoRead);
+  fault::Hit(fault::Site::kIoRead);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(fault::HitCount(fault::Site::kIoRead), 4u);
+  fault::Disarm(fault::Site::kIoRead);
+  fault::Hit(fault::Site::kIoRead);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(fault::HitCount(fault::Site::kIoRead), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Serial enumeration: cancellation, deadlines, work budget
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, CancelMidEnumerationDeliversValidPartialResult) {
+  const Graph g = LayeredGraph(6, 8);  // 8^6 = 262144 paths
+  const Query q{0, g.num_vertices() - 1, 7};
+  const CancelToken token = CancelToken::Cancellable();
+  CancelAfterSink sink(token, 100);
+  EnumOptions opts;
+  opts.cancel = token;
+
+  PathEnumerator pe(g);
+  const QueryStats stats = pe.Run(q, sink, opts);
+
+  EXPECT_TRUE(stats.counters.cancelled);
+  EXPECT_EQ(stats.counters.TerminalState(), QueryState::kCancelled);
+  EXPECT_GE(sink.paths().size(), 100u);
+  EXPECT_LT(sink.paths().size(), 262144u);
+  ExpectValidPaths(g, sink.paths(), q);
+}
+
+TEST_F(RobustnessTest, WorkBudgetTruncatesDeterministically) {
+  // Polls are countdown-gated (~8192 search steps), so the budget needs a
+  // run long enough to reach a poll with the budget already blown.
+  const Graph g = LayeredGraph(6, 8);  // 262144 paths
+  const Query q{0, g.num_vertices() - 1, 7};
+  EnumOptions opts;
+  opts.work_budget_edges = 5000;
+
+  PathEnumerator pe(g);
+  CollectingSink sink;
+  const QueryStats stats = pe.Run(q, sink, opts);
+
+  EXPECT_TRUE(stats.counters.work_exceeded);
+  EXPECT_EQ(stats.counters.TerminalState(), QueryState::kTruncated);
+  EXPECT_LT(sink.paths().size(), 262144u);
+  ExpectValidPaths(g, sink.paths(), q);
+
+  // Clock-free budget: the same query stops at the same point every time.
+  PathEnumerator pe2(g);
+  CollectingSink sink2;
+  const QueryStats stats2 = pe2.Run(q, sink2, opts);
+  EXPECT_EQ(stats2.counters.edges_accessed, stats.counters.edges_accessed);
+  EXPECT_EQ(sink2.paths().size(), sink.paths().size());
+}
+
+TEST_F(RobustnessTest, DeadlineDuringIndexBuildReturnsEmptyWellFormed) {
+  // A slow BFS wave (fault hook) against a 1 ms budget: the build itself
+  // must trip, returning an empty-but-well-formed result, not enumerate on
+  // a half-built index.
+  const fault::ScopedFault slow(fault::Site::kIndexBuildWave, [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  const Graph g = PaperExampleGraph();
+  EnumOptions opts;
+  opts.time_limit_ms = 1.0;
+
+  PathEnumerator pe(g);
+  CollectingSink sink;
+  const QueryStats stats = pe.Run(PaperExampleQuery(), sink, opts);
+
+  EXPECT_TRUE(stats.counters.timed_out);
+  EXPECT_EQ(stats.counters.TerminalState(), QueryState::kDeadlineExceeded);
+  EXPECT_TRUE(sink.paths().empty());
+  EXPECT_EQ(stats.counters.num_results, 0u);
+}
+
+TEST_F(RobustnessTest, CancelDuringIndexBuildReportsCancelled) {
+  const CancelToken token = CancelToken::Cancellable();
+  const fault::ScopedFault trip(fault::Site::kIndexBuildWave,
+                                [token] { token.Cancel(); });
+  const Graph g = PaperExampleGraph();
+  EnumOptions opts;
+  opts.cancel = token;
+
+  PathEnumerator pe(g);
+  CollectingSink sink;
+  const QueryStats stats = pe.Run(PaperExampleQuery(), sink, opts);
+
+  EXPECT_TRUE(stats.counters.cancelled);
+  EXPECT_EQ(stats.counters.TerminalState(), QueryState::kCancelled);
+  EXPECT_TRUE(sink.paths().empty());
+}
+
+TEST_F(RobustnessTest, DeadlineMidJoinMaterializationDeliversValidPrefix) {
+  // Force IDX-JOIN and stall tuple materialization: the deadline must trip
+  // inside the join, and whatever reached the sink must be real paths.
+  const fault::ScopedFault slow(fault::Site::kJoinMaterialize, [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  const Graph g = LayeredGraph(4, 6);
+  const Query q{0, g.num_vertices() - 1, 5};
+  EnumOptions opts;
+  opts.method = Method::kJoin;
+  opts.time_limit_ms = 1.0;
+
+  PathEnumerator pe(g);
+  CollectingSink sink;
+  const QueryStats stats = pe.Run(q, sink, opts);
+
+  EXPECT_TRUE(stats.counters.timed_out);
+  EXPECT_EQ(stats.counters.TerminalState(), QueryState::kDeadlineExceeded);
+  EXPECT_LT(sink.paths().size(), 1296u);
+  ExpectValidPaths(g, sink.paths(), q);
+}
+
+// ---------------------------------------------------------------------------
+// Batch engine: terminal states, rejected queries, split-mode cancellation
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, BatchReportsPerQueryTerminalStates) {
+  const Graph g = PaperExampleGraph();
+  QueryEngine engine(g, {.num_workers = 2});
+
+  const Query good = PaperExampleQuery();
+  const Query bad{g.num_vertices() + 7, 1, 4};  // source out of range
+  const Query self{1, 1, 4};                    // source == target
+  std::vector<Query> queries = {good, bad, self, good};
+  std::vector<CollectingSink> sinks(queries.size());
+  std::vector<PathSink*> sink_ptrs;
+  for (auto& s : sinks) sink_ptrs.push_back(&s);
+
+  BatchOptions opts;
+  opts.query.result_limit = 2;  // the last duplicate: truncated, not kOk
+  opts.dedup_identical = false;
+  const BatchResult result = engine.RunBatch(queries, sink_ptrs, opts);
+
+  ASSERT_EQ(result.states.size(), queries.size());
+  EXPECT_EQ(result.states[0], QueryState::kTruncated);
+  EXPECT_EQ(result.states[1], QueryState::kRejected);
+  EXPECT_EQ(result.states[2], QueryState::kRejected);
+  EXPECT_EQ(result.states[3], QueryState::kTruncated);
+  EXPECT_FALSE(result.errors[1].empty());
+  EXPECT_FALSE(result.errors[2].empty());
+  EXPECT_TRUE(result.errors[0].empty());
+  // The rejected queries never ran and did not disturb their neighbors.
+  EXPECT_EQ(result.stats[1].counters.num_results, 0u);
+  EXPECT_EQ(sinks[0].paths().size(), 2u);
+  EXPECT_EQ(sinks[3].paths().size(), 2u);
+
+  BatchOptions full;
+  full.dedup_identical = false;
+  const BatchResult ok = engine.RunBatch(
+      std::vector<Query>{good}, std::vector<PathSink*>{&sinks[1]}, full);
+  EXPECT_EQ(ok.states[0], QueryState::kOk);
+}
+
+TEST_F(RobustnessTest, CancelRacesSplitFanout) {
+  const Graph g = LayeredGraph(6, 8);
+  const Query q{0, g.num_vertices() - 1, 7};
+  const CancelToken token = CancelToken::Cancellable();
+  CancelAfterSink sink(token, 100);
+
+  QueryEngine engine(g, {.num_workers = 4});
+  BatchOptions opts;
+  opts.query.cancel = token;
+  opts.split_branches = true;
+  std::vector<Query> queries = {q};
+  std::vector<PathSink*> sinks = {&sink};
+  const BatchResult result = engine.RunBatch(queries, sinks, opts);
+
+  ASSERT_EQ(result.states.size(), 1u);
+  EXPECT_EQ(result.states[0], QueryState::kCancelled);
+  EXPECT_TRUE(result.stats[0].counters.cancelled);
+  EXPECT_GE(sink.paths().size(), 100u);
+  EXPECT_LT(sink.paths().size(), 262144u);
+  ExpectValidPaths(g, sink.paths(), q);
+}
+
+TEST_F(RobustnessTest, SplitDeadlineDuringBuildShortCircuits) {
+  const fault::ScopedFault slow(fault::Site::kIndexBuildWave, [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  const Graph g = PaperExampleGraph();
+  QueryEngine engine(g, {.num_workers = 2});
+  BatchOptions opts;
+  opts.query.time_limit_ms = 1.0;
+  opts.split_branches = true;
+  CollectingSink sink;
+  std::vector<Query> queries = {PaperExampleQuery()};
+  std::vector<PathSink*> sinks = {&sink};
+  const BatchResult result = engine.RunBatch(queries, sinks, opts);
+
+  EXPECT_EQ(result.states[0], QueryState::kDeadlineExceeded);
+  EXPECT_TRUE(sink.paths().empty());
+}
+
+TEST_F(RobustnessTest, CacheBuildFailureFailsOverAndRecovers) {
+  // An "allocation failure" inside the cached build: every query of the
+  // batch gets kError (no deadlock — the single-flight latch must be
+  // released on the failure path), and once the fault clears the same
+  // engine serves the query normally.
+  const Graph g = PaperExampleGraph();
+  QueryEngine engine(g, {.num_workers = 2, .enable_cache = true});
+  const Query q = PaperExampleQuery();
+  std::vector<Query> queries = {q, q};
+  std::vector<CollectingSink> sinks(2);
+  std::vector<PathSink*> sink_ptrs = {&sinks[0], &sinks[1]};
+  BatchOptions opts;
+  opts.dedup_identical = false;  // both workers race the same cache key
+
+  {
+    const fault::ScopedFault boom(fault::Site::kCacheBuild, [] {
+      throw std::runtime_error("injected: index allocation failed");
+    });
+    const BatchResult result = engine.RunBatch(queries, sink_ptrs, opts);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(result.states[i], QueryState::kError);
+      EXPECT_FALSE(result.errors[i].empty());
+    }
+  }
+
+  const BatchResult result = engine.RunBatch(queries, sink_ptrs, opts);
+  EXPECT_EQ(result.states[0], QueryState::kOk);
+  EXPECT_EQ(result.states[1], QueryState::kOk);
+  EXPECT_EQ(ToSet(sinks[0].paths()), ToSet(BruteForcePaths(g, q)));
+}
+
+TEST_F(RobustnessTest, InterruptedCachedBuildIsNotPublished) {
+  // A deadline-interrupted build must fail over like a throwing one: the
+  // query reports kDeadlineExceeded, the stub is never cached, and the next
+  // run (fault cleared, no deadline) gets the full result set.
+  const Graph g = PaperExampleGraph();
+  QueryEngine engine(g, {.num_workers = 1, .enable_cache = true});
+  const Query q = PaperExampleQuery();
+  std::vector<Query> queries = {q};
+  CollectingSink first;
+  std::vector<PathSink*> sinks = {&first};
+
+  {
+    const fault::ScopedFault slow(fault::Site::kIndexBuildWave, [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    });
+    BatchOptions opts;
+    opts.query.time_limit_ms = 1.0;
+    const BatchResult result = engine.RunBatch(queries, sinks, opts);
+    EXPECT_EQ(result.states[0], QueryState::kDeadlineExceeded);
+    EXPECT_TRUE(first.paths().empty());
+  }
+
+  CollectingSink second;
+  sinks[0] = &second;
+  const BatchResult result = engine.RunBatch(queries, sinks, {});
+  EXPECT_EQ(result.states[0], QueryState::kOk);
+  EXPECT_EQ(ToSet(second.paths()), ToSet(BruteForcePaths(g, q)));
+}
+
+// ---------------------------------------------------------------------------
+// AsyncEngine: per-ticket cancel, shed policies, teardown under load
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, TicketCancelWhileQueuedSkipsExecution) {
+  AsyncEngine engine(PaperExampleGraph(),
+                     {.num_workers = 1, .max_queue = 8});
+  GateSink gate;
+  const QueryTicket t1 = engine.Submit(PaperExampleQuery(), gate);
+  gate.WaitStarted();  // the only worker is now parked inside q1's sink
+
+  CountingSink counter;
+  const QueryTicket t2 = engine.Submit(PaperExampleQuery(), counter);
+  t2.Cancel();
+  gate.Release();
+
+  t2.Wait();
+  EXPECT_EQ(t2.state(), QueryState::kCancelled);
+  EXPECT_TRUE(t2.ok());
+  EXPECT_EQ(counter.count(), 0u);  // never ran, sink untouched
+  EXPECT_TRUE(DeliveredResults(t2.state()));
+
+  t1.Wait();
+  EXPECT_EQ(t1.state(), QueryState::kTruncated);  // sink stop
+  EXPECT_EQ(engine.stats().cancelled_before_run, 1u);
+}
+
+TEST_F(RobustnessTest, TicketCancelWhileRunningWindsDown) {
+  const Graph g = LayeredGraph(6, 8);
+  AsyncEngine engine(g, {.num_workers = 2});
+  const Query q{0, g.num_vertices() - 1, 7};
+  const CancelToken token = CancelToken::Cancellable();
+  CancelAfterSink sink(token, 100);
+  EnumOptions opts;
+  opts.cancel = token;  // the ticket shares this token
+
+  const QueryTicket t = engine.Submit(q, sink, opts);
+  const QueryStats& stats = t.Wait();
+
+  EXPECT_EQ(t.state(), QueryState::kCancelled);
+  EXPECT_TRUE(t.ok());
+  EXPECT_TRUE(stats.counters.cancelled);
+  EXPECT_GE(sink.paths().size(), 100u);
+  EXPECT_LT(sink.paths().size(), 262144u);
+  ExpectValidPaths(g, sink.paths(), q);
+}
+
+TEST_F(RobustnessTest, SplitTicketCancelTerminatesAllUnits) {
+  const Graph g = LayeredGraph(6, 8);
+  AsyncEngine engine(g, {.num_workers = 4});
+  const Query q{0, g.num_vertices() - 1, 7};
+  const CancelToken token = CancelToken::Cancellable();
+  CancelAfterSink sink(token, 100);
+  SubmitOptions opts;
+  opts.query.cancel = token;
+  opts.split_branches = true;
+
+  const QueryTicket t = engine.Submit(q, sink, opts);
+  t.Wait();
+
+  EXPECT_EQ(t.state(), QueryState::kCancelled);
+  EXPECT_TRUE(t.ok());
+  EXPECT_LT(sink.paths().size(), 262144u);
+  ExpectValidPaths(g, sink.paths(), q);
+  engine.Drain();  // no stuck units: drain returns
+}
+
+TEST_F(RobustnessTest, RejectNewestShedReturnsRetryAfterHint) {
+  AsyncEngine engine(PaperExampleGraph(),
+                     {.num_workers = 1, .max_queue = 1});
+  GateSink gate;
+  const QueryTicket t1 = engine.Submit(PaperExampleQuery(), gate);
+  gate.WaitStarted();
+  CountingSink c2;
+  const QueryTicket t2 = engine.Submit(PaperExampleQuery(), c2);  // fills q
+
+  CountingSink c3;
+  double retry_after_ms = -1.0;
+  const QueryTicket t3 =
+      engine.TrySubmit(PaperExampleQuery(), c3, SubmitOptions{},
+                       &retry_after_ms);
+  EXPECT_FALSE(t3.valid());
+  EXPECT_GT(retry_after_ms, 0.0);
+  EXPECT_GE(engine.stats().queue_rejects, 1u);
+
+  gate.Release();
+  t1.Wait();
+  t2.Wait();
+  EXPECT_EQ(t2.state(), QueryState::kOk);
+}
+
+TEST_F(RobustnessTest, CancelOldestShedEvictsQueuedTicket) {
+  AsyncEngineOptions eopts;
+  eopts.num_workers = 1;
+  eopts.max_queue = 1;
+  eopts.shed_policy = AsyncEngineOptions::ShedPolicy::kCancelOldest;
+  AsyncEngine engine(PaperExampleGraph(), eopts);
+
+  GateSink gate;
+  const QueryTicket t1 = engine.Submit(PaperExampleQuery(), gate);
+  gate.WaitStarted();
+  CountingSink c2, c3;
+  const QueryTicket t2 = engine.Submit(PaperExampleQuery(), c2);  // queued
+  const QueryTicket t3 = engine.Submit(PaperExampleQuery(), c3);  // sheds t2
+
+  t2.Wait();  // completed synchronously by the shed, before gate release
+  EXPECT_EQ(t2.state(), QueryState::kCancelled);
+  EXPECT_EQ(c2.count(), 0u);
+
+  gate.Release();
+  t3.Wait();
+  EXPECT_EQ(t3.state(), QueryState::kOk);
+  EXPECT_GT(c3.count(), 0u);
+  EXPECT_EQ(engine.stats().sheds, 1u);
+}
+
+TEST_F(RobustnessTest, ShutdownCancelPendingCompletesQueuedAsCancelled) {
+  auto engine = std::make_unique<AsyncEngine>(
+      PaperExampleGraph(), AsyncEngineOptions{.num_workers = 1,
+                                              .max_queue = 8});
+  GateSink gate;
+  const QueryTicket t1 = engine->Submit(PaperExampleQuery(), gate);
+  gate.WaitStarted();
+  CountingSink c2, c3;
+  const QueryTicket t2 = engine->Submit(PaperExampleQuery(), c2);
+  const QueryTicket t3 = engine->Submit(PaperExampleQuery(), c3);
+
+  std::thread shutdown([&engine] { engine->Shutdown(true); });
+  // Shutdown(cancel_pending) completes the queued tickets immediately, even
+  // while the in-flight query still holds the worker.
+  t2.Wait();
+  t3.Wait();
+  EXPECT_EQ(t2.state(), QueryState::kCancelled);
+  EXPECT_EQ(t3.state(), QueryState::kCancelled);
+  EXPECT_EQ(c2.count(), 0u);
+  EXPECT_EQ(c3.count(), 0u);
+
+  gate.Release();  // let the in-flight query finish; Shutdown can join
+  shutdown.join();
+  t1.Wait();
+  EXPECT_TRUE(DeliveredResults(t1.state()));
+
+  CountingSink c4;
+  const QueryTicket t4 = engine->Submit(PaperExampleQuery(), c4);
+  t4.Wait();
+  EXPECT_EQ(t4.state(), QueryState::kRejected);
+  EXPECT_FALSE(t4.ok());
+}
+
+TEST_F(RobustnessTest, TrySubmitUpdateValidatesDelta) {
+  AsyncEngine engine(PaperExampleGraph(), {.num_workers = 1});
+  const uint64_t v0 = engine.version();
+
+  GraphDelta bad;
+  bad.Insert(0, 10'000);  // outside the 10-vertex base space
+  const Status rejected = engine.TrySubmitUpdate(bad);
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.version(), v0);  // nothing applied
+
+  GraphDelta good;
+  good.Insert(testing::kV7, testing::kT);
+  uint64_t new_version = 0;
+  const Status applied = engine.TrySubmitUpdate(good, &new_version);
+  EXPECT_TRUE(applied.ok());
+  EXPECT_GT(new_version, v0);
+
+  engine.Shutdown();
+  const Status after = engine.TrySubmitUpdate(good);
+  EXPECT_EQ(after.code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool teardown
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, ThreadPoolShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();  // second call is a no-op, destructor another
+}
+
+TEST_F(RobustnessTest, ThreadPoolShutdownUnderLoadRunsPendingGeneration) {
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  std::atomic<int> finished{0};
+  std::thread caller([&] {
+    pool.RunOnAllWorkers([&](uint32_t) {
+      started.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      finished.fetch_add(1);
+    });
+  });
+  while (started.load() == 0) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+  pool.Shutdown();  // races the in-flight generation
+  caller.join();    // must unblock normally, all invocations complete
+  EXPECT_EQ(finished.load(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Untrusted graph ingestion (Status-based I/O)
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, EdgeListMalformedLineReportsLineNumber) {
+  std::istringstream in("0 1\nbogus line\n1 2\n");
+  const StatusOr<Graph> g = TryReadEdgeList(in);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(RobustnessTest, EdgeListVertexIdOutOfRangeRejected) {
+  std::istringstream in("0 4294967295\n");
+  const StatusOr<Graph> g = TryReadEdgeList(in);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RobustnessTest, EdgeListMissingWeightColumnRejected) {
+  std::istringstream in("0 1 0.5\n1 2\n");
+  const StatusOr<Graph> g =
+      TryReadEdgeList(in, {.format = EdgeListFormat::kWeighted});
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(RobustnessTest, StrictModeRejectsDuplicatesAndSelfLoops) {
+  {
+    std::istringstream in("0 1\n0 1\n");
+    const StatusOr<Graph> g = TryReadEdgeList(in, {.strict = true});
+    ASSERT_FALSE(g.ok());
+    EXPECT_NE(g.status().message().find("duplicate"), std::string::npos);
+  }
+  {
+    std::istringstream in("1 1\n");
+    const StatusOr<Graph> g = TryReadEdgeList(in, {.strict = true});
+    ASSERT_FALSE(g.ok());
+    EXPECT_NE(g.status().message().find("self-loop"), std::string::npos);
+  }
+  {
+    // The same inputs are tolerated (and deduplicated) without strict.
+    std::istringstream in("0 1\n0 1\n1 1\n");
+    const StatusOr<Graph> g = TryReadEdgeList(in);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g.value().num_edges(), 1u);
+  }
+}
+
+TEST_F(RobustnessTest, MissingFilesReportNotFound) {
+  EXPECT_EQ(TryLoadEdgeList("/nonexistent/graph.txt").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(TryLoadBinary("/nonexistent/graph.bin").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RobustnessTest, ThrowingWrappersStillThrow) {
+  std::istringstream in("not a graph\n");
+  EXPECT_THROW(ReadEdgeList(in), std::runtime_error);
+  EXPECT_THROW(LoadBinary("/nonexistent/graph.bin"), std::runtime_error);
+}
+
+TEST_F(RobustnessTest, BinaryRoundTripThroughStatusApi) {
+  const Graph g = PaperExampleGraph();
+  const std::string path =
+      ::testing::TempDir() + "pathenum_robust_roundtrip.bin";
+  SaveBinary(g, path);
+  const StatusOr<Graph> loaded = TryLoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.value().num_edges(), g.num_edges());
+  std::filesystem::remove(path);
+}
+
+TEST_F(RobustnessTest, TruncatedBinaryReportsDataLoss) {
+  const Graph g = PaperExampleGraph();
+  const std::string path =
+      ::testing::TempDir() + "pathenum_robust_truncated.bin";
+  SaveBinary(g, path);
+  std::filesystem::resize_file(path, 12);  // cut inside the header
+  const StatusOr<Graph> loaded = TryLoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  std::filesystem::remove(path);
+}
+
+TEST_F(RobustnessTest, ForeignMagicReportsInvalidArgument) {
+  const std::string path = ::testing::TempDir() + "pathenum_robust_magic.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char junk[32] = "definitely not a pathenum graph";
+    out.write(junk, sizeof(junk));
+  }
+  const StatusOr<Graph> loaded = TryLoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST_F(RobustnessTest, CorruptLengthFieldFailsCleanlyInsteadOfAllocating) {
+  const Graph g = PaperExampleGraph();
+  const std::string path =
+      ::testing::TempDir() + "pathenum_robust_badlen.bin";
+  SaveBinary(g, path);
+  {
+    // The sources-array length sits right after magic(8) + vertices(8) +
+    // flags(1). Claim ~10^18 edges: the loader must refuse, not allocate.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(17);
+    const uint64_t absurd = uint64_t{1} << 60;
+    f.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  }
+  const StatusOr<Graph> loaded = TryLoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  std::filesystem::remove(path);
+}
+
+TEST_F(RobustnessTest, CheckDeltaRejectsOutOfRangeEndpoints) {
+  GraphDelta delta;
+  delta.Insert(2, 3).Delete(1, 99);
+  EXPECT_TRUE(CheckDelta(delta, 100).ok());
+  EXPECT_EQ(CheckDelta(delta, 50).code(), StatusCode::kInvalidArgument);
+  delta = GraphDelta{};
+  delta.Insert(200, 0);
+  EXPECT_EQ(CheckDelta(delta, 100).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pathenum
