@@ -183,17 +183,6 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
   const uint32_t k = q.hops;
   Timer total_timer;
 
-  // Cooperative control poll (0 = none, 1 = cancel, 2 = deadline) for the
-  // stretches between the BFS passes' own per-wave polls.
-  const auto control_trip = [&opts]() -> int {
-    if (opts.cancel != nullptr &&
-        opts.cancel->load(std::memory_order_relaxed)) {
-      return 1;
-    }
-    if (opts.deadline.Expired()) return 2;
-    return 0;
-  };
-
   // --- Line 1 of Alg. 3: the two bounded BFS. ---------------------------
   // The backward pass runs first; the forward pass then admits only
   // vertices with v.s + v.t <= k. The pruning is exact (every vertex on a
@@ -241,6 +230,10 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
     }
   }
   idx.build_stats_.bfs_ms = total_timer.ElapsedMs();
+  idx.build_stats_.edges_scanned =
+      field_t_.edges_scanned() + field_s_.edges_scanned();
+  idx.build_stats_.batch_edges_scanned = idx.build_stats_.edges_scanned;
+  idx.build_stats_.waves = field_t_.waves() + field_s_.waves();
   {
     // An interrupted pass left incomplete distances — discard them and
     // hand back the empty well-formed index.
@@ -256,7 +249,6 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
     }
   }
 
-  // --- Lines 2-4: partition X by (v.s, v.t), v.s + v.t <= k. ------------
   // With pruning, the forward pass reached exactly the X candidates;
   // without (ablation), scan the smaller of the two k-balls.
   const std::vector<VertexId>& cand =
@@ -264,12 +256,41 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
        field_s_.Reached().size() <= field_t_.Reached().size())
           ? field_s_.Reached()
           : field_t_.Reached();
+  AssembleFrom(
+      g, q, opts, cand,
+      [this](VertexId v) { return field_s_.Distance(v); },
+      [this](VertexId v) { return field_t_.Distance(v); }, idx, total_timer);
+  return idx;
+}
 
+/// Everything below Alg. 3 line 1: partition, adjacency, level stats,
+/// fuse. Shared verbatim between the solo Build and each BuildBatch
+/// member — only the distance accessors differ.
+template <typename GraphT, typename DistS, typename DistT>
+void IndexBuilder::AssembleFrom(const GraphT& g, const Query& q,
+                                const Options& opts,
+                                const std::vector<VertexId>& cand,
+                                const DistS& dist_s, const DistT& dist_t,
+                                LightweightIndex& idx, Timer& total_timer) {
+  const uint32_t k = q.hops;
+
+  // Cooperative control poll (0 = none, 1 = cancel, 2 = deadline) for the
+  // stretches between the BFS passes' own per-wave polls.
+  const auto control_trip = [&opts]() -> int {
+    if (opts.cancel != nullptr &&
+        opts.cancel->load(std::memory_order_relaxed)) {
+      return 1;
+    }
+    if (opts.deadline.Expired()) return 2;
+    return 0;
+  };
+
+  // --- Lines 2-4: partition X by (v.s, v.t), v.s + v.t <= k. ------------
   const size_t num_cells = static_cast<size_t>(k + 1) * (k + 1);
   cell_offsets_.assign(num_cells + 1, 0);
   for (const VertexId v : cand) {
-    const uint32_t ds = field_s_.Distance(v);
-    const uint32_t dt = field_t_.Distance(v);
+    const uint32_t ds = dist_s(v);
+    const uint32_t dt = dist_t(v);
     if (ds == kInfDistance || dt == kInfDistance || ds + dt > k) continue;
     cell_offsets_[static_cast<size_t>(ds) * (k + 1) + dt + 1]++;
   }
@@ -283,8 +304,8 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
   {
     cell_cursor_.assign(cell_offsets_.begin(), cell_offsets_.end() - 1);
     for (const VertexId v : cand) {
-      const uint32_t ds = field_s_.Distance(v);
-      const uint32_t dt = field_t_.Distance(v);
+      const uint32_t ds = dist_s(v);
+      const uint32_t dt = dist_t(v);
       if (ds == kInfDistance || dt == kInfDistance || ds + dt > k) continue;
       const uint32_t slot =
           cell_cursor_[static_cast<size_t>(ds) * (k + 1) + dt]++;
@@ -327,7 +348,7 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
       if (const int trip = control_trip()) {
         FinishInterrupted(idx, q, opts, trip == 1);
         idx.build_stats_.total_ms = total_timer.ElapsedMs();
-        return idx;
+        return;
       }
     }
     const VertexId v = x_vertices_[slot];
@@ -341,7 +362,7 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
       for (size_t j = 0; j < nbrs.size(); ++j) {
         const VertexId w = nbrs[j];
         if (w == q.source) continue;  // s is never a tuple destination
-        const uint32_t dt_w = field_t_.Distance(w);
+        const uint32_t dt_w = dist_t(w);
         if (dt_w == kInfDistance || ds + dt_w + 1 > k) continue;
         // Edge ids feed only the constraint extensions, which require a
         // plain Graph (overlay views have no stable ids and constrained
@@ -355,9 +376,8 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
           }
         }
         if (opts.filter != nullptr && !(*opts.filter)(v, w, e)) continue;
-        const uint32_t w_slot = slot_of(w);
         // Reachability arithmetic guarantees w is in X (see DESIGN.md).
-        scratch_.push_back({dt_w, w_slot, e});
+        scratch_.push_back({dt_w, slot_of(w), e});
       }
     }
     // Counting sort by distance key (stable: preserves adjacency order).
@@ -392,7 +412,7 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
         if (const int trip = control_trip()) {
           FinishInterrupted(idx, q, opts, trip == 1);
           idx.build_stats_.total_ms = total_timer.ElapsedMs();
-          return idx;
+          return;
         }
       }
       const VertexId v = x_vertices_[slot];
@@ -403,7 +423,7 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
         for (size_t j = 0; j < nbrs.size(); ++j) {
           const VertexId w = nbrs[j];
           if (w == q.target) continue;  // t is never a tuple source...
-          const uint32_t ds_w = field_s_.Distance(w);
+          const uint32_t ds_w = dist_s(w);
           if (ds_w == kInfDistance || ds_w + dt + 1 > k) continue;
           if (opts.filter != nullptr) {
             const EdgeId e = g.FindEdge(w, v);
@@ -453,7 +473,142 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
        opts.collect_level_stats);
 
   idx.build_stats_.total_ms = total_timer.ElapsedMs();
-  return idx;
+}
+
+template <typename GraphT>
+std::vector<LightweightIndex> IndexBuilder::BuildBatch(
+    const GraphT& g, const std::vector<BatchBuildRequest>& reqs,
+    const Options& opts) {
+  const size_t n = reqs.size();
+  PATHENUM_CHECK(n >= 1 && n <= BatchedDistanceField::kMaxBatch);
+  // Batched builds only serve cacheable queries, and predicate builds are
+  // never cacheable (IndexOptionsFingerprint enforces the same upstream).
+  PATHENUM_CHECK_MSG(opts.filter == nullptr,
+                     "BuildBatch does not support edge filters");
+  for (const BatchBuildRequest& r : reqs) ValidateQuery(g, r.query);
+
+  Timer total_timer;
+
+  // Per-member effective controls: the member's own cancel (falling back
+  // to the shared one) and the earlier of the two deadlines.
+  const auto member_cancel = [&](size_t m) {
+    return reqs[m].cancel != nullptr ? reqs[m].cancel : opts.cancel;
+  };
+  const auto member_deadline = [&](size_t m) {
+    return reqs[m].deadline.ExpiresBefore(opts.deadline) ? reqs[m].deadline
+                                                         : opts.deadline;
+  };
+
+  // --- Backward fused sweep: sources are the targets, s blocked. --------
+  batch_members_.clear();
+  for (size_t m = 0; m < n; ++m) {
+    BatchedDistanceField::Member mem;
+    mem.source = reqs[m].query.target;
+    mem.blocked = reqs[m].query.source;
+    mem.max_depth = reqs[m].query.hops;
+    mem.cancel = member_cancel(m);
+    mem.deadline = member_deadline(m);
+    batch_members_.push_back(mem);
+  }
+  batch_t_.Compute(g, Direction::kBackward, batch_members_);
+
+  // --- Forward fused sweep: sources are the sources, t blocked, each
+  // member admitted against its own backward field (v.s + v.t <= k). A
+  // member already interrupted backward gets max_depth 0: its source is
+  // seeded but nothing is expanded for it.
+  batch_members_.clear();
+  for (size_t m = 0; m < n; ++m) {
+    BatchedDistanceField::Member mem;
+    mem.source = reqs[m].query.source;
+    mem.blocked = reqs[m].query.target;
+    mem.max_depth =
+        batch_t_.interrupted(static_cast<uint32_t>(m)) !=
+                BatchedDistanceField::Interrupt::kNone
+            ? 0
+            : reqs[m].query.hops;
+    mem.cancel = member_cancel(m);
+    mem.deadline = member_deadline(m);
+    batch_members_.push_back(mem);
+  }
+  if (opts.prune_forward_bfs) {
+    const auto admit_x = [this, &reqs](uint32_t m, VertexId v,
+                                       uint32_t dist) {
+      const uint32_t dt = batch_t_.Distance(m, v);
+      return dt != kInfDistance && dist + dt <= reqs[m].query.hops;
+    };
+    batch_s_.ComputeWith(g, Direction::kForward, batch_members_, admit_x);
+  } else {
+    batch_s_.Compute(g, Direction::kForward, batch_members_);
+  }
+  const double bfs_ms = total_timer.ElapsedMs();
+  const uint64_t shared_edges =
+      batch_t_.edges_scanned() + batch_s_.edges_scanned();
+  const uint32_t shared_waves = batch_t_.waves() + batch_s_.waves();
+
+  // --- Per-member assembly: identical to the solo path, reading the
+  // member's rows of the fused fields. ----------------------------------
+  std::vector<LightweightIndex> out(n);
+  for (size_t m = 0; m < n; ++m) {
+    const uint32_t mi = static_cast<uint32_t>(m);
+    const Query& q = reqs[m].query;
+    LightweightIndex& idx = out[m];
+    idx.query_ = q;
+    // The shared sweep time is attributed to every member (it is the wall
+    // time any one of them waited for); the fusion win is measured by the
+    // edge counters, not by dividing wall time.
+    idx.build_stats_.bfs_ms = bfs_ms;
+    idx.build_stats_.edges_scanned =
+        batch_t_.covered_edges(mi) + batch_s_.covered_edges(mi);
+    idx.build_stats_.batch_edges_scanned = shared_edges;
+    idx.build_stats_.waves = shared_waves;
+    idx.build_stats_.batched = true;
+
+    Options mopts = opts;
+    mopts.cancel = member_cancel(m);
+    mopts.deadline = member_deadline(m);
+
+    const auto trip = batch_t_.interrupted(mi) !=
+                              BatchedDistanceField::Interrupt::kNone
+                          ? batch_t_.interrupted(mi)
+                          : batch_s_.interrupted(mi);
+    if (trip != BatchedDistanceField::Interrupt::kNone) {
+      FinishInterrupted(idx, q, mopts,
+                        trip == BatchedDistanceField::Interrupt::kCancelled);
+      idx.build_stats_.total_ms = total_timer.ElapsedMs();
+      continue;
+    }
+
+    // Export the member's distances into dense L1-resident arrays
+    // (sequential pass over the wave-ordered reached lists — no strided
+    // K-wide matrix reads), so the assembly's many per-candidate-edge
+    // lookups are a single unconditional load each, with 0xFFFF as the
+    // unreached sentinel instead of the solo field's stamp check.
+    constexpr uint16_t kUnreached16 = 0xFFFFu;
+    const size_t nv = g.num_vertices();
+    batch_dist_s_.assign(nv, kUnreached16);
+    batch_dist_t_.assign(nv, kUnreached16);
+    batch_s_.ExportDistances(mi, batch_dist_s_.data());
+    batch_t_.ExportDistances(mi, batch_dist_t_.data());
+    const uint16_t* const ds_arr = batch_dist_s_.data();
+    const uint16_t* const dt_arr = batch_dist_t_.data();
+    const std::vector<VertexId>& cand =
+        (opts.prune_forward_bfs ||
+         batch_s_.Reached(mi).size() <= batch_t_.Reached(mi).size())
+            ? batch_s_.Reached(mi)
+            : batch_t_.Reached(mi);
+    AssembleFrom(
+        g, q, mopts, cand,
+        [ds_arr](VertexId v) {
+          const uint16_t d = ds_arr[v];
+          return d == kUnreached16 ? kInfDistance : uint32_t{d};
+        },
+        [dt_arr](VertexId v) {
+          const uint16_t d = dt_arr[v];
+          return d == kUnreached16 ? kInfDistance : uint32_t{d};
+        },
+        idx, total_timer);
+  }
+  return out;
 }
 
 // The two graph types an index is ever built over: the immutable CSR Graph
@@ -465,5 +620,9 @@ template LightweightIndex IndexBuilder::Build<Graph>(const Graph&,
 template LightweightIndex IndexBuilder::Build<GraphView>(const GraphView&,
                                                          const Query&,
                                                          const Options&);
+template std::vector<LightweightIndex> IndexBuilder::BuildBatch<Graph>(
+    const Graph&, const std::vector<BatchBuildRequest>&, const Options&);
+template std::vector<LightweightIndex> IndexBuilder::BuildBatch<GraphView>(
+    const GraphView&, const std::vector<BatchBuildRequest>&, const Options&);
 
 }  // namespace pathenum

@@ -56,6 +56,21 @@ class LightweightIndex {
     /// IndexCache never publishes such an index.
     bool interrupted = false;
     bool interrupted_by_cancel = false;  // the trip was the cancel token
+    /// Adjacency entries this query's two BFS passes examined — for a
+    /// batched member this is the *solo-equivalent* count (what its own
+    /// ComputeWith would have touched), so summing it across a batch and
+    /// comparing against batch_edges_scanned measures the fusion win.
+    uint64_t edges_scanned = 0;
+    /// BFS waves across the two passes.
+    uint32_t waves = 0;
+    /// Adjacency entries the shared sweeps *actually* examined. Equal to
+    /// edges_scanned for a solo build; for a batched member it is the
+    /// batch-wide shared total (same value on every member), strictly
+    /// below the summed per-member edges_scanned whenever frontiers
+    /// overlap.
+    uint64_t batch_edges_scanned = 0;
+    /// Built by IndexBuilder::BuildBatch (a fused multi-source sweep).
+    bool batched = false;
   };
 
   LightweightIndex() = default;
@@ -269,6 +284,19 @@ struct IndexBuildOptions {
   Deadline deadline = Deadline::Unlimited();
 };
 
+/// One member of an IndexBuilder::BuildBatch call: a query plus its own
+/// cooperative controls. A member whose control trips mid-batch gets the
+/// usual empty-but-well-formed interrupted index without disturbing the
+/// other members' builds.
+struct BatchBuildRequest {
+  Query query;
+  /// Per-member cancel; falls back to the shared Options::cancel when
+  /// null. The effective deadline is the earlier of this and the shared
+  /// Options::deadline.
+  const std::atomic<bool>* cancel = nullptr;
+  Deadline deadline = Deadline::Unlimited();
+};
+
 /// Builds LightweightIndex instances. Owns the epoch-stamped BFS buffers
 /// and the staging arrays the index parts are assembled in before being
 /// fused into the slab, so that thousands of per-query builds avoid both
@@ -289,12 +317,36 @@ class IndexBuilder {
   LightweightIndex Build(const GraphT& g, const Query& q,
                          const Options& opts = {});
 
+  /// Builds the indexes for up to BatchedDistanceField::kMaxBatch queries
+  /// from TWO fused multi-source sweeps (one backward, one forward) instead
+  /// of 2·K solo ones — each adjacency list is scanned once per wave
+  /// however many members expand it. Emits the same arena-fused slab per
+  /// member as Build (layout unchanged); per-member fusion counters land in
+  /// each index's build_stats(). `opts.filter` must be null (batched builds
+  /// serve only cacheable, filter-free queries); per-member controls come
+  /// from the requests. Result i corresponds to reqs[i].
+  template <typename GraphT>
+  std::vector<LightweightIndex> BuildBatch(
+      const GraphT& g, const std::vector<BatchBuildRequest>& reqs,
+      const Options& opts = {});
+
  private:
   /// Copies the staged parts into one exactly-sized slab and points the
   /// index's spans at it, narrowing the ends tables to u16 when the counts
   /// permit.
   void Fuse(LightweightIndex& idx, bool edge_ids, bool in_direction,
             bool level_stats);
+
+  /// Everything after the BFS passes — partition X, build H_t/H_s, level
+  /// stats, Fuse — parameterized over the distance accessors
+  /// `dist_s(v)`/`dist_t(v)` so the solo and batched paths share one
+  /// assembly. `cand` is the X candidate list (the pruned forward pass's
+  /// reached set, or the smaller unpruned ball). Stamps total_ms.
+  template <typename GraphT, typename DistS, typename DistT>
+  void AssembleFrom(const GraphT& g, const Query& q, const Options& opts,
+                    const std::vector<VertexId>& cand, const DistS& dist_s,
+                    const DistT& dist_t, LightweightIndex& idx,
+                    Timer& total_timer);
 
   /// Replaces the staged parts with an empty-but-well-formed index (zero
   /// slots, zero paths on enumeration) and stamps the interruption into
@@ -304,6 +356,14 @@ class IndexBuilder {
 
   DistanceField field_s_;  // forward from s, t blocked
   DistanceField field_t_;  // backward from t, s blocked
+  BatchedDistanceField batch_s_;  // fused forward fields (BuildBatch)
+  BatchedDistanceField batch_t_;  // fused backward fields
+  std::vector<BatchedDistanceField::Member> batch_members_;
+  // Dense per-member distance exports (0xFFFF = unreached): one
+  // L1-resident array per direction, refilled per member so assembly's
+  // per-candidate-edge lookups are a single unconditional load.
+  std::vector<uint16_t> batch_dist_s_;
+  std::vector<uint16_t> batch_dist_t_;
   struct ScratchEntry {
     uint32_t key;   // v'.t (out) or v'.s (in)
     uint32_t slot;

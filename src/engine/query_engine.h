@@ -45,6 +45,15 @@ struct EngineOptions {
 
   /// Budgets/sharding for the cache (used only with enable_cache).
   IndexCacheOptions cache;
+
+  /// Batched index prebuilds (DESIGN.md §11): when a batch's cache-missing
+  /// tail contains at least this many distinct keys sharing one build
+  /// fingerprint, the engine fuses their index builds into one multi-source
+  /// BFS sweep (IndexBuilder::BuildBatch) and publishes each member's slab
+  /// through the cache before the workers start. 0 disables. Effective
+  /// only with enable_cache (the slabs are delivered via the cache) and an
+  /// admission_min_uses of 1 (an admission policy would just rebuild).
+  uint32_t batch_build_min = 4;
 };
 
 /// Per-batch knobs.
@@ -97,6 +106,16 @@ struct BatchResult {
   /// Cache activity during this batch (all zeros without a cache): hits,
   /// misses, evictions and current byte gauges.
   IndexCacheStats cache;
+
+  /// Batched-prebuild activity (DESIGN.md §11; zeros unless the batch's
+  /// missing tail cleared EngineOptions::batch_build_min): indexes built
+  /// via fused multi-source sweeps, the adjacency entries those shared
+  /// sweeps actually scanned, and the solo-equivalent sum (what the same
+  /// builds would have scanned as 2·K independent BFS runs) — the ratio is
+  /// the measured fusion win.
+  uint64_t batched_builds = 0;
+  uint64_t batched_edges_scanned = 0;
+  uint64_t batched_solo_edges = 0;
 
   bool ok() const {
     for (const std::string& e : errors) {
@@ -194,6 +213,18 @@ class QueryEngine {
                    std::span<PathSink* const> sinks, const BatchOptions& opts,
                    IndexCache* cache, BatchResult& result);
 
+  /// Batched prebuild of the cache-missing tail (DESIGN.md §11): groups
+  /// the missing TaskGroups by build-options fingerprint (snapshot and
+  /// direction are fixed within one batch), fuses each group that clears
+  /// batch_build_min into BuildBatch chunks, publishes the slabs through
+  /// the cache's single-flight latch, and demotes the prebuilt groups to
+  /// index-hit priority. Runs on the RunBatch caller thread, before the
+  /// pool starts. Any failure falls back to per-worker solo builds.
+  template <typename GroupVec>
+  void PrebuildMissing(std::span<const Query> queries,
+                       const BatchOptions& opts, IndexCache* cache,
+                       GroupVec& groups, BatchResult& result);
+
   /// Intra-query mode: one query at a time, its units across the pool.
   QueryStats RunSplit(const Query& q, PathSink& sink, const EnumOptions& opts,
                       IndexCache* cache, uint32_t active_workers);
@@ -230,6 +261,12 @@ class QueryEngine {
   ThreadPool pool_;
   std::vector<std::unique_ptr<QueryContext>> contexts_;  // one per worker
   std::unique_ptr<IndexCache> cache_;  // null unless opts.enable_cache
+  /// Fused multi-source builder for PrebuildMissing. RunBatch is one
+  /// thread at a time and the prebuild runs before the pool starts, so a
+  /// single engine-owned builder (with its own epoch-stamped K-wide
+  /// fields) suffices and bounds the batched-build memory.
+  IndexBuilder batch_builder_;
+  uint32_t batch_build_min_ = 0;
   uint64_t batches_run_ = 0;
   uint64_t split_queries_run_ = 0;
 };

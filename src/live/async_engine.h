@@ -73,6 +73,14 @@ struct AsyncEngineOptions {
   IndexCacheOptions cache;
   /// Snapshot lifecycle knobs (compaction budget, impact radius).
   SnapshotOptions snapshot;
+  /// Opportunistic batched index builds (DESIGN.md §11): a worker claiming
+  /// a cache-missing submission peeks at the co-pending queue and, when at
+  /// least this many same-snapshot same-fingerprint cache-missing queries
+  /// (its own included) are waiting, fuses their index builds into one
+  /// multi-source BFS sweep and publishes every slab through the cache —
+  /// the queued tickets then hit the cache when claimed. 0 disables.
+  /// Effective only with enable_cache and admission_min_uses == 1.
+  uint32_t batch_build_min = 4;
 };
 
 /// Per-submission knobs.
@@ -222,6 +230,12 @@ class AsyncEngine {
     uint64_t version = 0;
     size_t queue_depth = 0;       // queued, not yet claimed
     IndexCacheStats cache;        // zeros when the cache is disabled
+    /// Batched-build activity (DESIGN.md §11): indexes published from
+    /// fused multi-source sweeps, the shared sweeps' actual edge scans,
+    /// and the solo-equivalent sum those builds would have cost.
+    uint64_t batched_builds = 0;
+    uint64_t batched_edges_scanned = 0;
+    uint64_t batched_solo_edges = 0;
   };
   Stats stats() const;
 
@@ -277,6 +291,17 @@ class AsyncEngine {
   void Execute(QueryContext& ctx, Submission& task);
   void ExecuteSplit(QueryContext& ctx, Submission& task);
 
+  /// Opportunistic batched prebuild (DESIGN.md §11): when `task`'s index
+  /// is a cache miss, drains co-pending same-snapshot same-fingerprint
+  /// cache-missing submissions from the queue *by key only* (they stay
+  /// queued) into one fused BuildBatch and publishes every member's slab
+  /// through the cache's single-flight latch. Per-member cancel/deadline
+  /// come from each ticket; a tripped member is skipped (it will build
+  /// solo at claim time and report its own terminal state). One batch at
+  /// a time engine-wide (batch_mutex_) bounds the K-wide field memory; a
+  /// busy builder or any failure just falls back to solo builds.
+  void MaybeBatchPrebuild(Submission& task);
+
   /// True when some registered split job still has unclaimed units —
   /// part of the worker wait predicate; queue_mutex_ must be held.
   bool HasSplitWorkLocked() const;
@@ -321,6 +346,14 @@ class AsyncEngine {
   /// EWMA of per-query wall time, feeding the retry-after hint.
   double avg_exec_ms_ = 0.0;
   std::atomic<uint64_t> cancelled_before_run_{0};
+
+  /// Batched-prebuild state (MaybeBatchPrebuild): one builder guarded by a
+  /// try_lock mutex — concurrent claimers skip batching rather than queue.
+  std::mutex batch_mutex_;
+  IndexBuilder batch_builder_;
+  std::atomic<uint64_t> batched_builds_{0};
+  std::atomic<uint64_t> batched_edges_scanned_{0};
+  std::atomic<uint64_t> batched_solo_edges_{0};
 
   std::mutex update_mutex_;  // serializes Prepare..BeginEpoch..Publish
   std::mutex shutdown_mutex_;  // serializes the runner join

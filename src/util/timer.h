@@ -49,6 +49,14 @@ class Deadline {
 
   bool Expired() const { return limited_ && Clock::now() >= end_; }
 
+  /// True iff this deadline fires strictly before `other` (an unlimited
+  /// deadline never fires). Used to pick the tighter of two budgets.
+  bool ExpiresBefore(const Deadline& other) const {
+    if (!limited_) return false;
+    if (!other.limited_) return true;
+    return end_ < other.end_;
+  }
+
  private:
   bool limited_ = false;
   Clock::time_point end_{};

@@ -26,6 +26,12 @@ std::pair<std::vector<VertexId>, std::vector<VertexId>> DegreePartition(
 
 std::vector<Query> GenerateQueries(const Graph& g,
                                    const QueryGenOptions& opts) {
+  QueryGenScratch scratch;
+  return GenerateQueries(g, opts, scratch);
+}
+
+std::vector<Query> GenerateQueries(const Graph& g, const QueryGenOptions& opts,
+                                   QueryGenScratch& scratch) {
   std::vector<Query> queries;
   if (g.num_vertices() < 2) return queries;
   const auto [high, low] = DegreePartition(g, opts.top_fraction);
@@ -36,7 +42,9 @@ std::vector<Query> GenerateQueries(const Graph& g,
   if (src_pool.empty() || dst_pool.empty()) return queries;
 
   Rng rng(opts.seed);
-  DistanceField probe;
+  // The probe lives in the caller's scratch: its epoch-stamped arrays make
+  // each Compute an O(frontier) reinit, across attempts and across calls.
+  DistanceField& probe = scratch.probe;
   for (uint32_t i = 0; i < opts.count; ++i) {
     bool found = false;
     for (uint64_t attempt = 0; attempt < opts.max_attempts_per_query;

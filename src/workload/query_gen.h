@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "graph/bfs.h"
 #include "graph/distance_oracle.h"
 #include "graph/graph.h"
 
@@ -46,9 +47,21 @@ struct QueryGenOptions {
 std::pair<std::vector<VertexId>, std::vector<VertexId>> DegreePartition(
     const Graph& g, double top_fraction = 0.1);
 
+/// Reusable generation scratch: the distance probe's epoch-stamped arrays
+/// persist across GenerateQueries calls, so a caller producing many query
+/// sets (benchmark sweeps, per-config workloads) pays the O(n) probe
+/// allocation once instead of per set.
+struct QueryGenScratch {
+  DistanceField probe;
+};
+
 /// Generates up to `opts.count` queries.
 std::vector<Query> GenerateQueries(const Graph& g,
                                    const QueryGenOptions& opts);
+
+/// Scratch-reusing form: identical output, reuses `scratch` across calls.
+std::vector<Query> GenerateQueries(const Graph& g, const QueryGenOptions& opts,
+                                   QueryGenScratch& scratch);
 
 }  // namespace pathenum
 
