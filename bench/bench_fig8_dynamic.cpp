@@ -57,7 +57,7 @@ int main() {
           const QueryStats s = algo->Run({v, u, k - 1}, sink, opts);
           latencies.push_back(s.response_ms);
         }
-        row.push_back(FormatSci(Percentile(latencies, 99.9)));
+        row.push_back(FormatSci(PercentileInPlace(latencies, 99.9)));
       }
       table.AddRow(std::move(row));
     }

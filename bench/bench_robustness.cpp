@@ -1,6 +1,7 @@
-// Robustness-layer overhead and overload-shedding bench (DESIGN.md §10).
+// Robustness-layer overhead and overload-shedding bench (DESIGN.md §10)
+// plus the observability overhead gate (DESIGN.md §12).
 //
-// Two sections:
+// Three sections:
 //
 //  1. Cancellation-check overhead on the *unstopped* hot path: the same
 //     canned layered-DAG enumeration as bench_hotpath, run plain vs. with
@@ -16,19 +17,32 @@
 //     queries that ran, and terminal-state counts — the service-level
 //     picture of graceful degradation.
 //
+//  3. Observability overhead: an AsyncEngine burst of span-instrumented
+//     queries with trace sampling off vs. sampling every query — the
+//     runtime price of the span/trace layer, gated at the same tolerance.
+//     When PATHENUM_OBS_BASELINE_PPS carries section 1's plain paths/sec
+//     from a PATHENUM_OBS=0 build, the cross-build comparison (the cost
+//     of compiling obs in at all) is gated too. Optionally dumps the
+//     metrics exposition and the sampled run's Chrome trace to files so
+//     CI can archive them.
+//
 // Environment:
 //   PATHENUM_ROBUST_WIDTH      vertices per inner layer      (default 32)
 //   PATHENUM_ROBUST_LAYERS     inner layers                  (default 4)
 //   PATHENUM_ROBUST_REPS       measured repetitions          (default 5)
 //   PATHENUM_ROBUST_BURST      overload burst size           (default 64)
 //   PATHENUM_ROBUST_TOLERANCE  max allowed overhead fraction (default 0.02)
+//   PATHENUM_OBS_BASELINE_PPS  plain paths/sec from an PATHENUM_OBS=0
+//                              build of this bench (optional gate)
+//   PATHENUM_OBS_METRICS_OUT   file for DumpMetricsText ("" disables)
+//   PATHENUM_OBS_TRACE_OUT     file for the Chrome trace ("" disables)
 //   PATHENUM_BENCH_JSON        output path ("" disables;
 //                              default "BENCH_robustness.json")
 //   PATHENUM_BENCH_MERGE       existing BENCH_throughput.json to splice the
-//                              "robustness" object into (optional)
+//                              "robustness" and "obs" objects into
 //
-// Exit status is nonzero when the overhead exceeds the tolerance — the
-// regression gate the perf trajectory tracks.
+// Exit status is nonzero when any overhead gate exceeds the tolerance —
+// the regression gates the perf trajectory tracks.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -44,6 +58,8 @@
 #include "core/sink.h"
 #include "graph/builder.h"
 #include "live/async_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace {
@@ -159,16 +175,17 @@ OverloadRow RunOverload(const Graph& g, AsyncEngineOptions::ShedPolicy policy,
   return row;
 }
 
-/// Splices `"robustness": obj` into the top level of an existing JSON file
-/// (replacing a previous "robustness" object when present). Same
+/// Splices `"<key_name>": obj` into the top level of an existing JSON file
+/// (replacing a previous object under that key when present). Same
 /// conservative text-level edit as bench_hotpath's merge.
-bool MergeIntoJson(const std::string& path, const std::string& obj) {
+bool MergeIntoJson(const std::string& path, const std::string& key_name,
+                   const std::string& obj) {
   std::ifstream in(path);
   if (!in) return false;
   std::stringstream buf;
   buf << in.rdbuf();
   std::string text = buf.str();
-  const std::string key = "\"robustness\":";
+  const std::string key = "\"" + key_name + "\":";
   const size_t at = text.find(key);
   if (at != std::string::npos) {
     const size_t open = text.find('{', at);
@@ -189,6 +206,37 @@ bool MergeIntoJson(const std::string& path, const std::string& obj) {
   std::ofstream out(path);
   out << text;
   return true;
+}
+
+/// Best-of-reps paths/sec for a burst of span-instrumented AsyncEngine
+/// queries at the given trace-sampling rate. Identical queries after the
+/// first hit the index cache, so the measurement is enumeration plus the
+/// span/counter instrumentation itself.
+double MeasureObsBurst(const Graph& g, const Query& q, uint32_t burst,
+                       int reps, uint32_t sample_every) {
+  obs::TraceRecorder::SetSampleEvery(sample_every);
+  AsyncEngineOptions eopts;
+  eopts.num_workers = 2;
+  AsyncEngine engine(Graph(g), eopts);
+  double best = 0.0;
+  for (int r = 0; r <= reps; ++r) {  // rep 0 warms cache + scratch
+    std::vector<CountingSink> sinks(burst);
+    std::vector<QueryTicket> tickets;
+    tickets.reserve(burst);
+    Timer wall;
+    for (uint32_t i = 0; i < burst; ++i) {
+      tickets.push_back(engine.Submit(q, sinks[i]));
+    }
+    uint64_t paths = 0;
+    for (uint32_t i = 0; i < burst; ++i) {
+      tickets[i].Wait();
+      paths += sinks[i].count();
+    }
+    const double ms = wall.ElapsedMs();
+    if (r > 0 && ms > 0.0) best = std::max(best, paths / (ms / 1e3));
+  }
+  obs::TraceRecorder::SetSampleEvery(0);
+  return best;
 }
 
 }  // namespace
@@ -250,6 +298,69 @@ int main() {
                 static_cast<unsigned long long>(r.ok), r.wall_ms);
   }
 
+  // -- Section 3: observability overhead (DESIGN.md §12). -----------------
+  const uint32_t obs_burst = 16;
+  const double obs_off_pps =
+      MeasureObsBurst(g, q, obs_burst, reps, /*sample_every=*/0);
+  obs::TraceRecorder::Global().Clear();
+  const double obs_on_pps =
+      MeasureObsBurst(g, q, obs_burst, reps, /*sample_every=*/1);
+  const double obs_ratio = obs_off_pps > 0.0 ? obs_on_pps / obs_off_pps : 0.0;
+  bool obs_pass = 1.0 - obs_ratio <= tolerance;
+  std::printf("  [obs] sampling off %.3fM paths/s, every-query tracing "
+              "%.3fM paths/s (ratio %.4f) -> %s\n",
+              obs_off_pps / 1e6, obs_on_pps / 1e6, obs_ratio,
+              obs_pass ? "PASS" : "FAIL");
+
+  // Cross-build gate: section 1's plain paths/sec vs the same number from
+  // a PATHENUM_OBS=0 build — the cost of compiling the obs layer in.
+  const double baseline_pps = EnvF64("PATHENUM_OBS_BASELINE_PPS", 0.0);
+  double build_ratio = 0.0;
+  if (baseline_pps > 0.0) {
+    build_ratio = plain_pps / baseline_pps;
+    const bool build_pass = 1.0 - build_ratio <= tolerance;
+    obs_pass = obs_pass && build_pass;
+    std::printf("  [obs] obs-enabled build %.3fM paths/s vs PATHENUM_OBS=0 "
+                "build %.3fM paths/s (ratio %.4f) -> %s\n",
+                plain_pps / 1e6, baseline_pps / 1e6, build_ratio,
+                build_pass ? "PASS" : "FAIL");
+  }
+
+  // Archive the exposition + the sampled run's trace when asked (CI
+  // uploads these as artifacts).
+  const std::string metrics_text = obs::DumpMetricsText();
+  const std::string trace_json =
+      obs::TraceRecorder::Global().ExportChromeJson();
+  if (const char* out = std::getenv("PATHENUM_OBS_METRICS_OUT")) {
+    if (out[0] != '\0') {
+      std::ofstream f(out);
+      f << metrics_text;
+      std::printf("  wrote metrics exposition to %s (%zu bytes)\n", out,
+                  metrics_text.size());
+    }
+  }
+  if (const char* out = std::getenv("PATHENUM_OBS_TRACE_OUT")) {
+    if (out[0] != '\0') {
+      std::ofstream f(out);
+      f << trace_json;
+      std::printf("  wrote Chrome trace to %s (%zu bytes)\n", out,
+                  trace_json.size());
+    }
+  }
+
+  std::ostringstream obs_obj;
+  obs_obj << "{\"enabled\": " << (obs::kEnabled ? "true" : "false")
+          << ", \"sample_off_paths_per_sec\": " << obs_off_pps
+          << ", \"sample_on_paths_per_sec\": " << obs_on_pps
+          << ", \"sample_on_over_off\": " << obs_ratio
+          << ", \"obs_build_paths_per_sec\": " << plain_pps
+          << ", \"noobs_build_paths_per_sec\": " << baseline_pps
+          << ", \"obs_build_over_noobs\": " << build_ratio
+          << ", \"metrics_dump_bytes\": " << metrics_text.size()
+          << ", \"trace_json_bytes\": " << trace_json.size()
+          << ", \"tolerance\": " << tolerance
+          << ", \"pass\": " << (obs_pass ? "true" : "false") << "}";
+
   std::ostringstream obj;
   obj << "{\"width\": " << width << ", \"layers\": " << layers
       << ", \"plain_paths_per_sec\": " << plain_pps
@@ -274,13 +385,16 @@ int main() {
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     out << "{\n  \"bench\": \"bench_robustness\",\n  \"robustness\": "
-        << obj.str() << "\n}\n";
+        << obj.str() << ",\n  \"obs\": " << obs_obj.str() << "\n}\n";
     std::printf("  wrote %s\n", json_path.c_str());
   }
   if (const char* merge = std::getenv("PATHENUM_BENCH_MERGE")) {
-    if (MergeIntoJson(merge, obj.str())) {
+    if (MergeIntoJson(merge, "robustness", obj.str())) {
       std::printf("  merged \"robustness\" into %s\n", merge);
     }
+    if (MergeIntoJson(merge, "obs", obs_obj.str())) {
+      std::printf("  merged \"obs\" into %s\n", merge);
+    }
   }
-  return pass ? 0 : 1;
+  return pass && obs_pass ? 0 : 1;
 }

@@ -5,10 +5,12 @@
 //   ./batch_engine [num_workers]   # default: hardware concurrency
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "engine/query_engine.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
 #include "workload/query_gen.h"
 
 using namespace pathenum;
@@ -59,5 +61,13 @@ int main(int argc, char** argv) {
   const BatchResult result = engine.CountBatch(heavy, split);
   std::cout << "split-branch batch: " << result.TotalResults()
             << " paths in " << result.wall_ms << " ms\n";
+
+  // Everything above also landed in the process-wide metric registry
+  // (DESIGN.md §12) — the same exposition a scrape endpoint would serve.
+  // Empty when built with -DPATHENUM_OBS=OFF.
+  const std::string metrics = obs::DumpMetricsText();
+  if (!metrics.empty()) {
+    std::cout << "\n-- metrics (DumpMetricsText) --\n" << metrics;
+  }
   return 0;
 }

@@ -140,9 +140,9 @@ int RunStats(int argc, char** argv) {
   table.AddRow({"vertices", std::to_string(g.num_vertices())});
   table.AddRow({"edges", std::to_string(g.num_edges())});
   table.AddRow({"avg degree", FormatFixed(Summarize(degrees).mean, 2)});
-  table.AddRow({"p50 degree", FormatFixed(Percentile(degrees, 50), 0)});
-  table.AddRow({"p90 degree", FormatFixed(Percentile(degrees, 90), 0)});
-  table.AddRow({"p99 degree", FormatFixed(Percentile(degrees, 99), 0)});
+  table.AddRow({"p50 degree", FormatFixed(PercentileInPlace(degrees, 50), 0)});
+  table.AddRow({"p90 degree", FormatFixed(PercentileInPlace(degrees, 90), 0)});
+  table.AddRow({"p99 degree", FormatFixed(PercentileInPlace(degrees, 99), 0)});
   table.AddRow({"max degree", FormatFixed(Summarize(degrees).max, 0)});
   table.AddRow({"memory (MB)",
                 FormatFixed(static_cast<double>(g.MemoryBytes()) / 1048576.0,

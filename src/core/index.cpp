@@ -5,6 +5,7 @@
 #include <type_traits>
 
 #include "graph/view.h"
+#include "obs/metrics.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
@@ -70,6 +71,32 @@ bool FitsU16(const std::vector<uint32_t>& v) {
     if (x > 0xffffu) return false;
   }
   return true;
+}
+
+/// Global build-stream metrics (DESIGN.md §12): every finished index
+/// build — solo or batched-member, interrupted or not — feeds one counted
+/// observation. The registry-owned handles resolve once; under
+/// PATHENUM_OBS=0 they are no-op stubs and the whole call melts away.
+void RecordBuildMetrics(const LightweightIndex::BuildStats& bs) {
+  struct Handles {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+    obs::RegCounter* solo = reg.GetCounter("pathenum_build_total",
+                                           "kind=\"solo\"");
+    obs::RegCounter* batched = reg.GetCounter("pathenum_build_total",
+                                              "kind=\"batched\"");
+    obs::RegCounter* interrupted =
+        reg.GetCounter("pathenum_build_interrupted_total");
+    obs::RegCounter* edges = reg.GetCounter("pathenum_build_edges_total");
+    obs::RegHistogram* solo_ms = reg.GetHistogram("pathenum_build_ms",
+                                                  "kind=\"solo\"");
+    obs::RegHistogram* batched_ms = reg.GetHistogram("pathenum_build_ms",
+                                                     "kind=\"batched\"");
+  };
+  static Handles h;
+  (bs.batched ? h.batched : h.solo)->Inc();
+  if (bs.interrupted) h.interrupted->Inc();
+  h.edges->Inc(bs.edges_scanned);
+  (bs.batched ? h.batched_ms : h.solo_ms)->Observe(bs.total_ms);
 }
 
 }  // namespace
@@ -245,6 +272,7 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
       FinishInterrupted(idx, q, opts,
                         trip == DistanceField::Interrupt::kCancelled);
       idx.build_stats_.total_ms = total_timer.ElapsedMs();
+      RecordBuildMetrics(idx.build_stats_);
       return idx;
     }
   }
@@ -260,6 +288,7 @@ LightweightIndex IndexBuilder::Build(const GraphT& g, const Query& q,
       g, q, opts, cand,
       [this](VertexId v) { return field_s_.Distance(v); },
       [this](VertexId v) { return field_t_.Distance(v); }, idx, total_timer);
+  RecordBuildMetrics(idx.build_stats_);
   return idx;
 }
 
@@ -575,6 +604,7 @@ std::vector<LightweightIndex> IndexBuilder::BuildBatch(
       FinishInterrupted(idx, q, mopts,
                         trip == BatchedDistanceField::Interrupt::kCancelled);
       idx.build_stats_.total_ms = total_timer.ElapsedMs();
+      RecordBuildMetrics(idx.build_stats_);
       continue;
     }
 
@@ -607,6 +637,7 @@ std::vector<LightweightIndex> IndexBuilder::BuildBatch(
           return d == kUnreached16 ? kInfDistance : uint32_t{d};
         },
         idx, total_timer);
+    RecordBuildMetrics(idx.build_stats_);
   }
   return out;
 }

@@ -11,15 +11,12 @@ namespace pathenum {
 
 namespace internal {
 
-EnumOptions BranchOptions(const EnumOptions& opts, const Timer& since_start) {
+EnumOptions BranchOptions(const EnumOptions& opts, const Deadline& deadline) {
   EnumOptions branch_opts = opts;
   branch_opts.result_limit =
       std::numeric_limits<uint64_t>::max();  // delegated to the sink
   branch_opts.response_target = 0;           // delegated to the sink
-  if (opts.time_limit_ms != std::numeric_limits<double>::infinity()) {
-    branch_opts.time_limit_ms =
-        std::max(0.0, opts.time_limit_ms - since_start.ElapsedMs());
-  }
+  branch_opts.time_limit_ms = deadline.RemainingMs();
   return branch_opts;
 }
 
@@ -69,12 +66,12 @@ void FinishFanout(EnumCounters& out, std::span<const EnumCounters> workers,
 EnumCounters DrainBranches(DfsEnumerator& dfs, const LightweightIndex& index,
                            std::span<const uint32_t> branches,
                            std::atomic<uint32_t>& cursor, PathSink& sink,
-                           const EnumOptions& opts, const Timer& since_start,
+                           const EnumOptions& opts, const Deadline& deadline,
                            std::atomic<bool>* stop_claims) {
   EnumCounters total;
   // Per-branch options: the shared gate handles the cross-thread result
-  // limit; the deadline is absolute, so re-deriving it per branch from the
-  // remaining wall budget keeps it globally correct.
+  // limit; the deadline is absolute, so re-deriving each branch's budget
+  // from its remaining wall time keeps it globally correct.
   while (stop_claims == nullptr ||
          !stop_claims->load(std::memory_order_relaxed)) {
     const uint32_t b = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -82,7 +79,7 @@ EnumCounters DrainBranches(DfsEnumerator& dfs, const LightweightIndex& index,
     // The immediate target-arrival and the duplicate check for s are the
     // root frame's job in the sequential code; handled by RunBranch.
     EnumCounters c = dfs.RunBranch(index, branches[b], sink,
-                                   BranchOptions(opts, since_start));
+                                   BranchOptions(opts, deadline));
     // RunBranch charges both partials of its chain — (s) and (s, branch) —
     // so a standalone call is self-consistent. Within a fan-out the root
     // (s) is shared by every branch and charged exactly once via
@@ -119,6 +116,7 @@ ParallelEnumResult ParallelDfsEnumerator::Run(
     const EnumOptions& opts) {
   ParallelEnumResult result;
   Timer wall;
+  const Deadline deadline = Deadline::AfterMs(opts.time_limit_ms);
   const uint32_t s_slot = index_.source_slot();
   if (s_slot == kInvalidSlot) return result;
 
@@ -140,7 +138,7 @@ ParallelEnumResult ParallelDfsEnumerator::Run(
     // stops only its own worker (the class contract) — the other workers
     // must keep draining their branches.
     worker_counters[worker] = internal::DrainBranches(
-        dfs, index_, branches, cursor, limited, opts, wall,
+        dfs, index_, branches, cursor, limited, opts, deadline,
         /*stop_claims=*/nullptr);
   });
 

@@ -36,9 +36,11 @@ namespace internal {
 // is subtle enough that it must live in exactly one place.
 
 /// Options for one branch of a fanned-out enumeration: result limit and
-/// response target are delegated to the shared sink; the absolute deadline
-/// is re-derived from the budget remaining since `since_start`.
-EnumOptions BranchOptions(const EnumOptions& opts, const Timer& since_start);
+/// response target are delegated to the shared sink; the time budget is
+/// re-derived from the query's one absolute deadline
+/// (Deadline::RemainingMs), so every unit — whenever and on whichever
+/// worker it starts — observes the same end instant.
+EnumOptions BranchOptions(const EnumOptions& opts, const Deadline& deadline);
 
 /// Folds one finished branch's counters into a worker's running total.
 /// Returns false when the worker should stop claiming branches (sink stop
@@ -68,7 +70,7 @@ void FinishFanout(EnumCounters& out, std::span<const EnumCounters> workers,
 EnumCounters DrainBranches(DfsEnumerator& dfs, const LightweightIndex& index,
                            std::span<const uint32_t> branches,
                            std::atomic<uint32_t>& cursor, PathSink& sink,
-                           const EnumOptions& opts, const Timer& since_start,
+                           const EnumOptions& opts, const Deadline& deadline,
                            std::atomic<bool>* stop_claims = nullptr);
 
 }  // namespace internal

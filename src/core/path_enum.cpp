@@ -266,8 +266,8 @@ double CalibrateTau(const Graph& g, const std::vector<Query>& sample_queries,
     }
   }
   if (optimize_times.empty() || rates.empty()) return 1e5;
-  const double median_opt = Percentile(optimize_times, 50.0);
-  const double median_rate = Percentile(rates, 50.0);
+  const double median_opt = PercentileInPlace(optimize_times, 50.0);
+  const double median_rate = PercentileInPlace(rates, 50.0);
   // Smallest power of ten whose enumeration time exceeds the optimization
   // time for the typical query (§6.2's procedure).
   for (double tau = 10.0; tau <= max_tau; tau *= 10.0) {

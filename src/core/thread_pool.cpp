@@ -1,6 +1,7 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/common.h"
 
@@ -30,9 +31,20 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
     for (std::thread& t : threads_) t.join();
     throw;
   }
+#if PATHENUM_OBS
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  const std::string label =
+      "pool=\"" + std::to_string(reg.NextInstanceId()) + "\"";
+  reg.RegisterCounter(this, "pathenum_pool_jobs_total", label, &jobs_run_);
+  reg.RegisterGauge(this, "pathenum_pool_workers", label,
+                    [this] { return static_cast<double>(num_workers()); });
+#endif
 }
 
-ThreadPool::~ThreadPool() { Shutdown(); }
+ThreadPool::~ThreadPool() {
+  Shutdown();
+  obs::MetricRegistry::Global().UnregisterOwner(this);
+}
 
 void ThreadPool::Shutdown() {
   {
@@ -51,6 +63,7 @@ void ThreadPool::RunOnAllWorkers(const std::function<void(uint32_t)>& job) {
 
 void ThreadPool::RunOnWorkers(uint32_t active,
                               const std::function<void(uint32_t)>& job) {
+  jobs_run_.Inc();
   std::unique_lock<std::mutex> lock(mutex_);
   PATHENUM_CHECK_MSG(active_ == 0 && job_ == nullptr,
                      "ThreadPool::RunOnWorkers is not reentrant");

@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace pathenum {
 
 /// Parallel-region thread pool: RunOnAllWorkers(job) executes job(worker_id)
@@ -49,6 +51,9 @@ class ThreadPool {
     return static_cast<uint32_t>(threads_.size());
   }
 
+  /// Parallel regions issued through RunOnWorkers/RunOnAllWorkers.
+  uint64_t jobs_run() const { return jobs_run_.Value(); }
+
   /// Runs `job(worker_id)` on every worker and waits for completion. If any
   /// invocation throws, the first exception is rethrown here (the remaining
   /// workers still finish). Not reentrant: must not be called from inside a
@@ -66,6 +71,7 @@ class ThreadPool {
   void WorkerLoop(uint32_t worker_id);
 
   std::vector<std::thread> threads_;
+  obs::ShardedCounter jobs_run_;
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;

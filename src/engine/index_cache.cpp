@@ -100,9 +100,37 @@ IndexCache::IndexCache(const IndexCacheOptions& opts) : opts_(opts) {
   index_budget_per_shard_ = std::max<size_t>(1, opts_.max_index_bytes / shards);
   result_budget_per_shard_ = opts_.max_result_bytes / shards;
   shards_ = std::make_unique<Shard[]>(shards);
+
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  const std::string label =
+      "cache=\"" + std::to_string(reg.NextInstanceId()) + "\"";
+  const auto counter = [&](const char* name, const obs::ShardedCounter& c) {
+    reg.RegisterCounter(this, name, label, &c);
+  };
+  counter("pathenum_cache_index_hits_total", index_hits_);
+  counter("pathenum_cache_index_misses_total", index_misses_);
+  counter("pathenum_cache_index_evictions_total", index_evictions_);
+  counter("pathenum_cache_coalesced_builds_total", coalesced_builds_);
+  counter("pathenum_cache_result_hits_total", result_hits_);
+  counter("pathenum_cache_result_misses_total", result_misses_);
+  counter("pathenum_cache_result_evictions_total", result_evictions_);
+  counter("pathenum_cache_result_inserts_total", result_inserts_);
+  counter("pathenum_cache_result_rejects_total", result_rejects_);
+  counter("pathenum_cache_admission_bypasses_total", admission_bypasses_);
+  counter("pathenum_cache_invalidation_evictions_total",
+          invalidation_evictions_);
+  counter("pathenum_cache_result_ttl_evictions_total", result_ttl_evictions_);
+  reg.RegisterGauge(this, "pathenum_cache_index_bytes", label, [this] {
+    return static_cast<double>(index_bytes_.load(std::memory_order_relaxed));
+  });
+  reg.RegisterGauge(this, "pathenum_cache_result_bytes", label, [this] {
+    return static_cast<double>(result_bytes_.load(std::memory_order_relaxed));
+  });
 }
 
-IndexCache::~IndexCache() = default;
+IndexCache::~IndexCache() {
+  obs::MetricRegistry::Global().UnregisterOwner(this);
+}
 
 IndexCache::Shard& IndexCache::ShardFor(const CacheKey& key) const {
   return shards_[CacheKeyHash{}(key) & shard_mask_];
@@ -122,7 +150,7 @@ std::shared_ptr<const LightweightIndex> IndexCache::GetOrBuild(
         // Published at or before this caller's snapshot and survived every
         // epoch since: valid for the caller's version.
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-        index_hits_.fetch_add(1, std::memory_order_relaxed);
+        index_hits_.Inc();
         if (was_hit != nullptr) *was_hit = true;
         return it->second->index;
       }
@@ -137,7 +165,7 @@ std::shared_ptr<const LightweightIndex> IndexCache::GetOrBuild(
         // registration and never publishes past an epoch).
         break;
       }
-      coalesced_builds_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_builds_.Inc();
       shard.cv.wait(lock, [&] { return pending->done; });
       if (!pending->failed) {
         if (was_hit != nullptr) *was_hit = true;
@@ -145,7 +173,7 @@ std::shared_ptr<const LightweightIndex> IndexCache::GetOrBuild(
       }
       // The build this thread piggybacked on threw; retry from scratch.
     }
-    index_misses_.fetch_add(1, std::memory_order_relaxed);
+    index_misses_.Inc();
     if (opts_.admission_min_uses > 1) {
       // Admission policy: keys below the use threshold build for the caller
       // without registering or publishing — a one-shot key costs neither
@@ -153,7 +181,7 @@ std::shared_ptr<const LightweightIndex> IndexCache::GetOrBuild(
       if (shard.seen.size() >= Shard::kSeenCap) shard.seen.clear();
       const uint32_t uses = ++shard.seen[key];
       if (uses < opts_.admission_min_uses) {
-        admission_bypasses_.fetch_add(1, std::memory_order_relaxed);
+        admission_bypasses_.Inc();
         lock.unlock();
         if (was_hit != nullptr) *was_hit = false;
         return std::make_shared<const LightweightIndex>(build());
@@ -234,7 +262,7 @@ std::shared_ptr<const LightweightIndex> IndexCache::GetOrBuild(
         index_bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
         shard.map.erase(victim.key);
         shard.lru.pop_back();
-        index_evictions_.fetch_add(1, std::memory_order_relaxed);
+        index_evictions_.Inc();
       }
     }
   }
@@ -267,7 +295,7 @@ std::shared_ptr<const CachedResultSet> IndexCache::GetResult(
   const auto it = shard.result_map.find(key);
   if (it == shard.result_map.end() ||
       it->second->first_version > view_version) {
-    result_misses_.fetch_add(1, std::memory_order_relaxed);
+    result_misses_.Inc();
     return nullptr;
   }
   if (ResultExpired(it->second->inserted_at)) {
@@ -275,13 +303,13 @@ std::shared_ptr<const CachedResultSet> IndexCache::GetResult(
     result_bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
     shard.result_lru.erase(it->second);
     shard.result_map.erase(it);
-    result_ttl_evictions_.fetch_add(1, std::memory_order_relaxed);
-    result_misses_.fetch_add(1, std::memory_order_relaxed);
+    result_ttl_evictions_.Inc();
+    result_misses_.Inc();
     return nullptr;
   }
   shard.result_lru.splice(shard.result_lru.begin(), shard.result_lru,
                           it->second);
-  result_hits_.fetch_add(1, std::memory_order_relaxed);
+  result_hits_.Inc();
   return it->second->result;
 }
 
@@ -299,7 +327,7 @@ bool IndexCache::PutResult(const CacheKey& key,
                            uint64_t view_version) {
   const size_t bytes = result->MemoryBytes() + kEntryOverheadBytes;
   if (opts_.max_result_bytes == 0 || bytes > opts_.max_result_entry_bytes) {
-    result_rejects_.fetch_add(1, std::memory_order_relaxed);
+    result_rejects_.Inc();
     return false;
   }
   Shard& shard = ShardFor(key);
@@ -307,7 +335,7 @@ bool IndexCache::PutResult(const CacheKey& key,
   if (view_version != version_.load(std::memory_order_acquire)) {
     // The run enumerated a snapshot an epoch has since retired; its result
     // set may already be stale for the current version.
-    result_rejects_.fetch_add(1, std::memory_order_relaxed);
+    result_rejects_.Inc();
     return false;
   }
   if (shard.result_map.find(key) != shard.result_map.end()) {
@@ -318,7 +346,7 @@ bool IndexCache::PutResult(const CacheKey& key,
   shard.result_map.emplace(key, shard.result_lru.begin());
   shard.result_bytes += bytes;
   result_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-  result_inserts_.fetch_add(1, std::memory_order_relaxed);
+  result_inserts_.Inc();
   while (shard.result_bytes > result_budget_per_shard_ &&
          shard.result_lru.size() > 1) {
     const Shard::ResultEntry& victim = shard.result_lru.back();
@@ -326,7 +354,7 @@ bool IndexCache::PutResult(const CacheKey& key,
     result_bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
     shard.result_map.erase(victim.key);
     shard.result_lru.pop_back();
-    result_evictions_.fetch_add(1, std::memory_order_relaxed);
+    result_evictions_.Inc();
   }
   // The per-entry cap <= shard budget is not enforced by construction; an
   // entry above the shard budget stays as the single retained entry.
@@ -392,26 +420,26 @@ size_t IndexCache::BeginEpoch(
       }
     }
   }
-  invalidation_evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  invalidation_evictions_.Inc(evicted);
   return evicted;
 }
 
 IndexCacheStats IndexCache::Stats() const {
   IndexCacheStats s;
-  s.index_hits = index_hits_.load(std::memory_order_relaxed);
-  s.index_misses = index_misses_.load(std::memory_order_relaxed);
-  s.index_evictions = index_evictions_.load(std::memory_order_relaxed);
-  s.coalesced_builds = coalesced_builds_.load(std::memory_order_relaxed);
-  s.result_hits = result_hits_.load(std::memory_order_relaxed);
-  s.result_misses = result_misses_.load(std::memory_order_relaxed);
-  s.result_evictions = result_evictions_.load(std::memory_order_relaxed);
-  s.result_inserts = result_inserts_.load(std::memory_order_relaxed);
-  s.result_rejects = result_rejects_.load(std::memory_order_relaxed);
-  s.admission_bypasses = admission_bypasses_.load(std::memory_order_relaxed);
+  s.index_hits = index_hits_.Value();
+  s.index_misses = index_misses_.Value();
+  s.index_evictions = index_evictions_.Value();
+  s.coalesced_builds = coalesced_builds_.Value();
+  s.result_hits = result_hits_.Value();
+  s.result_misses = result_misses_.Value();
+  s.result_evictions = result_evictions_.Value();
+  s.result_inserts = result_inserts_.Value();
+  s.result_rejects = result_rejects_.Value();
+  s.admission_bypasses = admission_bypasses_.Value();
   s.invalidation_evictions =
-      invalidation_evictions_.load(std::memory_order_relaxed);
+      invalidation_evictions_.Value();
   s.result_ttl_evictions =
-      result_ttl_evictions_.load(std::memory_order_relaxed);
+      result_ttl_evictions_.Value();
   s.index_bytes = index_bytes_.load(std::memory_order_relaxed);
   s.result_bytes = result_bytes_.load(std::memory_order_relaxed);
   return s;

@@ -47,6 +47,7 @@
 #include "core/index.h"
 #include "core/options.h"
 #include "core/sink.h"
+#include "obs/metrics.h"
 
 namespace pathenum {
 
@@ -268,18 +269,21 @@ class IndexCache {
   std::atomic<uint64_t> generation_{0};
   std::atomic<uint64_t> version_{0};
 
-  mutable std::atomic<uint64_t> index_hits_{0};
-  mutable std::atomic<uint64_t> index_misses_{0};
-  mutable std::atomic<uint64_t> index_evictions_{0};
-  mutable std::atomic<uint64_t> coalesced_builds_{0};
-  mutable std::atomic<uint64_t> result_hits_{0};
-  mutable std::atomic<uint64_t> result_misses_{0};
-  mutable std::atomic<uint64_t> result_evictions_{0};
-  mutable std::atomic<uint64_t> result_inserts_{0};
-  mutable std::atomic<uint64_t> result_rejects_{0};
-  mutable std::atomic<uint64_t> admission_bypasses_{0};
-  mutable std::atomic<uint64_t> invalidation_evictions_{0};
-  mutable std::atomic<uint64_t> result_ttl_evictions_{0};
+  // Counter storage is obs::ShardedCounter (DESIGN.md §12): the same slots
+  // back Stats() and the registry exposition (`pathenum_cache_*` with a
+  // per-instance label), so nothing is counted twice.
+  mutable obs::ShardedCounter index_hits_;
+  mutable obs::ShardedCounter index_misses_;
+  mutable obs::ShardedCounter index_evictions_;
+  mutable obs::ShardedCounter coalesced_builds_;
+  mutable obs::ShardedCounter result_hits_;
+  mutable obs::ShardedCounter result_misses_;
+  mutable obs::ShardedCounter result_evictions_;
+  mutable obs::ShardedCounter result_inserts_;
+  mutable obs::ShardedCounter result_rejects_;
+  mutable obs::ShardedCounter admission_bypasses_;
+  mutable obs::ShardedCounter invalidation_evictions_;
+  mutable obs::ShardedCounter result_ttl_evictions_;
   std::atomic<size_t> index_bytes_{0};
   std::atomic<size_t> result_bytes_{0};
 };

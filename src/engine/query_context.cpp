@@ -14,9 +14,15 @@ QueryStats QueryContext::Run(const Query& q, PathSink& sink,
 }
 
 QueryStats QueryContext::RunCached(const Query& q, PathSink& sink,
-                                   const EnumOptions& opts,
-                                   IndexCache* cache) {
-  if (cache == nullptr) return Run(q, sink, opts);
+                                   const EnumOptions& opts, IndexCache* cache,
+                                   obs::QuerySpan* span) {
+  if (cache == nullptr) {
+    const QueryStats stats = Run(q, sink, opts);
+    // No cache: acquire and enumeration are fused inside Run; the whole
+    // run is attributed to the enumerate stage.
+    if (span != nullptr) span->Mark(obs::SpanStage::kEnumerate);
+    return stats;
+  }
   // Validation throws before any cache interaction, exactly like Run.
   ValidateQuery(enumerator_.view(), q);
 
@@ -29,13 +35,20 @@ QueryStats QueryContext::RunCached(const Query& q, PathSink& sink,
                             ResultOptionsFingerprint(opts)};
   if (result_cache_on) {
     if (const auto cached = cache->GetResult(result_key, view_version)) {
+      if (span != nullptr) {
+        span->SetIndexOutcome(false, /*result_cache_hit=*/true, false);
+        span->Mark(obs::SpanStage::kIndexAcquire);
+      }
       const QueryStats stats = ReplayCachedResult(*cached, sink, opts);
+      if (span != nullptr) span->Mark(obs::SpanStage::kEnumerate);
       ++queries_run_;
       return stats;
     }
   }
 
   if (enumerator_.OracleRejects(q)) {
+    // The oracle check is acquire-stage work: zero paths, complete result.
+    if (span != nullptr) span->Mark(obs::SpanStage::kIndexAcquire);
     QueryStats stats;
     Timer total;
     stats.total_ms = total.ElapsedMs();
@@ -52,6 +65,10 @@ QueryStats QueryContext::RunCached(const Query& q, PathSink& sink,
   const std::shared_ptr<const LightweightIndex> index = cache->GetOrBuild(
       index_key, [&] { return enumerator_.BuildIndex(q, build_opts); },
       &index_hit, view_version);
+  if (span != nullptr) {
+    span->SetIndexOutcome(index_hit, false, index->build_stats().batched);
+    span->Mark(obs::SpanStage::kIndexAcquire);
+  }
 
   if (index->build_stats().interrupted) {
     // This query's own deadline/cancel tripped mid-build (an interrupted
@@ -82,6 +99,7 @@ QueryStats QueryContext::RunCached(const Query& q, PathSink& sink,
   } else {
     stats = enumerator_.RunWithIndex(*index, sink, opts);
   }
+  if (span != nullptr) span->Mark(obs::SpanStage::kEnumerate);
   stats.index_cache_hit = index_hit;
   if (!index_hit) {
     // This context paid for the build inside GetOrBuild; charge it.

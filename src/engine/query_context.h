@@ -11,6 +11,7 @@
 
 #include "core/path_enum.h"
 #include "engine/index_cache.h"
+#include "obs/span.h"
 
 namespace pathenum {
 
@@ -48,8 +49,11 @@ class QueryContext {
   /// key), and records completed runs back into the result cache. Falls
   /// back to Run when `cache` is null. The cache may be shared across
   /// contexts/threads; everything else in the context stays single-owner.
+  /// `span` (optional) gets the index-acquire/enumerate stage marks and the
+  /// cache-outcome flags (DESIGN.md §12); the caller owns its lifecycle
+  /// (Begin before, Finish after).
   QueryStats RunCached(const Query& q, PathSink& sink, const EnumOptions& opts,
-                       IndexCache* cache);
+                       IndexCache* cache, obs::QuerySpan* span = nullptr);
 
   /// Accounts duplicate queries served through one fanned-out run (batch
   /// dedup): each duplicate counts as a served query.

@@ -24,7 +24,9 @@ namespace {
 /// steals without any coordination beyond the per-deque mutex.
 class WorkStealingQueues {
  public:
-  WorkStealingQueues(uint32_t workers, size_t num_tasks) : queues_(workers) {
+  WorkStealingQueues(uint32_t workers, size_t num_tasks,
+                     obs::ShardedCounter& steals)
+      : queues_(workers), steals_(steals) {
     for (size_t t = 0; t < num_tasks; ++t) {
       queues_[t % workers].tasks.push_back(t);
     }
@@ -48,6 +50,7 @@ class WorkStealingQueues {
       if (!victim.tasks.empty()) {
         out = victim.tasks.back();
         victim.tasks.pop_back();
+        steals_.Inc();
         return true;
       }
     }
@@ -60,6 +63,7 @@ class WorkStealingQueues {
     std::deque<size_t> tasks;
   };
   std::vector<Queue> queues_;
+  obs::ShardedCounter& steals_;
 };
 
 /// Delivers one run's paths to every sink of a deduplicated query group.
@@ -145,9 +149,34 @@ QueryEngine::QueryEngine(const GraphView& view, const EngineOptions& opts,
     cache_ = std::make_unique<IndexCache>(opts.cache);
     batch_build_min_ = opts.batch_build_min;
   }
+
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  const std::string label =
+      "engine=\"" + std::to_string(reg.NextInstanceId()) + "\"";
+  reg.RegisterCounter(this, "pathenum_engine_batches_total", label,
+                      &batches_run_);
+  reg.RegisterCounter(this, "pathenum_engine_split_queries_total", label,
+                      &split_queries_run_);
+  reg.RegisterCounter(this, "pathenum_engine_steals_total", label, &steals_);
+  reg.RegisterGauge(this, "pathenum_engine_workers", label,
+                    [this] { return static_cast<double>(pool_.num_workers()); });
+  // Context-derived gauges: reading races RebindGraph exactly like Stats()
+  // does — both are caller-serialized operator surfaces.
+  reg.RegisterGauge(this, "pathenum_engine_scratch_bytes", label, [this] {
+    size_t bytes = 0;
+    for (const auto& ctx : contexts_) bytes += ctx->ScratchBytes();
+    return static_cast<double>(bytes);
+  });
+  reg.RegisterGauge(this, "pathenum_engine_queries_run", label, [this] {
+    uint64_t n = split_queries_run_.Value();
+    for (const auto& ctx : contexts_) n += ctx->queries_run();
+    return static_cast<double>(n);
+  });
 }
 
-QueryEngine::~QueryEngine() = default;
+QueryEngine::~QueryEngine() {
+  obs::MetricRegistry::Global().UnregisterOwner(this);
+}
 
 void QueryEngine::InvalidateCaches() {
   // Align the cache's version with the bound view so publications resume
@@ -213,7 +242,7 @@ BatchResult QueryEngine::RunBatch(std::span<const Query> queries,
   result.stats.resize(queries.size());
   result.errors.resize(queries.size());
   result.states.resize(queries.size(), QueryState::kOk);
-  ++batches_run_;
+  batches_run_.Inc();
   IndexCache* cache =
       (opts.use_cache && cache_ != nullptr) ? cache_.get() : nullptr;
   if (cache != nullptr && view_.version() > cache->version()) {
@@ -391,13 +420,22 @@ void QueryEngine::RunStealing(std::span<const Query> queries,
   // threads park instead of oversubscribing the host.
   const uint32_t active = ClampedWorkers(groups.size());
   result.workers = active;
-  WorkStealingQueues queues(active, groups.size());
+  // One span per group (duplicates share their representative's run):
+  // admitted here, queue_wait measures batch start → worker claim.
+  std::vector<obs::QuerySpan> spans(groups.size());
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    const Query& q = queries[groups[gi].rep];
+    spans[gi].Begin(q.source, q.target, q.hops);
+  }
+  WorkStealingQueues queues(active, groups.size(), steals_);
   pool_.RunOnWorkers(active, [&](uint32_t worker) {
     QueryContext& ctx = *contexts_[worker];
     size_t task;
     while (queues.Pop(worker, task)) {
       const TaskGroup& group = groups[task];
       const size_t rep = group.rep;
+      obs::QuerySpan& span = spans[task];
+      span.Mark(obs::SpanStage::kQueueWait);
       // Per-query fault isolation: a rejected or failed query reports its
       // error/state and the worker moves on; the context re-arms every
       // limit per run.
@@ -409,13 +447,15 @@ void QueryEngine::RunStealing(std::span<const Query> queries,
           result.errors[dup] = result.errors[rep];
           result.states[dup] = QueryState::kRejected;
         }
+        span.Finish(QueryState::kRejected);
         continue;
       }
       try {
         if (group.extra.empty()) {
-          result.stats[rep] =
-              ctx.RunCached(queries[rep], *sinks[rep], opts.query, cache);
+          result.stats[rep] = ctx.RunCached(queries[rep], *sinks[rep],
+                                            opts.query, cache, &span);
           result.states[rep] = result.stats[rep].counters.TerminalState();
+          span.Finish(result.states[rep]);
         } else {
           std::vector<PathSink*> fan_sinks;
           fan_sinks.reserve(group.extra.size() + 1);
@@ -423,7 +463,7 @@ void QueryEngine::RunStealing(std::span<const Query> queries,
           for (const size_t dup : group.extra) fan_sinks.push_back(sinks[dup]);
           FanoutSink fan(std::move(fan_sinks));
           const QueryStats stats =
-              ctx.RunCached(queries[rep], fan, opts.query, cache);
+              ctx.RunCached(queries[rep], fan, opts.query, cache, &span);
           ctx.NoteFanout(group.extra.size());
           // Each duplicate reports the shared run's stats, adjusted to what
           // its own sink observed: a sink that stopped early looks exactly
@@ -439,6 +479,10 @@ void QueryEngine::RunStealing(std::span<const Query> queries,
             result.stats[qi] = mine;
             result.states[qi] = mine.counters.TerminalState();
           }
+          // Distributing the shared run to the duplicates' stats is the
+          // batch path's merge stage.
+          span.Mark(obs::SpanStage::kMerge);
+          span.Finish(result.states[rep]);
         }
       } catch (const std::logic_error& e) {
         result.errors[rep] = e.what();
@@ -447,6 +491,7 @@ void QueryEngine::RunStealing(std::span<const Query> queries,
           result.errors[dup] = e.what();
           result.states[dup] = QueryState::kRejected;
         }
+        span.Finish(QueryState::kRejected);
       } catch (const std::exception& e) {
         result.errors[rep] = e.what();
         result.states[rep] = QueryState::kError;
@@ -454,6 +499,7 @@ void QueryEngine::RunStealing(std::span<const Query> queries,
           result.errors[dup] = e.what();
           result.states[dup] = QueryState::kError;
         }
+        span.Finish(QueryState::kError);
       }
     }
   });
@@ -473,10 +519,17 @@ QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
   ValidateQuery(view_, q);
   QueryStats stats;
   Timer total;
+  // The span begins after validation (throws above never record) and is
+  // finished on every return path below.
+  obs::QuerySpan span;
+  span.Begin(q.source, q.target, q.hops);
+  span.SetSplit();
 
   if (oracle_ != nullptr && !oracle_->Within(q.source, q.target, q.hops)) {
     stats.total_ms = total.ElapsedMs();
     stats.response_ms = stats.total_ms;
+    span.Mark(obs::SpanStage::kIndexAcquire);
+    span.Finish(stats.counters.TerminalState());
     return stats;
   }
 
@@ -489,6 +542,9 @@ QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
   const std::shared_ptr<const LightweightIndex> index =
       contexts_[0]->AcquireIndex(q, PathEnumerator::BuildOptionsFor(q, opts),
                                  cache, stats);
+  span.SetIndexOutcome(stats.index_cache_hit, false,
+                       index->build_stats().batched);
+  span.Mark(obs::SpanStage::kIndexAcquire);
 
   if (index->build_stats().interrupted) {
     // Deadline/cancel tripped the build: no fan-out, zero paths, the
@@ -500,7 +556,8 @@ QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
     }
     stats.total_ms = total.ElapsedMs();
     stats.response_ms = stats.total_ms;
-    ++split_queries_run_;
+    split_queries_run_.Inc();
+    span.Finish(stats.counters.TerminalState());
     return stats;
   }
 
@@ -510,6 +567,9 @@ QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
   stats.cut_position = plan.cut;
 
   Timer enum_timer;
+  // One absolute deadline for the whole fan-out: every branch/unit derives
+  // its remaining budget from it instead of re-subtracting elapsed time.
+  const Deadline enum_deadline = Deadline::AfterMs(opts.time_limit_ms);
   EnumCounters counters;
   const uint32_t s_slot = index->source_slot();
   if (s_slot != kInvalidSlot) {
@@ -518,8 +578,8 @@ QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
     BranchGate gate(opts.result_limit, opts.response_target, enum_timer);
     BranchSink shared(gate, sink, BranchSink::Mode::kSerialized);
     if (plan.method == Method::kJoin) {
-      RunSplitJoin(*index, plan.cut, gate, shared, opts, enum_timer,
-                   active_workers, counters);
+      RunSplitJoin(*index, plan.cut, gate, shared, opts, enum_deadline,
+                   active_workers, counters, span);
     } else {
       const auto branches = index->OutSlotsWithin(s_slot, index->hops() - 1);
       std::atomic<uint32_t> cursor{0};
@@ -528,11 +588,13 @@ QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
       pool_.RunOnWorkers(active_workers, [&](uint32_t worker) {
         per_worker[worker] = internal::DrainBranches(
             contexts_[worker]->split_dfs(), *index, branches, cursor, shared,
-            opts, enum_timer, &stop_claims);
+            opts, enum_deadline, &stop_claims);
       });
+      span.Mark(obs::SpanStage::kEnumerate);
       internal::FinishFanout(counters, per_worker, /*root_partials=*/1,
                              /*root_edges=*/branches.size(), gate.delivered(),
                              gate.response_ms(), opts);
+      span.Mark(obs::SpanStage::kMerge);
     }
   }
 
@@ -543,15 +605,17 @@ QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
   stats.response_ms = counters.response_ms >= 0.0
                           ? preprocessing + counters.response_ms
                           : stats.total_ms;
-  ++split_queries_run_;
+  split_queries_run_.Inc();
+  span.Finish(stats.counters.TerminalState());
   return stats;
 }
 
 void QueryEngine::RunSplitJoin(const LightweightIndex& index, uint32_t cut,
                                BranchGate& gate, BranchSink& shared,
                                const EnumOptions& opts,
-                               const Timer& enum_timer,
-                               uint32_t active_workers, EnumCounters& out) {
+                               const Deadline& enum_deadline,
+                               uint32_t active_workers, EnumCounters& out,
+                               obs::QuerySpan& span) {
   const uint32_t k = index.hops();
   const uint32_t left_width = cut + 1;
   const uint32_t right_width = k - cut + 1;
@@ -601,7 +665,8 @@ void QueryEngine::RunSplitJoin(const LightweightIndex& index, uint32_t cut,
     while (!stop_claims.load(std::memory_order_relaxed)) {
       const uint32_t u = cursor.fetch_add(1, std::memory_order_relaxed);
       if (u > starts.size()) break;
-      const EnumOptions unit_opts = internal::BranchOptions(opts, enum_timer);
+      const EnumOptions unit_opts =
+          internal::BranchOptions(opts, enum_deadline);
       EnumCounters c;
       if (u == 0) {
         c = join.MaterializeUnit(index, index.source_slot(), /*base=*/0,
@@ -632,6 +697,9 @@ void QueryEngine::RunSplitJoin(const LightweightIndex& index, uint32_t cut,
       }
     }
   });
+  // The unit barrier ends the enumerate stage; key-filtering, grouping and
+  // the probe fan-out below are the join's merge work.
+  span.Mark(obs::SpanStage::kEnumerate);
 
   // --- Merge barrier: key-filter the per-start ranges into groups. -------
   size_t right_total = 0;
@@ -671,7 +739,7 @@ void QueryEngine::RunSplitJoin(const LightweightIndex& index, uint32_t cut,
         const size_t begin = static_cast<size_t>(chunk) * kProbeChunk;
         const EnumCounters c = join.ProbeUnit(
             index, cut, left, begin, std::min(begin + kProbeChunk, num_left),
-            groups, shared, internal::BranchOptions(opts, enum_timer));
+            groups, shared, internal::BranchOptions(opts, enum_deadline));
         if (!internal::AccumulateBranch(mine, c)) {
           probe_stop.store(true, std::memory_order_relaxed);
           break;
@@ -683,6 +751,7 @@ void QueryEngine::RunSplitJoin(const LightweightIndex& index, uint32_t cut,
   internal::FinishFanout(out, unit_counters, /*root_partials=*/0,
                          /*root_edges=*/0, gate.delivered(),
                          gate.response_ms(), opts);
+  span.Mark(obs::SpanStage::kMerge);
   // This query's footprint is the materialized sizes plus the key/group
   // tables, not the pooled buffers' retained capacity.
   out.peak_partial_bytes =
@@ -696,8 +765,9 @@ QueryEngine::EngineStats QueryEngine::Stats() const {
     s.scratch_bytes += ctx->ScratchBytes();
     s.queries_run += ctx->queries_run();
   }
-  s.queries_run += split_queries_run_;
-  s.batches_run = batches_run_;
+  s.queries_run += split_queries_run_.Value();
+  s.batches_run = batches_run_.Value();
+  s.steals = steals_.Value();
   return s;
 }
 

@@ -28,6 +28,8 @@
 #include "graph/view.h"
 #include "engine/query_context.h"
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace pathenum {
 
@@ -203,6 +205,9 @@ class QueryEngine {
     size_t scratch_bytes = 0;    // reusable scratch across all contexts
     uint64_t queries_run = 0;    // queries executed since construction
     uint64_t batches_run = 0;
+    /// Whole-query steals in RunStealing (a worker claiming a task from
+    /// another worker's deque).
+    uint64_t steals = 0;
   };
   EngineStats Stats() const;
 
@@ -236,8 +241,9 @@ class QueryEngine {
   /// `shared` sink. Merged counters land in `out`.
   void RunSplitJoin(const LightweightIndex& index, uint32_t cut,
                     BranchGate& gate, BranchSink& shared,
-                    const EnumOptions& opts, const Timer& enum_timer,
-                    uint32_t active_workers, EnumCounters& out);
+                    const EnumOptions& opts, const Deadline& enum_deadline,
+                    uint32_t active_workers, EnumCounters& out,
+                    obs::QuerySpan& span);
 
   /// min(pool, tasks, hardware cores), at least 1.
   uint32_t ClampedWorkers(size_t tasks) const;
@@ -267,8 +273,11 @@ class QueryEngine {
   /// fields) suffices and bounds the batched-build memory.
   IndexBuilder batch_builder_;
   uint32_t batch_build_min_ = 0;
-  uint64_t batches_run_ = 0;
-  uint64_t split_queries_run_ = 0;
+  /// ShardedCounter storage (DESIGN.md §12): Stats() and the registry's
+  /// `pathenum_engine_*` metrics read the same slots.
+  obs::ShardedCounter batches_run_;
+  obs::ShardedCounter split_queries_run_;
+  obs::ShardedCounter steals_;
 };
 
 }  // namespace pathenum

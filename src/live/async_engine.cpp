@@ -49,6 +49,12 @@ uint64_t QueryTicket::snapshot_version() const {
   return state_->snapshot_version;
 }
 
+obs::QuerySpanData QueryTicket::span() const {
+  PATHENUM_CHECK_MSG(state_ != nullptr, "querying an invalid ticket");
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->span_data;
+}
+
 // ---------------------------------------------------------------------------
 // AsyncEngine
 // ---------------------------------------------------------------------------
@@ -70,9 +76,39 @@ AsyncEngine::AsyncEngine(Graph base, const AsyncEngineOptions& opts)
   // thread exists only to own the blocking RunOnAllWorkers call.
   runner_ = std::thread(
       [this] { pool_.RunOnAllWorkers([this](uint32_t w) { WorkerLoop(w); }); });
+
+#if PATHENUM_OBS
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  const std::string label =
+      "engine=\"" + std::to_string(reg.NextInstanceId()) + "\"";
+  const auto counter = [&](const char* name, obs::ShardedCounter* c) {
+    reg.RegisterCounter(this, name, label, c);
+  };
+  counter("pathenum_async_submitted_total", &submitted_);
+  counter("pathenum_async_executed_total", &executed_);
+  counter("pathenum_async_queue_rejects_total", &queue_rejects_);
+  counter("pathenum_async_sheds_total", &sheds_);
+  counter("pathenum_async_cancelled_before_run_total", &cancelled_before_run_);
+  counter("pathenum_async_batched_builds_total", &batched_builds_);
+  counter("pathenum_async_batched_edges_scanned_total",
+          &batched_edges_scanned_);
+  counter("pathenum_async_batched_solo_edges_total", &batched_solo_edges_);
+  reg.RegisterGauge(this, "pathenum_async_queue_depth", label, [this] {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    return static_cast<uint64_t>(queue_.size());
+  });
+  reg.RegisterGauge(this, "pathenum_async_snapshot_version", label,
+                    [this] { return snapshots_.version(); });
+  reg.RegisterGauge(this, "pathenum_async_workers", label, [this] {
+    return static_cast<uint64_t>(pool_.num_workers());
+  });
+#endif
 }
 
-AsyncEngine::~AsyncEngine() { Shutdown(); }
+AsyncEngine::~AsyncEngine() {
+  Shutdown();
+  obs::MetricRegistry::Global().UnregisterOwner(this);
+}
 
 QueryTicket AsyncEngine::Submit(const Query& q, PathSink& sink,
                                 const EnumOptions& opts) {
@@ -110,6 +146,7 @@ QueryTicket AsyncEngine::Submit(const Query& q, PathSink& sink,
   task.split = opts.split_branches;
   task.state = state;
   WireCancel(state->cancel, task.opts);
+  task.span.Begin(q.source, q.target, q.hops);
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     if (opts_.shed_policy == AsyncEngineOptions::ShedPolicy::kCancelOldest) {
@@ -131,7 +168,7 @@ QueryTicket AsyncEngine::Submit(const Query& q, PathSink& sink,
     task.snapshot = snapshots_.Current();
     state->snapshot_version = task.snapshot->version();
     queue_.push_back(std::move(task));
-    ++submitted_;
+    submitted_.Inc();
   }
   queue_not_empty_.notify_one();
   return QueryTicket(std::move(state));
@@ -148,10 +185,11 @@ QueryTicket AsyncEngine::TrySubmit(const Query& q, PathSink& sink,
   task.split = opts.split_branches;
   task.state = state;
   WireCancel(state->cancel, task.opts);
+  task.span.Begin(q.source, q.target, q.hops);
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     if (shutdown_) {
-      ++queue_rejects_;
+      queue_rejects_.Inc();
       return QueryTicket();
     }
     if (queue_.size() >= opts_.max_queue) {
@@ -159,7 +197,7 @@ QueryTicket AsyncEngine::TrySubmit(const Query& q, PathSink& sink,
           AsyncEngineOptions::ShedPolicy::kCancelOldest) {
         ShedOldestLocked();  // make room; this submission is admitted
       } else {
-        ++queue_rejects_;
+        queue_rejects_.Inc();
         if (retry_after_ms != nullptr) *retry_after_ms = RetryAfterLockedMs();
         return QueryTicket();
       }
@@ -167,7 +205,7 @@ QueryTicket AsyncEngine::TrySubmit(const Query& q, PathSink& sink,
     task.snapshot = snapshots_.Current();
     state->snapshot_version = task.snapshot->version();
     queue_.push_back(std::move(task));
-    ++submitted_;
+    submitted_.Inc();
   }
   queue_not_empty_.notify_one();
   return QueryTicket(std::move(state));
@@ -176,10 +214,12 @@ QueryTicket AsyncEngine::TrySubmit(const Query& q, PathSink& sink,
 void AsyncEngine::ShedOldestLocked() {
   Submission victim = std::move(queue_.front());
   queue_.pop_front();
-  ++sheds_;
+  sheds_.Inc();
   QueryStats stats;
   stats.counters.cancelled = true;
-  Complete(*victim.state, stats, "", QueryState::kCancelled);
+  // The victim's whole life was queue wait; its span records that.
+  victim.span.Mark(obs::SpanStage::kQueueWait);
+  Complete(*victim.state, stats, "", QueryState::kCancelled, &victim.span);
 }
 
 double AsyncEngine::RetryAfterLockedMs() const {
@@ -187,8 +227,11 @@ double AsyncEngine::RetryAfterLockedMs() const {
   // typical query; before any query completed the hint is a nominal 1ms.
   const double per_query = avg_exec_ms_ > 0.0 ? avg_exec_ms_ : 1.0;
   const double backlog = static_cast<double>(queue_.size() + in_flight_);
-  return per_query * (backlog + 1.0) /
-         static_cast<double>(std::max(1u, pool_.num_workers()));
+  const double est_ms = per_query * (backlog + 1.0) /
+                        static_cast<double>(std::max(1u, pool_.num_workers()));
+  // Round-trip through an absolute Deadline: the hint the caller receives
+  // is exactly what a Deadline armed now for the backlog would report.
+  return Deadline::AfterMs(est_ms).RemainingMs();
 }
 
 uint64_t AsyncEngine::SubmitUpdate(const GraphDelta& delta) {
@@ -242,7 +285,8 @@ void AsyncEngine::Shutdown(bool cancel_pending) {
   for (Submission& task : orphans) {
     QueryStats stats;
     stats.counters.cancelled = true;
-    Complete(*task.state, stats, "", QueryState::kCancelled);
+    task.span.Mark(obs::SpanStage::kQueueWait);
+    Complete(*task.state, stats, "", QueryState::kCancelled, &task.span);
   }
   // Workers drain whatever remains queued (every ticket completes), then
   // exit.
@@ -295,7 +339,7 @@ void AsyncEngine::WorkerLoop(uint32_t worker) {
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
       --in_flight_;
-      ++executed_;
+      executed_.Inc();
       // EWMA of query wall time, feeding the TrySubmit retry-after hint.
       avg_exec_ms_ = avg_exec_ms_ == 0.0 ? exec_ms
                                          : 0.8 * avg_exec_ms_ + 0.2 * exec_ms;
@@ -335,8 +379,8 @@ void AsyncEngine::DrainSplitUnits(SplitJob& job, QueryContext& ctx) {
   EnumCounters mine;
   try {
     mine = internal::DrainBranches(ctx.split_dfs(), *job.index, job.branches,
-                                   job.cursor, job.sink, job.opts, job.timer,
-                                   &job.stop_claims);
+                                   job.cursor, job.sink, job.opts,
+                                   job.deadline, &job.stop_claims);
   } catch (const std::exception& e) {
     // A failing participant (a throwing sink, typically) fails the whole
     // ticket: stop the claiming loops and trip the per-ticket stop latch
@@ -420,13 +464,10 @@ void AsyncEngine::MaybeBatchPrebuild(Submission& task) {
       // terminal state); interrupted stubs are never published.
       if (built[i].build_stats().interrupted) continue;
       const Query& q = built[i].query();
-      batched_builds_.fetch_add(1, std::memory_order_relaxed);
-      batched_solo_edges_.fetch_add(built[i].build_stats().edges_scanned,
-                                    std::memory_order_relaxed);
+      batched_builds_.Inc();
+      batched_solo_edges_.Inc(built[i].build_stats().edges_scanned);
       if (!counted_shared) {
-        batched_edges_scanned_.fetch_add(
-            built[i].build_stats().batch_edges_scanned,
-            std::memory_order_relaxed);
+        batched_edges_scanned_.Inc(built[i].build_stats().batch_edges_scanned);
         counted_shared = true;
       }
       const CacheKey key{q.source, q.target, q.hops, fp};
@@ -444,14 +485,16 @@ void AsyncEngine::MaybeBatchPrebuild(Submission& task) {
 
 void AsyncEngine::Execute(QueryContext& ctx, Submission& task) {
   fault::Hit(fault::Site::kAsyncClaim);
+  // The worker's claim ends the queue-wait stage on every path below.
+  task.span.Mark(obs::SpanStage::kQueueWait);
   if (task.state->cancel.cancelled()) {
     // Cancelled while queued: complete without touching the sink at all.
     QueryStats stats;
     stats.counters.cancelled = true;
     // Count before Complete: a waiter woken by the completion must already
     // see this shed in stats().
-    cancelled_before_run_.fetch_add(1, std::memory_order_relaxed);
-    Complete(*task.state, stats, "", QueryState::kCancelled);
+    cancelled_before_run_.Inc();
+    Complete(*task.state, stats, "", QueryState::kCancelled, &task.span);
     return;
   }
   if (task.split) {
@@ -463,17 +506,21 @@ void AsyncEngine::Execute(QueryContext& ctx, Submission& task) {
     // The context runs on exactly the submission's snapshot; the rebind is
     // a view copy (scratch survives), free when the snapshot is unchanged.
     ctx.Rebind(*task.snapshot);
-    const QueryStats stats =
-        ctx.RunCached(task.query, *task.sink, task.opts, cache_.get());
-    Complete(*task.state, stats, "", stats.counters.TerminalState());
+    const QueryStats stats = ctx.RunCached(task.query, *task.sink, task.opts,
+                                           cache_.get(), &task.span);
+    Complete(*task.state, stats, "", stats.counters.TerminalState(),
+             &task.span);
   } catch (const std::logic_error& e) {
-    Complete(*task.state, QueryStats{}, e.what(), QueryState::kRejected);
+    Complete(*task.state, QueryStats{}, e.what(), QueryState::kRejected,
+             &task.span);
   } catch (const std::exception& e) {
-    Complete(*task.state, QueryStats{}, e.what(), QueryState::kError);
+    Complete(*task.state, QueryStats{}, e.what(), QueryState::kError,
+             &task.span);
   }
 }
 
 void AsyncEngine::ExecuteSplit(QueryContext& ctx, Submission& task) {
+  task.span.SetSplit();
   try {
     ctx.Rebind(*task.snapshot);
     ValidateQuery(*task.snapshot, task.query);
@@ -490,6 +537,9 @@ void AsyncEngine::ExecuteSplit(QueryContext& ctx, Submission& task) {
     const std::shared_ptr<const LightweightIndex> index = ctx.AcquireIndex(
         task.query, PathEnumerator::BuildOptionsFor(task.query, build_shape),
         cache_.get(), stats);
+    task.span.SetIndexOutcome(stats.index_cache_hit, false,
+                              index->build_stats().batched);
+    task.span.Mark(obs::SpanStage::kIndexAcquire);
 
     if (index->build_stats().interrupted) {
       // The ticket's deadline/cancel tripped the build: no fan-out, zero
@@ -501,7 +551,8 @@ void AsyncEngine::ExecuteSplit(QueryContext& ctx, Submission& task) {
       }
       stats.total_ms = total.ElapsedMs();
       stats.response_ms = stats.total_ms;
-      Complete(*task.state, stats, "", stats.counters.TerminalState());
+      Complete(*task.state, stats, "", stats.counters.TerminalState(),
+               &task.span);
       return;
     }
 
@@ -539,6 +590,9 @@ void AsyncEngine::ExecuteSplit(QueryContext& ctx, Submission& task) {
       {
         std::unique_lock<std::mutex> lock(job->mutex);
         job->helpers_done.wait(lock, [&] { return job->active_helpers == 0; });
+        // Every participant has left: enumeration is over, the fold below
+        // is this ticket's merge work.
+        task.span.Mark(obs::SpanStage::kEnumerate);
         split_error = job->error;
         internal::FinishFanout(counters, job->worker_counters,
                                /*root_partials=*/1,
@@ -546,12 +600,13 @@ void AsyncEngine::ExecuteSplit(QueryContext& ctx, Submission& task) {
                                job->gate.delivered(), job->gate.response_ms(),
                                task.opts);
       }
+      task.span.Mark(obs::SpanStage::kMerge);
       if (!split_error.empty()) {
         // A participant failed: the job was retired and every helper has
         // left (the barrier above), so the caller's sink is safe to
         // abandon — fail the ticket like the plain path would.
         Complete(*task.state, QueryStats{}, std::move(split_error),
-                 QueryState::kError);
+                 QueryState::kError, &task.span);
         return;
       }
       enumerate_ms = job->timer.ElapsedMs();
@@ -564,21 +619,27 @@ void AsyncEngine::ExecuteSplit(QueryContext& ctx, Submission& task) {
     stats.response_ms = counters.response_ms >= 0.0
                             ? preprocessing + counters.response_ms
                             : stats.total_ms;
-    Complete(*task.state, stats, "", stats.counters.TerminalState());
+    Complete(*task.state, stats, "", stats.counters.TerminalState(),
+             &task.span);
   } catch (const std::logic_error& e) {
-    Complete(*task.state, QueryStats{}, e.what(), QueryState::kRejected);
+    Complete(*task.state, QueryStats{}, e.what(), QueryState::kRejected,
+             &task.span);
   } catch (const std::exception& e) {
-    Complete(*task.state, QueryStats{}, e.what(), QueryState::kError);
+    Complete(*task.state, QueryStats{}, e.what(), QueryState::kError,
+             &task.span);
   }
 }
 
 void AsyncEngine::Complete(QueryTicket::State& state, const QueryStats& stats,
-                           std::string error, QueryState query_state) {
+                           std::string error, QueryState query_state,
+                           obs::QuerySpan* span) {
+  if (span != nullptr) span->Finish(query_state);
   {
     const std::lock_guard<std::mutex> lock(state.mutex);
     state.stats = stats;
     state.error = std::move(error);
     state.query_state = query_state;
+    if (span != nullptr) state.span_data = span->data();
     state.done = true;
   }
   state.cv.notify_all();
@@ -588,18 +649,16 @@ AsyncEngine::Stats AsyncEngine::stats() const {
   Stats s;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
-    s.submitted = submitted_;
-    s.executed = executed_;
-    s.queue_rejects = queue_rejects_;
-    s.sheds = sheds_;
+    s.submitted = submitted_.Value();
+    s.executed = executed_.Value();
+    s.queue_rejects = queue_rejects_.Value();
+    s.sheds = sheds_.Value();
     s.queue_depth = queue_.size();
   }
-  s.cancelled_before_run =
-      cancelled_before_run_.load(std::memory_order_relaxed);
-  s.batched_builds = batched_builds_.load(std::memory_order_relaxed);
-  s.batched_edges_scanned =
-      batched_edges_scanned_.load(std::memory_order_relaxed);
-  s.batched_solo_edges = batched_solo_edges_.load(std::memory_order_relaxed);
+  s.cancelled_before_run = cancelled_before_run_.Value();
+  s.batched_builds = batched_builds_.Value();
+  s.batched_edges_scanned = batched_edges_scanned_.Value();
+  s.batched_solo_edges = batched_solo_edges_.Value();
   const SnapshotManager::Stats snap = snapshots_.stats();
   s.updates = snap.updates;
   s.compactions = snap.compactions;

@@ -44,6 +44,8 @@
 #include "engine/query_context.h"
 #include "core/thread_pool.h"
 #include "live/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace pathenum {
 
@@ -135,6 +137,11 @@ class QueryTicket {
   /// The snapshot version this query observes (assigned at Submit).
   uint64_t snapshot_version() const;
 
+  /// The query's lifecycle span record (DESIGN.md §12): stage durations
+  /// from admission to completion. Meaningful after Done(); zeroed under
+  /// PATHENUM_OBS=0.
+  obs::QuerySpanData span() const;
+
  private:
   friend class AsyncEngine;
 
@@ -147,6 +154,7 @@ class QueryTicket {
     QueryState query_state = QueryState::kOk;
     CancelToken cancel;  // always cancellable; set at Submit
     uint64_t snapshot_version = 0;
+    obs::QuerySpanData span_data;  // copied from the finished span
   };
 
   explicit QueryTicket(std::shared_ptr<State> state)
@@ -250,6 +258,10 @@ class AsyncEngine {
     bool split = false;
     std::shared_ptr<const GraphView> snapshot;
     std::shared_ptr<QueryTicket::State> state;
+    /// Lifecycle span: begun at admission (queue_wait runs until a worker
+    /// claims the task) and finished on every completion path — run,
+    /// shed, pre-run cancel, or shutdown orphan.
+    obs::QuerySpan span;
   };
 
   /// One split ticket's shared fan-out state (DESIGN.md §8). The leader —
@@ -265,13 +277,17 @@ class AsyncEngine {
         : index(std::move(idx)),
           branches(branch_units),
           opts(query_opts),
+          deadline(Deadline::AfterMs(query_opts.time_limit_ms)),
           gate(query_opts.result_limit, query_opts.response_target, timer),
           sink(gate, inner, BranchSink::Mode::kSerialized) {}
 
     std::shared_ptr<const LightweightIndex> index;
     std::span<const uint32_t> branches;  // into *index, kept alive above
     const EnumOptions opts;
-    Timer timer;  // enumeration stopwatch; BranchOptions re-derives budgets
+    Timer timer;  // enumeration stopwatch (feeds enumerate_ms)
+    /// One absolute deadline for the whole fan-out; every unit derives its
+    /// remaining budget from it (DrainBranches/BranchOptions).
+    const Deadline deadline;
     BranchGate gate;
     BranchSink sink;
     std::atomic<uint32_t> cursor{0};
@@ -312,8 +328,11 @@ class AsyncEngine {
   /// counters in (leader and helpers share this path).
   static void DrainSplitUnits(SplitJob& job, QueryContext& ctx);
 
+  /// Finishes `span` with `query_state` (recording metrics / trace), copies
+  /// its record into the ticket state, and signals the waiters.
   static void Complete(QueryTicket::State& state, const QueryStats& stats,
-                       std::string error, QueryState query_state);
+                       std::string error, QueryState query_state,
+                       obs::QuerySpan* span = nullptr);
 
   /// Completes the oldest queued submission as kCancelled (the
   /// kCancelOldest shed); queue_mutex_ must be held and queue_ non-empty.
@@ -339,21 +358,24 @@ class AsyncEngine {
   std::deque<std::shared_ptr<SplitJob>> split_jobs_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
-  uint64_t submitted_ = 0;
-  uint64_t executed_ = 0;
-  uint64_t queue_rejects_ = 0;
-  uint64_t sheds_ = 0;
+  /// Lifecycle counters, registered as pathenum_async_* metrics. The first
+  /// four are only ever written under queue_mutex_; ShardedCounter storage
+  /// keeps them registry-readable without the lock.
+  obs::ShardedCounter submitted_;
+  obs::ShardedCounter executed_;
+  obs::ShardedCounter queue_rejects_;
+  obs::ShardedCounter sheds_;
   /// EWMA of per-query wall time, feeding the retry-after hint.
   double avg_exec_ms_ = 0.0;
-  std::atomic<uint64_t> cancelled_before_run_{0};
+  obs::ShardedCounter cancelled_before_run_;
 
   /// Batched-prebuild state (MaybeBatchPrebuild): one builder guarded by a
   /// try_lock mutex — concurrent claimers skip batching rather than queue.
   std::mutex batch_mutex_;
   IndexBuilder batch_builder_;
-  std::atomic<uint64_t> batched_builds_{0};
-  std::atomic<uint64_t> batched_edges_scanned_{0};
-  std::atomic<uint64_t> batched_solo_edges_{0};
+  obs::ShardedCounter batched_builds_;
+  obs::ShardedCounter batched_edges_scanned_;
+  obs::ShardedCounter batched_solo_edges_;
 
   std::mutex update_mutex_;  // serializes Prepare..BeginEpoch..Publish
   std::mutex shutdown_mutex_;  // serializes the runner join

@@ -1,6 +1,7 @@
 #include "live/snapshot.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 namespace pathenum {
@@ -14,6 +15,25 @@ SnapshotManager::SnapshotManager(std::shared_ptr<const Graph> base,
   PATHENUM_CHECK(base != nullptr);
   current_ = std::make_shared<const GraphView>(std::move(base), nullptr,
                                                /*version=*/0);
+#if PATHENUM_OBS
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  const std::string label =
+      "snapshot=\"" + std::to_string(reg.NextInstanceId()) + "\"";
+  reg.RegisterCounter(this, "pathenum_snapshot_updates_total", label,
+                      &updates_);
+  reg.RegisterCounter(this, "pathenum_snapshot_compactions_total", label,
+                      &compactions_);
+  reg.RegisterGauge(this, "pathenum_snapshot_version", label,
+                    [this] { return static_cast<double>(version()); });
+  reg.RegisterGauge(this, "pathenum_snapshot_overlay_bytes", label, [this] {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<double>(current_->OverlayBytes());
+  });
+#endif
+}
+
+SnapshotManager::~SnapshotManager() {
+  obs::MetricRegistry::Global().UnregisterOwner(this);
 }
 
 std::shared_ptr<const GraphView> SnapshotManager::Current() const {
@@ -61,8 +81,8 @@ void SnapshotManager::Publish(const Epoch& epoch) {
   PATHENUM_CHECK_MSG(epoch.snapshot->version() == current_->version() + 1,
                      "epochs must publish in order (serialize the updater)");
   current_ = epoch.snapshot;
-  ++updates_;
-  if (epoch.compacted) ++compactions_;
+  updates_.Inc();
+  if (epoch.compacted) compactions_.Inc();
 }
 
 SnapshotManager::Epoch SnapshotManager::Apply(const GraphDelta& delta) {
@@ -74,8 +94,8 @@ SnapshotManager::Epoch SnapshotManager::Apply(const GraphDelta& delta) {
 SnapshotManager::Stats SnapshotManager::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   Stats s;
-  s.updates = updates_;
-  s.compactions = compactions_;
+  s.updates = updates_.Value();
+  s.compactions = compactions_.Value();
   s.overlay_bytes = current_->OverlayBytes();
   return s;
 }

@@ -23,6 +23,7 @@
 
 #include "graph/view.h"
 #include "live/impact.h"
+#include "obs/metrics.h"
 
 namespace pathenum {
 
@@ -45,6 +46,10 @@ class SnapshotManager {
   explicit SnapshotManager(Graph base, const SnapshotOptions& opts = {});
   explicit SnapshotManager(std::shared_ptr<const Graph> base,
                            const SnapshotOptions& opts = {});
+  ~SnapshotManager();
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
 
   /// The latest published snapshot. Callers hold the shared_ptr for as long
   /// as they enumerate it (MVCC: later epochs never disturb it).
@@ -82,10 +87,12 @@ class SnapshotManager {
 
  private:
   SnapshotOptions opts_;
-  mutable std::mutex mutex_;  // guards current_ and the counters
+  mutable std::mutex mutex_;  // guards current_
   std::shared_ptr<const GraphView> current_;
-  uint64_t updates_ = 0;
-  uint64_t compactions_ = 0;
+  /// Only written under mutex_; ShardedCounter storage keeps them
+  /// registry-readable without it (pathenum_snapshot_* metrics).
+  obs::ShardedCounter updates_;
+  obs::ShardedCounter compactions_;
 };
 
 }  // namespace pathenum

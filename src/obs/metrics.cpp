@@ -1,0 +1,295 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace pathenum::obs {
+
+uint32_t internal::ThisThreadSlot() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void Histogram::Observe(double ms) {
+  if (!(ms >= 0.0)) ms = 0.0;  // also catches NaN
+  const double us = ms * 1000.0;
+  uint32_t b;
+  if (us < 1.0) {
+    b = 0;
+  } else {
+    const uint64_t whole =
+        us >= 9.2e18 ? ~uint64_t{0} : static_cast<uint64_t>(us);
+    b = std::min<uint32_t>(kBuckets - 1, std::bit_width(whole));
+  }
+  const uint64_t ns = ms >= 9.2e15
+                          ? ~uint64_t{0}
+                          : static_cast<uint64_t>(std::llround(ms * 1e6));
+  Shard& s = shards_[internal::ThisThreadSlot() % kShards];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot out;
+  uint64_t sum_ns = 0;
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    sum_ns += s.sum_ns.load(std::memory_order_relaxed);
+    for (uint32_t b = 0; b < kBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  out.sum_ms = static_cast<double>(sum_ns) / 1e6;
+  return out;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return BucketUpperMs(b);
+  }
+  return BucketUpperMs(kBuckets - 1);
+}
+
+#if PATHENUM_OBS
+
+namespace {
+
+struct BorrowedCounter {
+  const void* owner;
+  std::string name;
+  std::string labels;
+  const ShardedCounter* counter;
+};
+
+struct BorrowedGauge {
+  const void* owner;
+  std::string name;
+  std::string labels;
+  std::function<double()> read;
+};
+
+std::string Key(std::string_view name, std::string_view labels) {
+  std::string k(name);
+  if (!labels.empty()) {
+    k += '{';
+    k += labels;
+    k += '}';
+  }
+  return k;
+}
+
+void AppendJsonNumber(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  os << v;
+}
+
+// Metric keys carry `label="value"` quotes, which must be escaped inside
+// a JSON string.
+void AppendJsonKey(std::ostringstream& os, const std::string& key) {
+  os << '"';
+  for (const char c : key) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+struct MetricRegistry::Impl {
+  mutable std::mutex mutex;
+  std::atomic<uint64_t> next_instance{1};
+  std::vector<BorrowedCounter> counters;
+  std::vector<BorrowedGauge> gauges;
+  // Owned metrics live forever: instrumentation sites cache the raw
+  // pointers in function-local statics.
+  std::map<std::string, std::unique_ptr<ShardedCounter>> owned_counters;
+  std::map<std::string, std::unique_ptr<Histogram>> owned_histograms;
+};
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* r = new MetricRegistry();  // leaked: process scope
+  return *r;
+}
+
+MetricRegistry::Impl& MetricRegistry::impl() const {
+  static Impl* impl = new Impl();  // leaked: outlives static dtor order
+  return *impl;
+}
+
+uint64_t MetricRegistry::NextInstanceId() {
+  return impl().next_instance.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricRegistry::RegisterCounter(const void* owner, std::string name,
+                                     std::string labels,
+                                     const ShardedCounter* counter) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  im.counters.push_back(
+      {owner, std::move(name), std::move(labels), counter});
+}
+
+void MetricRegistry::RegisterGauge(const void* owner, std::string name,
+                                   std::string labels,
+                                   std::function<double()> read) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  im.gauges.push_back({owner, std::move(name), std::move(labels),
+                       std::move(read)});
+}
+
+void MetricRegistry::UnregisterOwner(const void* owner) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  std::erase_if(im.counters,
+                [owner](const BorrowedCounter& c) { return c.owner == owner; });
+  std::erase_if(im.gauges,
+                [owner](const BorrowedGauge& g) { return g.owner == owner; });
+}
+
+RegCounter* MetricRegistry::GetCounter(std::string_view name,
+                                       std::string_view labels) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto& slot = im.owned_counters[Key(name, labels)];
+  if (!slot) slot = std::make_unique<ShardedCounter>();
+  return slot.get();
+}
+
+RegHistogram* MetricRegistry::GetHistogram(std::string_view name,
+                                           std::string_view labels) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto& slot = im.owned_histograms[Key(name, labels)];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricRegistry::DumpText() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+
+  std::map<std::string, double> lines;  // sorted by full key
+  for (const BorrowedCounter& c : im.counters) {
+    lines[Key(c.name, c.labels)] += static_cast<double>(c.counter->Value());
+  }
+  for (const auto& [key, counter] : im.owned_counters) {
+    lines[key] += static_cast<double>(counter->Value());
+  }
+  for (const BorrowedGauge& g : im.gauges) {
+    lines[Key(g.name, g.labels)] += g.read();
+  }
+
+  std::ostringstream os;
+  os.precision(15);
+  for (const auto& [key, value] : lines) os << key << ' ' << value << '\n';
+
+  for (const auto& [key, hist] : im.owned_histograms) {
+    const Histogram::Snapshot snap = hist->Snap();
+    // Split "name{labels}" so the le bucket label composes.
+    const size_t brace = key.find('{');
+    const std::string name = key.substr(0, brace);
+    const std::string labels =
+        brace == std::string::npos
+            ? std::string()
+            : key.substr(brace + 1, key.size() - brace - 2) + ",";
+    uint64_t cumulative = 0;
+    for (uint32_t b = 0; b < Histogram::kBuckets; ++b) {
+      cumulative += snap.buckets[b];
+      if (snap.buckets[b] == 0 && b + 1 != Histogram::kBuckets) continue;
+      os << name << "_bucket{" << labels << "le=\""
+         << Histogram::BucketUpperMs(b) << "\"} " << cumulative << '\n';
+    }
+    os << name << "_bucket{" << labels << "le=\"+Inf\"} " << snap.count
+       << '\n';
+    os << name << "_sum" << (brace == std::string::npos ? "" : key.substr(brace))
+       << ' ' << snap.sum_ms << '\n';
+    os << name << "_count"
+       << (brace == std::string::npos ? "" : key.substr(brace)) << ' '
+       << snap.count << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricRegistry::DumpJson() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+
+  std::map<std::string, uint64_t> counters;
+  for (const BorrowedCounter& c : im.counters) {
+    counters[Key(c.name, c.labels)] += c.counter->Value();
+  }
+  for (const auto& [key, counter] : im.owned_counters) {
+    counters[key] += counter->Value();
+  }
+  std::map<std::string, double> gauges;
+  for (const BorrowedGauge& g : im.gauges) {
+    gauges[Key(g.name, g.labels)] += g.read();
+  }
+
+  std::ostringstream os;
+  os.precision(15);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [key, value] : counters) {
+    os << (first ? "" : ",");
+    AppendJsonKey(os, key);
+    os << ':' << value;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, value] : gauges) {
+    os << (first ? "" : ",");
+    AppendJsonKey(os, key);
+    os << ':';
+    AppendJsonNumber(os, value);
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, hist] : im.owned_histograms) {
+    const Histogram::Snapshot snap = hist->Snap();
+    os << (first ? "" : ",");
+    AppendJsonKey(os, key);
+    os << ":{\"count\":" << snap.count << ",\"sum_ms\":";
+    AppendJsonNumber(os, snap.sum_ms);
+    os << ",\"p50_ms\":";
+    AppendJsonNumber(os, snap.Quantile(0.50));
+    os << ",\"p99_ms\":";
+    AppendJsonNumber(os, snap.Quantile(0.99));
+    os << ",\"buckets\":[";
+    for (uint32_t b = 0; b < Histogram::kBuckets; ++b) {
+      os << (b == 0 ? "" : ",") << snap.buckets[b];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+#endif  // PATHENUM_OBS
+
+std::string DumpMetricsText() { return MetricRegistry::Global().DumpText(); }
+std::string DumpMetricsJson() { return MetricRegistry::Global().DumpJson(); }
+
+}  // namespace pathenum::obs

@@ -1,0 +1,223 @@
+// Unified metrics substrate (DESIGN.md §12): sharded counters, callback
+// gauges and log-bucket latency histograms behind one process-wide
+// MetricRegistry with Prometheus-style text and JSON exposition.
+//
+// Two tiers with different lifetimes and gating:
+//
+//  * `ShardedCounter` / `Histogram` are plain concurrency primitives and
+//    are ALWAYS compiled — subsystems use ShardedCounter as the storage
+//    for their own Stats() structs (IndexCacheStats, EngineStats, ...),
+//    so the functional counters exist with or without the obs layer.
+//    Increments touch one cacheline-padded per-thread slot (relaxed
+//    atomic add, no allocation); aggregation walks the slots only on
+//    read, preserving the zero-allocation steady state of DESIGN.md §9.
+//
+//  * The registry (naming, labels, exposition) and the registry-owned
+//    counters/histograms compile out under PATHENUM_OBS=0 (CMake option
+//    `PATHENUM_OBS`): Register*/Unregister become inline no-ops, Dump*
+//    return empty strings, and GetCounter/GetHistogram hand back no-op
+//    stubs so instrumentation sites need no #ifdefs.
+//
+// Naming scheme: `pathenum_<subsystem>_<metric>[_total|_bytes|_ms]` with
+// Prometheus-style `{key="value"}` labels; per-instance metrics (one
+// engine, one cache, ...) carry an instance label from NextInstanceId().
+#ifndef PATHENUM_OBS_METRICS_H_
+#define PATHENUM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#ifndef PATHENUM_OBS
+#define PATHENUM_OBS 1
+#endif
+
+namespace pathenum::obs {
+
+inline constexpr bool kEnabled = PATHENUM_OBS != 0;
+
+namespace internal {
+/// Stable per-thread shard index: round-robin assigned on a thread's first
+/// use, so any worker count spreads evenly over a fixed slot array.
+uint32_t ThisThreadSlot();
+}  // namespace internal
+
+/// Monotonic counter sharded over a small fixed set of cacheline-padded
+/// atomic slots. Each thread hashes to one slot (round-robin assignment on
+/// first use), so concurrent Inc() from the worker pool never contends on
+/// one cacheline. Value() sums the slots with acquire-free relaxed loads:
+/// it is exact once writers quiesce and monotonically fresh under load.
+/// Members are typically declared `mutable` so const accessors can count.
+class ShardedCounter {
+ public:
+  static constexpr uint32_t kSlots = 8;
+
+  ShardedCounter() = default;
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  void Inc(uint64_t n = 1) {
+    slots_[internal::ThisThreadSlot() % kSlots].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Slot& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v{0};
+  };
+
+  Slot slots_[kSlots];
+};
+
+/// Fixed log2-bucket latency histogram over microseconds, sharded like
+/// ShardedCounter. Bucket b counts observations with floor(log2(us)) + 1
+/// == b (bucket 0 is "< 1us", the last bucket absorbs overflow), so the
+/// bucket upper edge is 2^b microseconds. Observe() is two relaxed adds
+/// on one shard; Snap() merges shards on read.
+class Histogram {
+ public:
+  static constexpr uint32_t kBuckets = 32;
+  static constexpr uint32_t kShards = 4;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double ms);
+
+  /// Bucket upper edge in milliseconds (2^b microseconds).
+  static double BucketUpperMs(uint32_t b) {
+    return static_cast<double>(uint64_t{1} << b) / 1000.0;
+  }
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum_ms = 0.0;
+    uint64_t buckets[kBuckets] = {};
+
+    /// Nearest-rank quantile (q in [0,1]) reported as the holding bucket's
+    /// upper edge in ms — log2-resolution by construction, which is the
+    /// trade the fixed-footprint layout makes. 0 for an empty histogram.
+    double Quantile(double q) const;
+  };
+
+  Snapshot Snap() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_ns{0};
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+  };
+
+  Shard shards_[kShards];
+};
+
+#if PATHENUM_OBS
+
+using RegCounter = ShardedCounter;
+using RegHistogram = Histogram;
+
+/// Process-wide registry of named metrics. Two registration styles:
+///
+///  * Borrowed: a subsystem instance registers pointers to its own
+///    ShardedCounter members (or a gauge callback reading its state)
+///    under an `owner` token, and MUST UnregisterOwner(owner) in its
+///    destructor before those members die.
+///
+///  * Owned: GetCounter/GetHistogram lazily create a process-lifetime
+///    metric keyed by (name, labels) — for global streams with no
+///    natural instance (index builds, query spans).
+///
+/// Registration takes a mutex (cold: construction/destruction only);
+/// increments never touch the registry. Dump* snapshots under the mutex.
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global();
+
+  /// Monotonic id for building per-instance labels (`engine="3"`).
+  uint64_t NextInstanceId();
+
+  void RegisterCounter(const void* owner, std::string name, std::string labels,
+                       const ShardedCounter* counter);
+  void RegisterGauge(const void* owner, std::string name, std::string labels,
+                     std::function<double()> read);
+  void UnregisterOwner(const void* owner);
+
+  /// Registry-owned metrics, created on first use, never destroyed until
+  /// process exit. The returned pointer is valid forever; resolve once
+  /// into a static and Inc()/Observe() with zero further registry cost.
+  RegCounter* GetCounter(std::string_view name, std::string_view labels = {});
+  RegHistogram* GetHistogram(std::string_view name,
+                             std::string_view labels = {});
+
+  /// Prometheus-style text exposition: one `name{labels} value` line per
+  /// counter/gauge, `_bucket{le=...}/_sum/_count` triplets per histogram,
+  /// sorted by (name, labels) for stable diffs.
+  std::string DumpText() const;
+  /// The same data as one JSON object {"counters":{...},"gauges":{...},
+  /// "histograms":{...}}.
+  std::string DumpJson() const;
+
+ private:
+  MetricRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+#else  // !PATHENUM_OBS
+
+struct NoopCounter {
+  void Inc(uint64_t = 1) {}
+  uint64_t Value() const { return 0; }
+};
+struct NoopHistogram {
+  void Observe(double) {}
+};
+
+using RegCounter = NoopCounter;
+using RegHistogram = NoopHistogram;
+
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global() {
+    static MetricRegistry r;
+    return r;
+  }
+  uint64_t NextInstanceId() { return 0; }
+  void RegisterCounter(const void*, std::string, std::string,
+                       const ShardedCounter*) {}
+  void RegisterGauge(const void*, std::string, std::string,
+                     std::function<double()>) {}
+  void UnregisterOwner(const void*) {}
+  RegCounter* GetCounter(std::string_view, std::string_view = {}) {
+    static RegCounter c;
+    return &c;
+  }
+  RegHistogram* GetHistogram(std::string_view, std::string_view = {}) {
+    static RegHistogram h;
+    return &h;
+  }
+  std::string DumpText() const { return {}; }
+  std::string DumpJson() const { return "{}"; }
+};
+
+#endif  // PATHENUM_OBS
+
+/// Full exposition of the global registry (empty under PATHENUM_OBS=0).
+/// Callable from benches/examples at any point; cheap enough for a
+/// per-smoke-run dump, not meant for per-query use.
+std::string DumpMetricsText();
+std::string DumpMetricsJson();
+
+}  // namespace pathenum::obs
+
+#endif  // PATHENUM_OBS_METRICS_H_

@@ -1,0 +1,76 @@
+// Chrome-trace recorder (DESIGN.md §12): fixed-capacity per-thread ring
+// buffers of complete ("ph":"X") trace events, exported as Chrome
+// trace-event JSON loadable in chrome://tracing / Perfetto.
+//
+// Recording is sampling-gated: QuerySpan::Finish emits a span's events
+// only when the span was sampled (every Nth query; N from the
+// PATHENUM_OBS_SAMPLE env var or SetSampleEvery(), 0 = off, the default).
+// An emit appends a handful of fixed-size events to the calling thread's
+// ring under that ring's own mutex — uncontended in steady state, and
+// nothing is ever allocated after a thread's first emit. Rings overwrite
+// oldest events on wrap, so the export is "the most recent window", which
+// is what a tracing UI wants. Export merges all rings, sorted by
+// timestamp. Compiled out entirely under PATHENUM_OBS=0.
+#ifndef PATHENUM_OBS_TRACE_H_
+#define PATHENUM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/span.h"
+
+namespace pathenum::obs {
+
+#if PATHENUM_OBS
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Microseconds since the recorder's epoch (process start, roughly):
+  /// the `ts` base every emitted event uses.
+  uint64_t NowUs() const;
+
+  /// Appends the span's events to this thread's ring: one enclosing
+  /// "query" slice plus one nested slice per stage segment.
+  void EmitSpan(const QuerySpanData& span);
+
+  /// Chrome trace-event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}.
+  std::string ExportChromeJson() const;
+
+  /// Drops every recorded event (tests; not needed in production).
+  void Clear();
+
+  /// Sample every Nth query span (0 disables tracing). Initialized from
+  /// the PATHENUM_OBS_SAMPLE env var; settable at runtime from tests and
+  /// benches.
+  static uint32_t SampleEvery();
+  static void SetSampleEvery(uint32_t n);
+
+ private:
+  TraceRecorder();
+  struct Impl;
+  Impl* impl_;
+};
+
+#else  // !PATHENUM_OBS
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global() {
+    static TraceRecorder r;
+    return r;
+  }
+  uint64_t NowUs() const { return 0; }
+  void EmitSpan(const QuerySpanData&) {}
+  std::string ExportChromeJson() const { return "{\"traceEvents\":[]}"; }
+  void Clear() {}
+  static uint32_t SampleEvery() { return 0; }
+  static void SetSampleEvery(uint32_t) {}
+};
+
+#endif  // PATHENUM_OBS
+
+}  // namespace pathenum::obs
+
+#endif  // PATHENUM_OBS_TRACE_H_

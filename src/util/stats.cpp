@@ -29,7 +29,7 @@ Summary Summarize(const std::vector<double>& values) {
   return s;
 }
 
-double Percentile(std::vector<double> values, double p) {
+double PercentileInPlace(std::span<double> values, double p) {
   if (values.empty()) return 0.0;
   PATHENUM_CHECK(p >= 0.0 && p <= 100.0);
   std::sort(values.begin(), values.end());
@@ -42,6 +42,10 @@ double Percentile(std::vector<double> values, double p) {
       std::ceil(p / 100.0 * static_cast<double>(n) - 1e-9));
   rank = std::clamp<size_t>(rank, 1, n);
   return values[rank - 1];
+}
+
+double Percentile(std::vector<double> values, double p) {
+  return PercentileInPlace(values, p);
 }
 
 std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values,

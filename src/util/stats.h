@@ -4,6 +4,7 @@
 #define PATHENUM_UTIL_STATS_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace pathenum {
@@ -20,8 +21,15 @@ struct Summary {
 /// Computes count/mean/stddev/min/max of `values` (population stddev).
 Summary Summarize(const std::vector<double>& values);
 
-/// Nearest-rank percentile, `p` in [0, 100]. Returns 0 for empty input.
-/// p=50 is the median; p=99.9 is the paper's tail-latency metric (Fig. 8).
+/// Nearest-rank percentile over `values`, sorting them IN PLACE — no copy.
+/// `p` in [0, 100]; returns 0 for empty input. p=50 is the median; p=99.9
+/// is the paper's tail-latency metric (Fig. 8). Callers taking several
+/// percentiles of one sample leave it sorted between calls, so only the
+/// first call pays the sort.
+double PercentileInPlace(std::span<double> values, double p);
+
+/// Copying convenience wrapper over PercentileInPlace for callers that
+/// need their sample preserved.
 double Percentile(std::vector<double> values, double p);
 
 /// One (x, y) point of an empirical CDF.

@@ -49,6 +49,17 @@ class Deadline {
 
   bool Expired() const { return limited_ && Clock::now() >= end_; }
 
+  /// Remaining budget in milliseconds: +infinity for an unlimited
+  /// deadline, otherwise max(0, end - now). The canonical way to re-derive
+  /// a child budget (split branch options, retry hints) from one deadline
+  /// instead of recomputing limit-minus-elapsed at every site.
+  double RemainingMs() const {
+    if (!limited_) return std::numeric_limits<double>::infinity();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end_ - Clock::now()).count();
+    return ms > 0.0 ? ms : 0.0;
+  }
+
   /// True iff this deadline fires strictly before `other` (an unlimited
   /// deadline never fires). Used to pick the tighter of two budgets.
   bool ExpiresBefore(const Deadline& other) const {

@@ -1,8 +1,10 @@
 // Unit tests for the util subsystem: stats, RNG, timer, table formatting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <span>
 #include <sstream>
 
 #include "util/rng.h"
@@ -69,6 +71,26 @@ TEST(PercentileTest, NearestRankTail) {
 TEST(PercentileTest, RejectsOutOfRange) {
   EXPECT_THROW(Percentile({1.0}, -1.0), std::logic_error);
   EXPECT_THROW(Percentile({1.0}, 101.0), std::logic_error);
+}
+
+TEST(PercentileTest, InPlaceMatchesCopyingVariant) {
+  const std::vector<double> sample{7.0, 2.0, 9.0, 4.0, 1.0, 8.0};
+  for (const double p : {0.0, 25.0, 50.0, 90.0, 100.0}) {
+    std::vector<double> scratch = sample;
+    EXPECT_DOUBLE_EQ(PercentileInPlace(scratch, p), Percentile(sample, p));
+  }
+}
+
+TEST(PercentileTest, InPlaceSortsTheSample) {
+  std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(PercentileInPlace(v, 50.0), 2.0);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  // Repeated ranks on the now-sorted sample agree with the copying API.
+  EXPECT_DOUBLE_EQ(PercentileInPlace(v, 100.0), 3.0);
+}
+
+TEST(PercentileTest, InPlaceEmpty) {
+  EXPECT_EQ(PercentileInPlace(std::span<double>{}, 50.0), 0.0);
 }
 
 // --- EmpiricalCdf ----------------------------------------------------------
