@@ -31,6 +31,8 @@
 //   PATHENUM_BENCH_HEAVY_HOPS     split_heavy hop bound             (default 6)
 //   PATHENUM_BENCH_HEAVY_LIMIT    split_heavy per-query result limit
 //                                 (default 200000)
+//   PATHENUM_BENCH_UNSAT_QUERIES  unsat_flood batch size            (default
+//                                 1024, all cross-component → unsatisfiable)
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -44,6 +46,7 @@
 #include "core/path_enum.h"
 #include "engine/query_engine.h"
 #include "live/impact.h"
+#include "live/live_oracle.h"
 #include "live/snapshot.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -545,6 +548,159 @@ int main() {
     measurements.push_back(on_m);
   }
 
+  // --- Unsatisfiable-query flood (DESIGN.md §13). ------------------------
+  // Production fraud/link-prediction traffic floods the service with
+  // queries that have no answer. Oracle off, every one pays a per-query
+  // index build that explores its whole component before concluding "zero
+  // paths"; with the standing live oracle attached, the engine rejects it
+  // in O(1) label lookups before any work starts. The flood is
+  // cross-component on a deliberately disconnected graph, measured after a
+  // live update stream has pushed the oracle through correction and
+  // re-label epochs, and every oracle-on outcome is differentially checked
+  // against the oracle-off result count: a wrong rejection is reported as
+  // its own JSON field (must stay 0), not folded into an average.
+  const size_t unsat_count = EnvU64("PATHENUM_BENCH_UNSAT_QUERIES", 1024);
+  double unsat_off_ms = 0.0, unsat_on_ms = 0.0;
+  double unsat_reject_rate = 0.0;
+  uint64_t unsat_wrong_rejections = 0;
+  size_t unsat_mixed_count = 0;
+  {
+    // Eight 64-vertex random components, no cross edges: any
+    // cross-component query is unsatisfiable at every hop bound.
+    constexpr VertexId kComponents = 8;
+    constexpr VertexId kCompVerts = 8192;
+    Rng grng(417);
+    std::vector<std::pair<VertexId, VertexId>> comp_edges;
+    for (VertexId c = 0; c < kComponents; ++c) {
+      const VertexId base_v = c * kCompVerts;
+      for (VertexId i = 1; i < kCompVerts; ++i) {  // spanning path
+        comp_edges.emplace_back(base_v + i - 1, base_v + i);
+      }
+      for (VertexId e = 0; e < kCompVerts / 4; ++e) {  // random intra edges
+        comp_edges.emplace_back(
+            base_v + static_cast<VertexId>(grng.NextBounded(kCompVerts)),
+            base_v + static_cast<VertexId>(grng.NextBounded(kCompVerts)));
+      }
+    }
+    const auto flood_base = std::make_shared<const Graph>(
+        Graph::FromEdges(kComponents * kCompVerts, comp_edges));
+
+    // The timed flood is 100% unsatisfiable distinct pairs; the
+    // differential batch appends a satisfiable intra-component tail so the
+    // check is two-sided (rejects must be right AND sat queries must not
+    // be rejected).
+    Rng qrng(91);
+    std::vector<Query> flood;
+    flood.reserve(unsat_count);
+    for (size_t i = 0; i < unsat_count; ++i) {
+      const VertexId cs = static_cast<VertexId>(qrng.NextBounded(kComponents));
+      VertexId ct = static_cast<VertexId>(qrng.NextBounded(kComponents));
+      if (ct == cs) ct = (ct + 1) % kComponents;
+      flood.push_back(
+          Query{cs * kCompVerts +
+                    static_cast<VertexId>(qrng.NextBounded(kCompVerts)),
+                ct * kCompVerts +
+                    static_cast<VertexId>(qrng.NextBounded(kCompVerts)),
+                6});
+    }
+    std::vector<Query> mixed = flood;
+    for (VertexId c = 0; c < kComponents; ++c) {
+      mixed.push_back(Query{c * kCompVerts, c * kCompVerts + 4, 6});
+    }
+    unsat_mixed_count = mixed.size();
+
+    // Live stream: intra-component churn drives the oracle through
+    // correction epochs and synchronous re-label folds before measuring.
+    SnapshotOptions sopts;
+    sopts.max_hops = 6;
+    SnapshotManager snapshots(flood_base, sopts);
+    LiveOracleOptions oracle_opts;
+    oracle_opts.background_relabel = false;
+    oracle_opts.relabel_budget = 6;
+    LiveDistanceOracle oracle(snapshots.Current()->base(), oracle_opts);
+    snapshots.AttachOracle(&oracle);
+    Rng crng(58);
+    for (int e = 0; e < 4; ++e) {
+      GraphDelta delta;
+      for (int i = 0; i < 8; ++i) {
+        const VertexId comp =
+            static_cast<VertexId>(crng.NextBounded(kComponents)) * kCompVerts;
+        const VertexId u =
+            comp + static_cast<VertexId>(crng.NextBounded(kCompVerts));
+        const VertexId v =
+            comp + static_cast<VertexId>(crng.NextBounded(kCompVerts));
+        if (i % 3 == 0) {
+          delta.Delete(u, v);
+        } else {
+          delta.Insert(u, v);
+        }
+      }
+      snapshots.Apply(delta);
+    }
+    const SnapshotManager::Published pub = snapshots.CurrentPublished();
+
+    QueryEngine off_engine(*snapshots.Current(), {.num_workers = cw});
+    QueryEngine on_engine(*snapshots.Current(), {.num_workers = cw});
+    on_engine.SetLiveOracle(&oracle);
+    BatchOptions flood_batch;
+    flood_batch.query = opts;
+
+    const auto run_flood = [&](QueryEngine& engine,
+                               std::span<const Query> qs) -> BatchResult {
+      std::vector<CountingSink> sinks(qs.size());
+      std::vector<PathSink*> ptrs(qs.size());
+      for (size_t i = 0; i < qs.size(); ++i) ptrs[i] = &sinks[i];
+      return engine.RunBatch(*pub.snapshot, qs, ptrs, flood_batch);
+    };
+
+    // Differential pass (untimed, mixed workload): every oracle-on
+    // rejection must have an oracle-off count of zero, and the counts must
+    // agree everywhere.
+    const BatchResult diff_on = run_flood(on_engine, mixed);
+    const BatchResult diff_off = run_flood(off_engine, mixed);
+    uint64_t rejected = 0;
+    for (size_t i = 0; i < mixed.size(); ++i) {
+      if (diff_on.states[i] == QueryState::kUnsatisfiable) {
+        ++rejected;
+        if (diff_off.stats[i].counters.num_results != 0) {
+          ++unsat_wrong_rejections;
+        }
+      } else if (diff_on.stats[i].counters.num_results !=
+                 diff_off.stats[i].counters.num_results) {
+        ++unsat_wrong_rejections;  // divergence is as bad as a bad reject
+      }
+    }
+    unsat_reject_rate =
+        mixed.empty() ? 0.0
+                      : static_cast<double>(rejected) /
+                            static_cast<double>(mixed.size());
+
+    // Timed flood: all-unsatisfiable, reps averaged.
+    double off_sum = 0.0, on_sum = 0.0;
+    uint64_t off_results = 0, on_results = 0;
+    uint32_t off_active = cw, on_active = cw;
+    for (int r = 0; r < reps; ++r) {
+      const BatchResult off_b = run_flood(off_engine, flood);
+      off_sum += off_b.wall_ms;
+      off_results = off_b.TotalResults();
+      off_active = off_b.workers;
+      const BatchResult on_b = run_flood(on_engine, flood);
+      on_sum += on_b.wall_ms;
+      on_results = on_b.TotalResults();
+      on_active = on_b.workers;
+    }
+    unsat_off_ms = off_sum / reps;
+    unsat_on_ms = on_sum / reps;
+    Measurement off_m = Measure("unsat_flood_off", cw, true, flood.size(),
+                                unsat_off_ms, off_results);
+    off_m.active_workers = off_active;
+    Measurement on_m = Measure("unsat_flood_on", cw, true, flood.size(),
+                               unsat_on_ms, on_results);
+    on_m.active_workers = on_active;
+    measurements.push_back(off_m);
+    measurements.push_back(on_m);
+  }
+
   const double naive_qps = measurements[0].qps;
   std::printf("\n%-18s %-10s %-8s %-6s %12s %12s %14s\n", "config",
               "workers", "queries", "warm", "wall ms", "queries/s",
@@ -626,6 +782,21 @@ int main() {
               split_on_ms / std::max<size_t>(heavy_count, 1), split_workers,
               split_speedup);
 
+  const double unsat_speedup =
+      unsat_on_ms > 0.0 ? unsat_off_ms / unsat_on_ms : 0.0;
+  const double unsat_on_ns =
+      unsat_count > 0 ? unsat_on_ms * 1e6 / static_cast<double>(unsat_count)
+                      : 0.0;
+  const double unsat_off_ns =
+      unsat_count > 0 ? unsat_off_ms * 1e6 / static_cast<double>(unsat_count)
+                      : 0.0;
+  std::printf("  [unsat_flood] rejection: %.0f ns/query oracle-on vs %.0f "
+              "ns/query oracle-off (%.1fx, %zu queries, reject rate %.1f%%, "
+              "%llu wrong rejections)\n",
+              unsat_on_ns, unsat_off_ns, unsat_speedup, unsat_count,
+              unsat_reject_rate * 100.0,
+              static_cast<unsigned long long>(unsat_wrong_rejections));
+
   const char* json_env = std::getenv("PATHENUM_BENCH_JSON");
   const std::string json_path =
       json_env != nullptr ? json_env : "BENCH_throughput.json";
@@ -666,6 +837,15 @@ int main() {
         << ", \"serial_ms\": " << split_off_ms
         << ", \"split_ms\": " << split_on_ms
         << ", \"latency_speedup\": " << split_speedup << "},\n"
+        << "  \"unsat_flood\": {\"queries\": " << unsat_count
+        << ", \"mixed_queries\": " << unsat_mixed_count
+        << ", \"off_ms\": " << unsat_off_ms
+        << ", \"on_ms\": " << unsat_on_ms
+        << ", \"off_ns_per_query\": " << unsat_off_ns
+        << ", \"on_ns_per_query\": " << unsat_on_ns
+        << ", \"rejection_speedup\": " << unsat_speedup
+        << ", \"reject_rate\": " << unsat_reject_rate
+        << ", \"wrong_rejections\": " << unsat_wrong_rejections << "},\n"
         << "  \"measurements\": [\n";
     for (size_t i = 0; i < measurements.size(); ++i) {
       const Measurement& m = measurements[i];
@@ -707,6 +887,9 @@ int main() {
       "miss-dominated batch (the fused sweeps scan several times fewer "
       "adjacency entries than the summed solo builds). split_heavy_on "
       "should cut the serial heavy-query latency by roughly the core "
-      "count's share on a multi-core host (ties on a single core).");
+      "count's share on a multi-core host (ties on a single core). "
+      "unsat_flood_on should reject the all-unsatisfiable flood >= 50x "
+      "faster than unsat_flood_off pays per-query builds for it, with "
+      "wrong_rejections exactly 0 (the differential check).");
   return 0;
 }

@@ -33,7 +33,11 @@ enum class QueryState : uint8_t {
   kCancelled,         // CancelToken tripped mid-run (or mid-build)
   kRejected,          // never ran: validation failure or admission shed
   kError,             // internal failure (throwing sink, ...); see the message
+  kUnsatisfiable,     // oracle-certified dist(s,t) > k: complete empty result
 };
+
+/// Number of QueryState values (metric arrays index by state).
+inline constexpr size_t kNumQueryStates = 7;
 
 inline std::string_view QueryStateName(QueryState s) {
   switch (s) {
@@ -43,15 +47,19 @@ inline std::string_view QueryStateName(QueryState s) {
     case QueryState::kCancelled: return "Cancelled";
     case QueryState::kRejected: return "Rejected";
     case QueryState::kError: return "Error";
+    case QueryState::kUnsatisfiable: return "Unsatisfiable";
   }
   return "?";
 }
 
 /// True when the state guarantees the sink saw a well-formed result stream
 /// (every path delivered before the stop is a real path; no partial blocks).
+/// An unsatisfiable query delivered the complete (empty) result set without
+/// touching the sink.
 inline bool DeliveredResults(QueryState s) {
   return s == QueryState::kOk || s == QueryState::kTruncated ||
-         s == QueryState::kDeadlineExceeded || s == QueryState::kCancelled;
+         s == QueryState::kDeadlineExceeded || s == QueryState::kCancelled ||
+         s == QueryState::kUnsatisfiable;
 }
 
 /// Cooperative cancellation latch. Cheap to copy; all copies share the

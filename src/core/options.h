@@ -86,6 +86,9 @@ struct EnumCounters {
   bool out_of_memory = false;  // partial_memory_limit_bytes exceeded
   bool cancelled = false;      // EnumOptions::cancel tripped
   bool work_exceeded = false;  // EnumOptions::work_budget_edges exceeded
+  /// An oracle certified dist(s,t) > k: the run never started and the
+  /// (empty) result set is complete. Exclusive with every flag above.
+  bool oracle_rejected = false;
 
   bool completed() const {
     return !timed_out && !hit_result_limit && !stopped_by_sink &&
@@ -98,6 +101,7 @@ struct EnumCounters {
   /// here — they are assigned by the front-ends for runs that never
   /// started or died in a sink.
   QueryState TerminalState() const {
+    if (oracle_rejected) return QueryState::kUnsatisfiable;
     if (cancelled) return QueryState::kCancelled;
     if (timed_out) return QueryState::kDeadlineExceeded;
     if (hit_result_limit || stopped_by_sink || out_of_memory ||

@@ -3,10 +3,21 @@
 #include <algorithm>
 
 #include "graph/distance_oracle.h"
+#include "obs/metrics.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
 namespace pathenum {
+
+namespace internal {
+
+void NoteOracleDropped() {
+  static obs::RegCounter* dropped =
+      obs::MetricRegistry::Global().GetCounter("pathenum_oracle_dropped_total");
+  dropped->Inc();
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -73,6 +84,7 @@ QueryStats PathEnumerator::Run(const Query& q, PathSink& sink,
   QueryStats stats;
   Timer total;
   if (OracleRejects(q)) {
+    stats.counters.oracle_rejected = true;
     stats.total_ms = total.ElapsedMs();
     stats.response_ms = stats.total_ms;
     return stats;
@@ -183,6 +195,7 @@ QueryStats PathEnumerator::RunConstrained(const Query& q,
   QueryStats stats;
   Timer total;
   if (OracleRejects(q)) {
+    stats.counters.oracle_rejected = true;
     stats.total_ms = total.ElapsedMs();
     stats.response_ms = stats.total_ms;
     return stats;

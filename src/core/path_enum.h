@@ -25,6 +25,13 @@ namespace pathenum {
 
 class PrunedLandmarkIndex;
 
+namespace internal {
+/// Bumps the `pathenum_oracle_dropped_total` metric: an oracle was handed
+/// in alongside an overlay view (or failed a rebind) and was discarded
+/// instead of consulted. Defined in path_enum.cpp.
+void NoteOracleDropped();
+}  // namespace internal
+
 /// Facade over index construction, the optimizer and both enumerators.
 ///
 /// Owns every piece of per-query scratch (BFS fields, enumerator stacks and
@@ -40,23 +47,29 @@ class PathEnumerator {
   /// snapshot (a stale oracle may wrongly reject; never wrongly accept
   /// results — acceptance still runs the exact pipeline). Accepts a plain
   /// `Graph` (implicit borrowing view, version 0) or a live `GraphView`
-  /// snapshot; an oracle may only accompany an overlay-free view.
+  /// snapshot. An oracle can only describe an overlay-free view; pairing
+  /// one with an overlay view degrades gracefully — the oracle is dropped
+  /// (every query then runs the exact pipeline) and the
+  /// `pathenum_oracle_dropped_total` metric records the mismatch.
   explicit PathEnumerator(const GraphView& view,
                           const PrunedLandmarkIndex* oracle = nullptr)
       : view_(view), oracle_(oracle) {
-    PATHENUM_CHECK_MSG(oracle == nullptr || !view.has_overlay(),
-                       "a distance oracle cannot describe an overlay view");
+    if (oracle_ != nullptr && view.has_overlay()) {
+      oracle_ = nullptr;
+      internal::NoteOracleDropped();
+    }
     join_.SetArena(&arena_);
   }
 
   /// True when an oracle valid for `bound` still describes `next`: the
-  /// same base graph object with no overlay on top. The single source of
-  /// the stale-oracle rule — every rebind path (here and in the engine)
-  /// must use it, or a stale oracle could wrongly reject newly connected
-  /// pairs.
+  /// same base topology (by Graph::uid, not object address — a recycled
+  /// allocation must not resurrect a retired oracle) with no overlay on
+  /// top. The single source of the stale-oracle rule — every rebind path
+  /// (here and in the engine) must use it, or a stale oracle could wrongly
+  /// reject newly connected pairs.
   static bool OracleSurvivesRebind(const GraphView& bound,
                                    const GraphView& next) {
-    return &next.base() == &bound.base() && !next.has_overlay();
+    return next.base().uid() == bound.base().uid() && !next.has_overlay();
   }
 
   /// Points the enumerator at a different snapshot. Cheap: the epoch-stamped
@@ -72,10 +85,13 @@ class PathEnumerator {
   /// Rebind with an explicit oracle decision — the engine uses this to
   /// restore an oracle when a later batch returns to the base graph the
   /// oracle describes. `oracle` must describe exactly `view`'s topology
-  /// (hence: overlay-free), or be null.
+  /// (hence: overlay-free), or be null; an oracle paired with an overlay
+  /// view is dropped (and counted), never consulted.
   void Rebind(const GraphView& view, const PrunedLandmarkIndex* oracle) {
-    PATHENUM_CHECK_MSG(oracle == nullptr || !view.has_overlay(),
-                       "a distance oracle cannot describe an overlay view");
+    if (oracle != nullptr && view.has_overlay()) {
+      oracle = nullptr;
+      internal::NoteOracleDropped();
+    }
     view_ = view;
     oracle_ = oracle;
   }

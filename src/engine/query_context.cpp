@@ -50,6 +50,7 @@ QueryStats QueryContext::RunCached(const Query& q, PathSink& sink,
     // The oracle check is acquire-stage work: zero paths, complete result.
     if (span != nullptr) span->Mark(obs::SpanStage::kIndexAcquire);
     QueryStats stats;
+    stats.counters.oracle_rejected = true;
     Timer total;
     stats.total_ms = total.ElapsedMs();
     stats.response_ms = stats.total_ms;

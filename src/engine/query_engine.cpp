@@ -139,7 +139,7 @@ QueryEngine::QueryEngine(const GraphView& view, const EngineOptions& opts,
     : view_(view),
       oracle_(oracle),
       bound_oracle_(oracle),
-      oracle_base_(&view_.base()),
+      oracle_base_uid_(view_.base().uid()),
       pool_(opts.num_workers) {
   contexts_.reserve(pool_.num_workers());
   for (uint32_t w = 0; w < pool_.num_workers(); ++w) {
@@ -158,6 +158,8 @@ QueryEngine::QueryEngine(const GraphView& view, const EngineOptions& opts,
   reg.RegisterCounter(this, "pathenum_engine_split_queries_total", label,
                       &split_queries_run_);
   reg.RegisterCounter(this, "pathenum_engine_steals_total", label, &steals_);
+  reg.RegisterCounter(this, "pathenum_engine_oracle_rejects_total", label,
+                      &oracle_rejects_);
   reg.RegisterGauge(this, "pathenum_engine_workers", label,
                     [this] { return static_cast<double>(pool_.num_workers()); });
   // Context-derived gauges: reading races RebindGraph exactly like Stats()
@@ -189,13 +191,23 @@ void QueryEngine::RebindGraph(const Graph& g,
   view_ = GraphView(g);
   oracle_ = oracle;
   bound_oracle_ = oracle;
-  oracle_base_ = &view_.base();
+  oracle_base_uid_ = view_.base().uid();
+  // A live oracle stays attached: its epochs are keyed on snapshot version
+  // AND base identity, so against an unrelated graph it simply never
+  // matches (no claims) until the engine returns to the oracle's stream.
   // Contexts hold graph references (BFS fields sized to |V|); rebuild them.
   contexts_.clear();
   for (uint32_t w = 0; w < pool_.num_workers(); ++w) {
     contexts_.push_back(std::make_unique<QueryContext>(view_, oracle));
   }
   InvalidateCaches();
+}
+
+bool QueryEngine::OracleRejectsQuery(const Query& q) const {
+  if (oracle_ != nullptr && !oracle_->Within(q.source, q.target, q.hops)) {
+    return true;
+  }
+  return live_epoch_.Rejects(q.source, q.target, q.hops);
 }
 
 uint32_t QueryEngine::ClampedWorkers(size_t tasks) const {
@@ -215,16 +227,20 @@ BatchResult QueryEngine::RunBatch(const GraphView& view,
     // unrelated graph (a forward move within one snapshot lineage — e.g.
     // a compaction epoch — always advances the version): the cached
     // entries describe the old graph, so drop them all. Forward moves are
-    // governed by the version guards in RunBatch proper.
-    if (cache_ != nullptr && &view.base() != &view_.base() &&
+    // governed by the version guards in RunBatch proper. Identity is the
+    // base's uid, never its address — a recycled allocation must not pass
+    // for the graph the entries were built on.
+    if (cache_ != nullptr && view.base().uid() != view_.base().uid() &&
         view.version() <= view_.version()) {
       cache_->Clear(view.version());
     }
     // The oracle (consulted directly by RunSplit and by every context) is
-    // only valid for the exact base it was bound against with no overlay on
-    // top; it is restored when a later batch returns to that base.
-    oracle_ = (bound_oracle_ != nullptr && &view.base() == oracle_base_ &&
-               !view.has_overlay())
+    // only valid for the exact base topology it was bound against — keyed
+    // by uid, so a different graph at the old base's address never re-arms
+    // it — with no overlay on top; it is restored when a later batch
+    // returns to that base.
+    oracle_ = (bound_oracle_ != nullptr &&
+               view.base().uid() == oracle_base_uid_ && !view.has_overlay())
                   ? bound_oracle_
                   : nullptr;
     view_ = view;
@@ -243,6 +259,14 @@ BatchResult QueryEngine::RunBatch(std::span<const Query> queries,
   result.errors.resize(queries.size());
   result.states.resize(queries.size(), QueryState::kOk);
   batches_run_.Inc();
+  // Pin the live-oracle epoch matching the bound snapshot, re-checked per
+  // batch so the engine keeps rejecting across rebinds and publishes. The
+  // ValidFor gate (exact version + base uid) turns every mismatch into
+  // "no claims" — a racing publish can never produce a wrong rejection.
+  live_epoch_ = live_oracle_ != nullptr
+                    ? live_oracle_->ForVersion(view_.version())
+                    : LiveDistanceOracle::EpochRef();
+  if (!live_epoch_.ValidFor(view_)) live_epoch_ = LiveDistanceOracle::EpochRef();
   IndexCache* cache =
       (opts.use_cache && cache_ != nullptr) ? cache_.get() : nullptr;
   if (cache != nullptr && view_.version() > cache->version()) {
@@ -327,6 +351,15 @@ void QueryEngine::PrebuildMissing(std::span<const Query> queries,
       for (size_t i = base; i < end; ++i) {
         reqs.push_back({queries[groups[members[i]].rep], nullptr,
                         Deadline::Unlimited()});
+        // Oracle lower bound > k collapses the member to an empty sweep
+        // (hop_cap 0): unsatisfiable queries previously paid a full
+        // prebuild that nothing would ever read. The empty slab is the
+        // TRUE complete index for the query at this version, so caching
+        // it is sound and future batches replay it like any other entry.
+        if (OracleRejectsQuery(reqs.back().query)) {
+          reqs.back().hop_cap = 0;
+          result.oracle_capped_builds++;
+        }
       }
       const IndexBuilder::Options build_opts =
           PathEnumerator::BuildOptionsFor(reqs.front().query, opts.query);
@@ -450,6 +483,24 @@ void QueryEngine::RunStealing(std::span<const Query> queries,
         span.Finish(QueryState::kRejected);
         continue;
       }
+      // Oracle shed: dist(s,t) > k is certified, so every duplicate gets
+      // the complete empty result without an index build or sink call —
+      // with the full observability contract (terminal span, per-query
+      // state, counters) a normal run would produce.
+      if (OracleRejectsQuery(queries[rep])) {
+        QueryStats rejected;
+        rejected.counters.oracle_rejected = true;
+        result.stats[rep] = rejected;
+        result.states[rep] = QueryState::kUnsatisfiable;
+        for (const size_t dup : group.extra) {
+          result.stats[dup] = rejected;
+          result.states[dup] = QueryState::kUnsatisfiable;
+        }
+        oracle_rejects_.Inc(1 + group.extra.size());
+        span.Mark(obs::SpanStage::kIndexAcquire);
+        span.Finish(QueryState::kUnsatisfiable);
+        continue;
+      }
       try {
         if (group.extra.empty()) {
           result.stats[rep] = ctx.RunCached(queries[rep], *sinks[rep],
@@ -525,9 +576,11 @@ QueryStats QueryEngine::RunSplit(const Query& q, PathSink& sink,
   span.Begin(q.source, q.target, q.hops);
   span.SetSplit();
 
-  if (oracle_ != nullptr && !oracle_->Within(q.source, q.target, q.hops)) {
+  if (OracleRejectsQuery(q)) {
+    stats.counters.oracle_rejected = true;
     stats.total_ms = total.ElapsedMs();
     stats.response_ms = stats.total_ms;
+    oracle_rejects_.Inc();
     span.Mark(obs::SpanStage::kIndexAcquire);
     span.Finish(stats.counters.TerminalState());
     return stats;
@@ -768,6 +821,7 @@ QueryEngine::EngineStats QueryEngine::Stats() const {
   s.queries_run += split_queries_run_.Value();
   s.batches_run = batches_run_.Value();
   s.steals = steals_.Value();
+  s.oracle_rejects = oracle_rejects_.Value();
   return s;
 }
 

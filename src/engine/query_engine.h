@@ -28,6 +28,7 @@
 #include "graph/view.h"
 #include "engine/query_context.h"
 #include "core/thread_pool.h"
+#include "live/live_oracle.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -97,6 +98,9 @@ struct BatchOptions {
 ///    `errors[i]` says why.
 ///  - kError: the run threw; delivered paths up to that point are valid
 ///    but the set is not a guaranteed prefix of any complete enumeration.
+///  - kUnsatisfiable: an oracle certified dist(s,t) > k before any work;
+///    the complete (empty) result set was delivered without touching the
+///    sink.
 struct BatchResult {
   std::vector<QueryStats> stats;
   std::vector<std::string> errors;
@@ -118,6 +122,12 @@ struct BatchResult {
   uint64_t batched_builds = 0;
   uint64_t batched_edges_scanned = 0;
   uint64_t batched_solo_edges = 0;
+
+  /// Prebuilt groups whose index build was collapsed to an empty slab
+  /// because an oracle lower bound certified the query unsatisfiable
+  /// (BatchBuildRequest::hop_cap = 0): they ride the fused sweep for free
+  /// and future batches replay the empty-but-complete index.
+  uint64_t oracle_capped_builds = 0;
 
   bool ok() const {
     for (const std::string& e : errors) {
@@ -185,6 +195,18 @@ class QueryEngine {
   BatchResult CountBatch(std::span<const Query> queries,
                          const BatchOptions& opts = {});
 
+  /// Connects the standing live oracle (borrowed; null detaches). Before
+  /// each batch the engine pins the oracle epoch matching the bound view's
+  /// exact snapshot version and base identity — matching epochs reject
+  /// unsatisfiable queries in O(|label| + |C|²) before any per-query work,
+  /// across overlay rebinds and publishes alike; any mismatch (racing
+  /// publish, re-label, unrelated rebind) degrades to "no claim", never to
+  /// a wrong rejection. Must not race RunBatch.
+  void SetLiveOracle(const LiveDistanceOracle* oracle) {
+    live_oracle_ = oracle;
+    if (oracle == nullptr) live_epoch_ = LiveDistanceOracle::EpochRef();
+  }
+
   /// The cross-query cache, or null when not enabled.
   IndexCache* cache() { return cache_.get(); }
 
@@ -208,6 +230,9 @@ class QueryEngine {
     /// Whole-query steals in RunStealing (a worker claiming a task from
     /// another worker's deque).
     uint64_t steals = 0;
+    /// Queries shed as kUnsatisfiable by an oracle (static or live) before
+    /// any per-query work, duplicates included.
+    uint64_t oracle_rejects = 0;
   };
   EngineStats Stats() const;
 
@@ -248,6 +273,12 @@ class QueryEngine {
   /// min(pool, tasks, hardware cores), at least 1.
   uint32_t ClampedWorkers(size_t tasks) const;
 
+  /// True when either oracle certifies dist(s,t) > k for the bound view:
+  /// the static oracle (when armed for view_) or the pinned live epoch.
+  /// Call only on validated queries; safe from pool workers (both sources
+  /// are immutable for the duration of a batch).
+  bool OracleRejectsQuery(const Query& q) const;
+
   /// Reusable split-join scratch (DESIGN.md §8): split queries run one at
   /// a time on the RunBatch caller thread, so these grow-only buffers
   /// follow the §5 no-steady-state-allocation discipline the serial join's
@@ -263,7 +294,14 @@ class QueryEngine {
   GraphView view_;
   const PrunedLandmarkIndex* oracle_;  // active for view_ (null when stale)
   const PrunedLandmarkIndex* bound_oracle_;  // as bound at ctor/RebindGraph
-  const Graph* oracle_base_;  // the base bound_oracle_ describes
+  /// Graph::uid of the base bound_oracle_ describes. Identity, not an
+  /// address: a recycled allocation at the old base's address must not
+  /// re-arm a retired oracle (and a copied Graph legitimately may).
+  uint64_t oracle_base_uid_;
+  const LiveDistanceOracle* live_oracle_ = nullptr;  // see SetLiveOracle
+  /// The live-oracle epoch pinned for view_ at batch start (empty when
+  /// none matches). Immutable while a batch runs; workers read it freely.
+  LiveDistanceOracle::EpochRef live_epoch_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<QueryContext>> contexts_;  // one per worker
   std::unique_ptr<IndexCache> cache_;  // null unless opts.enable_cache
@@ -278,6 +316,7 @@ class QueryEngine {
   obs::ShardedCounter batches_run_;
   obs::ShardedCounter split_queries_run_;
   obs::ShardedCounter steals_;
+  obs::ShardedCounter oracle_rejects_;
 };
 
 }  // namespace pathenum

@@ -1,11 +1,17 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "graph/builder.h"
 #include "util/memory.h"
 
 namespace pathenum {
+
+uint64_t Graph::NextUid() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Graph Graph::FromEdges(
     VertexId num_vertices,

@@ -88,8 +88,20 @@ class Graph {
   /// Approximate heap footprint of the CSR arrays, in bytes.
   size_t MemoryBytes() const;
 
+  /// Process-unique identity of this graph's topology: a fresh value per
+  /// constructed graph, carried along by copies and moves (they describe
+  /// the same topology). Consumers that cache topology-derived structures
+  /// (a distance oracle, a query engine's bound snapshot) key their
+  /// validity on this rather than the object address — a recycled
+  /// allocation at the same address never aliases a retired graph's
+  /// identity.
+  uint64_t uid() const { return uid_; }
+
  private:
   friend class GraphBuilder;
+
+  /// Next value of the process-wide uid counter (atomic; never 0).
+  static uint64_t NextUid();
 
   std::vector<uint64_t> out_offsets_;  // size num_vertices + 1
   std::vector<VertexId> out_adj_;      // size num_edges
@@ -98,6 +110,7 @@ class Graph {
   std::vector<double> weights_;        // empty or size num_edges
   std::vector<uint32_t> labels_;       // empty or size num_edges
   uint32_t num_labels_ = 0;
+  uint64_t uid_ = NextUid();  // copied/moved with the topology it names
 };
 
 }  // namespace pathenum

@@ -64,6 +64,14 @@ AsyncEngine::AsyncEngine(Graph base, const AsyncEngineOptions& opts)
       snapshots_(std::move(base), opts.snapshot),
       pool_(opts.num_workers) {
   if (opts_.max_queue == 0) opts_.max_queue = 1;
+  if (opts_.enable_oracle) {
+    // The oracle labels the version-0 base and then rides every update
+    // epoch inside SnapshotManager::Prepare/Publish, so its claims stay in
+    // lockstep with whatever snapshot a submission captures.
+    oracle_ = std::make_unique<LiveDistanceOracle>(
+        snapshots_.Current()->base(), opts_.oracle);
+    snapshots_.AttachOracle(oracle_.get());
+  }
   if (opts_.enable_cache) {
     cache_ = std::make_unique<IndexCache>(opts_.cache);
   }
@@ -89,6 +97,7 @@ AsyncEngine::AsyncEngine(Graph base, const AsyncEngineOptions& opts)
   counter("pathenum_async_queue_rejects_total", &queue_rejects_);
   counter("pathenum_async_sheds_total", &sheds_);
   counter("pathenum_async_cancelled_before_run_total", &cancelled_before_run_);
+  counter("pathenum_async_oracle_rejects_total", &oracle_rejects_);
   counter("pathenum_async_batched_builds_total", &batched_builds_);
   counter("pathenum_async_batched_edges_scanned_total",
           &batched_edges_scanned_);
@@ -147,6 +156,7 @@ QueryTicket AsyncEngine::Submit(const Query& q, PathSink& sink,
   task.state = state;
   WireCancel(state->cancel, task.opts);
   task.span.Begin(q.source, q.target, q.hops);
+  bool unsat = false;
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     if (opts_.shed_policy == AsyncEngineOptions::ShedPolicy::kCancelOldest) {
@@ -161,14 +171,25 @@ QueryTicket AsyncEngine::Submit(const Query& q, PathSink& sink,
                QueryState::kRejected);
       return QueryTicket(std::move(state));
     }
-    // The snapshot is captured while holding the queue lock so ticket
-    // version order is consistent with admission order; SubmitUpdate
-    // publishes outside this lock, so a submission observes either the old
-    // or the new snapshot — never a half-published one.
-    task.snapshot = snapshots_.Current();
+    // The snapshot (and its oracle epoch) is captured while holding the
+    // queue lock so ticket version order is consistent with admission
+    // order; SubmitUpdate publishes outside this lock, so a submission
+    // observes either the old or the new snapshot — never a half-published
+    // one, and never an oracle epoch from a different version.
+    const SnapshotManager::Published pub = snapshots_.CurrentPublished();
+    task.snapshot = pub.snapshot;
     state->snapshot_version = task.snapshot->version();
-    queue_.push_back(std::move(task));
     submitted_.Inc();
+    if (pub.oracle.Rejects(q.source, q.target, q.hops)) {
+      oracle_rejects_.Inc();
+      unsat = true;
+    } else {
+      queue_.push_back(std::move(task));
+    }
+  }
+  if (unsat) {
+    CompleteUnsatisfiable(task);
+    return QueryTicket(std::move(state));
   }
   queue_not_empty_.notify_one();
   return QueryTicket(std::move(state));
@@ -186,29 +207,60 @@ QueryTicket AsyncEngine::TrySubmit(const Query& q, PathSink& sink,
   task.state = state;
   WireCancel(state->cancel, task.opts);
   task.span.Begin(q.source, q.target, q.hops);
+  bool unsat = false;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     if (shutdown_) {
       queue_rejects_.Inc();
       return QueryTicket();
     }
-    if (queue_.size() >= opts_.max_queue) {
-      if (opts_.shed_policy ==
-          AsyncEngineOptions::ShedPolicy::kCancelOldest) {
-        ShedOldestLocked();  // make room; this submission is admitted
-      } else {
-        queue_rejects_.Inc();
-        if (retry_after_ms != nullptr) *retry_after_ms = RetryAfterLockedMs();
-        return QueryTicket();
+    // Oracle-certified-unsatisfiable submissions never occupy a queue slot,
+    // so they are checked before the full-queue shed/reject logic: an unsat
+    // flood cannot evict useful queued work under kCancelOldest.
+    const SnapshotManager::Published pub = snapshots_.CurrentPublished();
+    if (pub.oracle.Rejects(q.source, q.target, q.hops)) {
+      task.snapshot = pub.snapshot;
+      state->snapshot_version = task.snapshot->version();
+      submitted_.Inc();
+      oracle_rejects_.Inc();
+      unsat = true;
+    } else {
+      if (queue_.size() >= opts_.max_queue) {
+        if (opts_.shed_policy ==
+            AsyncEngineOptions::ShedPolicy::kCancelOldest) {
+          ShedOldestLocked();  // make room; this submission is admitted
+        } else {
+          queue_rejects_.Inc();
+          if (retry_after_ms != nullptr) {
+            *retry_after_ms = RetryAfterLockedMs();
+          }
+          return QueryTicket();
+        }
       }
+      task.snapshot = pub.snapshot;
+      state->snapshot_version = task.snapshot->version();
+      queue_.push_back(std::move(task));
+      submitted_.Inc();
     }
-    task.snapshot = snapshots_.Current();
-    state->snapshot_version = task.snapshot->version();
-    queue_.push_back(std::move(task));
-    submitted_.Inc();
+  }
+  if (unsat) {
+    CompleteUnsatisfiable(task);
+    return QueryTicket(std::move(state));
   }
   queue_not_empty_.notify_one();
   return QueryTicket(std::move(state));
+}
+
+void AsyncEngine::CompleteUnsatisfiable(Submission& task) {
+  // Oracle-rejected at admission, completed outside the queue lock with the
+  // full observability contract: zero-width queue_wait / index_acquire
+  // stages, a terminal kUnsatisfiable span, and the oracle_rejected counter
+  // flag (TerminalState round-trips it for batch-shaped consumers).
+  task.span.Mark(obs::SpanStage::kQueueWait);
+  task.span.Mark(obs::SpanStage::kIndexAcquire);
+  QueryStats stats;
+  stats.counters.oracle_rejected = true;
+  Complete(*task.state, stats, "", QueryState::kUnsatisfiable, &task.span);
 }
 
 void AsyncEngine::ShedOldestLocked() {
@@ -653,6 +705,7 @@ AsyncEngine::Stats AsyncEngine::stats() const {
     s.executed = executed_.Value();
     s.queue_rejects = queue_rejects_.Value();
     s.sheds = sheds_.Value();
+    s.oracle_rejects = oracle_rejects_.Value();
     s.queue_depth = queue_.size();
   }
   s.cancelled_before_run = cancelled_before_run_.Value();

@@ -43,6 +43,7 @@
 #include "engine/index_cache.h"
 #include "engine/query_context.h"
 #include "core/thread_pool.h"
+#include "live/live_oracle.h"
 #include "live/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -75,6 +76,12 @@ struct AsyncEngineOptions {
   IndexCacheOptions cache;
   /// Snapshot lifecycle knobs (compaction budget, impact radius).
   SnapshotOptions snapshot;
+  /// Standing live distance oracle (DESIGN.md §13): when on, the engine
+  /// keeps a LiveDistanceOracle in lockstep with the snapshot stream and
+  /// rejects oracle-certified-unsatisfiable submissions at admission — the
+  /// ticket completes as QueryState::kUnsatisfiable without ever queueing.
+  bool enable_oracle = false;
+  LiveOracleOptions oracle;
   /// Opportunistic batched index builds (DESIGN.md §11): a worker claiming
   /// a cache-missing submission peeks at the co-pending queue and, when at
   /// least this many same-snapshot same-fingerprint cache-missing queries
@@ -235,6 +242,9 @@ class AsyncEngine {
     /// Tickets whose cancel fired while still queued: completed as
     /// kCancelled at claim time without running.
     uint64_t cancelled_before_run = 0;
+    /// Submissions the live oracle certified unsatisfiable at admission:
+    /// completed as kUnsatisfiable without queueing (enable_oracle only).
+    uint64_t oracle_rejects = 0;
     uint64_t version = 0;
     size_t queue_depth = 0;       // queued, not yet claimed
     IndexCacheStats cache;        // zeros when the cache is disabled
@@ -249,6 +259,10 @@ class AsyncEngine {
 
   /// The shared cache, or null when disabled.
   IndexCache* cache() { return cache_.get(); }
+
+  /// The standing live oracle, or null unless enable_oracle. Exposed for
+  /// stats inspection and for tests to WaitForRelabel.
+  LiveDistanceOracle* oracle() { return oracle_.get(); }
 
  private:
   struct Submission {
@@ -334,6 +348,10 @@ class AsyncEngine {
                        std::string error, QueryState query_state,
                        obs::QuerySpan* span = nullptr);
 
+  /// Finishes an admission-time oracle rejection: terminal kUnsatisfiable
+  /// span + ticket completion. Called outside queue_mutex_.
+  static void CompleteUnsatisfiable(Submission& task);
+
   /// Completes the oldest queued submission as kCancelled (the
   /// kCancelOldest shed); queue_mutex_ must be held and queue_ non-empty.
   void ShedOldestLocked();
@@ -344,6 +362,11 @@ class AsyncEngine {
 
   AsyncEngineOptions opts_;
   SnapshotManager snapshots_;
+  /// Standing oracle, advanced inside SnapshotManager::Prepare/Publish via
+  /// AttachOracle; null unless enable_oracle. The manager only dereferences
+  /// its borrowed pointer from Prepare/Publish, which cannot be in flight
+  /// once ~AsyncEngine has shut the engine down.
+  std::unique_ptr<LiveDistanceOracle> oracle_;
   std::unique_ptr<IndexCache> cache_;  // null unless enable_cache
   ThreadPool pool_;
   std::vector<std::unique_ptr<QueryContext>> contexts_;  // one per worker
@@ -368,6 +391,8 @@ class AsyncEngine {
   /// EWMA of per-query wall time, feeding the retry-after hint.
   double avg_exec_ms_ = 0.0;
   obs::ShardedCounter cancelled_before_run_;
+  /// Admission-time oracle rejections (written under queue_mutex_).
+  obs::ShardedCounter oracle_rejects_;
 
   /// Batched-prebuild state (MaybeBatchPrebuild): one builder guarded by a
   /// try_lock mutex — concurrent claimers skip batching rather than queue.

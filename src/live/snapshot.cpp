@@ -46,11 +46,31 @@ uint64_t SnapshotManager::version() const {
   return current_->version();
 }
 
+void SnapshotManager::AttachOracle(LiveDistanceOracle* oracle) {
+  PATHENUM_CHECK(oracle != nullptr);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const LiveDistanceOracle::EpochRef current = oracle->Current();
+  // The oracle's claims must line up with the snapshot stream from this
+  // exact point: any version gap would let an epoch claim rejections it
+  // never saw the deltas for.
+  PATHENUM_CHECK_MSG(current.ValidFor(*current_),
+                     "oracle must describe the manager's current snapshot");
+  oracle_ = oracle;
+  current_oracle_ = current;
+}
+
+SnapshotManager::Published SnapshotManager::CurrentPublished() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {current_, current_oracle_};
+}
+
 SnapshotManager::Epoch SnapshotManager::Prepare(const GraphDelta& delta) {
   std::shared_ptr<const GraphView> before;
+  LiveDistanceOracle* oracle = nullptr;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     before = current_;
+    oracle = oracle_;
   }
   Epoch epoch;
   const uint64_t next_version = before->version() + 1;
@@ -73,6 +93,10 @@ SnapshotManager::Epoch SnapshotManager::Prepare(const GraphDelta& delta) {
   } else {
     epoch.snapshot = std::make_shared<const GraphView>(std::move(next));
   }
+  if (oracle != nullptr) {
+    epoch.oracle =
+        oracle->PrepareEpoch(delta, next_version, *before, epoch.snapshot);
+  }
   return epoch;
 }
 
@@ -80,6 +104,14 @@ void SnapshotManager::Publish(const Epoch& epoch) {
   const std::lock_guard<std::mutex> lock(mutex_);
   PATHENUM_CHECK_MSG(epoch.snapshot->version() == current_->version() + 1,
                      "epochs must publish in order (serialize the updater)");
+  // An epoch prepared before AttachOracle must not publish after it: the
+  // oracle would silently fall behind the version stream.
+  PATHENUM_CHECK_MSG(oracle_ == nullptr || epoch.oracle.valid(),
+                     "attach the oracle before preparing epochs");
+  if (oracle_ != nullptr) {
+    oracle_->PublishEpoch(epoch.oracle);
+    current_oracle_ = epoch.oracle;
+  }
   current_ = epoch.snapshot;
   updates_.Inc();
   if (epoch.compacted) compactions_.Inc();

@@ -23,6 +23,7 @@
 
 #include "graph/view.h"
 #include "live/impact.h"
+#include "live/live_oracle.h"
 #include "obs/metrics.h"
 
 namespace pathenum {
@@ -57,10 +58,30 @@ class SnapshotManager {
 
   uint64_t version() const;
 
+  /// Stamps a live distance oracle onto this manager: every epoch from now
+  /// on carries an oracle epoch prepared in Prepare and installed in
+  /// Publish, so snapshot and oracle claims advance atomically. Must be
+  /// called before the first Prepare, with an oracle whose current epoch
+  /// describes exactly the version-0 snapshot (build it from the same base
+  /// graph). `oracle` is borrowed and must outlive the manager's updates.
+  void AttachOracle(LiveDistanceOracle* oracle);
+
+  /// The latest published {snapshot, oracle epoch} pair, consistent under
+  /// one lock — the oracle ref (empty when no oracle is attached) is valid
+  /// for exactly that snapshot. Query front-ends consult this instead of
+  /// Current() when they want pre-run rejection.
+  struct Published {
+    std::shared_ptr<const GraphView> snapshot;
+    LiveDistanceOracle::EpochRef oracle;
+  };
+  Published CurrentPublished() const;
+
   /// One prepared-but-unpublished update epoch.
   struct Epoch {
     std::shared_ptr<const GraphView> snapshot;  // the version v+1 view
     UpdateImpact impact;  // eviction predicate vs. the previous snapshot
+    /// The matching oracle epoch (empty when no oracle is attached).
+    LiveDistanceOracle::EpochRef oracle;
     bool compacted = false;
   };
 
@@ -87,8 +108,10 @@ class SnapshotManager {
 
  private:
   SnapshotOptions opts_;
-  mutable std::mutex mutex_;  // guards current_
+  mutable std::mutex mutex_;  // guards current_, oracle_, current_oracle_
   std::shared_ptr<const GraphView> current_;
+  LiveDistanceOracle* oracle_ = nullptr;  // borrowed; see AttachOracle
+  LiveDistanceOracle::EpochRef current_oracle_;
   /// Only written under mutex_; ShardedCounter storage keeps them
   /// registry-readable without it (pathenum_snapshot_* metrics).
   obs::ShardedCounter updates_;

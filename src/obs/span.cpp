@@ -21,7 +21,7 @@ double DurMs(QuerySpan::Clock::time_point from, QuerySpan::Clock::time_point to)
 struct SpanMetrics {
   RegHistogram* total_ms;
   RegHistogram* stage_ms[static_cast<size_t>(SpanStage::kStageCount)];
-  RegCounter* finished[6];
+  RegCounter* finished[kNumQueryStates];
 
   SpanMetrics() {
     MetricRegistry& reg = MetricRegistry::Global();
@@ -32,7 +32,7 @@ struct SpanMetrics {
       label += '"';
       stage_ms[s] = reg.GetHistogram("pathenum_query_stage_ms", label);
     }
-    for (size_t st = 0; st < 6; ++st) {
+    for (size_t st = 0; st < kNumQueryStates; ++st) {
       std::string label = "state=\"";
       label += QueryStateName(static_cast<QueryState>(st));
       label += '"';
@@ -96,7 +96,7 @@ void QuerySpan::Finish(QueryState state) {
     if (present) m.stage_ms[s]->Observe(data_.StageMs(static_cast<SpanStage>(s)));
   }
   const size_t st = static_cast<size_t>(state);
-  if (st < 6) m.finished[st]->Inc();
+  if (st < kNumQueryStates) m.finished[st]->Inc();
 
   if (data_.sampled) TraceRecorder::Global().EmitSpan(data_);
 }

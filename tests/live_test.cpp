@@ -14,11 +14,13 @@
 #include "core/path_enum.h"
 #include "core/reference.h"
 #include "engine/query_engine.h"
+#include "graph/bfs.h"
 #include "graph/distance_oracle.h"
 #include "graph/generators.h"
 #include "graph/view.h"
 #include "live/async_engine.h"
 #include "live/impact.h"
+#include "live/live_oracle.h"
 #include "live/snapshot.h"
 #include "test_util.h"
 #include "util/rng.h"
@@ -633,6 +635,240 @@ TEST(EngineViewTest, InvalidationRacingRunBatchKeepsAnswersExact) {
 }
 
 // ---------------------------------------------------------------------------
+// LiveDistanceOracle (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+LiveOracleOptions SyncOracleOptions() {
+  LiveOracleOptions opts;
+  opts.background_relabel = false;  // deterministic: re-labels inline
+  return opts;
+}
+
+TEST(LiveOracleTest, BaseEpochClaimsMatchExactDistances) {
+  // Two disconnected path components: 0..4 and 5..9.
+  const Graph g = Graph::FromEdges(
+      10, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {5, 6}, {6, 7}, {7, 8}, {8, 9}});
+  LiveDistanceOracle oracle(g, SyncOracleOptions());
+  const LiveDistanceOracle::EpochRef ref = oracle.Current();
+  ASSERT_TRUE(ref.valid());
+  EXPECT_EQ(ref.version(), 0u);
+  EXPECT_TRUE(ref.ValidFor(GraphView(g)));
+
+  EXPECT_TRUE(ref.Rejects(0, 9, 8));    // cross-component: unreachable
+  EXPECT_TRUE(ref.Rejects(0, 4, 3));    // dist 4 > 3
+  EXPECT_FALSE(ref.Rejects(0, 4, 4));   // satisfiable: never rejected
+  EXPECT_EQ(ref.LowerBound(0, 4), 4u);
+  EXPECT_EQ(ref.LowerBound(0, 9), kInfDistance);
+  EXPECT_EQ(ref.UpperBound(0, 4), 4u);  // no deletions yet: exact
+
+  // Out-of-range endpoints and empty refs claim nothing.
+  EXPECT_FALSE(ref.Rejects(0, 100, 3));
+  EXPECT_EQ(ref.LowerBound(0, 100), 0u);
+  EXPECT_FALSE(LiveDistanceOracle::EpochRef().Rejects(0, 9, 1));
+  EXPECT_EQ(LiveDistanceOracle::EpochRef().UpperBound(0, 9), kInfDistance);
+}
+
+TEST(LiveOracleTest, ChainedInsertsNeverWronglyReject) {
+  // Three disconnected segments; the bridges arrive in two separate
+  // epochs, so a sound rejection must chain corrections (a single-edge
+  // 2-hop fixup would wrongly reject q(0, 5, 5)).
+  const Graph g = Graph::FromEdges(6, {{0, 1}, {2, 3}, {4, 5}});
+  SnapshotManager mgr(g);
+  LiveDistanceOracle oracle(mgr.Current()->base(), SyncOracleOptions());
+  mgr.AttachOracle(&oracle);
+  mgr.Apply(GraphDelta{}.Insert(1, 2));
+  mgr.Apply(GraphDelta{}.Insert(3, 4));
+
+  const SnapshotManager::Published pub = mgr.CurrentPublished();
+  ASSERT_TRUE(pub.oracle.valid());
+  ASSERT_TRUE(pub.oracle.ValidFor(*pub.snapshot));
+  EXPECT_EQ(pub.oracle.LowerBound(0, 5), 5u);  // 0-1 →ins 2-3 →ins 4-5
+  EXPECT_FALSE(pub.oracle.Rejects(0, 5, 5));
+  EXPECT_TRUE(pub.oracle.Rejects(0, 5, 4));    // still sound and sharp
+  EXPECT_TRUE(pub.oracle.Rejects(5, 0, 8));    // reverse never connected
+  EXPECT_EQ(oracle.stats().corrections, 2u);
+}
+
+TEST(LiveOracleTest, DeletionsDegradeUpperBoundsButNeverReject) {
+  const Graph g = PathGraph(20);
+  SnapshotManager mgr(g);
+  LiveDistanceOracle oracle(mgr.Current()->base(), SyncOracleOptions());
+  mgr.AttachOracle(&oracle);
+  EXPECT_EQ(oracle.Current().UpperBound(0, 12), 12u);
+
+  mgr.Apply(GraphDelta{}.Delete(10, 11));
+  const SnapshotManager::Published pub = mgr.CurrentPublished();
+  // True dist(0, 19) is now infinite, but the oracle must only claim what
+  // its LB graph (which still has the edge) supports: no rejection, the
+  // old distance as a lower bound, and NO upper-bound claim across the
+  // deletion region.
+  EXPECT_FALSE(pub.oracle.Rejects(0, 19, 19));
+  EXPECT_EQ(pub.oracle.LowerBound(0, 19), 19u);
+  EXPECT_EQ(pub.oracle.UpperBound(0, 12), kInfDistance);
+  // Far from the deleted edge's impact ball the upper bound survives.
+  EXPECT_EQ(pub.oracle.UpperBound(0, 3), 3u);
+  EXPECT_EQ(oracle.stats().delete_regions, 1u);
+}
+
+TEST(LiveOracleTest, VersionGatingAnswersOnlyForMatchingSnapshots) {
+  const Graph g = PathGraph(6);
+  SnapshotManager mgr(g);
+  LiveDistanceOracle oracle(mgr.Current()->base(), SyncOracleOptions());
+  mgr.AttachOracle(&oracle);
+
+  std::vector<std::shared_ptr<const GraphView>> snaps{mgr.Current()};
+  for (int e = 1; e <= 4; ++e) {
+    mgr.Apply(GraphDelta{}.Insert(0, static_cast<VertexId>(e + 1)));
+    snaps.push_back(mgr.Current());
+  }
+  for (uint64_t v = 0; v <= 4; ++v) {
+    const LiveDistanceOracle::EpochRef ref = oracle.ForVersion(v);
+    ASSERT_TRUE(ref.valid()) << "version " << v;
+    EXPECT_EQ(ref.version(), v);
+    EXPECT_TRUE(ref.ValidFor(*snaps[v]));
+    EXPECT_FALSE(ref.ValidFor(*snaps[(v + 1) % snaps.size()]));
+  }
+  EXPECT_FALSE(oracle.ForVersion(99).valid());
+  // A same-version view over a DIFFERENT base graph is refused: version
+  // numbers alone do not identify a topology.
+  const Graph other = PathGraph(6);
+  EXPECT_FALSE(oracle.ForVersion(0).ValidFor(GraphView(other)));
+}
+
+TEST(LiveOracleTest, SynchronousRelabelFoldsCorrectionsAtBudget) {
+  LiveOracleOptions opts = SyncOracleOptions();
+  opts.relabel_budget = 2;
+  const Graph g = Graph::FromEdges(8, {{0, 1}, {2, 3}, {4, 5}, {6, 7}});
+  SnapshotManager mgr(g);
+  LiveDistanceOracle oracle(mgr.Current()->base(), opts);
+  mgr.AttachOracle(&oracle);
+  mgr.Apply(GraphDelta{}.Insert(1, 2));
+  mgr.Apply(GraphDelta{}.Insert(3, 4));
+  mgr.Apply(GraphDelta{}.Insert(5, 6));  // |C| = 3 > budget: re-label runs
+  EXPECT_EQ(oracle.stats().corrections, 3u);  // ...but folds at the NEXT epoch
+
+  mgr.Apply(GraphDelta{});  // empty epoch folds the staged labels
+  const LiveDistanceOracle::Stats st = oracle.stats();
+  EXPECT_EQ(st.relabels, 1u);
+  EXPECT_EQ(st.corrections, 0u);
+  EXPECT_EQ(st.label_version, 3u);
+  // Claims after the fold are exact labels again.
+  const SnapshotManager::Published pub = mgr.CurrentPublished();
+  EXPECT_EQ(pub.oracle.LowerBound(0, 7), 7u);
+  EXPECT_FALSE(pub.oracle.Rejects(0, 7, 7));
+  EXPECT_TRUE(pub.oracle.Rejects(0, 7, 6));
+  EXPECT_TRUE(pub.oracle.Rejects(7, 0, 8));
+}
+
+TEST(LiveOracleTest, CorrectionOverflowDegradesToNoClaimUntilRelabel) {
+  LiveOracleOptions opts = SyncOracleOptions();
+  opts.relabel_budget = 1;
+  opts.max_corrections = 2;  // effective cap: max(1, 2) = 2
+  const Graph g = Graph::FromEdges(10, {{0, 1}});
+  SnapshotManager mgr(g);
+  LiveDistanceOracle oracle(mgr.Current()->base(), opts);
+  mgr.AttachOracle(&oracle);
+
+  // Three fresh inserts in one epoch: the third overflows the cap, so the
+  // epoch can no longer prove any pair unreachable — every claim must
+  // degrade to "no claim" (a dropped edge could connect anything).
+  mgr.Apply(GraphDelta{}.Insert(2, 3).Insert(4, 5).Insert(6, 7));
+  EXPECT_TRUE(oracle.stats().rejection_degraded);
+  const SnapshotManager::Published degraded = mgr.CurrentPublished();
+  EXPECT_FALSE(degraded.oracle.Rejects(8, 9, 8));  // truly disconnected
+  EXPECT_EQ(degraded.oracle.LowerBound(8, 9), 0u);
+
+  // The overflow triggered the (synchronous) re-label; the next epoch
+  // folds it and sound rejection comes back.
+  mgr.Apply(GraphDelta{});
+  EXPECT_FALSE(oracle.stats().rejection_degraded);
+  EXPECT_TRUE(mgr.CurrentPublished().oracle.Rejects(8, 9, 8));
+}
+
+TEST(LiveOracleTest, RandomizedChurnNeverWronglyRejects) {
+  // The core soundness contract, checked differentially against brute
+  // force over a 12-epoch churn stream (inserts + deletes, folds included):
+  // every Rejects() == true must correspond to a truly empty result set,
+  // every LowerBound must lower-bound the true BFS distance, and every
+  // finite UpperBound must upper-bound it.
+  Rng rng(4242);
+  const VertexId n = 20;
+  const Graph g = ErdosRenyi(n, 30, /*seed=*/11);
+  SnapshotManager mgr(g);
+  LiveOracleOptions opts = SyncOracleOptions();
+  opts.relabel_budget = 8;  // exercise folds mid-stream
+  LiveDistanceOracle oracle(mgr.Current()->base(), opts);
+  mgr.AttachOracle(&oracle);
+
+  uint64_t rejects = 0;
+  for (uint64_t epoch = 1; epoch <= 12; ++epoch) {
+    GraphDelta delta;
+    for (int i = 0; i < 5; ++i) {
+      const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      if (rng.NextBounded(3) == 0) {
+        delta.Delete(u, v);
+      } else {
+        delta.Insert(u, v);
+      }
+    }
+    mgr.Apply(delta);
+    const SnapshotManager::Published pub = mgr.CurrentPublished();
+    ASSERT_TRUE(pub.oracle.ValidFor(*pub.snapshot));
+    const Graph folded = pub.snapshot->Materialize();
+    for (VertexId s = 0; s < n; ++s) {
+      DistanceField df;
+      df.Compute(folded, Direction::kForward, s, {});
+      for (VertexId t = 0; t < n; ++t) {
+        if (s == t) continue;
+        const uint32_t true_dist = df.Distance(t);
+        ASSERT_LE(pub.oracle.LowerBound(s, t), true_dist)
+            << "epoch " << epoch << " lb(" << s << ", " << t << ")";
+        ASSERT_GE(pub.oracle.UpperBound(s, t), true_dist)
+            << "epoch " << epoch << " ub(" << s << ", " << t << ")";
+        for (const uint32_t k : {2u, 4u}) {
+          if (pub.oracle.Rejects(s, t, k)) {
+            ++rejects;
+            ASSERT_TRUE(BruteForcePaths(folded, Query{s, t, k}).empty())
+                << "epoch " << epoch << " wrongly rejected q(" << s << ", "
+                << t << ", " << k << ")";
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(rejects, 0u);  // the stream must have exercised real claims
+  EXPECT_GT(oracle.stats().relabels, 0u);
+}
+
+TEST(LiveOracleTest, StaticOracleOnOverlayViewDegradesGracefully) {
+  // Regression: constructing a PathEnumerator with a base-graph oracle on
+  // an overlay view used to abort via PATHENUM_CHECK. It must instead drop
+  // the oracle (whose claims the overlay invalidates) and run normally.
+  const Graph g = PathGraph(8);
+  const PrunedLandmarkIndex labels = PrunedLandmarkIndex::Build(g);
+  const GraphView v1 = GraphView(g).Apply(GraphDelta{}.Insert(0, 7), 1);
+#if PATHENUM_OBS
+  const uint64_t dropped_before = obs::MetricRegistry::Global()
+                                      .GetCounter("pathenum_oracle_dropped_total")
+                                      ->Value();
+#endif
+  PathEnumerator pe(v1, &labels);
+  CollectingSink sink;
+  const QueryStats stats = pe.Run(Query{0, 7, 1}, sink);
+  // The stale labels say dist(0, 7) = 7 > 1; keeping them would wrongly
+  // reject the one-hop path the overlay just inserted.
+  EXPECT_EQ(sink.paths().size(), 1u);
+  EXPECT_FALSE(stats.counters.oracle_rejected);
+#if PATHENUM_OBS
+  EXPECT_GT(obs::MetricRegistry::Global()
+                .GetCounter("pathenum_oracle_dropped_total")
+                ->Value(),
+            dropped_before);
+#endif
+}
+
+// ---------------------------------------------------------------------------
 // AsyncEngine
 // ---------------------------------------------------------------------------
 
@@ -1048,6 +1284,142 @@ TEST(AsyncEngineTest, UnaffectedKeysKeepCacheHitsAcrossUpdates) {
   // Every post-warm-up query of the hot key replayed from cache.
   EXPECT_GE(cache.result_hits + cache.index_hits, 5u);
   EXPECT_EQ(cache.invalidation_evictions, 0u);
+}
+
+TEST(AsyncEngineTest, OracleCertifiedUnsatisfiableNeverQueues) {
+  // Two disconnected path components.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v < 9; ++v) edges.push_back({v, v + 1});
+  for (VertexId v = 10; v < 19; ++v) edges.push_back({v, v + 1});
+  AsyncEngineOptions opts;
+  opts.num_workers = 1;
+  opts.enable_oracle = true;
+  opts.oracle.background_relabel = false;
+  AsyncEngine engine(Graph::FromEdges(20, edges), opts);
+  ASSERT_NE(engine.oracle(), nullptr);
+
+  CountingSink unsat_sink;
+  QueryTicket unsat = engine.Submit(Query{0, 15, 6}, unsat_sink);
+  const QueryStats& stats = unsat.Wait();
+  EXPECT_TRUE(unsat.ok()) << unsat.error();
+  EXPECT_EQ(unsat.state(), QueryState::kUnsatisfiable);
+  EXPECT_TRUE(stats.counters.oracle_rejected);
+  EXPECT_EQ(stats.counters.num_results, 0u);
+  EXPECT_EQ(unsat_sink.count(), 0u);
+  EXPECT_EQ(unsat.snapshot_version(), 0u);
+  EXPECT_EQ(engine.stats().oracle_rejects, 1u);
+  EXPECT_EQ(engine.stats().submitted, 1u);
+  EXPECT_EQ(engine.stats().executed, 0u);  // never queued, never ran
+#if PATHENUM_OBS
+  // The observability contract holds for the shed: a finished span with
+  // the terminal state, not a silent drop.
+  EXPECT_EQ(unsat.span().state, QueryState::kUnsatisfiable);
+#endif
+
+  // Satisfiable queries pass the same gate untouched.
+  CountingSink ok_sink;
+  QueryTicket fine = engine.Submit(Query{0, 5, 6}, ok_sink);
+  fine.Wait();
+  EXPECT_EQ(fine.state(), QueryState::kOk);
+  EXPECT_EQ(ok_sink.count(), 1u);
+
+  // TrySubmit sheds through the same gate with a valid ticket.
+  CountingSink try_sink;
+  QueryTicket tried = engine.TrySubmit(Query{0, 15, 6}, try_sink);
+  ASSERT_TRUE(tried.valid());
+  tried.Wait();
+  EXPECT_EQ(tried.state(), QueryState::kUnsatisfiable);
+  EXPECT_EQ(engine.stats().oracle_rejects, 2u);
+
+  // An update connecting the pair lifts the rejection in the same epoch:
+  // the oracle rides SubmitUpdate, so the query must now run and find its
+  // new path — the never-wrongly-reject contract across updates.
+  engine.SubmitUpdate(GraphDelta{}.Insert(5, 15));
+  CountingSink bridged;
+  QueryTicket after = engine.Submit(Query{0, 15, 6}, bridged);
+  after.Wait();
+  EXPECT_EQ(after.state(), QueryState::kOk);
+  EXPECT_EQ(bridged.count(), 1u);  // 0-1-2-3-4-5-15
+  EXPECT_EQ(engine.stats().oracle_rejects, 2u);  // no new rejection
+}
+
+TEST(AsyncEngineTest, OracleUnderUpdateStormMatchesPerVersionTruth) {
+  // The oracle-on engine under a concurrent update storm: every ticket —
+  // shed or executed — must report exactly its snapshot version's true
+  // count, and a kUnsatisfiable ticket's version must truly have zero
+  // results. (Run under TSan in CI via the `parallel` ctest label.)
+  const VertexId n = 24;
+  const Graph base = ErdosRenyi(n, 40, /*seed=*/61);  // sparse: many unsat
+  const Query qa{0, n - 2, 4};
+  const Query qb{1, n - 1, 4};
+
+  constexpr int kEpochs = 10;
+  std::vector<GraphDelta> deltas;
+  std::vector<uint64_t> expected_a, expected_b;
+  {
+    Rng rng(99);
+    GraphView view(base);
+    expected_a.push_back(BruteForcePaths(base, qa).size());
+    expected_b.push_back(BruteForcePaths(base, qb).size());
+    for (int e = 0; e < kEpochs; ++e) {
+      GraphDelta d;
+      for (int i = 0; i < 5; ++i) {
+        const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+        const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+        if (rng.NextBounded(3) == 0) {
+          d.Delete(u, v);
+        } else {
+          d.Insert(u, v);
+        }
+      }
+      deltas.push_back(d);
+      view = view.Apply(d, e + 1);
+      expected_a.push_back(BruteForcePaths(view.Materialize(), qa).size());
+      expected_b.push_back(BruteForcePaths(view.Materialize(), qb).size());
+    }
+  }
+
+  AsyncEngineOptions opts;
+  opts.num_workers = 3;
+  opts.enable_oracle = true;
+  opts.oracle.background_relabel = false;
+  opts.oracle.relabel_budget = 8;  // fold labels mid-storm
+  AsyncEngine engine(base, opts);
+
+  std::vector<CountingSink> sinks(160);
+  std::vector<QueryTicket> tickets(sinks.size());
+  std::atomic<size_t> next{0};
+  std::thread submitter([&] {
+    for (size_t i = 0; i < sinks.size() / 2; ++i) {
+      const size_t slot = next.fetch_add(1);
+      tickets[slot] = engine.Submit(slot % 2 == 0 ? qa : qb, sinks[slot]);
+    }
+  });
+  for (const GraphDelta& d : deltas) {
+    for (int i = 0; i < 8; ++i) {
+      const size_t slot = next.fetch_add(1);
+      tickets[slot] = engine.Submit(slot % 2 == 0 ? qa : qb, sinks[slot]);
+    }
+    engine.SubmitUpdate(d);
+  }
+  submitter.join();
+
+  const size_t used = next.load();
+  for (size_t i = 0; i < used; ++i) {
+    const QueryStats& stats = tickets[i].Wait();
+    ASSERT_TRUE(tickets[i].ok()) << tickets[i].error();
+    const uint64_t version = tickets[i].snapshot_version();
+    const std::vector<uint64_t>& expected =
+        i % 2 == 0 ? expected_a : expected_b;
+    ASSERT_LT(version, expected.size());
+    ASSERT_EQ(stats.counters.num_results, expected[version])
+        << "ticket " << i << " on version " << version;
+    if (tickets[i].state() == QueryState::kUnsatisfiable) {
+      ASSERT_EQ(expected[version], 0u)
+          << "ticket " << i << " wrongly rejected at version " << version;
+    }
+  }
+  EXPECT_GT(engine.stats().oracle_rejects, 0u);  // the gate actually fired
 }
 
 }  // namespace

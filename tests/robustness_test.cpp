@@ -30,6 +30,7 @@
 #include "live/async_engine.h"
 #include "test_util.h"
 #include "util/fault_injection.h"
+#include "util/rng.h"
 
 namespace pathenum {
 namespace {
@@ -745,6 +746,102 @@ TEST_F(RobustnessTest, CheckDeltaRejectsOutOfRangeEndpoints) {
   delta = GraphDelta{};
   delta.Insert(200, 0);
   EXPECT_EQ(CheckDelta(delta, 100).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Standing live oracle under adverse conditions (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, OracleShedStaysSoundUnderFaultsAndCancel) {
+  // The oracle's never-wrongly-reject contract must survive the worst of
+  // the lifecycle machinery at once: slow faulted index builds, tickets
+  // cancelled at random, and an update stream racing the submissions.
+  // Every kUnsatisfiable ticket must belong to a version whose true answer
+  // is empty; every kOk ticket must report exactly its version's truth;
+  // cancelled tickets may deliver any prefix. (Runs under TSan in CI.)
+  const VertexId n = 22;
+  const Graph base = ErdosRenyi(n, 33, /*seed=*/73);  // sparse: many unsat
+  const Query q{0, n - 1, 4};
+
+  constexpr int kEpochs = 8;
+  std::vector<GraphDelta> deltas;
+  std::vector<uint64_t> expected;
+  {
+    Rng rng(19);
+    GraphView view(base);
+    expected.push_back(BruteForcePaths(base, q).size());
+    for (int e = 0; e < kEpochs; ++e) {
+      GraphDelta d;
+      for (int i = 0; i < 4; ++i) {
+        const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+        const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+        if (e < kEpochs / 2 && rng.NextBounded(3) == 0) {
+          d.Delete(u, v);
+        } else {
+          d.Insert(u, v);
+        }
+      }
+      // Halfway through, a bridge makes q satisfiable (and the later
+      // insert-only epochs keep it so): the stream deterministically
+      // exercises both sides of the admission gate.
+      if (e == kEpochs / 2) d.Insert(0, 10).Insert(10, n - 1);
+      deltas.push_back(d);
+      view = view.Apply(d, e + 1);
+      expected.push_back(BruteForcePaths(view.Materialize(), q).size());
+    }
+    ASSERT_EQ(expected.front(), 0u);  // version 0: oracle-rejectable
+    ASSERT_GT(expected.back(), 0u);   // final versions: must execute
+  }
+
+  const fault::ScopedFault slow(fault::Site::kIndexBuildWave, [] {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  });
+  AsyncEngineOptions opts;
+  opts.num_workers = 2;
+  opts.enable_oracle = true;
+  opts.oracle.background_relabel = false;
+  opts.oracle.relabel_budget = 6;
+  AsyncEngine engine(base, opts);
+
+  std::vector<CountingSink> sinks(kEpochs * 6);
+  std::vector<QueryTicket> tickets;
+  size_t slot = 0;
+  for (int e = 0; e < kEpochs; ++e) {
+    for (int i = 0; i < 6; ++i, ++slot) {
+      tickets.push_back(engine.Submit(q, sinks[slot]));
+      if (slot % 3 == 2) tickets.back().Cancel();
+    }
+    engine.SubmitUpdate(deltas[e]);
+  }
+
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const QueryStats& stats = tickets[i].Wait();
+    ASSERT_TRUE(tickets[i].ok()) << tickets[i].error();
+    const uint64_t version = tickets[i].snapshot_version();
+    ASSERT_LT(version, expected.size());
+    switch (tickets[i].state()) {
+      case QueryState::kUnsatisfiable:
+        ASSERT_EQ(expected[version], 0u)
+            << "ticket " << i << " wrongly rejected at version " << version;
+        ASSERT_EQ(stats.counters.num_results, 0u);
+        break;
+      case QueryState::kOk:
+        ASSERT_EQ(stats.counters.num_results, expected[version])
+            << "ticket " << i << " on version " << version;
+        break;
+      case QueryState::kCancelled:
+        ASSERT_LE(stats.counters.num_results, expected[version]);
+        break;
+      default:
+        FAIL() << "unexpected terminal state "
+               << QueryStateName(tickets[i].state()) << " for ticket " << i;
+    }
+  }
+  // The run must have exercised both sides of the gate.
+  engine.Drain();  // ticket completion precedes the executed_ bookkeeping
+  const AsyncEngine::Stats st = engine.stats();
+  EXPECT_GT(st.oracle_rejects, 0u);
+  EXPECT_GT(st.executed, 0u);
 }
 
 }  // namespace
