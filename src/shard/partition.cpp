@@ -1,0 +1,104 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.h"
+
+namespace pathenum {
+
+GraphPartition GraphPartitioner::Partition(const Graph& g,
+                                           const PartitionOptions& opts) {
+  PATHENUM_CHECK_MSG(opts.num_shards >= 1, "num_shards must be >= 1");
+  const uint32_t num_shards = opts.num_shards;
+  const VertexId n = g.num_vertices();
+
+  GraphPartition p;
+  p.shard_map_.assign(n, 0);
+  p.shard_edges_.assign(num_shards, 0);
+  p.shard_vertices_.assign(num_shards, 0);
+
+  if (num_shards > 1 && n > 0) {
+    // Degree-descending placement order: hubs pick their shard first, so
+    // the affinity score below can gather their neighborhoods around them.
+    std::vector<VertexId> order(n);
+    std::iota(order.begin(), order.end(), VertexId{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&g](VertexId a, VertexId b) {
+                       return g.Degree(a) > g.Degree(b);
+                     });
+
+    const VertexId capacity = static_cast<VertexId>(std::max<double>(
+        1.0, opts.balance_slack * static_cast<double>(n) / num_shards + 1.0));
+    std::vector<uint8_t> placed(n, 0);
+    std::vector<uint64_t> affinity(num_shards, 0);
+    std::vector<uint64_t> edge_load(num_shards, 0);
+
+    for (const VertexId v : order) {
+      std::fill(affinity.begin(), affinity.end(), 0);
+      for (const VertexId u : g.OutNeighbors(v)) {
+        if (placed[u]) ++affinity[p.shard_map_[u]];
+      }
+      for (const VertexId u : g.InNeighbors(v)) {
+        if (placed[u]) ++affinity[p.shard_map_[u]];
+      }
+      uint32_t best = num_shards;  // sentinel: none admissible yet
+      for (uint32_t s = 0; s < num_shards; ++s) {
+        if (p.shard_vertices_[s] >= capacity) continue;
+        if (best == num_shards || affinity[s] > affinity[best] ||
+            (affinity[s] == affinity[best] &&
+             edge_load[s] < edge_load[best])) {
+          best = s;
+        }
+      }
+      // The capacity formula always leaves at least one shard open while
+      // unplaced vertices remain; fall back to the lightest shard anyway.
+      if (best == num_shards) {
+        best = static_cast<uint32_t>(std::min_element(p.shard_vertices_.begin(),
+                                                      p.shard_vertices_.end()) -
+                                     p.shard_vertices_.begin());
+      }
+      p.shard_map_[v] = best;
+      placed[v] = 1;
+      ++p.shard_vertices_[best];
+      edge_load[best] += g.Degree(v);
+    }
+  } else {
+    p.shard_vertices_.assign(num_shards, 0);
+    if (num_shards >= 1) p.shard_vertices_[0] = n;
+  }
+
+  // Tail-owned shard subgraphs over the full vertex space + the cut list.
+  std::vector<GraphBuilder> builders;
+  builders.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) builders.emplace_back(n);
+  std::vector<uint8_t> boundary(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    const uint32_t su = p.shard_map_[u];
+    for (const VertexId v : g.OutNeighbors(u)) {
+      builders[su].AddEdge(u, v);
+      ++p.shard_edges_[su];
+      const uint32_t sv = p.shard_map_[v];
+      if (sv != su) {
+        p.cut_edges_.push_back({u, v, su, sv});
+        boundary[u] = 1;
+        boundary[v] = 1;
+      }
+    }
+  }
+  p.num_boundary_ = static_cast<VertexId>(
+      std::count(boundary.begin(), boundary.end(), uint8_t{1}));
+  // Out-neighbor iteration over ascending u already yields (tail, head)
+  // sorted order; keep the invariant explicit for future builders.
+  std::sort(p.cut_edges_.begin(), p.cut_edges_.end(),
+            [](const CutEdge& a, const CutEdge& b) {
+              return a.tail != b.tail ? a.tail < b.tail : a.head < b.head;
+            });
+  p.shard_graphs_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    p.shard_graphs_.push_back(builders[s].Build());
+  }
+  return p;
+}
+
+}  // namespace pathenum

@@ -1,0 +1,202 @@
+// The cross-shard query front-end (DESIGN.md §14). A ShardRouter owns a
+// GraphPartition's shard engines plus a ShardTransport and serves
+// hop-constrained (s, t, k) queries over the union graph:
+//
+//  1. *Plan*: two k-bounded BFS over the pinned per-shard snapshots compute
+//     exact global distance fields — backward from t (each shard
+//     contributes exactly the in-edges it owns) and forward from s. If
+//     dist(s, t) > k the query is kUnsatisfiable before any per-shard work
+//     (the same soundness argument as the live oracle's lower-bound
+//     rejection, §13, but with an exact distance).
+//  2. *Delegate or stitch*: a cut edge (u, w) is feasible iff
+//     dist_s(u) + 1 + dist_t(w) <= k. When NO cut edge is feasible, every
+//     feasible path provably stays inside owner(s)'s tail-owned subgraph,
+//     and the whole query is delegated to that shard's QueryEngine — full
+//     index/result-cache reuse, identical semantics to the unsharded
+//     engine. Otherwise the query runs *stitched*: partial paths expand as
+//     segment DFS inside the shard owning their current endpoint, pruned
+//     by depth + dist_t(frontier) > k, and cross shards as delta-encoded
+//     PathBlocks over the transport.
+//  3. *Merge*: all shards deliver through ONE BranchGate/BranchSink pair
+//     (the §8 reservation-based accounting, reused, not duplicated), so
+//     `delivered() == limit` holds at the router's merge barrier exactly
+//     as it does for split joins; per-shard counters fold together with
+//     internal::FinishFanout.
+//
+// Updates route through the partition map: SubmitUpdate splits a
+// GraphDelta by the owner of each edge's tail, every touched shard
+// publishes its own snapshot epoch (ShardEngine::SubmitLocalDelta), and
+// the router's cut-edge list is swapped copy-on-write under the same lock
+// queries pin their snapshots under — a query always observes one
+// consistent {per-shard views, cut list} frontier.
+//
+// Threading: Run and SubmitUpdate may each be called from one thread at a
+// time (they serialize against each other internally). During a stitched
+// query the caller's sink is invoked from transport service threads,
+// serialized by the gate's mutex — the same contract as
+// BatchOptions::split_branches.
+#ifndef PATHENUM_SHARD_ROUTER_H_
+#define PATHENUM_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/options.h"
+#include "core/query.h"
+#include "core/sink.h"
+#include "graph/graph.h"
+#include "graph/view.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "shard/partition.h"
+#include "shard/shard_engine.h"
+#include "shard/transport.h"
+#include "util/status.h"
+
+namespace pathenum {
+
+struct RouterOptions {
+  PartitionOptions partition;
+  /// Applied to every shard engine (cache salts are derived per shard).
+  ShardEngineOptions shard;
+};
+
+/// Outcome of one routed query. `stats.counters.num_results` equals the
+/// merge gate's delivered() for stitched runs — structurally capped at the
+/// result limit.
+struct RouterResult {
+  QueryStats stats;
+  QueryState state = QueryState::kOk;
+  std::string error;
+  /// True when the query ran wholly on one shard's QueryEngine (no
+  /// feasible cut edge); false for stitched cross-shard execution.
+  bool delegated = false;
+  uint32_t delegate_shard = 0;
+  /// Cut edges feasible for this query at plan time (0 when delegated).
+  uint64_t feasible_cut_edges = 0;
+};
+
+class ShardRouter {
+ public:
+  /// Partitions `g` and stands up one ShardEngine per shard plus the
+  /// transport (in-process queues when `transport` is null).
+  explicit ShardRouter(const Graph& g, const RouterOptions& opts = {},
+                       std::unique_ptr<ShardTransport> transport = nullptr);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  uint32_t ShardOf(VertexId v) const { return shard_map_[v]; }
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(shard_map_.size());
+  }
+  ShardEngine& shard(uint32_t s) { return *shards_[s]; }
+  uint64_t generation() const { return generation_; }
+
+  /// Current cross-shard edge count (the live cut, not the epoch-0 one).
+  size_t cut_size() const;
+
+  /// Serves one query. One caller thread at a time; see the header comment
+  /// for the sink threading contract.
+  RouterResult Run(const Query& q, PathSink& sink,
+                   const EnumOptions& opts = {});
+
+  /// Routes `delta` through the partition map: each op lands in the shard
+  /// owning its edge's tail, every touched shard publishes its own
+  /// snapshot epoch, and the cut list advances atomically with them.
+  /// Rejects (without side effects) endpoints outside the vertex space.
+  Status SubmitUpdate(const GraphDelta& delta);
+
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t delegated = 0;
+    uint64_t stitched = 0;
+    uint64_t unsatisfiable = 0;
+    uint64_t rejected = 0;
+    uint64_t updates = 0;
+    uint64_t frames_sent = 0;         // cross-shard PathBlock frames
+    uint64_t continuations_sent = 0;  // partial paths inside those frames
+  };
+  Stats stats() const;
+
+ private:
+  struct Pinned {
+    std::vector<std::shared_ptr<const GraphView>> views;
+    std::shared_ptr<const std::vector<CutEdge>> cut;
+  };
+
+  /// Per-shard stitched-execution state; each instance is touched only by
+  /// its shard's transport service thread during one query.
+  struct ShardWork;
+  /// Whole-query stitched state shared by the router thread and the
+  /// transport service threads.
+  struct StitchState;
+
+  Pinned Pin() const;
+  void HandleFrame(uint32_t dst_shard, std::vector<uint8_t> frame);
+  void ExpandPartial(StitchState& st, ShardWork& w, uint32_t dst_shard,
+                     VertexId* path, uint32_t len);
+  void FlushOutgoing(StitchState& st, ShardWork& w, uint32_t target_shard);
+  bool PollControl(StitchState& st, ShardWork& w);
+
+  RouterResult RunDelegated(const Query& q, PathSink& sink,
+                            const EnumOptions& opts, const Pinned& pin,
+                            uint32_t shard);
+  RouterResult RunStitched(const Query& q, PathSink& sink,
+                           const EnumOptions& opts, Pinned pin,
+                           uint64_t feasible_cut, double plan_ms,
+                           obs::QuerySpan& span);
+
+  /// k-bounded exact global BFS over the pinned per-shard snapshots.
+  void ComputeBackwardDistances(const Pinned& pin, VertexId t, uint32_t k);
+  void ComputeForwardDistances(const Pinned& pin, VertexId s, uint32_t k);
+
+  uint64_t generation_;
+  std::vector<uint32_t> shard_map_;
+  std::vector<std::unique_ptr<ShardEngine>> shards_;
+  std::unique_ptr<ShardTransport> transport_;
+
+  /// Guards {per-shard published snapshots, cut list} consistency between
+  /// Pin() and SubmitUpdate.
+  mutable std::mutex state_mutex_;
+  std::unordered_set<uint64_t> cut_set_;  // packed (tail << 32 | head)
+  std::shared_ptr<const std::vector<CutEdge>> cut_list_;
+
+  /// The active stitched query (null between queries). Written by Run
+  /// under active_mutex_; transport handlers take a shared_ptr copy.
+  std::mutex active_mutex_;
+  std::shared_ptr<StitchState> active_;
+  uint64_t next_query_id_ = 1;
+
+  /// Planning buffers, reused across Run calls (Run is serialized).
+  std::vector<uint32_t> dist_to_t_;
+  std::vector<uint32_t> dist_from_s_;
+  std::vector<VertexId> frontier_;
+  std::vector<VertexId> next_frontier_;
+
+  obs::ShardedCounter queries_;
+  obs::ShardedCounter delegated_;
+  obs::ShardedCounter stitched_;
+  obs::ShardedCounter unsat_;
+  obs::ShardedCounter rejected_;
+  obs::ShardedCounter updates_;
+  obs::ShardedCounter frames_sent_;
+  obs::ShardedCounter continuations_sent_;
+  obs::RegHistogram* plan_ms_hist_ = nullptr;
+  obs::RegHistogram* stitch_merge_ms_hist_ = nullptr;
+  std::string metric_label_;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_SHARD_ROUTER_H_

@@ -1,0 +1,65 @@
+#include "shard/shard_engine.h"
+
+#include <string>
+
+namespace pathenum {
+
+namespace {
+
+EngineOptions WithSalt(EngineOptions opts, uint32_t shard_id,
+                       uint64_t generation) {
+  if (opts.cache.key_salt == 0) {
+    opts.cache.key_salt = ShardCacheSalt(shard_id, generation);
+  }
+  return opts;
+}
+
+}  // namespace
+
+ShardEngine::ShardEngine(uint32_t shard_id, uint64_t partition_generation,
+                         Graph shard_graph, const ShardEngineOptions& opts)
+    : shard_id_(shard_id),
+      cache_key_salt_(opts.engine.cache.key_salt != 0
+                          ? opts.engine.cache.key_salt
+                          : ShardCacheSalt(shard_id, partition_generation)),
+      snapshots_(std::move(shard_graph), opts.snapshot),
+      engine_(*snapshots_.Current(),
+              WithSalt(opts.engine, shard_id, partition_generation)) {
+  auto& reg = obs::MetricRegistry::Global();
+  const std::string label = "shard=\"" + std::to_string(shard_id_) +
+                            "\",gen=\"" +
+                            std::to_string(partition_generation) + "\"";
+  reg.RegisterCounter(this, "pathenum_shard_updates_total", label, &updates_);
+  reg.RegisterCounter(this, "pathenum_shard_local_queries_total", label,
+                      &local_queries_);
+  reg.RegisterCounter(this, "pathenum_shard_frames_total", label,
+                      &frames_processed_);
+  reg.RegisterCounter(this, "pathenum_shard_continuations_total", label,
+                      &continuations_out_);
+  reg.RegisterCounter(this, "pathenum_shard_paths_emitted_total", label,
+                      &paths_emitted_);
+}
+
+ShardEngine::~ShardEngine() {
+  obs::MetricRegistry::Global().UnregisterOwner(this);
+}
+
+Status ShardEngine::SubmitLocalDelta(const GraphDelta& delta) {
+  const Status st =
+      CheckDelta(delta, snapshots_.Current()->num_vertices());
+  if (!st.ok()) return st;
+  // The live discipline (DESIGN.md §7): epoch the cache onto the new
+  // version before any query can observe it, then publish.
+  SnapshotManager::Epoch epoch = snapshots_.Prepare(delta);
+  if (IndexCache* cache = engine_.cache()) {
+    cache->BeginEpoch(epoch.snapshot->version(),
+                      [&epoch](VertexId s, VertexId t, uint32_t k) {
+                        return epoch.impact.AffectsQuery(s, t, k);
+                      });
+  }
+  snapshots_.Publish(epoch);
+  updates_.Inc();
+  return Status::Ok();
+}
+
+}  // namespace pathenum

@@ -1,0 +1,122 @@
+// One shard of the sharded serving tier (DESIGN.md §14): the unchanged
+// single-process stack — SnapshotManager MVCC over the shard's tail-owned
+// subgraph, a pooled QueryEngine with its own IndexCache — wrapped behind a
+// shard id. The wrapper adds exactly two things:
+//
+//  * the live-update discipline for shard-local deltas (Prepare →
+//    IndexCache::BeginEpoch with the epoch's impact predicate → Publish),
+//    so each shard publishes its own snapshot epoch stream; and
+//
+//  * an IndexCache key salt derived from (shard id, partition generation),
+//    so two shards sharing a process — or the same shard id across
+//    repartitions — can never alias (s, t, k, options) cache keys.
+//
+// Queries whose feasible paths provably stay inside this shard are served
+// by the wrapped engine directly (full index/result-cache reuse); the
+// router's stitched execution traverses the shard's pinned snapshot views
+// without going through the engine.
+#ifndef PATHENUM_SHARD_SHARD_ENGINE_H_
+#define PATHENUM_SHARD_SHARD_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "engine/query_engine.h"
+#include "graph/view.h"
+#include "live/snapshot.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace pathenum {
+
+/// The cache-key salt for shard `shard_id` under partition generation
+/// `generation`: non-zero and injective over (generation < 2^48,
+/// shard_id < 2^16 - 1), so no two live shard caches in one process ever
+/// share a salt.
+inline uint64_t ShardCacheSalt(uint32_t shard_id, uint64_t generation) {
+  return (generation << 16) | (static_cast<uint64_t>(shard_id & 0xffff) + 1);
+}
+
+struct ShardEngineOptions {
+  /// Per-shard engine knobs. enable_cache defaults on here (the sharded
+  /// tier exists to serve repeated traffic); cache.key_salt, when left 0,
+  /// is derived via ShardCacheSalt.
+  EngineOptions engine = [] {
+    EngineOptions e;
+    e.enable_cache = true;
+    return e;
+  }();
+  SnapshotOptions snapshot;
+};
+
+class ShardEngine {
+ public:
+  /// Takes ownership of the shard's tail-owned subgraph (full global
+  /// vertex space — see shard/partition.h).
+  ShardEngine(uint32_t shard_id, uint64_t partition_generation,
+              Graph shard_graph, const ShardEngineOptions& opts = {});
+  ~ShardEngine();
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  uint32_t shard_id() const { return shard_id_; }
+  uint64_t cache_key_salt() const { return cache_key_salt_; }
+
+  /// The shard's latest published snapshot (MVCC: callers pin it for the
+  /// duration of a query; later epochs never disturb it).
+  std::shared_ptr<const GraphView> CurrentView() const {
+    return snapshots_.Current();
+  }
+  uint64_t version() const { return snapshots_.version(); }
+
+  /// Applies a shard-local delta (every op's tail must be owned by this
+  /// shard — the router's partition map guarantees it) under the live
+  /// epoch discipline: the new version's cache epoch begins before the
+  /// snapshot publishes, so no query can observe the new version against
+  /// stale cache entries. Serialized by the caller (the router's update
+  /// path). Returns InvalidArgument on endpoints outside the vertex space.
+  Status SubmitLocalDelta(const GraphDelta& delta);
+
+  QueryEngine& engine() { return engine_; }
+  const SnapshotManager& snapshots() const { return snapshots_; }
+
+  /// Stitched-execution accounting, folded in by the router at each query
+  /// merge barrier (the counters back the registry's per-shard
+  /// `pathenum_shard_*` metrics).
+  void RecordStitchWork(uint64_t frames, uint64_t continuations_out,
+                        uint64_t paths_emitted) {
+    frames_processed_.Inc(frames);
+    continuations_out_.Inc(continuations_out);
+    paths_emitted_.Inc(paths_emitted);
+  }
+  void RecordLocalQuery() { local_queries_.Inc(); }
+
+  struct Stats {
+    uint64_t updates = 0;            // shard-local epochs published
+    uint64_t local_queries = 0;      // queries delegated wholly to this shard
+    uint64_t frames_processed = 0;   // cross-shard frames expanded here
+    uint64_t continuations_out = 0;  // partial paths shipped to other shards
+    uint64_t paths_emitted = 0;      // full paths this shard completed
+  };
+  Stats stats() const {
+    return {updates_.Value(), local_queries_.Value(),
+            frames_processed_.Value(), continuations_out_.Value(),
+            paths_emitted_.Value()};
+  }
+
+ private:
+  uint32_t shard_id_;
+  uint64_t cache_key_salt_;
+  SnapshotManager snapshots_;
+  QueryEngine engine_;
+  obs::ShardedCounter updates_;
+  obs::ShardedCounter local_queries_;
+  obs::ShardedCounter frames_processed_;
+  obs::ShardedCounter continuations_out_;
+  obs::ShardedCounter paths_emitted_;
+};
+
+}  // namespace pathenum
+
+#endif  // PATHENUM_SHARD_SHARD_ENGINE_H_
